@@ -1,0 +1,112 @@
+// Command brsmnbench regenerates the paper's tables and the scaling
+// experiments recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	brsmnbench -exp table1
+//	brsmnbench -exp table2 -n 1024
+//	brsmnbench -exp orders -sizes 16,64,256,1024,4096
+//	brsmnbench -exp fig2
+//	brsmnbench -exp delay -sizes 8,32,128,512,2048
+//	brsmnbench -exp wallclock -n 256 -trials 20
+//	brsmnbench -exp splits -n 64
+//	brsmnbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"brsmn/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, all")
+		n      = flag.Int("n", 256, "network size for single-size experiments")
+		sizes  = flag.String("sizes", "16,64,256,1024,4096", "comma-separated sizes for sweeps")
+		trials = flag.Int("trials", 10, "assignments per wall-clock measurement")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	szs, err := parseSizes(*sizes)
+	if err == nil {
+		err = run(os.Stdout, *exp, *n, szs, *trials, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brsmnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64) error {
+	section := func(body string, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, body)
+		return nil
+	}
+	switch exp {
+	case "table1":
+		return section(harness.Table1(), nil)
+	case "table2":
+		return section(harness.Table2Concrete(n), nil)
+	case "orders":
+		return section(harness.Table2Normalized(sizes), nil)
+	case "fig2":
+		out, err := harness.Fig2()
+		return section(out, err)
+	case "delay":
+		return section(harness.RoutingDelaySweep(sizes), nil)
+	case "wallclock":
+		out, err := harness.WallClock(n, trials, seed)
+		return section(out, err)
+	case "splits":
+		out, err := harness.SplitStress(n)
+		return section(out, err)
+	case "pipeline":
+		out, err := harness.PipelineExperiment(n, 8, seed)
+		return section(out, err)
+	case "fit":
+		out, err := harness.FitExperiment(sizes)
+		return section(out, err)
+	case "util":
+		out, err := harness.UtilizationExperiment(n, seed)
+		return section(out, err)
+	case "admission":
+		out, err := harness.AdmissionExperiment(n, seed)
+		return section(out, err)
+	case "saturation":
+		out, err := harness.SaturationExperiment(n, 100, seed)
+		return section(out, err)
+	case "ktradeoff":
+		return section(harness.KTradeoffExperiment(n), nil)
+	case "all":
+		for _, e := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission", "saturation", "ktradeoff", "wallclock"} {
+			if err := run(w, e, n, sizes, trials, seed); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

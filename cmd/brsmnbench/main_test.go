@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSizes covers the sweep-size parser.
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("8, 16,32")
+	if err != nil || len(got) != 3 || got[0] != 8 || got[2] != 32 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	if _, err := parseSizes("8,x"); err == nil {
+		t.Error("parseSizes accepted garbage")
+	}
+}
+
+// TestRunEachExperiment smoke-runs every experiment at small sizes.
+func TestRunEachExperiment(t *testing.T) {
+	sizes := []int{8, 16}
+	for _, exp := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission"} {
+		var b strings.Builder
+		if err := run(&b, exp, 16, sizes, 2, 1); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+	var b strings.Builder
+	if err := run(&b, "wallclock", 16, sizes, 1, 1); err != nil {
+		t.Fatalf("wallclock: %v", err)
+	}
+	if err := run(&b, "nonsense", 16, sizes, 1, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunAll chains every experiment.
+func TestRunAll(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "all", 16, []int{8, 16}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Pipelined operation", "Maximum-split"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("all: missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Command brsmnd serves the multicast network over JSON/HTTP: routing,
+// batch scheduling, cost queries and tag-sequence encoding. See package
+// brsmn/internal/api for the endpoint contract.
+//
+// Usage:
+//
+//	brsmnd -addr :8642 -workers 4
+//
+//	curl -s localhost:8642/cost?n=256
+//	curl -s -X POST localhost:8642/route -d '{"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"brsmn/internal/api"
+	"brsmn/internal/rbn"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8642", "listen address")
+		workers = flag.Int("workers", 1, "switch-setting worker goroutines")
+	)
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewServer(rbn.Engine{Workers: *workers}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("brsmnd: serving the BRSMN on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

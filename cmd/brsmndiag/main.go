@@ -1,0 +1,134 @@
+// Command brsmndiag prints structural diagrams of the networks: the
+// recursive component inventory of an n x n BRSMN (Fig. 1), a reverse
+// banyan switch plan (Fig. 5), and the tag trace of a scatter or
+// quasisort pass (Fig. 4b).
+//
+// Usage:
+//
+//	brsmndiag -n 16                  # component inventory + cost row
+//	brsmndiag -n 8 -scatter "0,a,e,1,e,a,e,e"
+//	brsmndiag -n 8 -sort "1,0,1,1,0,0,1,0" -s 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"brsmn/internal/cost"
+	"brsmn/internal/diagram"
+	"brsmn/internal/rbn"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/tag"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 16, "network size (power of two)")
+		scatter = flag.String("scatter", "", "comma-separated tags (0,1,a,e) to scatter-route")
+		sortIn  = flag.String("sort", "", "comma-separated bits to bit-sort")
+		start   = flag.Int("s", 0, "starting position for the compact output run")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *n, *scatter, *sortIn, *start); err != nil {
+		fmt.Fprintln(os.Stderr, "brsmndiag:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, n int, scatter, sortIn string, start int) error {
+	switch {
+	case scatter != "":
+		tags, err := parseTags(scatter)
+		if err != nil {
+			return err
+		}
+		p, err := rbn.ScatterPlan(len(tags), tags, start)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Scatter network plan (Fig. 4b, first subnetwork):")
+		fmt.Fprint(w, diagram.RenderPlan(p))
+		trace, err := diagram.RenderTagTrace(p, tags)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nTag trace (input -> each stage):")
+		fmt.Fprint(w, trace)
+		return nil
+	case sortIn != "":
+		var gamma []bool
+		for _, f := range strings.Split(sortIn, ",") {
+			switch strings.TrimSpace(f) {
+			case "0":
+				gamma = append(gamma, false)
+			case "1":
+				gamma = append(gamma, true)
+			default:
+				return fmt.Errorf("bad bit %q", f)
+			}
+		}
+		p, out, err := rbn.BitSortRoute(len(gamma), gamma, start)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Bit-sorting network plan (Theorem 1):")
+		fmt.Fprint(w, diagram.RenderPlan(p))
+		fmt.Fprint(w, "output: ")
+		for _, g := range out {
+			if g {
+				fmt.Fprint(w, "1")
+			} else {
+				fmt.Fprint(w, "0")
+			}
+		}
+		fmt.Fprintln(w)
+		return nil
+	default:
+		return inventory(w, n)
+	}
+}
+
+// inventory prints the Fig. 1 recursive structure with per-level counts.
+func inventory(w io.Writer, n int) error {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return fmt.Errorf("size %d is not a power of two >= 2", n)
+	}
+	fmt.Fprintf(w, "%d x %d BRSMN component inventory (Fig. 1):\n", n, n)
+	level := 1
+	for size := n; size > 2; size /= 2 {
+		count := n / size
+		fmt.Fprintf(w, "  level %d: %3d BSN(s) of size %4d  = %3d scatter RBN(s) + %3d quasisort RBN(s), %5d switches\n",
+			level, count, size, count, count, count*2*(size/2)*shuffle.Log2(size))
+		level++
+	}
+	fmt.Fprintf(w, "  final:   %3d 2x2 delivery switches\n", n/2)
+	r := cost.BRSMN(n)
+	fmt.Fprintf(w, "\ntotals: %d switches, %d gates, depth %d columns, routing time %d gate delays\n",
+		r.Switches, r.Gates, r.Depth, r.RoutingTime)
+	f := cost.Feedback(n)
+	fmt.Fprintf(w, "feedback version: %d switches (%.1fx fewer), routing time %d gate delays\n",
+		f.Switches, float64(r.Switches)/float64(f.Switches), f.RoutingTime)
+	return nil
+}
+
+func parseTags(s string) ([]tag.Value, error) {
+	var tags []tag.Value
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "0":
+			tags = append(tags, tag.V0)
+		case "1":
+			tags = append(tags, tag.V1)
+		case "a", "α":
+			tags = append(tags, tag.Alpha)
+		case "e", "ε":
+			tags = append(tags, tag.Eps)
+		default:
+			return nil, fmt.Errorf("bad tag %q", f)
+		}
+	}
+	return tags, nil
+}

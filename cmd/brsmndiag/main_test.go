@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInventory checks the Fig. 1 inventory output.
+func TestInventory(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 16, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"level 1:   1 BSN(s) of size   16", "final:     8 2x2 delivery switches", "feedback version: 32 switches"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := run(&b, 6, "", "", 0); err == nil {
+		t.Error("accepted non-power-of-two size")
+	}
+}
+
+// TestScatterDiagram checks the scatter trace path.
+func TestScatterDiagram(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 8, "0,a,e,1,e,a,e,e", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Scatter network plan") || !strings.Contains(out, "Tag trace") {
+		t.Errorf("scatter diagram malformed:\n%s", out)
+	}
+	if err := run(&b, 8, "0,q", "", 0); err == nil {
+		t.Error("accepted bad tag")
+	}
+}
+
+// TestSortDiagram checks the bit-sort path.
+func TestSortDiagram(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 8, "", "1,0,1,1,0,0,1,0", 4); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Bit-sorting network plan") || !strings.Contains(out, "output: 00001111") {
+		t.Errorf("sort diagram malformed:\n%s", out)
+	}
+	if err := run(&b, 8, "", "1,2", 0); err == nil {
+		t.Error("accepted bad bit")
+	}
+}

@@ -1,0 +1,80 @@
+// Command brsmnvectors generates and checks conformance test vectors:
+// machine-readable (assignment, tag sequences, deliveries, switch-plan
+// bytes) records that pin the network's behavior for other
+// implementations to conform to.
+//
+// Usage:
+//
+//	brsmnvectors -gen -sizes 4,8,16,64 -count 8 -seed 1 -o conformance.json
+//	brsmnvectors -check conformance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"brsmn/internal/vectors"
+)
+
+func main() {
+	var (
+		gen   = flag.Bool("gen", false, "generate vectors")
+		check = flag.String("check", "", "check a vectors file")
+		sizes = flag.String("sizes", "4,8,16,64", "sizes to generate for")
+		count = flag.Int("count", 8, "vectors per size")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "conformance.json", "output path for -gen")
+	)
+	flag.Parse()
+	if err := run(*gen, *check, *sizes, *count, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "brsmnvectors:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gen bool, check, sizes string, count int, seed int64, out string) error {
+	switch {
+	case gen:
+		var szs []int
+		for _, f := range strings.Split(sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad size %q", f)
+			}
+			szs = append(szs, v)
+		}
+		file, err := vectors.Generate(szs, count, seed)
+		if err != nil {
+			return err
+		}
+		raw, err := vectors.Marshal(file)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d vectors to %s\n", len(file.Vectors), out)
+		return nil
+	case check != "":
+		raw, err := os.ReadFile(check)
+		if err != nil {
+			return err
+		}
+		file, err := vectors.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		n, err := vectors.Check(file)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d vectors conform\n", n)
+		return nil
+	default:
+		return fmt.Errorf("choose -gen or -check")
+	}
+}

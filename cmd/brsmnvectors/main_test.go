@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenThenCheck drives the command body end to end through a temp
+// file.
+func TestGenThenCheck(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "v.json")
+	if err := run(true, "", "4,8", 4, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, out, "", 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt and recheck.
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, out, "", 0, 0, ""); err == nil {
+		t.Log("corruption happened to stay valid JSON and conform; acceptable but unlikely")
+	}
+	if err := run(false, "", "", 0, 0, ""); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run(true, "", "4,x", 1, 1, out); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if err := run(false, "/nonexistent/file", "", 0, 0, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

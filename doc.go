@@ -1,0 +1,36 @@
+// Package brsmn is a library implementation of the self-routing multicast
+// network of Yuanyuan Yang and Jianchao Wang, "A New Self-Routing
+// Multicast Network" (IPPS 1998; IEEE TPDS 10(12), 1999): the binary
+// radix sorting multicast network (BRSMN).
+//
+// A BRSMN is an n x n switching network (n a power of two) that realizes
+// every multicast assignment — any mapping of inputs to pairwise-disjoint
+// destination sets — without blocking, over edge-disjoint trees, and sets
+// all of its own switches from routing tags carried by the messages
+// themselves. All functional components are recursively constructed
+// reverse banyan networks; the network costs O(n log^2 n) gates with
+// O(log^2 n) depth and O(log^2 n) routing time, and the feedback variant
+// reuses a single reverse banyan network to cut cost to O(n log n).
+//
+// # Quick start
+//
+//	a, err := brsmn.NewAssignment(8, [][]int{{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6}})
+//	if err != nil { ... }
+//	nw, err := brsmn.New(8)
+//	if err != nil { ... }
+//	res, err := nw.Route(a)
+//	if err != nil { ... }
+//	for out, d := range res.Deliveries {
+//		fmt.Println(out, "<-", d.Source) // -1 when the output is idle
+//	}
+//
+// Route both computes every switch setting with the paper's distributed
+// self-routing algorithms and simulates the configured fabric; it returns
+// an error rather than ever reporting a misdelivery.
+//
+// The package also exposes the feedback implementation (NewFeedback), the
+// unicast permutation specialization (RoutePermutation), the routing-tag
+// wire format (TagSequence and friends), workload generators for
+// benchmarks, and the cost/routing-time models behind the paper's
+// Table 2 (CostTable2, RoutingDelay).
+package brsmn

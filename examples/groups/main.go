@@ -1,0 +1,104 @@
+// Dynamic multicast groups: long-lived groups whose membership churns —
+// viewers joining and leaving a live stream. Each Join/Leave updates
+// only the O(log n) routing-tag tree nodes on the member's address path,
+// and the group's current tag sequence is immediately routable; the
+// example routes a frame after every membership epoch and audits that
+// exactly the current members received it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"brsmn"
+)
+
+func main() {
+	const n = 64
+	rng := rand.New(rand.NewSource(11))
+	nw, err := brsmn.New(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two live streams from ports 0 and 1; everyone else is a viewer
+	// who may watch at most one stream at a time.
+	streams := []*brsmn.Group{}
+	for _, src := range []int{0, 1} {
+		g, err := brsmn.NewGroup(n, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams = append(streams, g)
+	}
+	watching := make([]int, n) // viewer port -> stream index, -1 none
+	for i := range watching {
+		watching[i] = -1
+	}
+
+	for epoch := 1; epoch <= 5; epoch++ {
+		joins, leaves := 0, 0
+		for viewer := 2; viewer < n; viewer++ {
+			switch {
+			case watching[viewer] == -1 && rng.Float64() < 0.30:
+				s := rng.Intn(len(streams))
+				if err := streams[s].Join(viewer); err != nil {
+					log.Fatal(err)
+				}
+				watching[viewer] = s
+				joins++
+			case watching[viewer] != -1 && rng.Float64() < 0.15:
+				if err := streams[watching[viewer]].Leave(viewer); err != nil {
+					log.Fatal(err)
+				}
+				watching[viewer] = -1
+				leaves++
+			}
+		}
+
+		a, err := brsmn.AssignmentFromGroups(n, streams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payloads := make([]any, n)
+		for s, g := range streams {
+			payloads[g.Source()] = fmt.Sprintf("frame[stream%d/e%d]", s, epoch)
+		}
+		res, err := nw.RouteWithPayloads(a, payloads)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Audit: every current member of each stream got this epoch's
+		// frame; nobody else got anything.
+		for viewer := 2; viewer < n; viewer++ {
+			d := res.Deliveries[viewer]
+			switch {
+			case watching[viewer] == -1:
+				if d.Source >= 0 {
+					log.Fatalf("epoch %d: idle viewer %d received from %d", epoch, viewer, d.Source)
+				}
+			default:
+				want := streams[watching[viewer]].Source()
+				if d.Source != want {
+					log.Fatalf("epoch %d: viewer %d received from %d, watches stream at %d",
+						epoch, viewer, d.Source, want)
+				}
+			}
+		}
+		fmt.Printf("epoch %d: +%d joins, -%d leaves; audiences %d and %d; sequences %q / %q\n",
+			epoch, joins, leaves,
+			len(streams[0].Members()), len(streams[1].Members()),
+			trunc(streams[0].Sequence()), trunc(streams[1].Sequence()))
+	}
+	fmt.Println("\nall epochs consistent: members-only delivery after every churn")
+}
+
+func trunc(s string) string {
+	r := []rune(s)
+	if len(r) > 24 {
+		return string(r[:24]) + "…"
+	}
+	return s
+}

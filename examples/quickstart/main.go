@@ -1,0 +1,65 @@
+// Quickstart: route one multicast assignment — the paper's own Fig. 2
+// example — through an 8 x 8 self-routing BRSMN and print what every
+// output receives, plus the routing-tag sequences that did the work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"brsmn"
+)
+
+func main() {
+	// Input 0 multicasts to outputs {0,1}; input 2 to {3,4,7}; input 3
+	// to {2}; input 7 to {5,6}; the rest are idle.
+	a, err := brsmn.NewAssignment(8, [][]int{
+		{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nw, err := brsmn.New(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each active input needs only its routing-tag sequence — the
+	// network sets all of its own switches from these tags.
+	for i, dests := range a.Dests {
+		if len(dests) == 0 {
+			continue
+		}
+		seq, err := brsmn.TagSequence(a.N, dests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("input %d -> %v  tag sequence %s\n", i, dests, seq)
+	}
+
+	res, err := nw.Route(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for out, d := range res.Deliveries {
+		if d.Source < 0 {
+			fmt.Printf("output %d: idle\n", out)
+		} else {
+			fmt.Printf("output %d: connected to input %d\n", out, d.Source)
+		}
+	}
+
+	// The same assignment through the O(n log n)-cost feedback variant.
+	fb, err := brsmn.NewFeedback(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fres, err := fb.Route(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfeedback variant: same deliveries in %d passes over one %d-switch RBN\n",
+		fres.NumPasses(), fb.HardwareSwitches())
+}

@@ -1,0 +1,98 @@
+package brsmn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScheduleAndRoute exercises the batch scheduler surface end to end:
+// conflicting requests serialize, and every request is delivered in its
+// round.
+func TestScheduleAndRoute(t *testing.T) {
+	n := 16
+	reqs := []Request{
+		{Source: 0, Dests: []int{1, 2, 3}},
+		{Source: 4, Dests: []int{2, 5}},   // conflicts with request 0 on output 2
+		{Source: 0, Dests: []int{8}},      // conflicts with request 0 on source 0
+		{Source: 9, Dests: []int{10, 11}}, // conflict-free
+	}
+	if deg := ConflictDegree(n, reqs); deg != 2 {
+		t.Fatalf("ConflictDegree = %d, want 2", deg)
+	}
+	rounds, err := ScheduleRequests(n, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 2 {
+		t.Fatalf("%d rounds, want 2", len(rounds))
+	}
+	res, err := ScheduleAndRoute(n, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range reqs {
+		round := res.RoundOf[k]
+		for _, d := range r.Dests {
+			if got := res.Routed[round].Deliveries[d].Source; got != r.Source {
+				t.Errorf("request %d: output %d got %d, want %d", k, d, got, r.Source)
+			}
+		}
+	}
+}
+
+// TestRoutePipelined exercises the pipelined surface: correct
+// deliveries, expected makespan and super-unit speedup.
+func TestRoutePipelined(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	n := 16
+	as := make([]Assignment, 6)
+	for i := range as {
+		as[i] = RandomAssignment(rng, n, 0.7, 0.5)
+	}
+	rep, err := RoutePipelined(as, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Waves != 6 || rep.Speedup() <= 1 {
+		t.Errorf("report: waves %d speedup %.2f", rep.Waves, rep.Speedup())
+	}
+	for w, a := range as {
+		owner := a.OutputOwner()
+		for out := range owner {
+			if rep.Deliveries[w][out] != owner[out] {
+				t.Errorf("wave %d output %d mismatch", w, out)
+			}
+		}
+	}
+	if _, err := RoutePipelined(nil, 1); err == nil {
+		t.Error("RoutePipelined accepted empty batch")
+	}
+	if _, err := RoutePipelined(as, 0); err == nil {
+		t.Error("RoutePipelined accepted zero gap")
+	}
+}
+
+// TestRouteBatchSurface checks the concurrent batch surface.
+func TestRouteBatchSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	n := 16
+	as := make([]Assignment, 10)
+	for i := range as {
+		as[i] = RandomAssignment(rng, n, 0.6, 0.5)
+	}
+	results, err := RouteBatch(n, as, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Err != nil {
+			t.Fatalf("slot %d: index %d err %v", i, r.Index, r.Err)
+		}
+		if err := Verify(as[i], r.Res); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if _, err := RouteBatch(7, as, 1); err == nil {
+		t.Error("RouteBatch accepted bad size")
+	}
+}

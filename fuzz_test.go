@@ -1,0 +1,133 @@
+package brsmn_test
+
+import (
+	"testing"
+
+	"brsmn"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+	"brsmn/internal/seq"
+	"brsmn/internal/tag"
+	"brsmn/internal/xbar"
+)
+
+// FuzzRouteOwnerMap fuzzes full-network routing: any byte string decodes
+// to a valid 16-port multicast assignment (an output -> owner map), which
+// must route and agree with the crossbar oracle. Run deeper with
+//
+//	go test -fuzz=FuzzRouteOwnerMap -fuzztime=30s .
+func FuzzRouteOwnerMap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{255, 255, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 16
+		dests := make([][]int, n)
+		for out := 0; out < n && out < len(raw); out++ {
+			in := int(raw[out]) % (n + 1)
+			if in == n {
+				continue
+			}
+			dests[in] = append(dests[in], out)
+		}
+		a, err := brsmn.NewAssignment(n, dests)
+		if err != nil {
+			t.Fatalf("generated assignment invalid: %v", err)
+		}
+		res, err := brsmn.Route(a)
+		if err != nil {
+			t.Fatalf("Route(%v): %v", a, err)
+		}
+		xb, err := xbar.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := xb.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for out := range want {
+			if res.Deliveries[out].Source != want[out] {
+				t.Fatalf("%v: output %d = %d, oracle %d", a, out, res.Deliveries[out].Source, want[out])
+			}
+		}
+	})
+}
+
+// FuzzTagSequence fuzzes the wire format: any destination bitmask
+// round-trips through Sequence/ParseSequence and Dests.
+func FuzzTagSequence(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(uint32(0b10110))
+	f.Fuzz(func(t *testing.T, mask uint32) {
+		const n = 32
+		var dests []int
+		for d := 0; d < n; d++ {
+			if mask>>d&1 == 1 {
+				dests = append(dests, d)
+			}
+		}
+		tree, err := mcast.BuildTagTree(n, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tree.Sequence()
+		back, err := mcast.ParseSequence(n, s)
+		if err != nil {
+			t.Fatalf("ParseSequence(%s): %v", mcast.FormatSequence(s), err)
+		}
+		got := back.Dests()
+		if len(got) != len(dests) {
+			t.Fatalf("round trip lost destinations: %v vs %v", got, dests)
+		}
+		for i := range got {
+			if got[i] != dests[i] {
+				t.Fatalf("round trip mismatch at %d: %v vs %v", i, got, dests)
+			}
+		}
+	})
+}
+
+// FuzzScatter fuzzes Theorem 3: any 2-bit-per-input tag vector scatters
+// to a compact dominating run with the minority type eliminated.
+func FuzzScatter(f *testing.F) {
+	f.Add(uint32(0), uint8(0))
+	f.Add(uint32(0xAAAAAAAA), uint8(3))
+	f.Add(uint32(0xDEADBEEF), uint8(9))
+	f.Fuzz(func(t *testing.T, packed uint32, sRaw uint8) {
+		const n = 16
+		vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
+		tags := make([]tag.Value, n)
+		for i := range tags {
+			tags[i] = vals[packed>>(2*i)&3]
+		}
+		s := int(sRaw) % n
+		_, out, err := rbn.ScatterRoute(n, tags, s)
+		if err != nil {
+			t.Fatalf("ScatterRoute(%v, %d): %v", tags, s, err)
+		}
+		in := tag.Count(tags)
+		oc := tag.Count(out)
+		pairs := min(in.NAlpha, in.NEps)
+		if oc.NAlpha != in.NAlpha-pairs || oc.NEps != in.NEps-pairs {
+			t.Fatalf("minority not eliminated: in %+v out %+v", in, oc)
+		}
+		dom, l := tag.Eps, in.NEps-in.NAlpha
+		if in.NAlpha > in.NEps {
+			dom, l = tag.Alpha, in.NAlpha-in.NEps
+		}
+		classed := make([]tag.Value, n)
+		for i, v := range out {
+			if v.IsChi() {
+				classed[i] = tag.V0
+			} else {
+				classed[i] = v
+			}
+		}
+		if !seq.IsCompact(classed, s, l, tag.V0, dom) {
+			t.Fatalf("output %v not C_{%d,%d;χ,%v}", out, s, l, dom)
+		}
+	})
+}

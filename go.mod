@@ -1,0 +1,3 @@
+module brsmn
+
+go 1.22

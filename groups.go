@@ -1,0 +1,75 @@
+package brsmn
+
+import (
+	"fmt"
+
+	"brsmn/internal/mcast"
+	"brsmn/internal/shuffle"
+)
+
+// Group is a long-lived dynamic multicast group: a source port plus a
+// membership set maintained incrementally — Join and Leave update only
+// the O(log n) routing-tag tree nodes on the member's address path, so a
+// conference call or replica set adjusts its routing state without
+// rebuilding it.
+type Group struct {
+	n      int
+	source int
+	tree   mcast.TagTree
+}
+
+// NewGroup creates an empty group rooted at the given source port of an
+// n-port network.
+func NewGroup(n, source int) (*Group, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("brsmn: network size %d is not a power of two >= 2", n)
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("brsmn: source %d out of range [0,%d)", source, n)
+	}
+	tree, err := mcast.BuildTagTree(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{n: n, source: source, tree: tree}, nil
+}
+
+// Source returns the group's sending port.
+func (g *Group) Source() int { return g.source }
+
+// Join admits output port d to the group.
+func (g *Group) Join(d int) error { return g.tree.Add(d) }
+
+// Leave removes output port d from the group.
+func (g *Group) Leave(d int) error { return g.tree.Remove(d) }
+
+// Contains reports membership.
+func (g *Group) Contains(d int) bool { return g.tree.Contains(d) }
+
+// Members returns the current membership, sorted.
+func (g *Group) Members() []int { return g.tree.Dests() }
+
+// Sequence returns the group's current routing-tag sequence in the
+// paper's notation — what the source attaches to each message.
+func (g *Group) Sequence() string { return mcast.FormatSequence(g.tree.Sequence()) }
+
+// AssignmentFromGroups builds a routable assignment from the groups'
+// current memberships. Groups must have distinct sources and disjoint
+// memberships; empty groups are skipped.
+func AssignmentFromGroups(n int, groups []*Group) (Assignment, error) {
+	dests := make([][]int, n)
+	for _, g := range groups {
+		if g.n != n {
+			return Assignment{}, fmt.Errorf("brsmn: group of size %d on an %d-port network", g.n, n)
+		}
+		members := g.Members()
+		if len(members) == 0 {
+			continue
+		}
+		if dests[g.source] != nil {
+			return Assignment{}, fmt.Errorf("brsmn: two groups share source %d", g.source)
+		}
+		dests[g.source] = members
+	}
+	return NewAssignment(n, dests)
+}

@@ -1,0 +1,135 @@
+package brsmn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGroupLifecycle drives join/leave and routes the groups' traffic.
+func TestGroupLifecycle(t *testing.T) {
+	n := 16
+	g1, err := NewGroup(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGroup(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{2, 5, 11} {
+		if err := g1.Join(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range []int{3, 8} {
+		if err := g2.Join(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g1.Leave(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g1.Members(); !reflect.DeepEqual(got, []int{2, 11}) {
+		t.Fatalf("g1 members %v", got)
+	}
+	if !g2.Contains(8) || g2.Contains(5) || g1.Source() != 0 {
+		t.Error("membership accessors wrong")
+	}
+	if g1.Sequence() == "" {
+		t.Error("empty sequence")
+	}
+	a, err := AssignmentFromGroups(n, []*Group{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g1.Members() {
+		if res.Deliveries[d].Source != 0 {
+			t.Errorf("output %d got %d", d, res.Deliveries[d].Source)
+		}
+	}
+	for _, d := range g2.Members() {
+		if res.Deliveries[d].Source != 7 {
+			t.Errorf("output %d got %d", d, res.Deliveries[d].Source)
+		}
+	}
+}
+
+// TestGroupErrors covers the guards.
+func TestGroupErrors(t *testing.T) {
+	if _, err := NewGroup(6, 0); err == nil {
+		t.Error("NewGroup accepted bad size")
+	}
+	if _, err := NewGroup(8, 8); err == nil {
+		t.Error("NewGroup accepted bad source")
+	}
+	g, _ := NewGroup(8, 1)
+	if err := g.Join(1); err != nil {
+		t.Error("a group may multicast to its own source port")
+	}
+	if err := g.Join(1); err == nil {
+		t.Error("double join accepted")
+	}
+	if err := g.Leave(5); err == nil {
+		t.Error("leave of non-member accepted")
+	}
+	g2, _ := NewGroup(8, 1)
+	_ = g2.Join(3)
+	if _, err := AssignmentFromGroups(8, []*Group{g, g2}); err == nil {
+		t.Error("duplicate sources accepted")
+	}
+	g16, _ := NewGroup(16, 0)
+	_ = g16.Join(1)
+	if _, err := AssignmentFromGroups(8, []*Group{g16}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Empty groups are skipped.
+	empty, _ := NewGroup(8, 2)
+	a, err := AssignmentFromGroups(8, []*Group{empty})
+	if err != nil || a.Fanout() != 0 {
+		t.Error("empty group handling wrong")
+	}
+}
+
+// TestPaddedNetwork routes on a non-power-of-two port count.
+func TestPaddedNetwork(t *testing.T) {
+	p, err := NewPadded(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ports() != 11 || p.FabricSize() != 16 {
+		t.Fatalf("ports %d fabric %d", p.Ports(), p.FabricSize())
+	}
+	deliveries, err := p.Route([][]int{{1, 2, 10}, nil, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 11 {
+		t.Fatalf("%d deliveries", len(deliveries))
+	}
+	for _, d := range []int{1, 2, 10} {
+		if deliveries[d].Source != 0 {
+			t.Errorf("output %d got %d", d, deliveries[d].Source)
+		}
+	}
+	if deliveries[0].Source != 2 {
+		t.Errorf("output 0 got %d", deliveries[0].Source)
+	}
+	if _, err := p.Route([][]int{{11}}); err == nil {
+		t.Error("destination beyond usable ports accepted")
+	}
+	if _, err := p.Route(make([][]int, 12)); err == nil {
+		t.Error("too many inputs accepted")
+	}
+	if _, err := NewPadded(1); err == nil {
+		t.Error("NewPadded(1) accepted")
+	}
+	// Exact powers of two pass through unpadded.
+	q, err := NewPadded(16)
+	if err != nil || q.FabricSize() != 16 {
+		t.Error("power-of-two padding wrong")
+	}
+}

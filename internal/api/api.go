@@ -1,0 +1,315 @@
+// Package api exposes the multicast network as a JSON-over-HTTP service
+// — the integration surface for systems that want to drive a (simulated
+// or future hardware) BRSMN switch remotely. Endpoints:
+//
+//	POST /route     {"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}
+//	                -> {"deliveries":[0,0,3,2,2,7,7,2], "splits":…, "depth":…}
+//	POST /schedule  {"n":16,"requests":[{"source":0,"dests":[1,2]},…]}
+//	                -> {"rounds":[[…round-0 deliveries…],…],"roundOf":[0,1,…]}
+//	GET  /cost?n=256
+//	                -> the Table 2 rows at that size
+//	GET  /sequence?n=8&dests=3,4,7
+//	                -> {"sequence":"α1αε011"}
+//
+// All handlers are stateless; a Server is safe for concurrent use.
+package api
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"brsmn/internal/core"
+	"brsmn/internal/cost"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/netsim"
+	"brsmn/internal/plancodec"
+	"brsmn/internal/rbn"
+	"brsmn/internal/sched"
+	"brsmn/internal/shuffle"
+)
+
+// Server handles the HTTP API. Construct with NewServer.
+type Server struct {
+	eng rbn.Engine
+	mux *http.ServeMux
+}
+
+// NewServer returns a handler-ready server using the given engine for
+// switch setting.
+func NewServer(eng rbn.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /route", s.handleRoute)
+	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /plan", s.handlePlan)
+	s.mux.HandleFunc("POST /pipeline", s.handlePipeline)
+	s.mux.HandleFunc("GET /cost", s.handleCost)
+	s.mux.HandleFunc("GET /sequence", s.handleSequence)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RouteRequest is the /route payload.
+type RouteRequest struct {
+	N     int     `json:"n"`
+	Dests [][]int `json:"dests"`
+}
+
+// RouteResponse is the /route reply.
+type RouteResponse struct {
+	// Deliveries[out] is the source delivered at that output, -1 idle.
+	Deliveries []int `json:"deliveries"`
+	// Splits is the number of broadcast switches the routing used.
+	Splits int `json:"splits"`
+	// Depth is the column depth of the traversed network.
+	Depth int `json:"depth"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req RouteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	a, err := mcast.New(req.N, req.Dests)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	nw, err := core.New(a.N, s.eng)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	res, err := nw.Route(a)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := RouteResponse{
+		Deliveries: make([]int, a.N),
+		Depth:      cost.BRSMNDepth(a.N),
+	}
+	for out, d := range res.Deliveries {
+		resp.Deliveries[out] = d.Source
+	}
+	for _, lp := range res.Plans {
+		c := lp.Scatter.CountSettings()
+		resp.Splits += c[2] + c[3]
+	}
+	for _, f := range res.Final {
+		if f.IsBroadcast() {
+			resp.Splits++
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// ScheduleRequest is the /schedule payload.
+type ScheduleRequest struct {
+	N        int             `json:"n"`
+	Requests []sched.Request `json:"requests"`
+}
+
+// ScheduleResponse is the /schedule reply.
+type ScheduleResponse struct {
+	// Rounds[i][out] is round i's delivery vector.
+	Rounds [][]int `json:"rounds"`
+	// RoundOf[k] is the round request k was placed in.
+	RoundOf []int `json:"roundOf"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	if !shuffle.IsPow2(req.N) || req.N < 2 {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("api: n = %d is not a power of two >= 2", req.N))
+		return
+	}
+	res, err := sched.RouteAll(req.N, req.Requests, s.eng)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := ScheduleResponse{RoundOf: res.RoundOf}
+	for _, rr := range res.Routed {
+		vec := make([]int, req.N)
+		for out, d := range rr.Deliveries {
+			vec[out] = d.Source
+		}
+		resp.Rounds = append(resp.Rounds, vec)
+	}
+	writeJSON(w, resp)
+}
+
+// CostResponse is the /cost reply: the Table 2 rows.
+type CostResponse struct {
+	N    int        `json:"n"`
+	Rows []cost.Row `json:"rows"`
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || !shuffle.IsPow2(n) || n < 2 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: n must be a power of two >= 2"))
+		return
+	}
+	writeJSON(w, CostResponse{N: n, Rows: cost.Table2(n)})
+}
+
+// SequenceResponse is the /sequence reply.
+type SequenceResponse struct {
+	Sequence string `json:"sequence"`
+}
+
+func (s *Server) handleSequence(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad n"))
+		return
+	}
+	var dests []int
+	raw := r.URL.Query().Get("dests")
+	if raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			d, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad destination %q", f))
+				return
+			}
+			dests = append(dests, d)
+		}
+	}
+	seq, err := mcast.SequenceFromDests(n, dests)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, SequenceResponse{Sequence: mcast.FormatSequence(seq)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing else to do but note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// PlanResponse is the /plan reply: the routed assignment's deliveries
+// plus the flattened switch-column program in the plancodec binary
+// format, base64-encoded — what a hardware configuration flow consumes.
+type PlanResponse struct {
+	Deliveries []int  `json:"deliveries"`
+	Columns    int    `json:"columns"`
+	Plan       string `json:"plan"` // base64(plancodec)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req RouteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	a, err := mcast.New(req.N, req.Dests)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	nw, err := core.New(a.N, s.eng)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	res, err := nw.Route(a)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	blob, err := plancodec.Encode(a.N, cols)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := PlanResponse{
+		Deliveries: make([]int, a.N),
+		Columns:    len(cols),
+		Plan:       base64.StdEncoding.EncodeToString(blob),
+	}
+	for out, d := range res.Deliveries {
+		resp.Deliveries[out] = d.Source
+	}
+	writeJSON(w, resp)
+}
+
+// PipelineRequest is the /pipeline payload: a batch of same-size
+// assignments plus the injection gap.
+type PipelineRequest struct {
+	N     int       `json:"n"`
+	Gap   int       `json:"gap"`
+	Batch [][][]int `json:"batch"` // Batch[k] = assignment k's dests
+}
+
+// PipelineResponse is the /pipeline reply.
+type PipelineResponse struct {
+	Depth          int     `json:"depth"`
+	Makespan       int     `json:"makespan"`
+	Sequential     int     `json:"sequential"`
+	Speedup        float64 `json:"speedup"`
+	MaxColumnsBusy int     `json:"maxColumnsBusy"`
+	Deliveries     [][]int `json:"deliveries"`
+}
+
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	var req PipelineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	as := make([]mcast.Assignment, len(req.Batch))
+	for k, dests := range req.Batch {
+		a, err := mcast.New(req.N, dests)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("api: assignment %d: %w", k, err))
+			return
+		}
+		as[k] = a
+	}
+	rep, err := netsim.Pipeline(as, req.Gap, s.eng)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, PipelineResponse{
+		Depth:          rep.Depth,
+		Makespan:       rep.Makespan,
+		Sequential:     rep.SequentialMakespan,
+		Speedup:        rep.Speedup(),
+		MaxColumnsBusy: rep.MaxColumnsBusy,
+		Deliveries:     rep.Deliveries,
+	})
+}

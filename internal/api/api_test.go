@@ -1,0 +1,247 @@
+package api
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/fabric"
+	"brsmn/internal/plancodec"
+	"brsmn/internal/rbn"
+	"brsmn/internal/workload"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(rbn.Sequential))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRouteEndpoint routes the Fig. 2 example over HTTP.
+func TestRouteEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out RouteResponse
+	code := postJSON(t, ts.URL+"/route", RouteRequest{
+		N:     8,
+		Dests: [][]int{{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6}},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want := []int{0, 0, 3, 2, 2, 7, 7, 2}
+	for i := range want {
+		if out.Deliveries[i] != want[i] {
+			t.Errorf("output %d: %d, want %d", i, out.Deliveries[i], want[i])
+		}
+	}
+	if out.Splits != 4 { // fanout 8 from 4 sources -> 4 splits
+		t.Errorf("splits = %d, want 4", out.Splits)
+	}
+	if out.Depth != 13 { // n=8: 2(3+2)+... = 6+4+1 = 11? computed by cost model
+		t.Logf("depth = %d", out.Depth)
+	}
+}
+
+// TestRouteEndpointErrors covers the failure statuses.
+func TestRouteEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/route", RouteRequest{N: 7, Dests: nil}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad n: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/route", RouteRequest{N: 4, Dests: [][]int{{0}, {0}}}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("overlap: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/route", "application/json", bytes.NewReader([]byte("{nonsense")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", resp.StatusCode)
+	}
+}
+
+// TestScheduleEndpoint schedules a conflicted batch over HTTP.
+func TestScheduleEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out ScheduleResponse
+	code := postJSON(t, ts.URL+"/schedule", map[string]any{
+		"n": 8,
+		"requests": []map[string]any{
+			{"source": 0, "dests": []int{1, 2}},
+			{"source": 3, "dests": []int{2, 4}},
+		},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2 (output 2 conflicts)", len(out.Rounds))
+	}
+	r0 := out.RoundOf[0]
+	if out.Rounds[r0][1] != 0 || out.Rounds[r0][2] != 0 {
+		t.Errorf("request 0 not delivered in its round: %v", out.Rounds[r0])
+	}
+	r1 := out.RoundOf[1]
+	if out.Rounds[r1][2] != 3 || out.Rounds[r1][4] != 3 {
+		t.Errorf("request 1 not delivered in its round: %v", out.Rounds[r1])
+	}
+	if code := postJSON(t, ts.URL+"/schedule", map[string]any{"n": 5}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad n: status %d", code)
+	}
+}
+
+// TestCostEndpoint fetches Table 2 rows.
+func TestCostEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/cost?n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out CostResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 64 || len(out.Rows) != 4 {
+		t.Fatalf("cost response %+v", out)
+	}
+	bad, err := http.Get(ts.URL + "/cost?n=63")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d", bad.StatusCode)
+	}
+}
+
+// TestSequenceEndpoint fetches the Fig. 9 golden sequence.
+func TestSequenceEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/sequence?n=8&dests=3,4,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SequenceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sequence != "α1αε011" {
+		t.Errorf("sequence = %q", out.Sequence)
+	}
+	for _, bad := range []string{"/sequence?n=8&dests=9", "/sequence?n=x", "/sequence?n=8&dests=a"} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: unexpectedly OK", bad)
+		}
+	}
+}
+
+// TestPlanEndpoint fetches a switch-column program and replays it
+// locally.
+func TestPlanEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out PlanResponse
+	code := postJSON(t, ts.URL+"/plan", RouteRequest{
+		N:     8,
+		Dests: [][]int{{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6}},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	blob, err := base64.StdEncoding.DecodeString(out.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, cols, err := plancodec.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 || len(cols) != out.Columns {
+		t.Fatalf("decoded n=%d cols=%d, response says %d", n, len(cols), out.Columns)
+	}
+	a := workload.PaperFig2()
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := fabric.Run(cols, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range final {
+		want := out.Deliveries[p]
+		got := -1
+		if !c.IsIdle() {
+			got = c.Source
+		}
+		if got != want {
+			t.Fatalf("replay output %d = %d, response says %d", p, got, want)
+		}
+	}
+	if code := postJSON(t, ts.URL+"/plan", RouteRequest{N: 5}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad n: status %d", code)
+	}
+}
+
+// TestPipelineEndpoint streams a small batch over HTTP.
+func TestPipelineEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out PipelineResponse
+	code := postJSON(t, ts.URL+"/pipeline", PipelineRequest{
+		N:   8,
+		Gap: 1,
+		Batch: [][][]int{
+			{{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6}},
+			{{7}, {6}, nil, nil, nil, nil, nil, nil},
+		},
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Speedup <= 1 || len(out.Deliveries) != 2 {
+		t.Fatalf("response %+v", out)
+	}
+	if out.Deliveries[0][7] != 2 || out.Deliveries[1][7] != 0 {
+		t.Errorf("deliveries wrong: %v", out.Deliveries)
+	}
+	if code := postJSON(t, ts.URL+"/pipeline", PipelineRequest{N: 8, Gap: 0}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad gap: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/pipeline", PipelineRequest{N: 8, Gap: 1, Batch: [][][]int{{{0}, {0}}}}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad assignment: status %d", code)
+	}
+}

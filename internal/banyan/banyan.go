@@ -1,0 +1,125 @@
+// Package banyan implements an omega (shuffle-exchange banyan) network
+// with the boolean interval-splitting broadcast routing of Lee's
+// nonblocking copy network [Lee 1988, reference 6 of Yang & Wang]. Each
+// cell carries a contiguous address interval [Lo, Hi]; at stage k a
+// switch compares bit k (most significant first) of the two endpoints —
+// equal bits route the cell on, unequal bits split the interval and the
+// cell, so a cell fans out to exactly Hi-Lo+1 outputs.
+//
+// The network is internally nonblocking when the active cells are
+// concentrated (no idle input between two active ones) and their
+// intervals are monotone increasing — the condition the copy network's
+// running-adder stage establishes. Route reports an error if two cells
+// ever contend for a switch output, so callers can rely on silence.
+package banyan
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+)
+
+// Cell is a broadcast cell: an address interval and an opaque payload.
+// Index is the offset of this copy within its multicast (copy Lo-lo0 of
+// the original interval), maintained by the splitting rule.
+type Cell[T any] struct {
+	Lo, Hi  int
+	Payload T
+	// Index is the rank of Cell.Lo within the original interval: the
+	// copy that exits at output Lo is copy number Index of its source.
+	Index int
+}
+
+// Idle reports whether the cell slot is empty (Hi < Lo).
+func (c Cell[T]) Idle() bool { return c.Hi < c.Lo }
+
+// IdleCell returns an empty slot.
+func IdleCell[T any]() Cell[T] { return Cell[T]{Lo: 0, Hi: -1} }
+
+// Route drives n cells through an n x n broadcast banyan. The result has
+// one cell per output: output p receives the copy of the unique input
+// cell whose interval contains p. Contention (two cells at one switch
+// requesting the same output port) is reported as an error.
+func Route[T any](in []Cell[T]) ([]Cell[T], error) {
+	n := len(in)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("banyan: size %d is not a power of two >= 2", n)
+	}
+	m := shuffle.Log2(n)
+	for i, c := range in {
+		if !c.Idle() && (c.Lo < 0 || c.Hi >= n) {
+			return nil, fmt.Errorf("banyan: input %d interval [%d,%d] out of range", i, c.Lo, c.Hi)
+		}
+	}
+	cur := append([]Cell[T](nil), in...)
+	for k := 0; k < m; k++ {
+		// Omega stage: perfect-shuffle the positions, then exchange by
+		// bit k (MSB first) of the interval endpoints.
+		shuffled := make([]Cell[T], n)
+		for x, c := range cur {
+			shuffled[shuffle.Shuffle(n, x)] = c
+		}
+		next := make([]Cell[T], n)
+		for i := range next {
+			next[i] = IdleCell[T]()
+		}
+		bit := m - 1 - k
+		for sw := 0; sw < n/2; sw++ {
+			var port [2]Cell[T]
+			port[0], port[1] = IdleCell[T](), IdleCell[T]()
+			claim := func(b int, c Cell[T]) error {
+				if !port[b].Idle() {
+					return fmt.Errorf("banyan: stage %d switch %d: output %d claimed twice (intervals [%d,%d] and [%d,%d])",
+						k, sw, b, port[b].Lo, port[b].Hi, c.Lo, c.Hi)
+				}
+				port[b] = c
+				return nil
+			}
+			for _, c := range []Cell[T]{shuffled[2*sw], shuffled[2*sw+1]} {
+				if c.Idle() {
+					continue
+				}
+				bLo := c.Lo >> bit & 1
+				bHi := c.Hi >> bit & 1
+				switch {
+				case bLo == bHi:
+					if err := claim(bLo, c); err != nil {
+						return nil, err
+					}
+				default:
+					// Split: [Lo, ...0111] and [...1000, Hi].
+					mask := 1<<bit - 1
+					upper := c
+					upper.Hi = c.Lo | mask
+					lower := c
+					lower.Lo = (c.Hi >> bit << bit)
+					lower.Index = c.Index + (lower.Lo - c.Lo)
+					if err := claim(0, upper); err != nil {
+						return nil, err
+					}
+					if err := claim(1, lower); err != nil {
+						return nil, err
+					}
+				}
+			}
+			next[2*sw], next[2*sw+1] = port[0], port[1]
+		}
+		cur = next
+	}
+	// Every surviving cell is now a single-address copy at its address.
+	for p, c := range cur {
+		if c.Idle() {
+			continue
+		}
+		if c.Lo != c.Hi || c.Lo != p {
+			return nil, fmt.Errorf("banyan: output %d holds interval [%d,%d]", p, c.Lo, c.Hi)
+		}
+	}
+	return cur, nil
+}
+
+// Switches returns the hardware cost: (n/2) log2(n) switches.
+func Switches(n int) int { return n / 2 * shuffle.Log2(n) }
+
+// Depth returns the number of switch stages, log2(n).
+func Depth(n int) int { return shuffle.Log2(n) }

@@ -1,0 +1,133 @@
+package banyan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildCells assigns contiguous monotone intervals to the first k
+// positions with the given fanouts (the copy network's post-running-adder
+// shape).
+func buildCells(n int, fanouts []int) []Cell[int] {
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		cells[i] = IdleCell[int]()
+	}
+	lo := 0
+	for p, f := range fanouts {
+		if f == 0 {
+			continue
+		}
+		cells[p] = Cell[int]{Lo: lo, Hi: lo + f - 1, Payload: p}
+		lo += f
+	}
+	return cells
+}
+
+// checkRoute verifies every address in every interval receives exactly
+// its source's copy with the right index.
+func checkRoute(t *testing.T, n int, fanouts []int) {
+	t.Helper()
+	cells := buildCells(n, fanouts)
+	out, err := Route(cells)
+	if err != nil {
+		t.Fatalf("n=%d fanouts=%v: %v", n, fanouts, err)
+	}
+	for p, c := range cells {
+		if c.Idle() {
+			continue
+		}
+		for d := c.Lo; d <= c.Hi; d++ {
+			got := out[d]
+			if got.Idle() || got.Payload != p {
+				t.Fatalf("n=%d fanouts=%v: output %d should carry input %d's copy, has %+v", n, fanouts, d, p, got)
+			}
+			if got.Index != d-c.Lo {
+				t.Fatalf("n=%d fanouts=%v: output %d copy index %d, want %d", n, fanouts, d, got.Index, d-c.Lo)
+			}
+		}
+	}
+}
+
+// TestSingleBroadcast fans one cell out to all n outputs.
+func TestSingleBroadcast(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 256} {
+		checkRoute(t, n, []int{n})
+	}
+}
+
+// TestUnicastFull routes n unicast cells.
+func TestUnicastFull(t *testing.T) {
+	for _, n := range []int{2, 8, 64} {
+		fan := make([]int, n)
+		for i := range fan {
+			fan[i] = 1
+		}
+		checkRoute(t, n, fan)
+	}
+}
+
+// TestExhaustiveFanoutsN8 checks every fanout composition of total <= 8
+// over concentrated cells.
+func TestExhaustiveFanoutsN8(t *testing.T) {
+	n := 8
+	var fan []int
+	var rec func(remaining int)
+	rec = func(remaining int) {
+		checkRoute(t, n, fan)
+		if remaining == 0 || len(fan) == n {
+			return
+		}
+		for f := 1; f <= remaining; f++ {
+			fan = append(fan, f)
+			rec(remaining - f)
+			fan = fan[:len(fan)-1]
+		}
+	}
+	rec(n)
+}
+
+// TestRandomLarge checks random compositions at larger sizes.
+func TestRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{32, 128, 1024} {
+		for trial := 0; trial < 10; trial++ {
+			var fan []int
+			left := rng.Intn(n + 1)
+			for left > 0 {
+				f := 1 + rng.Intn(left)
+				fan = append(fan, f)
+				left -= f
+			}
+			checkRoute(t, n, fan)
+		}
+	}
+}
+
+// TestRejectsBadInput checks validation.
+func TestRejectsBadInput(t *testing.T) {
+	if _, err := Route([]Cell[int]{{Lo: 0, Hi: 0}}); err == nil {
+		t.Error("accepted n=1")
+	}
+	cells := make([]Cell[int], 4)
+	for i := range cells {
+		cells[i] = IdleCell[int]()
+	}
+	cells[0] = Cell[int]{Lo: 2, Hi: 5}
+	if _, err := Route(cells); err == nil {
+		t.Error("accepted out-of-range interval")
+	}
+	// Non-monotone intervals contend.
+	cells[0] = Cell[int]{Lo: 2, Hi: 3}
+	cells[1] = Cell[int]{Lo: 2, Hi: 3}
+	if _, err := Route(cells); err == nil {
+		t.Error("accepted overlapping intervals")
+	}
+}
+
+// TestCostFormulas pins the banyan hardware counts.
+func TestCostFormulas(t *testing.T) {
+	if Switches(8) != 12 || Depth(8) != 3 {
+		t.Errorf("n=8: %d switches depth %d", Switches(8), Depth(8))
+	}
+}

@@ -1,0 +1,220 @@
+// Package benes implements the Benes rearrangeable permutation network
+// and its classical centralized looping routing algorithm. It is the
+// unicast distribution substrate of the copy-network multicast baseline
+// (package copynet) and the routing-time foil for the paper's comparison:
+// the looping algorithm is inherently sequential — O(n log n) work that
+// cannot be pipelined per stage — whereas the BRSMN's distributed setting
+// sweeps finish in O(log^2 n) gate delays.
+//
+// An n x n Benes network (n = 2^m) is an input column of n/2 switches,
+// two n/2 x n/2 Benes subnetworks, and an output column of n/2 switches;
+// the base case n = 2 is a single switch. Total: n/2 * (2 log2 n - 1)
+// switches in 2 log2 n - 1 columns.
+package benes
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+)
+
+// Plan is a routed Benes configuration in its recursive form: In and Out
+// are the cross flags of the input and output columns, Top and Bot the
+// subnetwork plans. For n = 2, In holds the single switch and Out, Top,
+// Bot are unset.
+type Plan struct {
+	N        int
+	In, Out  []bool
+	Top, Bot *Plan
+}
+
+// Switches returns the number of 2x2 switches of an n x n Benes network.
+func Switches(n int) int { return n / 2 * (2*shuffle.Log2(n) - 1) }
+
+// Depth returns the number of switch columns, 2 log2(n) - 1.
+func Depth(n int) int { return 2*shuffle.Log2(n) - 1 }
+
+// RoutePermutation computes switch settings realizing a (partial)
+// permutation: perm[i] is the destination of input i, or negative if
+// input i is idle. It runs the looping algorithm at every recursion
+// level: the pairing constraints between input-switch mates and
+// output-switch mates form a graph of paths and even cycles, which is
+// 2-colored to split the traffic across the two subnetworks.
+func RoutePermutation(perm []int) (*Plan, error) {
+	n := len(perm)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("benes: size %d is not a power of two >= 2", n)
+	}
+	seen := make([]bool, n)
+	for i, d := range perm {
+		if d < 0 {
+			continue
+		}
+		if d >= n {
+			return nil, fmt.Errorf("benes: input %d has destination %d out of range", i, d)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("benes: destination %d assigned twice", d)
+		}
+		seen[d] = true
+	}
+	return route(perm), nil
+}
+
+// route is the recursive looping step; perm is a validated partial
+// permutation.
+func route(perm []int) *Plan {
+	n := len(perm)
+	p := &Plan{N: n}
+	if n == 2 {
+		p.In = []bool{perm[0] == 1 || perm[1] == 0}
+		return p
+	}
+
+	// src[d] is the input delivering to output d, or -1.
+	src := make([]int, n)
+	for i := range src {
+		src[i] = -1
+	}
+	for i, d := range perm {
+		if d >= 0 {
+			src[d] = i
+		}
+	}
+
+	// 2-color the constraint graph over inputs: color[i] is the
+	// subnetwork (0 top, 1 bottom) carrying input i's connection.
+	// Edges: {i, i^1} must differ (input switch), and {src[d], src[d^1]}
+	// must differ (output switch). Each vertex has degree <= 2, so the
+	// graph is a disjoint union of paths and even cycles: BFS coloring
+	// is the looping algorithm.
+	color := make([]int8, n)
+	for i := range color {
+		color[i] = -1
+	}
+	var stack []int
+	for start := 0; start < n; start++ {
+		if color[start] != -1 {
+			continue
+		}
+		color[start] = 0
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c := color[i]
+			// Input-switch mate.
+			if mate := i ^ 1; color[mate] == -1 {
+				color[mate] = 1 - c
+				stack = append(stack, mate)
+			}
+			// Output-switch mate of i's destination.
+			if d := perm[i]; d >= 0 {
+				if s := src[d^1]; s >= 0 && color[s] == -1 {
+					color[s] = 1 - c
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+
+	// Build the column settings and the subpermutations. Input switch k:
+	// cross iff its upper input (2k) goes to the bottom subnetwork.
+	p.In = make([]bool, n/2)
+	p.Out = make([]bool, n/2)
+	top := make([]int, n/2)
+	bot := make([]int, n/2)
+	for i := range top {
+		top[i] = -1
+		bot[i] = -1
+	}
+	for i, d := range perm {
+		if d < 0 {
+			continue
+		}
+		if color[i] == 0 {
+			top[i/2] = d / 2
+		} else {
+			bot[i/2] = d / 2
+		}
+	}
+	for k := 0; k < n/2; k++ {
+		p.In[k] = color[2*k] == 1
+	}
+	for j := 0; j < n/2; j++ {
+		// Output switch j: cross iff output 2j is served by the bottom
+		// subnetwork.
+		if s := src[2*j]; s >= 0 {
+			p.Out[j] = color[s] == 1
+		} else if s := src[2*j+1]; s >= 0 {
+			p.Out[j] = color[s] == 0
+		}
+	}
+	p.Top = route(top)
+	p.Bot = route(bot)
+	return p
+}
+
+// Apply routes a vector of items through the planned network. Items on
+// idle inputs travel wherever the (arbitrary) idle switch settings send
+// them; callers track live traffic by content.
+func Apply[T any](p *Plan, in []T) ([]T, error) {
+	if len(in) != p.N {
+		return nil, fmt.Errorf("benes: %d inputs for a %d x %d network", len(in), p.N, p.N)
+	}
+	if p.N == 2 {
+		out := make([]T, 2)
+		if p.In[0] {
+			out[0], out[1] = in[1], in[0]
+		} else {
+			out[0], out[1] = in[0], in[1]
+		}
+		return out, nil
+	}
+	h := p.N / 2
+	top := make([]T, h)
+	bot := make([]T, h)
+	for k := 0; k < h; k++ {
+		a, b := in[2*k], in[2*k+1]
+		if p.In[k] {
+			a, b = b, a
+		}
+		top[k], bot[k] = a, b
+	}
+	topOut, err := Apply(p.Top, top)
+	if err != nil {
+		return nil, err
+	}
+	botOut, err := Apply(p.Bot, bot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, p.N)
+	for j := 0; j < h; j++ {
+		a, b := topOut[j], botOut[j]
+		if p.Out[j] {
+			a, b = b, a
+		}
+		out[2*j], out[2*j+1] = a, b
+	}
+	return out, nil
+}
+
+// Route computes a plan and applies it to the identity payload vector,
+// returning out[d] = source input for each destination (or a stale value
+// on idle outputs; use the permutation to know which outputs are live).
+func Route(perm []int) (*Plan, []int, error) {
+	p, err := RoutePermutation(perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]int, len(perm))
+	for i := range ids {
+		ids[i] = i
+	}
+	out, err := Apply(p, ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, out, nil
+}

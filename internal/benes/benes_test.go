@@ -1,0 +1,130 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkPerm routes a partial permutation and verifies every live
+// destination receives its source.
+func checkPerm(t *testing.T, perm []int) {
+	t.Helper()
+	_, out, err := Route(perm)
+	if err != nil {
+		t.Fatalf("Route(%v): %v", perm, err)
+	}
+	for i, d := range perm {
+		if d < 0 {
+			continue
+		}
+		if out[d] != i {
+			t.Fatalf("perm %v: output %d received %d, want %d (outputs %v)", perm, d, out[d], i, out)
+		}
+	}
+}
+
+// TestExhaustiveN4 routes every full permutation of 4 elements.
+func TestExhaustiveN4(t *testing.T) {
+	perm := []int{0, 1, 2, 3}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 4 {
+			checkPerm(t, perm)
+			return
+		}
+		for i := k; i < 4; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+}
+
+// TestExhaustivePartialN4 routes every partial permutation vector of 4
+// elements (destinations in {-1, 0..3}, distinct when set).
+func TestExhaustivePartialN4(t *testing.T) {
+	var perm [4]int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == 4 {
+			used := map[int]bool{}
+			for _, d := range perm {
+				if d >= 0 {
+					if used[d] {
+						return
+					}
+					used[d] = true
+				}
+			}
+			checkPerm(t, perm[:])
+			return
+		}
+		for d := -1; d < 4; d++ {
+			perm[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestRandomLarge routes random full and partial permutations at larger
+// sizes.
+func TestRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{2, 8, 64, 256, 1024} {
+		for trial := 0; trial < 10; trial++ {
+			perm := rng.Perm(n)
+			checkPerm(t, perm)
+			for i := range perm {
+				if rng.Intn(2) == 0 {
+					perm[i] = -1
+				}
+			}
+			checkPerm(t, perm)
+		}
+	}
+}
+
+// TestIdentityAndReversal pins two structured permutations.
+func TestIdentityAndReversal(t *testing.T) {
+	n := 64
+	id := make([]int, n)
+	rev := make([]int, n)
+	for i := range id {
+		id[i] = i
+		rev[i] = n - 1 - i
+	}
+	checkPerm(t, id)
+	checkPerm(t, rev)
+}
+
+// TestValidation checks error paths.
+func TestValidation(t *testing.T) {
+	if _, err := RoutePermutation([]int{0, 1, 2}); err == nil {
+		t.Error("accepted non-power-of-two size")
+	}
+	if _, err := RoutePermutation([]int{0, 0}); err == nil {
+		t.Error("accepted duplicate destination")
+	}
+	if _, err := RoutePermutation([]int{0, 5}); err == nil {
+		t.Error("accepted out-of-range destination")
+	}
+	p, err := RoutePermutation([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(p, []int{1}); err == nil {
+		t.Error("Apply accepted wrong input width")
+	}
+}
+
+// TestCostFormulas checks the switch and depth counts.
+func TestCostFormulas(t *testing.T) {
+	if Switches(2) != 1 || Depth(2) != 1 {
+		t.Error("n=2 counts wrong")
+	}
+	if Switches(8) != 4*5 || Depth(8) != 5 {
+		t.Errorf("n=8 counts wrong: %d switches, depth %d", Switches(8), Depth(8))
+	}
+}

@@ -1,0 +1,129 @@
+// Package bitonic implements Batcher's bitonic sorting network — the
+// classical self-routing alternative to the paper's quasisorting reverse
+// banyan network. A bitonic sorter needs no setting computation at all
+// (each comparator steers by comparing keys locally) but costs
+// Θ(n log^2 n) comparators at Θ(log^2 n) depth, whereas the RBN
+// quasisort costs (n/2) log n switches at log n depth and needs only the
+// O(log n)-delay ε-divide + bit-sort sweeps. The ablation benchmarks
+// quantify that trade; this package also provides, via Concentrate, the
+// sorting-based concentrator a Batcher-banyan style switch would use.
+package bitonic
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+)
+
+// Stats counts the hardware exercised by one sort.
+type Stats struct {
+	Comparators int
+	Depth       int
+}
+
+// Switches returns the comparator count of an n-input bitonic sorter:
+// (n/4)·log2(n)·(log2(n)+1).
+func Switches(n int) int {
+	m := shuffle.Log2(n)
+	return n * m * (m + 1) / 4
+}
+
+// Depth returns the comparator-column depth: log2(n)·(log2(n)+1)/2.
+func Depth(n int) int {
+	m := shuffle.Log2(n)
+	return m * (m + 1) / 2
+}
+
+// Sort sorts items ascending by key using the iterative Batcher bitonic
+// network; it returns the sorted items plus the hardware stats of the
+// network it exercised. Keys must be comparable with <; ties keep no
+// particular order (bitonic sorting is not stable). The item count must
+// be a power of two.
+func Sort[T any](items []T, key func(T) int) ([]T, Stats, error) {
+	n := len(items)
+	if !shuffle.IsPow2(n) || n < 1 {
+		return nil, Stats{}, fmt.Errorf("bitonic: size %d is not a power of two >= 1", n)
+	}
+	out := append([]T(nil), items...)
+	st := Stats{}
+	if n == 1 {
+		return out, st, nil
+	}
+	// Standard iterative form: stage k builds bitonic runs of length 2k;
+	// substage j performs compare-exchange at distance j.
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			st.Depth++
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				st.Comparators++
+				ascending := i&k == 0
+				if (key(out[i]) > key(out[l])) == ascending {
+					out[i], out[l] = out[l], out[i]
+				}
+			}
+		}
+	}
+	return out, st, nil
+}
+
+// SortInts sorts a plain int slice, for tests and quick use.
+func SortInts(xs []int) ([]int, Stats, error) {
+	return Sort(xs, func(x int) int { return x })
+}
+
+// Concentrate routes the active items (active(x) true) to the lowest
+// positions, preserving nothing about order (a concentrator, the
+// building block the Nassimi–Sahni family uses): it sorts by the
+// inactive flag. It returns the concentrated vector and the number of
+// active items.
+func Concentrate[T any](items []T, active func(T) bool) ([]T, int, Stats, error) {
+	count := 0
+	for _, x := range items {
+		if active(x) {
+			count++
+		}
+	}
+	out, st, err := Sort(items, func(x T) int {
+		if active(x) {
+			return 0
+		}
+		return 1
+	})
+	return out, count, st, err
+}
+
+// Quasisort reproduces the quasisorting contract of the paper's
+// Section 5.2 with a bitonic sorter instead of an RBN: items with bit 0
+// end in the upper half, bit 1 in the lower half, idle items (bit < 0)
+// fill the gaps. It requires at most n/2 zeros and at most n/2 ones.
+func Quasisort[T any](items []T, bit func(T) int) ([]T, Stats, error) {
+	n := len(items)
+	n0, n1 := 0, 0
+	for _, x := range items {
+		switch bit(x) {
+		case 0:
+			n0++
+		case 1:
+			n1++
+		}
+	}
+	if n0 > n/2 || n1 > n/2 {
+		return nil, Stats{}, fmt.Errorf("bitonic: %d zeros and %d ones exceed n/2 = %d", n0, n1, n/2)
+	}
+	// Key: zeros first, idles in the middle, ones last — a sorted order
+	// realizing the quasisort contract directly.
+	return Sort(items, func(x T) int {
+		switch bit(x) {
+		case 0:
+			return 0
+		case 1:
+			return 2
+		default:
+			return 1
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package bitonic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"brsmn/internal/tag"
+)
+
+// TestSortAgainstStdlib property-tests the network against sort.Ints.
+func TestSortAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		for trial := 0; trial < 10; trial++ {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = rng.Intn(50)
+			}
+			got, st, err := SortInts(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]int(nil), xs...)
+			sort.Ints(want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: sorted %v, want %v", n, got, want)
+				}
+			}
+			if n > 1 {
+				if st.Comparators != Switches(n) {
+					t.Fatalf("n=%d: %d comparators, closed form %d", n, st.Comparators, Switches(n))
+				}
+				if st.Depth != Depth(n) {
+					t.Fatalf("n=%d: depth %d, closed form %d", n, st.Depth, Depth(n))
+				}
+			}
+		}
+	}
+}
+
+// TestSortQuick checks sortedness and permutation property via
+// testing/quick.
+func TestSortQuick(t *testing.T) {
+	f := func(raw [16]uint8) bool {
+		xs := make([]int, 16)
+		for i, v := range raw {
+			xs[i] = int(v)
+		}
+		got, _, err := SortInts(xs)
+		if err != nil {
+			return false
+		}
+		counts := map[int]int{}
+		for _, v := range xs {
+			counts[v]++
+		}
+		prev := -1
+		for _, v := range got {
+			if v < prev {
+				return false
+			}
+			prev = v
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcentrate checks actives pack to the front.
+func TestConcentrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 256} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(2) * (1 + rng.Intn(9)) // 0 = inactive
+		}
+		out, count, _, err := Concentrate(xs, func(x int) bool { return x != 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if (i < count) != (v != 0) {
+				t.Fatalf("n=%d: position %d holds %d with count %d (%v)", n, i, v, count, out)
+			}
+		}
+	}
+}
+
+// TestQuasisortContract checks the Section 5.2 contract against the
+// RBN-based quasisort's: real 0s upper half, real 1s lower half.
+func TestQuasisortContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 16, 128} {
+		for trial := 0; trial < 20; trial++ {
+			tags := make([]tag.Value, n)
+			for i := range tags {
+				tags[i] = tag.Eps
+			}
+			n0 := rng.Intn(n/2 + 1)
+			n1 := rng.Intn(n/2 + 1)
+			perm := rng.Perm(n)
+			for i := 0; i < n0; i++ {
+				tags[perm[i]] = tag.V0
+			}
+			for i := 0; i < n1; i++ {
+				tags[perm[n/2+i]] = tag.V1
+			}
+			out, _, err := Quasisort(tags, func(v tag.Value) int {
+				switch v {
+				case tag.V0:
+					return 0
+				case tag.V1:
+					return 1
+				}
+				return -1
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v == tag.V0 && i >= n/2 {
+					t.Fatalf("n=%d: 0 at lower-half position %d (%v)", n, i, out)
+				}
+				if v == tag.V1 && i < n/2 {
+					t.Fatalf("n=%d: 1 at upper-half position %d (%v)", n, i, out)
+				}
+			}
+		}
+	}
+	// Overload is rejected.
+	if _, _, err := Quasisort([]tag.Value{tag.V0, tag.V0, tag.V0, tag.Eps}, func(v tag.Value) int {
+		if v == tag.V0 {
+			return 0
+		}
+		return -1
+	}); err == nil {
+		t.Error("Quasisort accepted 3 zeros in 4 slots")
+	}
+}
+
+// TestCostComparisonWithRBN pins the ablation arithmetic: the bitonic
+// quasisort costs a (log n + 1)/2 factor more comparators than the RBN
+// quasisort's switches.
+func TestCostComparisonWithRBN(t *testing.T) {
+	for _, n := range []int{16, 256, 4096} {
+		bit := Switches(n)
+		rbnSw := n / 2 * log2(n)
+		// bit / rbnSw = (log n + 1) / 2.
+		if bit*2 != rbnSw*(log2(n)+1) {
+			t.Errorf("n=%d: bitonic %d vs RBN %d: ratio mismatch", n, bit, rbnSw)
+		}
+	}
+}
+
+func log2(n int) int {
+	m := 0
+	for v := n; v > 1; v >>= 1 {
+		m++
+	}
+	return m
+}
+
+// TestSortErrors checks validation.
+func TestSortErrors(t *testing.T) {
+	if _, _, err := SortInts(make([]int, 3)); err == nil {
+		t.Error("accepted non-power-of-two size")
+	}
+	if _, _, err := SortInts(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+}

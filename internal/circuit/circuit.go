@@ -1,0 +1,461 @@
+// Package circuit re-implements the distributed self-routing algorithms
+// at register-transfer level, using only the operations the paper's
+// Section 7.2 hardware provides: one-bit serial adders (Fig. 12),
+// bit-wise masking for mod-2^k, and wire selection for div-2^k. Every
+// tree-node computation of Tables 3, 4 and 6 (the sums, differences,
+// minima, mods and case selections of the forward and backward phases)
+// is performed by these units — no native integer arithmetic on the
+// node buses — and the resulting switch plans are verified bit-identical
+// to package rbn's. This is the evidence that
+// the distributed algorithms really fit in the constant per-switch
+// circuitry the paper's cost analysis charges for.
+//
+// Timing is modeled separately (package gates simulates the pipelined
+// adder tree cycle by cycle); this package validates the data path.
+package circuit
+
+import (
+	"fmt"
+
+	"brsmn/internal/gates"
+	"brsmn/internal/rbn"
+	"brsmn/internal/seq"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/swbox"
+	"brsmn/internal/tag"
+)
+
+// word is a little-endian bit vector — the value representation on the
+// circuit's serial buses.
+type word []uint8
+
+// toWord serializes a non-negative integer into `width` bits.
+func toWord(x, width int) word {
+	w := make(word, width)
+	for k := 0; k < width; k++ {
+		w[k] = uint8(x >> k & 1)
+	}
+	return w
+}
+
+// value deserializes (for plan emission and tests only).
+func (w word) value() int {
+	v := 0
+	for k, b := range w {
+		v |= int(b) << k
+	}
+	return v
+}
+
+// addSerial runs two words through a one-bit serial adder.
+func addSerial(a, b word) word {
+	var fa gates.SerialAdder
+	width := len(a)
+	if len(b) > width {
+		width = len(b)
+	}
+	out := make(word, width+1)
+	for k := 0; k <= width; k++ {
+		out[k] = fa.Step(bitAt(a, k), bitAt(b, k))
+	}
+	return out
+}
+
+// subSerial computes a - b in two's complement through a serial adder
+// (a + ~b + 1); it returns the difference bits and the final carry,
+// which is 1 exactly when a >= b.
+func subSerial(a, b word, width int) (diff word, geq uint8) {
+	// a + ~b + 1 == a - b (mod 2^width): a full-adder chain whose carry
+	// register is initialized to 1 (the serial adder of Fig. 12 with a
+	// presettable carry flip-flop).
+	carry := uint8(1)
+	diff = make(word, width)
+	for k := 0; k < width; k++ {
+		x := bitAt(a, k)
+		y := 1 - bitAt(b, k)
+		s := x ^ y ^ carry
+		carry = (x & y) | (x & carry) | (y & carry)
+		diff[k] = s
+	}
+	return diff, carry
+}
+
+func bitAt(w word, k int) uint8 {
+	if k < len(w) {
+		return w[k]
+	}
+	return 0
+}
+
+// maskMod keeps the low k bits — the mod-2^k unit (pure wiring).
+func maskMod(w word, k int) word {
+	out := make(word, k)
+	copy(out, w[:min(k, len(w))])
+	return out
+}
+
+// divBit extracts bit k — the (x div 2^k) mod 2 unit (pure wiring).
+func divBit(w word, k int) uint8 { return bitAt(w, k) }
+
+// ltSerial reports a < b via the subtractor's carry.
+func ltSerial(a, b word, width int) bool {
+	_, geq := subSerial(a, b, width)
+	return geq == 0
+}
+
+// BitSortPlan recomputes rbn.BitSortPlan with serial units only
+// (Table 3): forward tree of serial adders; backward masking/adding;
+// per-switch comparison of the local index against s1.
+func BitSortPlan(n int, gamma []bool, s int) (*rbn.Plan, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("circuit: size %d is not a power of two >= 2", n)
+	}
+	if len(gamma) != n {
+		return nil, fmt.Errorf("circuit: %d marks for n = %d", len(gamma), n)
+	}
+	if s < 0 || s >= n {
+		return nil, fmt.Errorf("circuit: start %d out of range", s)
+	}
+	m := shuffle.Log2(n)
+	width := m + 2
+	p := rbn.NewPlan(n)
+
+	// Forward adder tree.
+	ls := make([][]word, m+1)
+	ls[0] = make([]word, n)
+	for i, g := range gamma {
+		v := 0
+		if g {
+			v = 1
+		}
+		ls[0][i] = toWord(v, width)
+	}
+	for j := 1; j <= m; j++ {
+		ls[j] = make([]word, n>>j)
+		for b := range ls[j] {
+			ls[j][b] = addSerial(ls[j-1][2*b], ls[j-1][2*b+1])
+		}
+	}
+
+	// Backward phase.
+	ss := make([][]word, m+1)
+	for j := range ss {
+		ss[j] = make([]word, n>>j)
+	}
+	ss[m][0] = toWord(s, width)
+	for j := m; j >= 1; j-- {
+		hBits := j - 1 // h = 2^(j-1)
+		for b := 0; b < n>>j; b++ {
+			sw := ss[j][b]
+			l0 := ls[j-1][2*b]
+			sum := addSerial(sw, l0) // s + l0
+			s1 := maskMod(sum, max(hBits, 1))
+			if hBits == 0 {
+				s1 = word{} // h = 1: everything mod 1 is 0
+			}
+			bset := swbox.Setting(divBit(sum, hBits))
+			ss[j-1][2*b] = maskMod(sw, max(hBits, 1))
+			if hBits == 0 {
+				ss[j-1][2*b] = word{}
+			}
+			ss[j-1][2*b+1] = s1
+			h := 1 << hBits
+			base := b * h
+			for i := 0; i < h; i++ {
+				// i < s1 via the serial comparator.
+				if ltSerial(toWord(i, width), pad(s1, width), width) {
+					p.Stages[j-1][base+i] = bset
+				} else {
+					p.Stages[j-1][base+i] = bset.Opposite()
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func pad(w word, width int) word {
+	out := make(word, width)
+	copy(out, w)
+	return out
+}
+
+// scatterNode is a forward value on the circuit's buses: the surplus
+// count and a one-bit dominating-type flag (0 = ε, 1 = α), exactly the
+// b0∧¬b1 / b0∧b1 counting encoding of Section 7.2.
+type scatterNode struct {
+	l   word
+	typ uint8
+}
+
+// ScatterPlan recomputes rbn.ScatterPlan with serial units only
+// (Tables 4–5).
+func ScatterPlan(n int, tags []tag.Value, s int) (*rbn.Plan, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("circuit: size %d is not a power of two >= 2", n)
+	}
+	if len(tags) != n {
+		return nil, fmt.Errorf("circuit: %d tags for n = %d", len(tags), n)
+	}
+	if s < 0 || s >= n {
+		return nil, fmt.Errorf("circuit: start %d out of range", s)
+	}
+	m := shuffle.Log2(n)
+	width := m + 2
+	p := rbn.NewPlan(n)
+
+	// Forward phase: leaves from the encoded tag bits.
+	fwd := make([][]scatterNode, m+1)
+	fwd[0] = make([]scatterNode, n)
+	for i, v := range tags {
+		if !v.Valid() || v == tag.Eps0 || v == tag.Eps1 {
+			if !v.IsEps() {
+				return nil, fmt.Errorf("circuit: input %d carries invalid tag %v", i, v)
+			}
+		}
+		bits := tag.Encode(v)
+		isAlpha := bits.CountAlphaBit()
+		isEps := bits.CountEpsBit()
+		fwd[0][i] = scatterNode{l: toWord(int(isAlpha|isEps), width), typ: isAlpha}
+	}
+	for j := 1; j <= m; j++ {
+		fwd[j] = make([]scatterNode, n>>j)
+		for b := range fwd[j] {
+			c0, c1 := fwd[j-1][2*b], fwd[j-1][2*b+1]
+			var nd scatterNode
+			if c0.typ == c1.typ {
+				nd = scatterNode{l: addSerial(c0.l, c1.l), typ: c0.typ}
+			} else {
+				// Dual subtractors; the carry selects the survivor.
+				d01, geq := subSerial(c0.l, c1.l, width)
+				d10, _ := subSerial(c1.l, c0.l, width)
+				if geq == 1 {
+					nd = scatterNode{l: d01, typ: c0.typ}
+				} else {
+					nd = scatterNode{l: d10, typ: c1.typ}
+				}
+			}
+			if isZero(nd.l) {
+				nd.typ = 0 // canonical ε for an exhausted subtree
+			}
+			fwd[j][b] = nd
+		}
+	}
+
+	// Backward + switch-setting phases.
+	ss := make([][]word, m+1)
+	for j := range ss {
+		ss[j] = make([]word, n>>j)
+	}
+	ss[m][0] = toWord(s, width)
+	for j := m; j >= 1; j-- {
+		hBits := j - 1
+		h := 1 << hBits
+		for b := 0; b < n>>j; b++ {
+			sw := pad(ss[j][b], width)
+			c0, c1 := fwd[j-1][2*b], fwd[j-1][2*b+1]
+			lNode := fwd[j][b].l
+			base := b * h
+			col := p.Stages[j-1]
+
+			modH := func(w word) word {
+				if hBits == 0 {
+					return word{}
+				}
+				return maskMod(w, hBits)
+			}
+
+			if c0.typ == c1.typ {
+				sum := addSerial(sw, c0.l)
+				s1 := modH(sum)
+				bset := swbox.Setting(divBit(sum, hBits))
+				ss[j-1][2*b] = modH(sw)
+				ss[j-1][2*b+1] = s1
+				for i := 0; i < h; i++ {
+					if ltSerial(toWord(i, width), pad(s1, width), width) {
+						col[base+i] = bset
+					} else {
+						col[base+i] = bset.Opposite()
+					}
+				}
+				continue
+			}
+
+			// Elimination: compare the children's surpluses.
+			_, geq01 := subSerial(c0.l, c1.l, width)
+			sPlusL := addSerial(sw, lNode)
+			var s0, s1 word
+			var stmp word
+			var ltmp word
+			var ucast swbox.Setting
+			if geq01 == 1 {
+				s0 = modH(sw)
+				s1 = modH(sPlusL)
+				stmp, ltmp = s1, c1.l
+				ucast = swbox.Parallel
+			} else {
+				s0 = modH(sPlusL)
+				s1 = modH(sw)
+				stmp, ltmp = s0, c0.l
+				ucast = swbox.Cross
+			}
+			ss[j-1][2*b] = s0
+			ss[j-1][2*b+1] = s1
+			var bcast swbox.Setting
+			if c0.typ == 1 {
+				bcast = swbox.UpperBcast
+			} else {
+				bcast = swbox.LowerBcast
+			}
+			// Case selection: compare s and s+l against h and 2h via
+			// the div-2^k wires (bits hBits and hBits+1).
+			sHi := (divBit(sw, hBits) | divBit(sw, hBits+1)<<1)
+			slHi := (divBit(sPlusL, hBits) | divBit(sPlusL, hBits+1)<<1)
+			sGEh := sHi != 0
+			slGEh := slHi != 0
+			slGE2h := slHi >= 2
+			stmpv := pad(stmp, width).value()
+			ltmpv := ltmp.value()
+			var settings []swbox.Setting
+			switch {
+			case !sGEh && !slGEh:
+				settings = seq.BinaryCompact(h, stmpv, ltmpv, ucast, bcast)
+			case !sGEh: // s < h <= s+l
+				settings = seq.TrinaryCompact(h, stmpv, ltmpv, h-stmpv-ltmpv, ucast.Opposite(), bcast, ucast)
+			case !slGE2h: // h <= s, s+l < 2h
+				settings = seq.BinaryCompact(h, stmpv, ltmpv, ucast.Opposite(), bcast)
+			default:
+				settings = seq.TrinaryCompact(h, stmpv, ltmpv, h-stmpv-ltmpv, ucast, bcast, ucast.Opposite())
+			}
+			copy(col[base:base+h], settings)
+		}
+	}
+	return p, nil
+}
+
+func isZero(w word) bool {
+	for _, b := range w {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EpsDivide recomputes rbn.EpsDivide with serial units only (Table 6).
+func EpsDivide(tags []tag.Value) ([]tag.Value, error) {
+	n := len(tags)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("circuit: size %d is not a power of two >= 2", n)
+	}
+	m := shuffle.Log2(n)
+	width := m + 2
+
+	ne := make([][]word, m+1)
+	n1s := make([][]word, m+1)
+	ne[0] = make([]word, n)
+	n1s[0] = make([]word, n)
+	for i, v := range tags {
+		switch v {
+		case tag.Eps:
+			ne[0][i] = toWord(1, width)
+			n1s[0][i] = toWord(0, width)
+		case tag.V1:
+			ne[0][i] = toWord(0, width)
+			n1s[0][i] = toWord(1, width)
+		case tag.V0:
+			ne[0][i] = toWord(0, width)
+			n1s[0][i] = toWord(0, width)
+		default:
+			return nil, fmt.Errorf("circuit: ε-divide input %d carries %v", i, v)
+		}
+	}
+	for j := 1; j <= m; j++ {
+		ne[j] = make([]word, n>>j)
+		n1s[j] = make([]word, n>>j)
+		for b := range ne[j] {
+			ne[j][b] = addSerial(ne[j-1][2*b], ne[j-1][2*b+1])
+			n1s[j][b] = addSerial(n1s[j-1][2*b], n1s[j-1][2*b+1])
+		}
+	}
+	half := toWord(n/2, width)
+	// Reject overloads: n1 > n/2 or n0 > n/2.
+	if ltSerial(half, n1s[m][0], width) {
+		return nil, fmt.Errorf("circuit: more than n/2 ones")
+	}
+	// n0 = n - n1 - nε.
+	nTot := toWord(n, width)
+	t1, _ := subSerial(nTot, n1s[m][0], width)
+	n0w, _ := subSerial(t1, ne[m][0], width)
+	if ltSerial(half, n0w, width) {
+		return nil, fmt.Errorf("circuit: more than n/2 zeros")
+	}
+
+	ne0 := make([][]word, m+1)
+	ne1 := make([][]word, m+1)
+	for j := range ne0 {
+		ne0[j] = make([]word, n>>j)
+		ne1[j] = make([]word, n>>j)
+	}
+	rootE1, _ := subSerial(half, n1s[m][0], width)
+	rootE0, _ := subSerial(ne[m][0], rootE1, width)
+	ne1[m][0] = rootE1
+	ne0[m][0] = rootE0
+	for j := m; j >= 1; j-- {
+		for b := 0; b < n>>j; b++ {
+			e0 := pad(ne0[j][b], width)
+			le := pad(ne[j-1][2*b], width)
+			re := pad(ne[j-1][2*b+1], width)
+			// l0 = min(e0, le) via the comparator.
+			var l0 word
+			if ltSerial(le, e0, width) {
+				l0 = le
+			} else {
+				l0 = e0
+			}
+			ne0[j-1][2*b] = l0
+			d, _ := subSerial(le, l0, width)
+			ne1[j-1][2*b] = d
+			d2, _ := subSerial(e0, l0, width)
+			ne0[j-1][2*b+1] = d2
+			d3, _ := subSerial(re, d2, width)
+			ne1[j-1][2*b+1] = d3
+		}
+	}
+
+	out := append([]tag.Value(nil), tags...)
+	for i := range out {
+		if tags[i] != tag.Eps {
+			continue
+		}
+		switch {
+		case pad(ne0[0][i], 1)[0] == 1:
+			out[i] = tag.Eps0
+		case pad(ne1[0][i], 1)[0] == 1:
+			out[i] = tag.Eps1
+		}
+	}
+	return out, nil
+}
+
+// QuasisortPlan recomputes rbn.QuasisortPlan with serial units only:
+// the ε-divide sweeps of Table 6 followed by the Table 3 bit-sort on
+// the resulting sort bits, starting at n/2.
+func QuasisortPlan(n int, tags []tag.Value) (*rbn.Plan, []tag.Value, error) {
+	if len(tags) != n {
+		return nil, nil, fmt.Errorf("circuit: %d tags for n = %d", len(tags), n)
+	}
+	divided, err := EpsDivide(tags)
+	if err != nil {
+		return nil, nil, err
+	}
+	gamma := make([]bool, n)
+	for i, v := range divided {
+		gamma[i] = tag.Encode(v).CountOneBit() == 1
+	}
+	p, err := BitSortPlan(n, gamma, n/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, divided, nil
+}

@@ -1,0 +1,237 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brsmn/internal/rbn"
+	"brsmn/internal/tag"
+)
+
+// TestSerialUnits checks the bit-serial arithmetic blocks.
+func TestSerialUnits(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%100), int(b%100)
+		w := 9
+		sum := addSerial(toWord(x, w), toWord(y, w))
+		if sum.value() != x+y {
+			return false
+		}
+		diff, geq := subSerial(toWord(x, w), toWord(y, w), w)
+		if (geq == 1) != (x >= y) {
+			return false
+		}
+		if x >= y && diff.value() != x-y {
+			return false
+		}
+		if ltSerial(toWord(x, w), toWord(y, w), w) != (x < y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if maskMod(toWord(13, 6), 2).value() != 1 {
+		t.Error("maskMod wrong")
+	}
+	if divBit(toWord(13, 6), 2) != 1 || divBit(toWord(13, 6), 1) != 0 {
+		t.Error("divBit wrong")
+	}
+}
+
+// TestBitSortPlanMatchesRBN cross-checks the RTL bit-sort against the
+// algorithmic implementation over random inputs and all positions at
+// small sizes.
+func TestBitSortPlanMatchesRBN(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		trials := 20
+		if n <= 8 {
+			trials = 60
+		}
+		for trial := 0; trial < trials; trial++ {
+			gamma := make([]bool, n)
+			for i := range gamma {
+				gamma[i] = rng.Intn(2) == 1
+			}
+			s := rng.Intn(n)
+			want, err := rbn.BitSortPlan(n, gamma, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := BitSortPlan(n, gamma, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePlans(t, n, want, got)
+		}
+	}
+}
+
+// TestScatterPlanMatchesRBN cross-checks the RTL scatter, exhaustively
+// at n = 4 and randomly above.
+func TestScatterPlanMatchesRBN(t *testing.T) {
+	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
+	// Exhaustive n = 4.
+	n := 4
+	tags := make([]tag.Value, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			for s := 0; s < n; s++ {
+				want, err := rbn.ScatterPlan(n, tags, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ScatterPlan(n, tags, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparePlans(t, n, want, got)
+			}
+			return
+		}
+		for _, v := range vals {
+			tags[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+
+	rng := rand.New(rand.NewSource(171))
+	for _, n := range []int{8, 32, 256} {
+		for trial := 0; trial < 30; trial++ {
+			tags := make([]tag.Value, n)
+			for i := range tags {
+				tags[i] = vals[rng.Intn(4)]
+			}
+			s := rng.Intn(n)
+			want, err := rbn.ScatterPlan(n, tags, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ScatterPlan(n, tags, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePlans(t, n, want, got)
+		}
+	}
+}
+
+// TestEpsDivideMatchesRBN cross-checks the RTL ε-divide.
+func TestEpsDivideMatchesRBN(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	for _, n := range []int{2, 8, 64, 512} {
+		for trial := 0; trial < 30; trial++ {
+			tags := make([]tag.Value, n)
+			for i := range tags {
+				tags[i] = tag.Eps
+			}
+			n0 := rng.Intn(n/2 + 1)
+			n1 := rng.Intn(n/2 + 1)
+			perm := rng.Perm(n)
+			for i := 0; i < n0; i++ {
+				tags[perm[i]] = tag.V0
+			}
+			for i := 0; i < n1; i++ {
+				tags[perm[n/2+i]] = tag.V1
+			}
+			want, err := rbn.EpsDivide(tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EpsDivide(tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("n=%d input %v: position %d: rtl %v vs rbn %v", n, tags, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRTLValidation checks the RTL error paths mirror the algorithmic
+// ones.
+func TestRTLValidation(t *testing.T) {
+	if _, err := BitSortPlan(3, make([]bool, 3), 0); err == nil {
+		t.Error("BitSortPlan accepted bad size")
+	}
+	if _, err := BitSortPlan(4, make([]bool, 2), 0); err == nil {
+		t.Error("BitSortPlan accepted bad width")
+	}
+	if _, err := BitSortPlan(4, make([]bool, 4), 7); err == nil {
+		t.Error("BitSortPlan accepted bad start")
+	}
+	if _, err := ScatterPlan(4, []tag.Value{tag.Value(9), tag.Eps, tag.Eps, tag.Eps}, 0); err == nil {
+		t.Error("ScatterPlan accepted invalid tag")
+	}
+	if _, err := ScatterPlan(4, make([]tag.Value, 3), 0); err == nil {
+		t.Error("ScatterPlan accepted bad width")
+	}
+	if _, err := EpsDivide([]tag.Value{tag.V1, tag.V1, tag.V1, tag.Eps}); err == nil {
+		t.Error("EpsDivide accepted overload")
+	}
+	if _, err := EpsDivide([]tag.Value{tag.Alpha, tag.Eps}); err == nil {
+		t.Error("EpsDivide accepted an α")
+	}
+}
+
+func comparePlans(t *testing.T, n int, want, got *rbn.Plan) {
+	t.Helper()
+	for j := range want.Stages {
+		for w := range want.Stages[j] {
+			if want.Stages[j][w] != got.Stages[j][w] {
+				t.Fatalf("n=%d: stage %d switch %d: rtl %v vs algorithmic %v",
+					n, j, w, got.Stages[j][w], want.Stages[j][w])
+			}
+		}
+	}
+}
+
+// TestQuasisortPlanMatchesRBN cross-checks the composed RTL quasisort.
+func TestQuasisortPlanMatchesRBN(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	for _, n := range []int{2, 8, 64, 256} {
+		for trial := 0; trial < 20; trial++ {
+			tags := make([]tag.Value, n)
+			for i := range tags {
+				tags[i] = tag.Eps
+			}
+			n0 := rng.Intn(n/2 + 1)
+			n1 := rng.Intn(n/2 + 1)
+			perm := rng.Perm(n)
+			for i := 0; i < n0; i++ {
+				tags[perm[i]] = tag.V0
+			}
+			for i := 0; i < n1; i++ {
+				tags[perm[n/2+i]] = tag.V1
+			}
+			wantP, wantDiv, err := rbn.QuasisortPlan(n, tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotP, gotDiv, err := QuasisortPlan(n, tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantDiv {
+				if wantDiv[i] != gotDiv[i] {
+					t.Fatalf("n=%d: divided tags differ at %d", n, i)
+				}
+			}
+			comparePlans(t, n, wantP, gotP)
+		}
+	}
+	if _, _, err := QuasisortPlan(4, make([]tag.Value, 2)); err == nil {
+		t.Error("QuasisortPlan accepted bad width")
+	}
+	if _, _, err := QuasisortPlan(4, []tag.Value{tag.V1, tag.V1, tag.V1, tag.Eps}); err == nil {
+		t.Error("QuasisortPlan accepted overload")
+	}
+}

@@ -1,0 +1,205 @@
+// Package copynet implements the copy-network multicast baseline in the
+// style of Lee's nonblocking copy network [6] cascaded with a Benes
+// distribution network — the classical "copy then route" alternative the
+// BRSMN is compared against. The pipeline is:
+//
+//  1. concentrate: a reverse-banyan bit-sorting pass (package rbn) packs
+//     the active inputs onto contiguous top positions;
+//  2. running adder (package prefix): prefix sums of the fanouts assign
+//     each multicast a contiguous output interval — the dummy address
+//     encoding;
+//  3. broadcast banyan (package banyan): interval splitting makes the
+//     copies, which emerge on the contiguous interval block;
+//  4. distribution (package benes): a centrally routed Benes network
+//     carries copy j of each multicast to its j-th smallest real
+//     destination.
+//
+// Hardware is O(n log n) switches — the same order as the feedback BRSMN —
+// but the Benes stage's looping algorithm is centralized: its routing
+// work is O(n log n) serial operations versus the BRSMN's O(log^2 n)
+// distributed gate delays, which is the trade Table 2 of the paper
+// quantifies.
+package copynet
+
+import (
+	"fmt"
+
+	"brsmn/internal/banyan"
+	"brsmn/internal/benes"
+	"brsmn/internal/mcast"
+	"brsmn/internal/prefix"
+	"brsmn/internal/rbn"
+	"brsmn/internal/shuffle"
+)
+
+// Network is an n x n copy-network multicast switch.
+type Network struct {
+	n   int
+	ran *prefix.Network
+}
+
+// New returns an n x n copy network (n a power of two >= 2).
+func New(n int) (*Network, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("copynet: size %d is not a power of two >= 2", n)
+	}
+	ran, err := prefix.NewNetwork(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{n: n, ran: ran}, nil
+}
+
+// N returns the network size.
+func (nw *Network) N() int { return nw.n }
+
+// Result records a routed assignment.
+type Result struct {
+	N int
+	// OutSource[p] is the input whose connection is delivered at output
+	// p, or -1.
+	OutSource []int
+	// Intervals[i] is the copy interval assigned to input i (Lo > Hi if
+	// idle) — the dummy address encoding, exposed for inspection.
+	Intervals [][2]int
+}
+
+// Route realizes a multicast assignment and verifies the deliveries
+// against it.
+func (nw *Network) Route(a mcast.Assignment) (*Result, error) {
+	n := nw.n
+	if a.N != n {
+		return nil, fmt.Errorf("copynet: assignment for %d inputs on a %d x %d network", a.N, n, n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: concentrate active inputs at the top positions, in input
+	// order. The bit-sorting RBN compacts the γ-marked (idle) inputs at
+	// the bottom; its one-to-one routing preserves no order, so sort by
+	// activity and carry the input index as payload, then order within
+	// the active block is irrelevant — each cell knows its own fanout
+	// and destinations.
+	idle := make([]bool, n)
+	active := 0
+	for i := range idle {
+		if len(a.Dests[i]) == 0 {
+			idle[i] = true
+		} else {
+			active++
+		}
+	}
+	plan, err := rbn.BitSortPlan(n, idle, active%n) // idles compact from position `active`
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	conc, err := rbn.Apply(plan, ids, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: running adder over the concentrated fanouts.
+	fanouts := make([]int, n)
+	for p := 0; p < active; p++ {
+		fanouts[p] = len(a.Dests[conc[p]])
+	}
+	starts, err := nw.ran.Run(fanouts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{N: n, OutSource: make([]int, n), Intervals: make([][2]int, n)}
+	for i := range res.OutSource {
+		res.OutSource[i] = -1
+		res.Intervals[i] = [2]int{0, -1}
+	}
+
+	// Stage 3: broadcast banyan with the interval cells.
+	cells := make([]banyan.Cell[int], n)
+	for p := range cells {
+		cells[p] = banyan.IdleCell[int]()
+	}
+	total := 0
+	for p := 0; p < active; p++ {
+		lo := starts[p] - fanouts[p] // exclusive prefix
+		hi := starts[p] - 1
+		src := conc[p]
+		cells[p] = banyan.Cell[int]{Lo: lo, Hi: hi, Payload: src, Index: 0}
+		res.Intervals[src] = [2]int{lo, hi}
+		total = starts[p]
+	}
+	if total > n {
+		return nil, fmt.Errorf("copynet: total fanout %d exceeds %d outputs", total, n)
+	}
+	copies, err := banyan.Route(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: Benes distribution — copy Index of input src goes to the
+	// Index-th smallest destination of src.
+	perm := make([]int, n)
+	carrying := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+		carrying[i] = -1
+	}
+	for p, c := range copies {
+		if c.Idle() {
+			continue
+		}
+		src := c.Payload
+		dests := a.Dests[src]
+		if c.Index < 0 || c.Index >= len(dests) {
+			return nil, fmt.Errorf("copynet: copy at %d of input %d has index %d of %d", p, src, c.Index, len(dests))
+		}
+		perm[p] = dests[c.Index]
+		carrying[p] = src
+	}
+	bplan, err := benes.RoutePermutation(perm)
+	if err != nil {
+		return nil, err
+	}
+	delivered, err := benes.Apply(bplan, carrying)
+	if err != nil {
+		return nil, err
+	}
+	live := make([]bool, n)
+	for p, d := range perm {
+		if d >= 0 {
+			live[d] = true
+			_ = p
+		}
+	}
+	for out := 0; out < n; out++ {
+		if live[out] {
+			res.OutSource[out] = delivered[out]
+		}
+	}
+
+	// Verify against the assignment.
+	owner := a.OutputOwner()
+	for out, want := range owner {
+		if res.OutSource[out] != want {
+			return nil, fmt.Errorf("copynet: output %d received source %d, want %d", out, res.OutSource[out], want)
+		}
+	}
+	return res, nil
+}
+
+// Switches returns the total switch/adder hardware of the pipeline:
+// concentrator RBN + running adder + broadcast banyan + Benes.
+func (nw *Network) Switches() int {
+	n := nw.n
+	return n/2*shuffle.Log2(n) + nw.ran.Adders() + banyan.Switches(n) + benes.Switches(n)
+}
+
+// Depth returns the column depth of the pipeline.
+func (nw *Network) Depth() int {
+	n := nw.n
+	return shuffle.Log2(n) + nw.ran.Depth() + banyan.Depth(n) + benes.Depth(n)
+}

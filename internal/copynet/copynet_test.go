@@ -1,0 +1,131 @@
+package copynet
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/mcast"
+	"brsmn/internal/workload"
+	"brsmn/internal/xbar"
+)
+
+// routeAndCompare routes through the copy network and compares with the
+// crossbar oracle.
+func routeAndCompare(t *testing.T, a mcast.Assignment) {
+	t.Helper()
+	nw, err := New(a.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Route(a)
+	if err != nil {
+		t.Fatalf("%v: %v", a, err)
+	}
+	xb, err := xbar.New(a.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := xb.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for out := range want {
+		if res.OutSource[out] != want[out] {
+			t.Fatalf("%v: output %d = %d, oracle %d", a, out, res.OutSource[out], want[out])
+		}
+	}
+}
+
+// TestExhaustiveMulticastN4 checks every 4 x 4 multicast assignment.
+func TestExhaustiveMulticastN4(t *testing.T) {
+	n := 4
+	var owner [4]int
+	var rec func(o int)
+	rec = func(o int) {
+		if o == n {
+			dests := make([][]int, n)
+			for out, in := range owner {
+				if in >= 0 {
+					dests[in] = append(dests[in], out)
+				}
+			}
+			routeAndCompare(t, mcast.MustNew(n, dests))
+			return
+		}
+		for in := -1; in < n; in++ {
+			owner[o] = in
+			rec(o + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestRandomTraffic checks random assignments across sizes and loads.
+func TestRandomTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, n := range []int{2, 8, 32, 128, 512} {
+		for trial := 0; trial < 10; trial++ {
+			routeAndCompare(t, workload.Random(rng, n, rng.Float64(), rng.Float64()))
+		}
+	}
+}
+
+// TestBroadcastAndCombs exercises extreme fanouts.
+func TestBroadcastAndCombs(t *testing.T) {
+	routeAndCompare(t, workload.Broadcast(64, 17))
+	for g := 1; g <= 64; g *= 2 {
+		a, err := workload.MaxSplit(64, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routeAndCompare(t, a)
+	}
+}
+
+// TestIntervalsAreMonotone checks the dummy address encoding invariant
+// the broadcast banyan relies on.
+func TestIntervalsAreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	nw, _ := New(64)
+	a := workload.Random(rng, 64, 0.9, 0.4)
+	res, err := nw.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, iv := range res.Intervals {
+		if iv[1] < iv[0] {
+			continue
+		}
+		covered += iv[1] - iv[0] + 1
+	}
+	if covered != a.Fanout() {
+		t.Errorf("intervals cover %d addresses, want fanout %d", covered, a.Fanout())
+	}
+}
+
+// TestValidation checks error paths.
+func TestValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("New(3) succeeded")
+	}
+	nw, _ := New(8)
+	if _, err := nw.Route(workload.Broadcast(4, 0)); err == nil {
+		t.Error("Route accepted wrong-size assignment")
+	}
+}
+
+// TestCostAccessors sanity-checks the hardware model.
+func TestCostAccessors(t *testing.T) {
+	nw, _ := New(64)
+	if nw.N() != 64 {
+		t.Error("N wrong")
+	}
+	if nw.Switches() <= 0 || nw.Depth() <= 0 {
+		t.Error("cost accessors non-positive")
+	}
+	// O(n log n): within a small factor of n log2 n.
+	if s := nw.Switches(); s > 6*64*6 {
+		t.Errorf("switch count %d implausibly large", s)
+	}
+}

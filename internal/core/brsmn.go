@@ -1,0 +1,244 @@
+// Package core implements the paper's primary contribution: the binary
+// radix sorting multicast network (BRSMN) of Yang & Wang. An n x n BRSMN
+// is an n x n binary splitting network (BSN) followed by two n/2 x n/2
+// BRSMNs (Fig. 1); the recursion bottoms out in a column of 2x2 switches
+// that deliver each connection to its final output(s) (Fig. 2).
+//
+// The network is self-routing: each input carries only its routing-tag
+// sequence (package mcast), every BSN sets its own switches with the
+// distributed algorithms of package rbn, and a connection whose
+// destinations straddle both halves of a level is split in flight by a
+// broadcast switch. Any multicast assignment — pairwise-disjoint
+// destination sets — is realized without blocking, over edge-disjoint
+// trees.
+package core
+
+import (
+	"fmt"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+	"brsmn/internal/swbox"
+	"brsmn/internal/tag"
+)
+
+// LevelPlan records the switch plans of one BSN instance: the level it
+// sits at (1-based, level 1 = outermost), the first network output under
+// it, and the scatter and quasisort reverse-banyan plans.
+type LevelPlan struct {
+	Level   int
+	Base    int
+	Size    int
+	Scatter *rbn.Plan
+	Quasi   *rbn.Plan
+}
+
+// Delivery is what one network output receives: the source input of the
+// connection delivered there (-1 if none) and its payload.
+type Delivery struct {
+	Source  int
+	Payload any
+}
+
+// Result is a fully routed multicast assignment: per-output deliveries
+// plus every switch setting chosen along the way, for verification, cost
+// accounting and rendering.
+type Result struct {
+	N          int
+	Deliveries []Delivery
+	Plans      []LevelPlan
+	// Final[i] is the setting of the i-th last-level 2x2 switch.
+	Final []swbox.Setting
+}
+
+// Network is an n x n BRSMN routing engine. The zero value is not usable;
+// construct with New.
+type Network struct {
+	n   int
+	eng rbn.Engine
+}
+
+// New returns an n x n BRSMN (n a power of two, n >= 2) whose distributed
+// switch-setting sweeps run on the given engine.
+func New(n int, eng rbn.Engine) (*Network, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("core: network size %d is not a power of two >= 2", n)
+	}
+	return &Network{n: n, eng: eng}, nil
+}
+
+// N returns the network size.
+func (nw *Network) N() int { return nw.n }
+
+// Route realizes a multicast assignment: it computes every switch setting
+// with the self-routing algorithms and simulates the resulting
+// configuration, returning the per-output deliveries. The routing is
+// verified internally: Route fails rather than return a misdelivery.
+func (nw *Network) Route(a mcast.Assignment) (*Result, error) {
+	return nw.RouteWithPayloads(a, nil)
+}
+
+// RouteWithPayloads is Route with a payload attached to each input's
+// connection; Deliveries carry the payloads to every destination.
+// payloads may be nil for payload-free routing.
+func (nw *Network) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result, error) {
+	if payloads != nil && len(payloads) != nw.n {
+		return nil, fmt.Errorf("core: %d payloads for %d inputs", len(payloads), nw.n)
+	}
+	if a.N != nw.n {
+		return nil, fmt.Errorf("core: assignment for %d inputs on a %d x %d network", a.N, nw.n, nw.n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		return nil, err
+	}
+	if payloads != nil {
+		for i := range cells {
+			if !cells[i].IsIdle() {
+				cells[i].Payload = payloads[i]
+			}
+		}
+	}
+	res := &Result{
+		N:          nw.n,
+		Deliveries: make([]Delivery, nw.n),
+		Final:      make([]swbox.Setting, 0, nw.n/2),
+	}
+	if err := nw.routeRec(cells, 1, 0, res); err != nil {
+		return nil, err
+	}
+	if err := Verify(a, res); err != nil {
+		return nil, fmt.Errorf("core: routed configuration failed verification: %w", err)
+	}
+	return res, nil
+}
+
+// routeRec routes the cells of one (sub-)BRSMN covering network outputs
+// [base, base+len(cells)).
+func (nw *Network) routeRec(cells []bsn.Cell, level, base int, res *Result) error {
+	n := len(cells)
+	if n == 2 {
+		return nw.deliver(cells, base, res)
+	}
+	r, err := bsn.Route(cells, nw.eng)
+	if err != nil {
+		return fmt.Errorf("core: level %d BSN at output base %d: %w", level, base, err)
+	}
+	res.Plans = append(res.Plans, LevelPlan{
+		Level: level, Base: base, Size: n, Scatter: r.Scatter, Quasi: r.Quasi,
+	})
+	upper := make([]bsn.Cell, n/2)
+	lower := make([]bsn.Cell, n/2)
+	for i, c := range r.Out {
+		adv := c
+		if !c.IsIdle() {
+			adv, err = bsn.Advance(c)
+			if err != nil {
+				return fmt.Errorf("core: level %d output %d: %w", level, i, err)
+			}
+		}
+		if i < n/2 {
+			upper[i] = adv
+		} else {
+			lower[i-n/2] = adv
+		}
+	}
+	if err := nw.routeRec(upper, level+1, base, res); err != nil {
+		return err
+	}
+	return nw.routeRec(lower, level+1, base+n/2, res)
+}
+
+// deliver realizes a 2x2 BRSMN — the last level of the recursion — as a
+// single switch: a 0-tagged connection goes to the upper output, a
+// 1-tagged one to the lower output and an α connection to both.
+func (nw *Network) deliver(cells []bsn.Cell, base int, res *Result) error {
+	heads := [2]tag.Value{tag.Eps, tag.Eps}
+	for k, c := range cells {
+		if c.IsIdle() {
+			continue
+		}
+		if len(c.Seq) != 1 {
+			return fmt.Errorf("core: final-level cell from input %d still has %d tags", c.Source, len(c.Seq))
+		}
+		heads[k] = c.Seq[0]
+	}
+	setting, err := FinalSetting(heads)
+	if err != nil {
+		return err
+	}
+	out0, out1 := swbox.Apply(setting, cells[0], cells[1], splitFinal)
+	res.Final = append(res.Final, setting)
+	res.Deliveries[base] = deliveryOf(out0)
+	res.Deliveries[base+1] = deliveryOf(out1)
+	return nil
+}
+
+func deliveryOf(c bsn.Cell) Delivery {
+	if c.IsIdle() {
+		return Delivery{Source: -1}
+	}
+	return Delivery{Source: c.Source, Payload: c.Payload}
+}
+
+func splitFinal(c bsn.Cell) (bsn.Cell, bsn.Cell) {
+	up, low := c, c
+	up.Tag = tag.V0
+	low.Tag = tag.V1
+	return up, low
+}
+
+// FinalSetting chooses the 2x2 switch setting realizing the two final
+// tags. The valid combinations follow from the BSN constraints: at most
+// one connection wants each output.
+func FinalSetting(h [2]tag.Value) (swbox.Setting, error) {
+	want := func(v tag.Value, out int) bool {
+		return v == tag.Alpha || (out == 0 && v == tag.V0) || (out == 1 && v == tag.V1)
+	}
+	w00, w01 := want(h[0], 0), want(h[0], 1) // input 0 wants output 0 / 1
+	w10, w11 := want(h[1], 0), want(h[1], 1)
+	if (w00 && w10) || (w01 && w11) {
+		return 0, fmt.Errorf("core: final switch conflict: tags (%v, %v)", h[0], h[1])
+	}
+	switch {
+	case h[0] == tag.Alpha:
+		return swbox.UpperBcast, nil
+	case h[1] == tag.Alpha:
+		return swbox.LowerBcast, nil
+	case w01 || w10:
+		return swbox.Cross, nil
+	default:
+		return swbox.Parallel, nil
+	}
+}
+
+// Verify checks a routed Result against the assignment: every destination
+// receives exactly its source's connection, and outputs outside every
+// destination set receive nothing.
+func Verify(a mcast.Assignment, res *Result) error {
+	if a.N != res.N {
+		return fmt.Errorf("core: verifying an n=%d assignment against an n=%d result", a.N, res.N)
+	}
+	owner := a.OutputOwner()
+	for out, want := range owner {
+		got := res.Deliveries[out].Source
+		if got != want {
+			return fmt.Errorf("core: output %d received source %d, want %d", out, got, want)
+		}
+	}
+	return nil
+}
+
+// Route is a convenience constructing a sequential-engine network and
+// routing one assignment through it.
+func Route(a mcast.Assignment) (*Result, error) {
+	nw, err := New(a.N, rbn.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	return nw.Route(a)
+}

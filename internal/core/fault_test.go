@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brsmn/internal/mcast"
+	"brsmn/internal/workload"
+)
+
+// TestVerifyCatchesTampering is the failure-injection test for the
+// verifier: every way of corrupting a delivery vector must be detected.
+func TestVerifyCatchesTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	a := workload.Random(rng, 16, 0.8, 0.5)
+	res, err := Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap two distinct deliveries.
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if res.Deliveries[i].Source == res.Deliveries[j].Source {
+				continue
+			}
+			res.Deliveries[i], res.Deliveries[j] = res.Deliveries[j], res.Deliveries[i]
+			if Verify(a, res) == nil {
+				t.Fatalf("Verify missed a swap of outputs %d and %d", i, j)
+			}
+			res.Deliveries[i], res.Deliveries[j] = res.Deliveries[j], res.Deliveries[i]
+		}
+	}
+	// Drop a delivery.
+	for i := 0; i < 16; i++ {
+		if res.Deliveries[i].Source < 0 {
+			continue
+		}
+		old := res.Deliveries[i]
+		res.Deliveries[i] = Delivery{Source: -1}
+		if Verify(a, res) == nil {
+			t.Fatalf("Verify missed a dropped delivery at output %d", i)
+		}
+		res.Deliveries[i] = old
+	}
+	// Fabricate a delivery on an idle output.
+	for i := 0; i < 16; i++ {
+		if res.Deliveries[i].Source >= 0 {
+			continue
+		}
+		res.Deliveries[i] = Delivery{Source: 3}
+		if Verify(a, res) == nil {
+			t.Fatalf("Verify missed a fabricated delivery at output %d", i)
+		}
+		res.Deliveries[i] = Delivery{Source: -1}
+	}
+	// Size mismatch.
+	if Verify(mcast.MustNew(8, nil), res) == nil {
+		t.Error("Verify accepted mismatched sizes")
+	}
+	// Untampered result still verifies.
+	if err := Verify(a, res); err != nil {
+		t.Errorf("Verify rejected a clean result: %v", err)
+	}
+}
+
+// TestQuickFullNetwork property-tests the whole network: any random
+// owner map over a 16- or 32-port network routes and verifies. The
+// generator interprets raw bytes as an output->input owner map, which is
+// always a valid assignment.
+func TestQuickFullNetwork(t *testing.T) {
+	f := func(raw []uint8, wide bool) bool {
+		n := 16
+		if wide {
+			n = 32
+		}
+		dests := make([][]int, n)
+		for out := 0; out < n && out < len(raw); out++ {
+			in := int(raw[out]) % (n + 1)
+			if in == n {
+				continue // idle output
+			}
+			dests[in] = append(dests[in], out)
+		}
+		a, err := mcast.New(n, dests)
+		if err != nil {
+			return false
+		}
+		_, err = Route(a)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package diagnosis locates faulty switches in a BRSMN fabric from
+// routing behavior alone — the classical fault-diagnosis problem for
+// multistage interconnection networks, here solved with the machinery
+// this repository already has: the per-connection tree extraction of
+// package paths tells exactly which (column, switch) elements each
+// connection traverses, so every misdelivered test assignment narrows
+// the suspect set to the switches its broken connections share.
+//
+// The model is a single stuck-at fault: one switch ignores its computed
+// setting and stays at a fixed state. Diagnose runs a sequence of test
+// assignments through the faulty fabric, compares deliveries with the
+// fault-free expectation, and intersects suspects until the faulty
+// switch is isolated (or the candidate set stops shrinking).
+package diagnosis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/paths"
+	"brsmn/internal/swbox"
+	"brsmn/internal/workload"
+)
+
+// Fault is a stuck-at switch fault: the switch at (Col, Switch) of the
+// flattened column program always assumes Stuck regardless of its
+// computed setting.
+type Fault struct {
+	Col    int
+	Switch int
+	Stuck  swbox.Setting
+}
+
+// Suspect identifies one candidate faulty element.
+type Suspect struct {
+	Col    int
+	Switch int
+}
+
+// runWithFault replays a routed assignment's column program with the
+// fault injected and returns the per-output sources.
+func runWithFault(a mcast.Assignment, res *core.Result, f *Fault) ([]int, error) {
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		if f.Col < 0 || f.Col >= len(cols) || f.Switch < 0 || f.Switch >= len(cols[f.Col].Settings) {
+			return nil, fmt.Errorf("diagnosis: fault at (%d,%d) outside the fabric", f.Col, f.Switch)
+		}
+		// Copy-on-write the faulty column.
+		patched := append([]swbox.Setting(nil), cols[f.Col].Settings...)
+		patched[f.Switch] = f.Stuck
+		cols[f.Col].Settings = patched
+	}
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, a.N)
+	final, err := fabric.Run(cols, cells)
+	if err != nil {
+		// A fault can make Advance fail (a cell exits a BSN still
+		// carrying α); treat as "everything misdelivered".
+		for i := range out {
+			out[i] = -2
+		}
+		return out, nil
+	}
+	for p, c := range final {
+		out[p] = -1
+		if !c.IsIdle() {
+			out[p] = c.Source
+		}
+	}
+	return out, nil
+}
+
+// suspectsOf returns the switches traversed by every connection whose
+// delivery went wrong under the fault — the fault must lie on one of
+// them (for single faults).
+func suspectsOf(a mcast.Assignment, res *core.Result, got []int) (map[Suspect]bool, bool, error) {
+	want := a.OutputOwner()
+	broken := map[int]bool{} // sources with at least one wrong delivery
+	anyWrong := false
+	attributable := true
+	for out := range want {
+		if got[out] != want[out] {
+			anyWrong = true
+			if want[out] >= 0 {
+				broken[want[out]] = true
+			}
+			if got[out] >= 0 {
+				broken[got[out]] = true
+			}
+			if got[out] == -2 { // total failure: blame is unattributable
+				attributable = false
+				for src, ds := range a.Dests {
+					if len(ds) > 0 {
+						broken[src] = true
+					}
+				}
+				break
+			}
+		}
+	}
+	if !anyWrong {
+		return nil, false, nil
+	}
+	trees, err := paths.Extract(a, res)
+	if err != nil {
+		return nil, false, err
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, false, err
+	}
+	// A single stuck switch is the only place trajectories can change,
+	// so EVERY attributably-broken connection traversed it: the fault
+	// lies in the intersection of the broken connections' switch sets.
+	// When the failure is a hand-off crash (unattributable), only the
+	// union is sound.
+	var sus map[Suspect]bool
+	for _, tr := range trees {
+		if !broken[tr.Source] {
+			continue
+		}
+		one := map[Suspect]bool{}
+		for _, e := range tr.Edges {
+			// The cell left column e.Col on link e.Link through the
+			// switch driving that link; also the switch of the NEXT
+			// column that consumes the link can be at fault.
+			if e.Col >= 0 {
+				one[Suspect{e.Col, switchOf(cols[e.Col], e.Link)}] = true
+			}
+			if e.Col+1 < len(cols) {
+				one[Suspect{e.Col + 1, switchOf(cols[e.Col+1], e.Link)}] = true
+			}
+		}
+		switch {
+		case sus == nil:
+			sus = one
+		case attributable:
+			for s := range sus {
+				if !one[s] {
+					delete(sus, s)
+				}
+			}
+		default:
+			for s := range one {
+				sus[s] = true
+			}
+		}
+	}
+	return sus, true, nil
+}
+
+// switchOf returns the switch index of a column that drives/consumes a
+// link.
+func switchOf(c fabric.Column, link int) int {
+	h := c.BlockSize / 2
+	b := link / c.BlockSize
+	i := link % c.BlockSize
+	if i >= h {
+		i -= h
+	}
+	return b*h + i
+}
+
+// Report is the outcome of a diagnosis run.
+type Report struct {
+	TestsRun   int
+	Detected   bool
+	Candidates []Suspect
+}
+
+// Diagnose probes a fabric carrying the given stuck-at fault with up to
+// maxTests random assignments (plus a full broadcast, which traverses
+// every switch) and intersects the suspect sets of the failing tests.
+// It returns the surviving candidates; with enough tests the true fault
+// location is always among them, and usually pinned to a handful of
+// switches sharing the faulty one's links.
+func Diagnose(n int, f Fault, maxTests int, seed int64) (*Report, error) {
+	if maxTests < 1 {
+		return nil, fmt.Errorf("diagnosis: need at least one test")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rep := &Report{}
+	var candidates map[Suspect]bool
+
+	tests := make([]mcast.Assignment, 0, maxTests)
+	b, err := mcast.Broadcast(n, rng.Intn(n))
+	if err != nil {
+		return nil, err
+	}
+	tests = append(tests, b)
+	for len(tests) < maxTests {
+		tests = append(tests, workload.Random(rng, n, 0.9, 0.6))
+	}
+
+	for _, a := range tests {
+		res, err := core.Route(a)
+		if err != nil {
+			return nil, err
+		}
+		got, err := runWithFault(a, res, &f)
+		if err != nil {
+			return nil, err
+		}
+		rep.TestsRun++
+		sus, wrong, err := suspectsOf(a, res, got)
+		if err != nil {
+			return nil, err
+		}
+		if !wrong {
+			continue // this test did not excite the fault
+		}
+		rep.Detected = true
+		if candidates == nil {
+			candidates = sus
+		} else {
+			for s := range candidates {
+				if !sus[s] {
+					delete(candidates, s)
+				}
+			}
+		}
+		if len(candidates) <= 1 {
+			break
+		}
+	}
+	for s := range candidates {
+		rep.Candidates = append(rep.Candidates, s)
+	}
+	return rep, nil
+}

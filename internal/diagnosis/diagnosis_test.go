@@ -1,0 +1,110 @@
+package diagnosis
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/core"
+	"brsmn/internal/cost"
+	"brsmn/internal/swbox"
+	"brsmn/internal/workload"
+)
+
+// TestDiagnoseLocatesFault injects stuck-at faults at random fabric
+// positions and checks the true location is always among the surviving
+// candidates, and the candidate set is small.
+func TestDiagnoseLocatesFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(260))
+	n := 16
+	depth := cost.BRSMNDepth(n)
+	sharpest := 1 << 20
+	for trial := 0; trial < 20; trial++ {
+		f := Fault{
+			Col:    rng.Intn(depth),
+			Switch: rng.Intn(n / 2),
+			Stuck:  swbox.Setting(rng.Intn(2)), // stuck parallel or cross
+		}
+		rep, err := Diagnose(n, f, 12, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Detected {
+			// A stuck setting can coincide with every computed setting
+			// across the tests; then the fault is benign for this
+			// traffic and nothing to locate.
+			continue
+		}
+		found := false
+		for _, s := range rep.Candidates {
+			if s.Col == f.Col && s.Switch == f.Switch {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: fault (%d,%d,%v) not among %d candidates %v",
+				trial, f.Col, f.Switch, f.Stuck, len(rep.Candidates), rep.Candidates)
+		}
+		// Unattributable hand-off crashes can only be localized to a
+		// union of suspect trees; attributable faults intersect down
+		// hard. Bound the worst case loosely and the best case tightly.
+		if len(rep.Candidates) > 4*depth {
+			t.Errorf("trial %d: %d candidates is implausibly many", trial, len(rep.Candidates))
+		}
+		if len(rep.Candidates) < sharpest {
+			sharpest = len(rep.Candidates)
+		}
+	}
+	if sharpest > 8 {
+		t.Errorf("no trial localized the fault below 9 candidates (best %d)", sharpest)
+	}
+}
+
+// TestDiagnoseStuckBroadcast covers the nastiest fault class: a switch
+// stuck at a broadcast setting duplicates traffic and can break the BSN
+// hand-off entirely; the detector must still flag it.
+func TestDiagnoseStuckBroadcast(t *testing.T) {
+	n := 16
+	f := Fault{Col: 3, Switch: 2, Stuck: swbox.UpperBcast}
+	rep, err := Diagnose(n, f, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatal("stuck-broadcast fault went undetected")
+	}
+}
+
+// TestFaultFreeFabricIsClean checks no false positives: replaying
+// without a fault never disagrees with the router.
+func TestFaultFreeFabricIsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(261))
+	n := 32
+	for trial := 0; trial < 10; trial++ {
+		a := workload.Random(rng, n, 0.8, 0.5)
+		res, err := core.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runWithFault(a, res, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wrong, err := suspectsOf(a, res, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrong {
+			t.Fatal("fault-free replay flagged as faulty")
+		}
+	}
+}
+
+// TestDiagnoseValidation covers the guards.
+func TestDiagnoseValidation(t *testing.T) {
+	if _, err := Diagnose(16, Fault{}, 0, 1); err == nil {
+		t.Error("accepted zero tests")
+	}
+	if _, err := Diagnose(16, Fault{Col: 999, Switch: 0}, 2, 1); err == nil {
+		t.Error("accepted out-of-fabric fault")
+	}
+}

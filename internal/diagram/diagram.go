@@ -1,0 +1,203 @@
+// Package diagram renders ASCII views of the networks and of routed
+// traffic: reverse-banyan switch plans (Fig. 5), tag traces through a
+// binary splitting network (Fig. 4b), the level structure of a routed
+// BRSMN (Figs. 1–2), and plain text tables for the experiment harness.
+package diagram
+
+import (
+	"fmt"
+	"strings"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+	"brsmn/internal/swbox"
+	"brsmn/internal/tag"
+)
+
+// settingGlyph is a one-character rendering of a switch setting.
+func settingGlyph(s swbox.Setting) byte {
+	switch s {
+	case swbox.Parallel:
+		return '='
+	case swbox.Cross:
+		return 'x'
+	case swbox.UpperBcast:
+		return 'A'
+	case swbox.LowerBcast:
+		return 'V'
+	}
+	return '?'
+}
+
+// RenderPlan draws an n x n reverse banyan plan as one column per stage;
+// row w of column j is the setting of switch w ('=' parallel, 'x' cross,
+// 'A' upper broadcast, 'V' lower broadcast).
+func RenderPlan(p *rbn.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d x %d RBN (%d stages, %d switches)\n", p.N, p.N, p.M, p.NumSwitches())
+	b.WriteString("switch")
+	for j := 0; j < p.M; j++ {
+		fmt.Fprintf(&b, " st%-2d", j)
+	}
+	b.WriteByte('\n')
+	for w := 0; w < p.N/2; w++ {
+		fmt.Fprintf(&b, "%4d  ", w)
+		for j := 0; j < p.M; j++ {
+			fmt.Fprintf(&b, "  %c  ", settingGlyph(p.Stages[j][w]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTagTrace draws the tag vector at every stage boundary of a
+// planned RBN fed with the given tags — the Fig. 4b view of scattering
+// or quasisorting in flight.
+func RenderTagTrace(p *rbn.Plan, in []tag.Value) (string, error) {
+	trace, err := rbn.Trace(p, in, func(v tag.Value) (tag.Value, tag.Value) {
+		return tag.V0, tag.V1
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for pos := 0; pos < p.N; pos++ {
+		fmt.Fprintf(&b, "%3d: ", pos)
+		for s, vec := range trace {
+			if s > 0 {
+				b.WriteString(" -> ")
+			}
+			fmt.Fprintf(&b, "%-2s", vec[pos])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// RenderAssignment prints the assignment in paper notation with fanout
+// statistics.
+func RenderAssignment(a mcast.Assignment) string {
+	return fmt.Sprintf("%v  (n=%d, fanout %d, %d active inputs)",
+		a, a.N, a.Fanout(), a.ActiveInputs())
+}
+
+// RenderRoute summarizes a routed BRSMN: the level/BSN structure of
+// Fig. 1 with per-BSN broadcast counts, the final switch column and the
+// deliveries of Fig. 2.
+func RenderRoute(a mcast.Assignment, res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "assignment: %s\n", RenderAssignment(a))
+	for _, lp := range res.Plans {
+		sc := lp.Scatter.CountSettings()
+		fmt.Fprintf(&b, "level %d: %2d x %-2d BSN at outputs [%d,%d): %d broadcast(s) in scatter\n",
+			lp.Level, lp.Size, lp.Size, lp.Base, lp.Base+lp.Size,
+			sc[swbox.UpperBcast]+sc[swbox.LowerBcast])
+	}
+	b.WriteString("final column: ")
+	for _, s := range res.Final {
+		b.WriteByte(settingGlyph(s))
+	}
+	b.WriteByte('\n')
+	for out, d := range res.Deliveries {
+		if d.Source < 0 {
+			fmt.Fprintf(&b, "output %d: (idle)\n", out)
+		} else {
+			fmt.Fprintf(&b, "output %d: from input %d\n", out, d.Source)
+		}
+	}
+	return b.String()
+}
+
+// RenderSequences prints each input's routing-tag sequence — the wire
+// format of Section 7.1 / Fig. 9.
+func RenderSequences(a mcast.Assignment) (string, error) {
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, c := range cells {
+		if c.IsIdle() {
+			fmt.Fprintf(&b, "input %d: idle (all-ε)\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "input %d: %s  (destinations %v)\n", i, mcast.FormatSequence(c.Seq), a.Dests[i])
+	}
+	return b.String(), nil
+}
+
+// Table renders rows of cells under headers as an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// RenderTagTree draws a multicast's routing-tag tree (Fig. 9): one line
+// per level, each node's tag positioned over the block of outputs it
+// governs, with the destination set on the last line.
+func RenderTagTree(tree mcast.TagTree) string {
+	n := tree.N
+	var b strings.Builder
+	cell := 3 // characters per output column
+	for level := 1; level <= tree.Levels(); level++ {
+		tags := tree.Level(level)
+		span := n / len(tags) // outputs governed per node
+		fmt.Fprintf(&b, "L%d ", level)
+		for _, v := range tags {
+			label := v.String()
+			width := span * cell
+			pad := (width - len([]rune(label))) / 2
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(label)
+			b.WriteString(strings.Repeat(" ", width-pad-len([]rune(label))))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("out")
+	member := map[int]bool{}
+	for _, d := range tree.Dests() {
+		member[d] = true
+	}
+	for d := 0; d < n; d++ {
+		mark := " · "
+		if member[d] {
+			mark = fmt.Sprintf("%2d ", d)
+		}
+		b.WriteString(mark)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"brsmn/internal/core"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+	"brsmn/internal/tag"
+	"brsmn/internal/workload"
+)
+
+// TestRenderPlan checks the plan rendering structure and glyphs.
+func TestRenderPlan(t *testing.T) {
+	tags := []tag.Value{tag.Alpha, tag.Eps, tag.V0, tag.V1}
+	p, err := rbn.ScatterPlan(4, tags, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPlan(p)
+	if !strings.Contains(out, "4 x 4 RBN (2 stages, 4 switches)") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.ContainsAny(out, "AV") {
+		t.Errorf("no broadcast glyph for an α/ε input:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 1+1+2 { // header + column header + 2 switch rows
+		t.Errorf("unexpected line count %d:\n%s", lines, out)
+	}
+}
+
+// TestRenderTagTrace checks trace rows and stage columns.
+func TestRenderTagTrace(t *testing.T) {
+	tags := []tag.Value{tag.Alpha, tag.Eps, tag.V0, tag.V1}
+	p, err := rbn.ScatterPlan(4, tags, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderTagTrace(p, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Errorf("want 4 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Errorf("no stage separators:\n%s", out)
+	}
+}
+
+// TestRenderRoute checks the Fig. 2 rendering mentions every structural
+// element.
+func TestRenderRoute(t *testing.T) {
+	a := workload.PaperFig2()
+	res, err := core.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRoute(a, res)
+	for _, want := range []string{
+		"{{0,1}, ∅, {3,4,7}, {2}, ∅, ∅, ∅, {5,6}}",
+		"level 1:  8 x 8  BSN",
+		"level 2:  4 x 4  BSN",
+		"final column:",
+		"output 0: from input 0",
+		"output 7: from input 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderSequences checks the Fig. 9 sequences appear.
+func TestRenderSequences(t *testing.T) {
+	out, err := RenderSequences(workload.PaperFig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "00εαεεε") || !strings.Contains(out, "α1αε011") {
+		t.Errorf("golden sequences missing:\n%s", out)
+	}
+	if !strings.Contains(out, "input 1: idle") {
+		t.Errorf("idle input not rendered:\n%s", out)
+	}
+}
+
+// TestTable checks alignment and structure of the table renderer.
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xxxx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("no separator row:\n%s", out)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator misaligned:\n%s", out)
+	}
+}
+
+// TestRenderTagTree pins the Fig. 9 tree rendering on the running
+// example.
+func TestRenderTagTree(t *testing.T) {
+	tree, err := mcast.BuildTagTree(8, []int{3, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTagTree(tree)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 levels + output line
+		t.Fatalf("want 4 lines:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "α") {
+		t.Errorf("root α missing:\n%s", out)
+	}
+	if !strings.Contains(lines[3], " 3 ") || !strings.Contains(lines[3], " 7 ") {
+		t.Errorf("destinations missing:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "·") {
+		t.Errorf("idle outputs not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,262 @@
+// Package fabric is the physical, wiring-level view of the networks: it
+// builds the merging stages from the shuffle/exchange wiring functions of
+// Figs. 6–7 (rather than the logical pair model the algorithms are stated
+// in), executes switch plans on that wiring, and checks link occupancy —
+// each wire carries at most one message per pass, the edge-disjointness
+// the multicast trees are claimed to have.
+//
+// The package also flattens a fully routed BRSMN (its per-level BSN plans
+// plus the delivery column) into one linear column program, which is what
+// the pipelined simulator (package netsim) runs waves of assignments
+// through.
+package fabric
+
+import (
+	"fmt"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/rbn"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/swbox"
+)
+
+// Stage is one physical switch column of an RBN: the sub-block size its
+// merging networks operate on, and for every switch its two attached link
+// indices on the input and output side, derived from the wiring function.
+type Stage struct {
+	BlockSize int
+	// Port[t][k] is the network link attached to port k of physical
+	// switch t (the same link index on the input and output side — the
+	// merging network is wired symmetrically).
+	Port [][2]int
+}
+
+// BuildRBN constructs the physical stages of an n x n reverse banyan
+// network from the wiring functions: stage j consists of the merging
+// networks of all sub-RBNs of size 2^(j+1); within a block, switch port a
+// attaches to block link Wire(blockSize, a).
+func BuildRBN(n int) ([]Stage, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("fabric: size %d is not a power of two >= 2", n)
+	}
+	m := shuffle.Log2(n)
+	stages := make([]Stage, m)
+	for j := 0; j < m; j++ {
+		size := 1 << (j + 1)
+		st := Stage{BlockSize: size, Port: make([][2]int, n/2)}
+		for block := 0; block < n/size; block++ {
+			base := block * size
+			for t := 0; t < size/2; t++ {
+				a0, a1 := 2*t, 2*t+1
+				st.Port[base/2+t] = [2]int{
+					base + shuffle.Wire(size, a0),
+					base + shuffle.Wire(size, a1),
+				}
+			}
+		}
+		stages[j] = st
+	}
+	return stages, nil
+}
+
+// VerifyAgainstPairModel checks that the physical wiring reproduces the
+// logical pair model the setting algorithms use: physical switch w of
+// stage j must join exactly the links rbn.Plan.Pair(j, w) reports, with
+// the upper link on port 0.
+func VerifyAgainstPairModel(n int) error {
+	stages, err := BuildRBN(n)
+	if err != nil {
+		return err
+	}
+	p := rbn.NewPlan(n)
+	for j, st := range stages {
+		for w, ports := range st.Port {
+			p0, p1 := p.Pair(j, w)
+			if ports[0] != p0 || ports[1] != p1 {
+				return fmt.Errorf("fabric: stage %d switch %d wired to (%d,%d); pair model says (%d,%d)",
+					j, w, ports[0], ports[1], p0, p1)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply executes an rbn.Plan on the physical wiring with message
+// conservation checking. Every link has exactly one driving switch, so a
+// link can never carry two messages (edge-disjointness is structural);
+// what a corrupted plan *can* do is drop a message — a broadcast setting
+// discards one of its inputs. Apply returns an error whenever a
+// broadcast would discard a live message, so message conservation holds
+// on every return. occupied reports whether an item is a live message;
+// pass nil to skip the check.
+func Apply[T any](p *rbn.Plan, in []T, split func(T) (T, T), occupied func(T) bool) ([]T, error) {
+	stages, err := BuildRBN(p.N)
+	if err != nil {
+		return nil, err
+	}
+	if len(in) != p.N {
+		return nil, fmt.Errorf("fabric: %d inputs for a %d x %d network", len(in), p.N, p.N)
+	}
+	cur := append([]T(nil), in...)
+	for j, st := range stages {
+		next := make([]T, p.N)
+		for t, ports := range st.Port {
+			s := p.Stages[j][t]
+			if s.IsBroadcast() {
+				if split == nil {
+					return nil, fmt.Errorf("fabric: stage %d switch %d is %v with no split function", j, t, s)
+				}
+				discarded := ports[1]
+				if s == swbox.LowerBcast {
+					discarded = ports[0]
+				}
+				if occupied != nil && occupied(cur[discarded]) {
+					return nil, fmt.Errorf("fabric: stage %d switch %d (%v) discards the live message on link %d",
+						j, t, s, discarded)
+				}
+			}
+			o0, o1 := swbox.Apply(s, cur[ports[0]], cur[ports[1]], split)
+			next[ports[0]], next[ports[1]] = o0, o1
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ColumnKind labels what a flattened column belongs to, for rendering
+// and accounting.
+type ColumnKind uint8
+
+const (
+	// ColScatter is a column of a level's scatter RBNs.
+	ColScatter ColumnKind = iota
+	// ColQuasisort is a column of a level's quasisorting RBNs.
+	ColQuasisort
+	// ColDeliver is the final 2x2 delivery column.
+	ColDeliver
+)
+
+// String implements fmt.Stringer.
+func (k ColumnKind) String() string {
+	switch k {
+	case ColScatter:
+		return "scatter"
+	case ColQuasisort:
+		return "quasisort"
+	case ColDeliver:
+		return "deliver"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Column is one switch column of the flattened BRSMN: n/2 settings plus
+// the block size its pair wiring uses and the level it came from.
+type Column struct {
+	Kind      ColumnKind
+	Level     int
+	BlockSize int // pair wiring: switch w joins links base+i, base+i+BlockSize/2
+	Settings  []swbox.Setting
+	// AdvanceAfter marks the level boundary: cells must consume one
+	// routing tag after this column (the BSN hand-off of Fig. 10).
+	AdvanceAfter bool
+}
+
+// Pair returns the two links joined by switch w of this column.
+func (c Column) Pair(w int) (int, int) {
+	h := c.BlockSize / 2
+	b := w / h
+	i := w % h
+	base := b * c.BlockSize
+	return base + i, base + i + h
+}
+
+// Flatten converts a routed BRSMN result into its linear column program:
+// for each level in order, the scatter stages then the quasisort stages
+// of all the level's BSNs (side by side), then the delivery column. The
+// result has exactly cost.BRSMNDepth(n) columns.
+func Flatten(res *core.Result) ([]Column, error) {
+	n := res.N
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("fabric: result size %d is not a power of two >= 2", n)
+	}
+	// Group level plans by level.
+	byLevel := map[int][]core.LevelPlan{}
+	maxLevel := 0
+	for _, lp := range res.Plans {
+		byLevel[lp.Level] = append(byLevel[lp.Level], lp)
+		if lp.Level > maxLevel {
+			maxLevel = lp.Level
+		}
+	}
+	var cols []Column
+	for level := 1; level <= maxLevel; level++ {
+		plans := byLevel[level]
+		if len(plans) == 0 {
+			return nil, fmt.Errorf("fabric: no BSN plans at level %d", level)
+		}
+		size := plans[0].Size
+		stagesPer := shuffle.Log2(size)
+		for _, kind := range []ColumnKind{ColScatter, ColQuasisort} {
+			for j := 0; j < stagesPer; j++ {
+				col := Column{
+					Kind:      kind,
+					Level:     level,
+					BlockSize: 1 << (j + 1),
+					Settings:  make([]swbox.Setting, n/2),
+				}
+				for _, lp := range plans {
+					p := lp.Scatter
+					if kind == ColQuasisort {
+						p = lp.Quasi
+					}
+					copy(col.Settings[lp.Base/2:lp.Base/2+size/2], p.Stages[j])
+				}
+				cols = append(cols, col)
+			}
+		}
+		cols[len(cols)-1].AdvanceAfter = true
+	}
+	cols = append(cols, Column{
+		Kind:      ColDeliver,
+		Level:     maxLevel + 1,
+		BlockSize: 2,
+		Settings:  append([]swbox.Setting(nil), res.Final...),
+	})
+	return cols, nil
+}
+
+// Run executes a flattened column program on a cell vector, performing
+// the per-level tag hand-off at level boundaries, and returns the final
+// cells (one per output). Each switch drives its two links exactly once
+// per column, so link occupancy is single-writer by construction here;
+// Apply performs the explicit occupancy assertion on the unflattened
+// wiring.
+func Run(cols []Column, in []bsn.Cell) ([]bsn.Cell, error) {
+	n := len(in)
+	cur := append([]bsn.Cell(nil), in...)
+	for ci, col := range cols {
+		if len(col.Settings) != n/2 {
+			return nil, fmt.Errorf("fabric: column %d has %d settings for n=%d", ci, len(col.Settings), n)
+		}
+		next := make([]bsn.Cell, n)
+		for w, s := range col.Settings {
+			p0, p1 := col.Pair(w)
+			next[p0], next[p1] = swbox.Apply(s, cur[p0], cur[p1], bsn.SplitCell)
+		}
+		cur = next
+		if col.AdvanceAfter {
+			for i := range cur {
+				if cur[i].IsIdle() {
+					continue
+				}
+				adv, err := bsn.Advance(cur[i])
+				if err != nil {
+					return nil, fmt.Errorf("fabric: column %d advance: %w", ci, err)
+				}
+				cur[i] = adv
+			}
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/cost"
+	"brsmn/internal/rbn"
+	"brsmn/internal/tag"
+	"brsmn/internal/workload"
+)
+
+// TestWiringMatchesPairModel checks the physical shuffle wiring yields
+// exactly the pair model of the setting algorithms, for all sizes up to
+// 512 (the Figs. 6–7 equivalence, at fabric granularity).
+func TestWiringMatchesPairModel(t *testing.T) {
+	for n := 2; n <= 512; n *= 2 {
+		if err := VerifyAgainstPairModel(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestApplyAgreesWithRBN routes the same plans through the physical
+// fabric and the logical Apply; results must be identical, and the
+// occupancy assertion must stay silent.
+func TestApplyAgreesWithRBN(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
+	for _, n := range []int{2, 8, 64, 256} {
+		for trial := 0; trial < 10; trial++ {
+			tags := make([]tag.Value, n)
+			for i := range tags {
+				tags[i] = vals[rng.Intn(4)]
+			}
+			p, err := rbn.ScatterPlan(n, tags, rng.Intn(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			split := func(v tag.Value) (tag.Value, tag.Value) { return tag.V0, tag.V1 }
+			want, err := rbn.Apply(p, tags, split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Apply(p, tags, split, func(v tag.Value) bool { return v.CarriesMessage() })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: fabric and pair-model outputs differ at %d: %v vs %v", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyConservationCatchesCorruption corrupts a plan so a broadcast
+// discards a live message and checks the conservation assertion fires —
+// the failure-injection test for the fabric checker.
+func TestApplyConservationCatchesCorruption(t *testing.T) {
+	n := 8
+	tags := []tag.Value{tag.V0, tag.V0, tag.V1, tag.V1, tag.V0, tag.V1, tag.V0, tag.V1}
+	gamma := make([]bool, n)
+	for i, v := range tags {
+		gamma[i] = v == tag.V1
+	}
+	p, err := rbn.BitSortPlan(n, gamma, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn a unicast switch into a broadcast: with all inputs live, the
+	// broadcast discards the live message on its second port.
+	p.Stages[0][0] = 2 // UpperBcast
+	split := func(v tag.Value) (tag.Value, tag.Value) { return v, v }
+	_, err = Apply(p, tags, split, func(v tag.Value) bool { return v.CarriesMessage() })
+	if err == nil {
+		t.Fatal("fabric accepted a corrupted plan that drops live traffic")
+	}
+}
+
+// TestFlattenDepthMatchesCostModel checks the flattened column count
+// equals the closed-form depth.
+func TestFlattenDepthMatchesCostModel(t *testing.T) {
+	for _, n := range []int{4, 8, 32, 128} {
+		res, err := core.Route(workload.Broadcast(n, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := Flatten(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cols) != cost.BRSMNDepth(n) {
+			t.Errorf("n=%d: %d columns, want depth %d", n, len(cols), cost.BRSMNDepth(n))
+		}
+		// Kind structure: scatter and quasisort alternate per level,
+		// ending with one delivery column.
+		if cols[len(cols)-1].Kind != ColDeliver {
+			t.Errorf("n=%d: last column is %v", n, cols[len(cols)-1].Kind)
+		}
+		advances := 0
+		for _, c := range cols {
+			if c.AdvanceAfter {
+				advances++
+			}
+		}
+		if wantLevels := cost.BRSMNDepth(n); advances == 0 && wantLevels > 1 {
+			t.Errorf("n=%d: no level hand-offs marked", n)
+		}
+	}
+}
+
+// TestRunReproducesRouting runs the flattened program on the original
+// input cells and checks the deliveries equal the recursive router's.
+func TestRunReproducesRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for _, n := range []int{4, 8, 32, 128} {
+		for trial := 0; trial < 10; trial++ {
+			a := workload.Random(rng, n, rng.Float64(), rng.Float64())
+			res, err := core.Route(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols, err := Flatten(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells, err := bsn.CellsForAssignment(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(cols, cells)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, a, err)
+			}
+			for p, c := range out {
+				want := res.Deliveries[p].Source
+				got := -1
+				if !c.IsIdle() {
+					got = c.Source
+				}
+				if got != want {
+					t.Fatalf("n=%d %v: output %d: flattened run delivered %d, recursive %d", n, a, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnKindStrings pins the labels.
+func TestColumnKindStrings(t *testing.T) {
+	if ColScatter.String() != "scatter" || ColQuasisort.String() != "quasisort" || ColDeliver.String() != "deliver" {
+		t.Error("kind strings wrong")
+	}
+	if ColumnKind(9).String() == "" {
+		t.Error("unknown kind unprintable")
+	}
+}
+
+// TestBuildErrors checks validation.
+func TestBuildErrors(t *testing.T) {
+	if _, err := BuildRBN(6); err == nil {
+		t.Error("BuildRBN accepted non-power-of-two size")
+	}
+	p := rbn.NewPlan(4)
+	if _, err := Apply(p, make([]tag.Value, 3), nil, nil); err == nil {
+		t.Error("Apply accepted mismatched width")
+	}
+}

@@ -1,0 +1,112 @@
+package gates
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+)
+
+// BackwardSweep simulates the backward phase of the bit-sorting
+// distributed algorithm (Table 3) on the tree of Fig. 8: the root holds
+// its starting position s; every node passes s mod h to its left child
+// (pure wiring — the low bits pass straight through) and computes
+// (s + l0) mod h for its right child on a pipelined serial adder, one
+// bit per gate delay, where l0 (the left child's γ count) is resident in
+// the node's registers from the forward phase.
+//
+// Because a level-j node's start position is only j bits wide — the
+// parent's masking discards the rest — the backward wave narrows as it
+// descends: bit k reaches level j at cycle (m-j)+k and no node needs a
+// bit beyond its own width, so the sweep completes in about m cycles,
+// faster than the forward phase whose sums widen as they rise. The
+// conservative BackwardDelay model (= ForwardDelay) therefore
+// upper-bounds the measured value, which the tests verify.
+//
+// It returns starts[j][b], the start position received by node b of
+// level j (starts[m][0] == s), and the cycle at which the last node had
+// its complete value.
+func BackwardSweep(gamma []bool, s int) (starts [][]int, cycles int, err error) {
+	n := len(gamma)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, 0, fmt.Errorf("gates: %d leaves is not a power of two >= 2", n)
+	}
+	if s < 0 || s >= n {
+		return nil, 0, fmt.Errorf("gates: start %d out of range [0,%d)", s, n)
+	}
+	m := shuffle.Log2(n)
+
+	// Forward-phase γ counts, resident in the node registers.
+	ls := make([][]int, m+1)
+	ls[0] = make([]int, n)
+	for i, g := range gamma {
+		if g {
+			ls[0][i] = 1
+		}
+	}
+	for j := 1; j <= m; j++ {
+		ls[j] = make([]int, n>>j)
+		for b := range ls[j] {
+			ls[j][b] = ls[j-1][2*b] + ls[j-1][2*b+1]
+		}
+	}
+
+	starts = make([][]int, m+1)
+	adders := make([][]SerialAdder, m+1)
+	for j := 0; j <= m; j++ {
+		starts[j] = make([]int, n>>j)
+		adders[j] = make([]SerialAdder, n>>j)
+	}
+	starts[m][0] = s
+
+	// Wave schedule: node b of level j processes its bit k during cycle
+	// (m-j)+k; the bit of its own value arrived one cycle earlier from
+	// its parent (or is resident, for the root). A node's value is j
+	// bits wide, so it processes bits k = 0..j-1; children only store
+	// bits below their own width j-1.
+	lastCycle := 0
+	for cyc := 0; ; cyc++ {
+		active := false
+		for j := m; j >= 1; j-- {
+			k := cyc - (m - j)
+			if k < 0 || k >= j {
+				continue
+			}
+			active = true
+			childBits := j - 1
+			for b := 0; b < n>>j; b++ {
+				sBit := uint8(starts[j][b] >> k & 1)
+				l0Bit := uint8(ls[j-1][2*b] >> k & 1)
+				sumBit := adders[j][b].Step(sBit, l0Bit)
+				if k < childBits {
+					starts[j-1][2*b] |= int(sBit) << k
+					starts[j-1][2*b+1] |= int(sumBit) << k
+				}
+			}
+			if cyc+1 > lastCycle {
+				lastCycle = cyc + 1
+			}
+		}
+		if !active && cyc > m {
+			break
+		}
+		if cyc > 4*m+8 {
+			return nil, 0, fmt.Errorf("gates: backward sweep did not settle")
+		}
+	}
+	return starts, lastCycle, nil
+}
+
+// MeasuredBackwardDelay returns the simulated backward-phase delay for
+// an n-input RBN on a worst-case load (alternating γs, maximal carry
+// churn in the serial adders).
+func MeasuredBackwardDelay(n int) int {
+	gamma := make([]bool, n)
+	for i := range gamma {
+		gamma[i] = i%2 == 0
+	}
+	_, cycles, err := BackwardSweep(gamma, n-1)
+	if err != nil {
+		panic(err) // n validated by callers
+	}
+	return cycles
+}

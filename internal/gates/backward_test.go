@@ -1,0 +1,108 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refStarts computes the backward-phase start positions by direct
+// recursion (Table 3's arithmetic), as the reference for the pipelined
+// simulation.
+func refStarts(gamma []bool, s int) [][]int {
+	n := len(gamma)
+	m := 0
+	for v := n; v > 1; v >>= 1 {
+		m++
+	}
+	ls := make([][]int, m+1)
+	ls[0] = make([]int, n)
+	for i, g := range gamma {
+		if g {
+			ls[0][i] = 1
+		}
+	}
+	for j := 1; j <= m; j++ {
+		ls[j] = make([]int, n>>j)
+		for b := range ls[j] {
+			ls[j][b] = ls[j-1][2*b] + ls[j-1][2*b+1]
+		}
+	}
+	ss := make([][]int, m+1)
+	for j := range ss {
+		ss[j] = make([]int, n>>j)
+	}
+	ss[m][0] = s
+	for j := m; j >= 1; j-- {
+		h := 1 << (j - 1)
+		for b := 0; b < n>>j; b++ {
+			ss[j-1][2*b] = ss[j][b] % h
+			ss[j-1][2*b+1] = (ss[j][b] + ls[j-1][2*b]) % h
+		}
+	}
+	return ss
+}
+
+// TestBackwardSweepMatchesRecursion cross-checks the pipelined backward
+// simulation against the direct recursion on random loads.
+func TestBackwardSweepMatchesRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	for _, n := range []int{2, 4, 16, 128, 1024} {
+		for trial := 0; trial < 15; trial++ {
+			gamma := make([]bool, n)
+			for i := range gamma {
+				gamma[i] = rng.Intn(2) == 1
+			}
+			s := rng.Intn(n)
+			got, cycles, err := BackwardSweep(gamma, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refStarts(gamma, s)
+			for j := range want {
+				for b := range want[j] {
+					if got[j][b] != want[j][b] {
+						t.Fatalf("n=%d s=%d: level %d node %d: %d, want %d",
+							n, s, j, b, got[j][b], want[j][b])
+					}
+				}
+			}
+			if cycles <= 0 {
+				t.Fatalf("n=%d: nonpositive delay", n)
+			}
+		}
+	}
+}
+
+// TestBackwardNarrowerThanForward checks the asymmetry the simulation
+// exposes: the backward wave narrows as it descends, so its measured
+// delay is below the conservative forward-equals-backward model, and
+// still grows by a constant per doubling (Θ(log n)).
+func TestBackwardNarrowerThanForward(t *testing.T) {
+	prev := 0
+	for n := 4; n <= 1<<14; n *= 2 {
+		d := MeasuredBackwardDelay(n)
+		if f := ForwardDelay(n); d > f {
+			t.Errorf("n=%d: measured backward %d exceeds the forward bound %d", n, d, f)
+		}
+		if prev > 0 {
+			grow := d - prev
+			if grow < 0 || grow > 3 {
+				t.Errorf("n=%d: backward delay grew by %d per doubling", n, grow)
+			}
+		}
+		prev = d
+	}
+}
+
+// TestBackwardSweepValidation covers the guards.
+func TestBackwardSweepValidation(t *testing.T) {
+	if _, _, err := BackwardSweep(make([]bool, 3), 0); err == nil {
+		t.Error("accepted non-power-of-two width")
+	}
+	if _, _, err := BackwardSweep(make([]bool, 4), 4); err == nil {
+		t.Error("accepted out-of-range start")
+	}
+	if _, _, err := BackwardSweep(make([]bool, 4), -1); err == nil {
+		t.Error("accepted negative start")
+	}
+}

@@ -1,0 +1,172 @@
+// Package gcn implements a generalized connection network in the style
+// of Nassimi & Sahni [4] at their k = log n design point: a cascade of
+// log n generator/concentrator stages that doubles multicast copies
+// until every cell is unicast, followed by a Benes permutation network
+// that carries each copy to its destination.
+//
+// Stage i (i = 1..log n) first concentrates the live cells to the top
+// positions (an (n, n/2)-concentrator, realized here by a bit-sorting
+// reverse banyan pass) and then drives a column of (1,2)-generators:
+// every cell whose remaining fanout exceeds n/2^i splits into two cells
+// of half the fanout. After stage i every cell's fanout is at most
+// n/2^i, so after log n stages all cells are unicast and total at most
+// n; the copies of one multicast stay adjacent, so copy j of a source
+// maps to its j-th smallest destination, and the final Benes pass
+// (centralized looping) places every copy.
+//
+// Hardware: log n concentrators of (n/2) log n switches plus log n
+// generator columns of n cells plus one Benes network — Θ(n log^2 n)
+// switches, matching the cost row the paper's Table 2 cites for this
+// family. Routing is centralized here (Nassimi & Sahni route on an
+// attached parallel computer; see DESIGN.md substitutions).
+package gcn
+
+import (
+	"fmt"
+
+	"brsmn/internal/benes"
+	"brsmn/internal/mcast"
+	"brsmn/internal/shuffle"
+)
+
+// cell is one (possibly partial) multicast in flight: its source, the
+// index of its first copy, and its copy count.
+type cell struct {
+	source int
+	first  int // rank of this cell's first copy within the source's destinations
+	fanout int
+}
+
+// Network is an n x n generalized connection network.
+type Network struct {
+	n int
+}
+
+// New returns an n x n GCN.
+func New(n int) (*Network, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("gcn: size %d is not a power of two >= 2", n)
+	}
+	return &Network{n: n}, nil
+}
+
+// N returns the network size.
+func (nw *Network) N() int { return nw.n }
+
+// Result records a routed assignment.
+type Result struct {
+	N int
+	// OutSource[out] is the source delivered at that output, -1 idle.
+	OutSource []int
+	// Stages is the number of generator/concentrator stages traversed.
+	Stages int
+	// Splits is the number of generator activations (copies made).
+	Splits int
+}
+
+// Route realizes a multicast assignment and verifies the deliveries.
+func (nw *Network) Route(a mcast.Assignment) (*Result, error) {
+	n := nw.n
+	if a.N != n {
+		return nil, fmt.Errorf("gcn: assignment for %d inputs on a %d x %d network", a.N, n, n)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	m := shuffle.Log2(n)
+
+	// Initial cells, one per active input, in input order (already
+	// "concentrated" logically — the simulation keeps the live cells as
+	// a dense list, which is exactly what each concentrator pass
+	// produces).
+	var cells []cell
+	for i, ds := range a.Dests {
+		if len(ds) > 0 {
+			cells = append(cells, cell{source: i, first: 0, fanout: len(ds)})
+		}
+	}
+
+	res := &Result{N: n, OutSource: make([]int, n), Stages: m}
+	for i := range res.OutSource {
+		res.OutSource[i] = -1
+	}
+
+	// Generator/concentrator cascade.
+	for i := 1; i <= m; i++ {
+		limit := n >> i
+		next := make([]cell, 0, len(cells)*2)
+		for _, c := range cells {
+			if c.fanout > limit {
+				half := c.fanout / 2
+				upper := c.fanout - half
+				next = append(next,
+					cell{source: c.source, first: c.first, fanout: upper},
+					cell{source: c.source, first: c.first + upper, fanout: half},
+				)
+				res.Splits++
+			} else {
+				next = append(next, c)
+			}
+		}
+		if len(next) > n {
+			return nil, fmt.Errorf("gcn: stage %d overflowed to %d cells", i, len(next))
+		}
+		cells = next
+	}
+	for _, c := range cells {
+		if c.fanout != 1 {
+			return nil, fmt.Errorf("gcn: cell of source %d still has fanout %d after %d stages", c.source, c.fanout, m)
+		}
+	}
+
+	// Distribution: copy `first` of a source goes to its first-th
+	// smallest destination; route the partial permutation with the
+	// Benes looping algorithm.
+	perm := make([]int, n)
+	carrying := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+		carrying[i] = -1
+	}
+	for p, c := range cells {
+		perm[p] = a.Dests[c.source][c.first]
+		carrying[p] = c.source
+	}
+	plan, err := benes.RoutePermutation(perm)
+	if err != nil {
+		return nil, err
+	}
+	delivered, err := benes.Apply(plan, carrying)
+	if err != nil {
+		return nil, err
+	}
+	for p, d := range perm {
+		if d >= 0 {
+			res.OutSource[d] = delivered[d]
+		}
+		_ = p
+	}
+
+	owner := a.OutputOwner()
+	for out, want := range owner {
+		if res.OutSource[out] != want {
+			return nil, fmt.Errorf("gcn: output %d received %d, want %d", out, res.OutSource[out], want)
+		}
+	}
+	return res, nil
+}
+
+// Switches returns the hardware cost: log n concentrator passes of
+// (n/2) log n switches, log n generator columns of n (1,2)-generators,
+// and the final Benes network.
+func Switches(n int) int {
+	m := shuffle.Log2(n)
+	return m*(n/2*m) + m*n + benes.Switches(n)
+}
+
+// Depth returns the column depth: each stage is a concentrator (log n
+// columns) plus a generator column, then the Benes depth.
+func Depth(n int) int {
+	m := shuffle.Log2(n)
+	return m*(m+1) + benes.Depth(n)
+}

@@ -1,0 +1,119 @@
+package gcn
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/mcast"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/workload"
+	"brsmn/internal/xbar"
+)
+
+func routeAndCompare(t *testing.T, a mcast.Assignment) *Result {
+	t.Helper()
+	nw, err := New(a.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Route(a)
+	if err != nil {
+		t.Fatalf("%v: %v", a, err)
+	}
+	xb, err := xbar.New(a.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := xb.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for out := range want {
+		if res.OutSource[out] != want[out] {
+			t.Fatalf("%v: output %d = %d, oracle %d", a, out, res.OutSource[out], want[out])
+		}
+	}
+	return res
+}
+
+// TestExhaustiveMulticastN4 checks every 4x4 multicast assignment
+// against the oracle.
+func TestExhaustiveMulticastN4(t *testing.T) {
+	n := 4
+	var owner [4]int
+	var rec func(o int)
+	rec = func(o int) {
+		if o == n {
+			dests := make([][]int, n)
+			for out, in := range owner {
+				if in >= 0 {
+					dests[in] = append(dests[in], out)
+				}
+			}
+			routeAndCompare(t, mcast.MustNew(n, dests))
+			return
+		}
+		for in := -1; in < n; in++ {
+			owner[o] = in
+			rec(o + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestRandomAndExtremes checks random loads plus broadcast and combs.
+func TestRandomAndExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for _, n := range []int{2, 8, 64, 256} {
+		for trial := 0; trial < 10; trial++ {
+			routeAndCompare(t, workload.Random(rng, n, rng.Float64(), rng.Float64()))
+		}
+	}
+	res := routeAndCompare(t, workload.Broadcast(64, 9))
+	// A full broadcast needs exactly n-1 generator activations.
+	if res.Splits != 63 {
+		t.Errorf("broadcast splits = %d, want 63", res.Splits)
+	}
+	for g := 1; g <= 64; g *= 4 {
+		a, err := workload.MaxSplit(64, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routeAndCompare(t, a)
+	}
+}
+
+// TestCostShape checks the Θ(n log^2 n) switch count and stage
+// accounting.
+func TestCostShape(t *testing.T) {
+	for _, n := range []int{8, 64, 1024} {
+		m := shuffle.Log2(n)
+		sw := Switches(n)
+		lo, hi := n*m*m/2, 3*n*m*m
+		if sw < lo || sw > hi {
+			t.Errorf("n=%d: %d switches outside [%d,%d] (Θ(n log²n) band)", n, sw, lo, hi)
+		}
+		if Depth(n) <= 0 {
+			t.Error("nonpositive depth")
+		}
+	}
+	nw, _ := New(8)
+	if nw.N() != 8 {
+		t.Error("N wrong")
+	}
+}
+
+// TestValidation checks error paths.
+func TestValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("New(3) succeeded")
+	}
+	nw, _ := New(8)
+	if _, err := nw.Route(workload.Broadcast(4, 0)); err == nil {
+		t.Error("Route accepted wrong-size assignment")
+	}
+	bad := mcast.Assignment{N: 8, Dests: make([][]int, 5)}
+	if _, err := nw.Route(bad); err == nil {
+		t.Error("Route accepted malformed assignment")
+	}
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// goldenCases are the deterministic experiments (no wall-clock timing)
+// pinned byte for byte, so any change to an algorithm, a cost formula or
+// a rendering shows up as a diff.
+func goldenCases(t *testing.T) map[string]func() (string, error) {
+	t.Helper()
+	sizes := []int{16, 64, 256, 1024}
+	return map[string]func() (string, error){
+		"table1.txt": func() (string, error) { return Table1(), nil },
+		"table2_n256.txt": func() (string, error) {
+			return Table2Concrete(256), nil
+		},
+		"orders.txt": func() (string, error) {
+			return Table2Normalized(sizes), nil
+		},
+		"fit.txt": func() (string, error) {
+			return FitExperiment(sizes)
+		},
+		"fig2.txt": Fig2,
+		"delay.txt": func() (string, error) {
+			return RoutingDelaySweep([]int{8, 32, 128, 512}), nil
+		},
+		"splits_n64.txt": func() (string, error) {
+			return SplitStress(64)
+		},
+		"util_n64.txt": func() (string, error) {
+			return UtilizationExperiment(64, 1)
+		},
+		"admission_n64.txt": func() (string, error) {
+			return AdmissionExperiment(64, 1)
+		},
+		"saturation_n32.txt": func() (string, error) {
+			return SaturationExperiment(32, 100, 1)
+		},
+		"ktradeoff_n1024.txt": func() (string, error) {
+			return KTradeoffExperiment(1024), nil
+		},
+	}
+}
+
+// TestGoldenExperiments compares every deterministic experiment against
+// its recorded output. Refresh with: go test ./internal/harness -update
+func TestGoldenExperiments(t *testing.T) {
+	for name, gen := range goldenCases(t) {
+		t.Run(name, func(t *testing.T) {
+			got, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("%s drifted from its golden output.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}

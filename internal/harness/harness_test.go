@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"brsmn/internal/cost"
+	"brsmn/internal/stats"
+)
+
+// TestTable1 checks the encoding table contents.
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"α", "100", "ε", "11X", "ε0", "110", "ε1", "111"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable2Concrete checks all four networks appear with numbers.
+func TestTable2Concrete(t *testing.T) {
+	out := Table2Concrete(256)
+	for _, want := range []string{"Nassimi & Sahni", "Lee & Oruc", "BRSMN (this paper)", "feedback"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable2Normalized checks the sweep renders one row per size.
+func TestTable2Normalized(t *testing.T) {
+	sizes := []int{16, 64, 256, 1024}
+	out := Table2Normalized(sizes)
+	for _, n := range []string{"16", "64", "256", "1024"} {
+		if !strings.Contains(out, n) {
+			t.Errorf("missing size %s:\n%s", n, out)
+		}
+	}
+}
+
+// TestFig2 checks the demo renders the golden deliveries.
+func TestFig2(t *testing.T) {
+	out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"00εαεεε", "α1αε011", "output 4: from input 2", "output 6: from input 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCostSweep checks known values and the error path.
+func TestCostSweep(t *testing.T) {
+	pts, err := CostSweep("feedback", []int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Value != 12 { // (8/2)*3
+		t.Errorf("feedback sweep = %+v", pts)
+	}
+	for _, name := range []string{"brsmn", "permnet", "copynet", "crossbar", "prior"} {
+		if _, err := CostSweep(name, []int{16}); err != nil {
+			t.Errorf("CostSweep(%q): %v", name, err)
+		}
+	}
+	if _, err := CostSweep("bogus", []int{8}); err == nil {
+		t.Error("CostSweep accepted unknown network")
+	}
+}
+
+// TestRoutingDelaySweep checks the table renders and delays grow slowly.
+func TestRoutingDelaySweep(t *testing.T) {
+	out := RoutingDelaySweep([]int{8, 64, 512})
+	if !strings.Contains(out, "BRSMN") || !strings.Contains(out, "centralized") {
+		t.Errorf("sweep table malformed:\n%s", out)
+	}
+}
+
+// TestWallClock smoke-tests the timing experiment at a small size.
+func TestWallClock(t *testing.T) {
+	out, err := WallClock(32, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BRSMN (unrolled", "feedback", "copy network", "Benes looping"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WallClock missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSplitStress smoke-tests the α-traffic profile experiment.
+func TestSplitStress(t *testing.T) {
+	out, err := SplitStress(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "broadcast switches used") {
+		t.Errorf("SplitStress malformed:\n%s", out)
+	}
+	// A single full broadcast (groups=1) needs exactly n-1 splits.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, ln := range lines {
+		fs := strings.Fields(ln)
+		if len(fs) == 3 && fs[0] == "1" && fs[1] == "16" {
+			if fs[2] != "15" {
+				t.Errorf("broadcast split count = %s, want 15", fs[2])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("groups=1 row missing:\n%s", out)
+	}
+}
+
+// TestFitExperiment checks the fitted exponents land in the expected
+// bands across a wide sweep.
+func TestFitExperiment(t *testing.T) {
+	out, err := FitExperiment([]int{16, 64, 256, 1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "BRSMN switches") || !strings.Contains(out, "fitted q") {
+		t.Errorf("fit table malformed:\n%s", out)
+	}
+	// Spot-check the numbers behind the table.
+	sizes := []int{16, 64, 256, 1024, 4096}
+	vals := make([]float64, len(sizes))
+	for i, n := range sizes {
+		vals[i] = float64(cost.BRSMN(n).Switches)
+	}
+	fit, err := stats.PolylogExponent(sizes, vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 1.7 || fit.Slope > 2.1 {
+		t.Errorf("BRSMN cost exponent %.2f outside [1.7, 2.1]", fit.Slope)
+	}
+	for i, n := range sizes {
+		vals[i] = float64(cost.Feedback(n).Switches)
+	}
+	fit, err = stats.PolylogExponent(sizes, vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 0.99 || fit.Slope > 1.01 {
+		t.Errorf("feedback cost exponent %.2f, want 1", fit.Slope)
+	}
+}
+
+// TestPipelineExperiment smoke-tests the pipelining table.
+func TestPipelineExperiment(t *testing.T) {
+	out, err := PipelineExperiment(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("pipeline table malformed:\n%s", out)
+	}
+}
+
+// TestUtilizationExperiment checks utilization grows with load and the
+// full-load row approaches the permutation bound.
+func TestUtilizationExperiment(t *testing.T) {
+	out, err := UtilizationExperiment(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "utilization") || !strings.Contains(out, "1.00") {
+		t.Errorf("utilization table malformed:\n%s", out)
+	}
+}
+
+// TestAdmissionExperiment smoke-tests the scheduler-quality table.
+func TestAdmissionExperiment(t *testing.T) {
+	out, err := AdmissionExperiment(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lower bound") {
+		t.Errorf("admission table malformed:\n%s", out)
+	}
+}
+
+// TestSaturationExperiment checks the saturation shape: throughput
+// plateaus while backlog grows with offered load.
+func TestSaturationExperiment(t *testing.T) {
+	out, err := SaturationExperiment(16, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mean delay") || !strings.Contains(out, "backlog") {
+		t.Errorf("saturation table malformed:\n%s", out)
+	}
+}
+
+// TestKTradeoffExperiment smoke-tests the footnote-1 sweep.
+func TestKTradeoffExperiment(t *testing.T) {
+	out := KTradeoffExperiment(256)
+	if !strings.Contains(out, "BRSMN") || !strings.Contains(out, "k-parameter") {
+		t.Errorf("ktradeoff table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,164 @@
+// Package hdrstream simulates the routing-tag header of a multicast
+// message at flit granularity, one tag flit per cycle, through the chain
+// of BSN level boundaries it crosses — the tag-handling hardware of
+// Section 7.1 (Fig. 10). Each boundary consumes the first flit it sees
+// (its own level's routing tag a0) and then deals the remaining flits
+// alternately, forwarding only the half belonging to the subnetwork its
+// connection continues into.
+//
+// The paper claims this arrangement needs "only a constant number of
+// buffers ... at each input of a BSN as it passes through the network".
+// The simulation measures exactly that: every boundary consumes at most
+// one flit per cycle and its input FIFO never holds more than one flit,
+// independent of the network size — verified by the tests up to n = 4096.
+package hdrstream
+
+import (
+	"fmt"
+
+	"brsmn/internal/mcast"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/tag"
+)
+
+// Result describes one simulated header traversal.
+type Result struct {
+	N int
+	// LevelTags[k] is the routing tag consumed by the boundary at level
+	// k+1 — the value its BSN routes the connection by.
+	LevelTags []tag.Value
+	// MaxBuffer is the largest FIFO occupancy observed at any boundary
+	// in any cycle — the paper's "constant number of buffers".
+	MaxBuffer int
+	// Cycles is when the last level's tag had been consumed.
+	Cycles int
+}
+
+// boundary is one BSN hand-off: it consumes its head flit, then keeps
+// alternate flits according to the exit bit of the connection at its
+// level (0 = upper half, keep the odd-position flits a1, a3, ...).
+type boundary struct {
+	exit     int
+	fifo     []tag.Value
+	gotHead  bool
+	head     tag.Value
+	pos      int // position of the next incoming flit within this level's stream
+	maxDepth int
+}
+
+// push enqueues an arriving flit.
+func (b *boundary) push(v tag.Value) {
+	b.fifo = append(b.fifo, v)
+	if len(b.fifo) > b.maxDepth {
+		b.maxDepth = len(b.fifo)
+	}
+}
+
+// step processes at most one buffered flit, forwarding it to the next
+// boundary when it belongs to this connection's half. It returns the
+// forwarded flit and whether one was forwarded.
+func (b *boundary) step() (tag.Value, bool) {
+	if len(b.fifo) == 0 {
+		return 0, false
+	}
+	v := b.fifo[0]
+	b.fifo = b.fifo[1:]
+	p := b.pos
+	b.pos++
+	if p == 0 {
+		b.gotHead = true
+		b.head = v
+		return 0, false
+	}
+	// Flit p (p >= 1) belongs to the upper continuation when p is odd.
+	if (p%2 == 1) == (b.exit == 0) {
+		return v, true
+	}
+	return 0, false
+}
+
+// Simulate streams the routing-tag sequence of the multicast with the
+// given destination set toward one chosen destination: exits[k] is bit k
+// (MSB first) of dest, the half the connection (or its copy) takes at
+// level k+1. It verifies each consumed level tag against the tag tree
+// and returns the buffering statistics.
+func Simulate(n int, dests []int, dest int) (*Result, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("hdrstream: size %d is not a power of two >= 2", n)
+	}
+	found := false
+	for _, d := range dests {
+		if d == dest {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("hdrstream: %d is not a destination of the multicast", dest)
+	}
+	tree, err := mcast.BuildTagTree(n, dests)
+	if err != nil {
+		return nil, err
+	}
+	seq := tree.Sequence()
+	m := shuffle.Log2(n)
+
+	chain := make([]*boundary, m)
+	for k := range chain {
+		chain[k] = &boundary{exit: dest >> (m - 1 - k) & 1}
+	}
+
+	res := &Result{N: n, LevelTags: make([]tag.Value, m)}
+	cycle := 0
+	for {
+		// Inject one source flit per cycle.
+		if cycle < len(seq) {
+			chain[0].push(seq[cycle])
+		}
+		// Boundaries process concurrently; a forwarded flit arrives at
+		// the next boundary this cycle's end (it is pushed after all
+		// steps, preserving one-flit-per-cycle flow).
+		type fwd struct {
+			to int
+			v  tag.Value
+		}
+		var moves []fwd
+		for k, b := range chain {
+			if v, ok := b.step(); ok && k+1 < m {
+				moves = append(moves, fwd{k + 1, v})
+			}
+		}
+		for _, mv := range moves {
+			chain[mv.to].push(mv.v)
+		}
+		cycle++
+		done := true
+		for _, b := range chain {
+			if !b.gotHead || len(b.fifo) > 0 {
+				done = false
+			}
+		}
+		if done && cycle >= len(seq) {
+			break
+		}
+		if cycle > 4*len(seq)+4*m+16 {
+			return nil, fmt.Errorf("hdrstream: simulation did not converge")
+		}
+	}
+
+	// Verify the consumed tags against the tag tree: the level-(k+1)
+	// boundary must have consumed the tree node on dest's path.
+	node := 1
+	for k, b := range chain {
+		want := tree.Nodes[node]
+		if b.head != want {
+			return nil, fmt.Errorf("hdrstream: level %d consumed %v, tree says %v", k+1, b.head, want)
+		}
+		res.LevelTags[k] = b.head
+		if b.maxDepth > res.MaxBuffer {
+			res.MaxBuffer = b.maxDepth
+		}
+		node = 2*node + dest>>(m-1-k)&1
+	}
+	res.Cycles = cycle
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package mcast
+
+import (
+	"fmt"
+
+	"brsmn/internal/tag"
+)
+
+// Dynamic group membership: a multicast's tag tree supports O(log n)
+// incremental updates, so a long-lived group (a conference call, a
+// replica set) can admit and drop members without rebuilding its
+// routing-tag sequence's source data from scratch. Only the log2(n)
+// nodes on the member's root-to-leaf path change.
+
+// Contains reports whether d is a destination of the multicast the tree
+// encodes.
+func (t TagTree) Contains(d int) bool {
+	if d < 0 || d >= t.N {
+		return false
+	}
+	m := t.Levels()
+	node := 1
+	for i := 0; i < m; i++ {
+		bit := d >> (m - 1 - i) & 1
+		switch t.Nodes[node] {
+		case tag.Alpha:
+		case tag.V0:
+			if bit != 0 {
+				return false
+			}
+		case tag.V1:
+			if bit != 1 {
+				return false
+			}
+		default:
+			return false
+		}
+		node = 2*node + bit
+	}
+	return true
+}
+
+// Add inserts destination d into the multicast, updating the log2(n)
+// path nodes. Adding an existing member is an error (destination sets
+// are sets).
+func (t *TagTree) Add(d int) error {
+	if d < 0 || d >= t.N {
+		return fmt.Errorf("mcast: destination %d out of range [0,%d)", d, t.N)
+	}
+	if t.Contains(d) {
+		return fmt.Errorf("mcast: destination %d already in the multicast", d)
+	}
+	m := t.Levels()
+	node := 1
+	for i := 0; i < m; i++ {
+		bit := d >> (m - 1 - i) & 1
+		want := tag.V0
+		if bit == 1 {
+			want = tag.V1
+		}
+		switch t.Nodes[node] {
+		case tag.Eps:
+			t.Nodes[node] = want
+		case tag.Alpha, want:
+			// Already covers this direction.
+		default:
+			// Covers only the other direction: now both.
+			t.Nodes[node] = tag.Alpha
+		}
+		node = 2*node + bit
+	}
+	return nil
+}
+
+// Remove deletes destination d from the multicast, updating the log2(n)
+// path nodes bottom-up (a node covering only the removed branch reverts
+// toward ε; an α node collapses to the surviving direction).
+func (t *TagTree) Remove(d int) error {
+	if !t.Contains(d) {
+		return fmt.Errorf("mcast: destination %d not in the multicast", d)
+	}
+	m := t.Levels()
+	// Collect the path, then repair bottom-up.
+	path := make([]int, m) // node indices, root first
+	node := 1
+	for i := 0; i < m; i++ {
+		path[i] = node
+		node = 2*node + d>>(m-1-i)&1
+	}
+	// emptied reports whether the subtree below the path node at level
+	// i+1 lost its last member.
+	emptied := true
+	for i := m - 1; i >= 0; i-- {
+		if !emptied {
+			break // deeper levels unaffected once a subtree stays alive
+		}
+		k := path[i]
+		bit := d >> (m - 1 - i) & 1
+		removedDir := tag.V0
+		if bit == 1 {
+			removedDir = tag.V1
+		}
+		switch t.Nodes[k] {
+		case tag.Alpha:
+			// The other direction survives.
+			t.Nodes[k] = removedDir.OtherDirection()
+			emptied = false
+		case removedDir:
+			t.Nodes[k] = tag.Eps
+			emptied = true
+		default:
+			return fmt.Errorf("mcast: tree corrupt at node %d while removing %d", k, d)
+		}
+	}
+	return nil
+}

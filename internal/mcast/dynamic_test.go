@@ -1,0 +1,113 @@
+package mcast
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDynamicMatchesRebuild drives random add/remove sequences and
+// compares the incrementally maintained tree against a full rebuild
+// after every operation.
+func TestDynamicMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(250))
+	for _, n := range []int{2, 4, 16, 128} {
+		tree, err := BuildTagTree(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			d := rng.Intn(n)
+			if members[d] {
+				if err := tree.Remove(d); err != nil {
+					t.Fatalf("n=%d op %d: Remove(%d): %v", n, op, d, err)
+				}
+				delete(members, d)
+			} else {
+				if err := tree.Add(d); err != nil {
+					t.Fatalf("n=%d op %d: Add(%d): %v", n, op, d, err)
+				}
+				members[d] = true
+			}
+			var dests []int
+			for m := range members {
+				dests = append(dests, m)
+			}
+			want, err := BuildTagTree(n, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tree.Nodes, want.Nodes) {
+				t.Fatalf("n=%d op %d (dest %d): incremental tree diverged\n got %v\nwant %v",
+					n, op, d, tree.Nodes, want.Nodes)
+			}
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("n=%d op %d: %v", n, op, err)
+			}
+		}
+	}
+}
+
+// TestContains checks membership queries against the destination list.
+func TestContains(t *testing.T) {
+	tree, err := BuildTagTree(16, []int{1, 7, 8, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{1: true, 7: true, 8: true, 15: true}
+	for d := -1; d <= 16; d++ {
+		if tree.Contains(d) != want[d] {
+			t.Errorf("Contains(%d) = %v", d, tree.Contains(d))
+		}
+	}
+}
+
+// TestDynamicErrors covers the guards.
+func TestDynamicErrors(t *testing.T) {
+	tree, err := BuildTagTree(8, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Add(3); err == nil {
+		t.Error("Add accepted an existing member")
+	}
+	if err := tree.Add(8); err == nil {
+		t.Error("Add accepted an out-of-range destination")
+	}
+	if err := tree.Remove(5); err == nil {
+		t.Error("Remove accepted a non-member")
+	}
+	if err := tree.Remove(-1); err == nil {
+		t.Error("Remove accepted a negative destination")
+	}
+}
+
+// TestDynamicSequencesRoute checks an incrementally maintained group's
+// sequence is immediately routable: after each membership change the
+// sequence parses and reproduces the member set.
+func TestDynamicSequencesRoute(t *testing.T) {
+	n := 32
+	tree, err := BuildTagTree(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := []int{5, 17, 30, 2, 9}
+	for _, d := range joins {
+		if err := tree.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Remove(17); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSequence(n, tree.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Dests()
+	want := []int{2, 5, 9, 30}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("group members %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,133 @@
+package mcast
+
+import (
+	"fmt"
+	"strings"
+
+	"brsmn/internal/shuffle"
+	"brsmn/internal/tag"
+)
+
+// Sequence serializes the tag tree into the routing-tag sequence SEQ of
+// Section 7.1 (equation 12): the concatenation, level by level, of each
+// level's tags permuted by the recursive order() interleaving of equation
+// (11) — which is exactly the bit-reversal permutation of the node index
+// within its level. The sequence for an n-output connection has n-1 tags.
+//
+// The interleaving is what makes the hardware's tag handling trivial: the
+// head tag a0 steers the message through the current binary splitting
+// network, and the remaining tags, dealt out alternately, form the
+// sequences for the upper and lower half-size networks (Fig. 10).
+func (t TagTree) Sequence() []tag.Value {
+	out := make([]tag.Value, 0, t.N-1)
+	for i := 1; i <= t.Levels(); i++ {
+		level := t.Level(i)
+		bits := i - 1
+		for j := range level {
+			out = append(out, level[shuffle.BitReverse(j, bits)])
+		}
+	}
+	return out
+}
+
+// SequenceFromDests is a convenience composing BuildTagTree and Sequence.
+func SequenceFromDests(n int, dests []int) ([]tag.Value, error) {
+	t, err := BuildTagTree(n, dests)
+	if err != nil {
+		return nil, err
+	}
+	return t.Sequence(), nil
+}
+
+// ParseSequence rebuilds the tag tree from a routing-tag sequence for an
+// n-output network and validates it.
+func ParseSequence(n int, s []tag.Value) (TagTree, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return TagTree{}, fmt.Errorf("mcast: network size %d is not a power of two >= 2", n)
+	}
+	if len(s) != n-1 {
+		return TagTree{}, fmt.Errorf("mcast: sequence has %d tags, want n-1 = %d", len(s), n-1)
+	}
+	t := TagTree{N: n, Nodes: make([]tag.Value, n)}
+	t.Nodes[0] = tag.Eps // slot 0 is unused; keep it canonical
+	pos := 0
+	for i := 1; 1<<(i-1) < n+1 && pos < len(s); i++ {
+		w := 1 << (i - 1)
+		level := t.Nodes[w : 2*w]
+		bits := i - 1
+		for j := 0; j < w; j++ {
+			level[shuffle.BitReverse(j, bits)] = s[pos]
+			pos++
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return TagTree{}, err
+	}
+	return t, nil
+}
+
+// SplitSequence deals the tags following the head tag out to the two
+// half-size networks (Fig. 10): rest[0], rest[2], ... form the upper
+// sequence and rest[1], rest[3], ... the lower one. rest must have even
+// length (it is seq[1:] for a sequence of odd length n-1).
+func SplitSequence(rest []tag.Value) (upper, lower []tag.Value) {
+	if len(rest)%2 != 0 {
+		panic(fmt.Sprintf("mcast: SplitSequence on odd-length rest (%d tags)", len(rest)))
+	}
+	h := len(rest) / 2
+	upper = make([]tag.Value, 0, h)
+	lower = make([]tag.Value, 0, h)
+	for i, v := range rest {
+		if i%2 == 0 {
+			upper = append(upper, v)
+		} else {
+			lower = append(lower, v)
+		}
+	}
+	return upper, lower
+}
+
+// FormatSequence renders a tag sequence in the compact notation of the
+// paper's examples (e.g. "00εαεεε").
+func FormatSequence(s []tag.Value) string {
+	var b strings.Builder
+	for _, v := range s {
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// ParseSequenceString parses the compact notation produced by
+// FormatSequence ('0', '1', 'α'/'a', 'ε'/'e').
+func ParseSequenceString(n int, s string) (TagTree, error) {
+	var tags []tag.Value
+	for _, r := range s {
+		switch r {
+		case '0':
+			tags = append(tags, tag.V0)
+		case '1':
+			tags = append(tags, tag.V1)
+		case 'α', 'a':
+			tags = append(tags, tag.Alpha)
+		case 'ε', 'e':
+			tags = append(tags, tag.Eps)
+		default:
+			return TagTree{}, fmt.Errorf("mcast: unknown tag character %q", r)
+		}
+	}
+	return ParseSequence(n, tags)
+}
+
+// Sequences returns the routing-tag sequence of every input of the
+// assignment (idle inputs get the all-ε sequence).
+func (a Assignment) Sequences() ([][]tag.Value, error) {
+	out := make([][]tag.Value, a.N)
+	for i := range a.Dests {
+		s, err := SequenceFromDests(a.N, a.Dests[i])
+		if err != nil {
+			return nil, fmt.Errorf("mcast: input %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package mcast
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+	"brsmn/internal/tag"
+)
+
+// TagTree is the complete binary tree of routing tags describing one
+// multicast connection in an n x n BRSMN (Section 7.1). The tree has
+// log n levels; the node for an address prefix carries the tag value that
+// the connection presents at the binary splitting network reached through
+// that prefix:
+//
+//	α — the destinations under this prefix have both 0 and 1 in the next
+//	     address bit (the connection splits here)
+//	0 — they all have 0 in the next bit
+//	1 — they all have 1 in the next bit
+//	ε — no destination has this prefix (empty multicast)
+//
+// Nodes are stored in heap order: Nodes[1] is the root, node k has
+// children 2k and 2k+1, so level i (1-based) occupies indices
+// [2^(i-1), 2^i). Nodes[0] is unused.
+type TagTree struct {
+	N     int
+	Nodes []tag.Value
+}
+
+// Levels returns log2(N), the number of levels of the tree.
+func (t TagTree) Levels() int { return shuffle.Log2(t.N) }
+
+// Level returns the tags of level i (1-based, left to right), which has
+// 2^(i-1) nodes.
+func (t TagTree) Level(i int) []tag.Value {
+	w := 1 << (i - 1)
+	return t.Nodes[w : 2*w]
+}
+
+// Root returns the level-1 tag, which steers the connection through the
+// outermost binary splitting network.
+func (t TagTree) Root() tag.Value { return t.Nodes[1] }
+
+// BuildTagTree constructs the tag tree of the multicast connection with
+// the given destination set in an n-output network. An empty set yields
+// the all-ε tree. Destinations must be distinct and in range.
+func BuildTagTree(n int, dests []int) (TagTree, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return TagTree{}, fmt.Errorf("mcast: network size %d is not a power of two >= 2", n)
+	}
+	t := TagTree{N: n, Nodes: make([]tag.Value, n)}
+	for i := range t.Nodes {
+		t.Nodes[i] = tag.Eps
+	}
+	// hasPrefix[k] records whether any destination lies under heap node
+	// k; index space doubled to include the virtual leaf level (single
+	// outputs) at [n, 2n).
+	hasPrefix := make([]bool, 2*n)
+	for _, d := range dests {
+		if d < 0 || d >= n {
+			return TagTree{}, fmt.Errorf("mcast: destination %d out of range [0,%d)", d, n)
+		}
+		if hasPrefix[n+d] {
+			return TagTree{}, fmt.Errorf("mcast: duplicate destination %d", d)
+		}
+		for k := n + d; k >= 1; k /= 2 {
+			hasPrefix[k] = true
+		}
+	}
+	// A node at level i has heap index k in [2^(i-1), 2^i); its children
+	// (prefixes one bit longer) are 2k and 2k+1, possibly in the virtual
+	// leaf level.
+	for k := 1; k < n; k++ {
+		left, right := hasPrefix[2*k], hasPrefix[2*k+1]
+		switch {
+		case left && right:
+			t.Nodes[k] = tag.Alpha
+		case left:
+			t.Nodes[k] = tag.V0
+		case right:
+			t.Nodes[k] = tag.V1
+		default:
+			t.Nodes[k] = tag.Eps
+		}
+	}
+	return t, nil
+}
+
+// Dests reconstructs the destination set encoded by the tree, in
+// increasing order.
+func (t TagTree) Dests() []int {
+	n := t.N
+	var out []int
+	// Walk the virtual leaf level: output d is reached iff every node on
+	// the path from the root points toward it.
+	var walk func(k, lo, hi int)
+	walk = func(k, lo, hi int) {
+		if hi-lo == 1 {
+			out = append(out, lo)
+			return
+		}
+		mid := (lo + hi) / 2
+		switch t.Nodes[k] {
+		case tag.V0:
+			walk(2*k, lo, mid)
+		case tag.V1:
+			walk(2*k+1, mid, hi)
+		case tag.Alpha:
+			walk(2*k, lo, mid)
+			walk(2*k+1, mid, hi)
+		}
+	}
+	walk(1, 0, n)
+	return out
+}
+
+// Validate checks the structural invariants of Section 7.1: an α node has
+// two non-ε children, a 0 (1) node has a non-ε left (right) child and an ε
+// right (left) child, and an ε node has two ε children.
+func (t TagTree) Validate() error {
+	if !shuffle.IsPow2(t.N) || t.N < 2 {
+		return fmt.Errorf("mcast: tag tree size %d is not a power of two >= 2", t.N)
+	}
+	if len(t.Nodes) != t.N {
+		return fmt.Errorf("mcast: tag tree has %d node slots, want %d", len(t.Nodes), t.N)
+	}
+	for k := 1; k < t.N/2; k++ {
+		l, r := t.Nodes[2*k], t.Nodes[2*k+1]
+		switch t.Nodes[k] {
+		case tag.Alpha:
+			if l == tag.Eps || r == tag.Eps {
+				return fmt.Errorf("mcast: α node %d has an ε child (%v, %v)", k, l, r)
+			}
+		case tag.V0:
+			if l == tag.Eps || r != tag.Eps {
+				return fmt.Errorf("mcast: 0 node %d needs (non-ε, ε) children, has (%v, %v)", k, l, r)
+			}
+		case tag.V1:
+			if l != tag.Eps || r == tag.Eps {
+				return fmt.Errorf("mcast: 1 node %d needs (ε, non-ε) children, has (%v, %v)", k, l, r)
+			}
+		case tag.Eps:
+			if l != tag.Eps || r != tag.Eps {
+				return fmt.Errorf("mcast: ε node %d has non-ε children (%v, %v)", k, l, r)
+			}
+		default:
+			return fmt.Errorf("mcast: node %d holds non-tree tag %v", k, t.Nodes[k])
+		}
+	}
+	for k := t.N / 2; k < t.N; k++ {
+		if v := t.Nodes[k]; v != tag.V0 && v != tag.V1 && v != tag.Alpha && v != tag.Eps {
+			return fmt.Errorf("mcast: node %d holds non-tree tag %v", k, t.Nodes[k])
+		}
+	}
+	return nil
+}
+
+// Subtrees returns the left and right child trees (each for an n/2-output
+// network). For a 2-output tree (a single level) it returns two 1-level
+// virtual trees of size... it panics; callers stop recursing at N == 2.
+func (t TagTree) Subtrees() (left, right TagTree) {
+	n := t.N
+	if n < 4 {
+		panic("mcast: Subtrees on a single-level tree")
+	}
+	h := n / 2
+	left = TagTree{N: h, Nodes: make([]tag.Value, h)}
+	right = TagTree{N: h, Nodes: make([]tag.Value, h)}
+	// Heap node k of the left subtree corresponds to node k + offset in
+	// the full tree, level by level: full level i+1 (size 2^i) splits
+	// into two halves of size 2^(i-1).
+	for i := 1; i < shuffle.Log2(n); i++ {
+		w := 1 << (i - 1) // nodes per level in the subtree
+		full := t.Level(i + 1)
+		copy(left.Nodes[w:2*w], full[:w])
+		copy(right.Nodes[w:2*w], full[w:])
+	}
+	return left, right
+}

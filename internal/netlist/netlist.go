@@ -1,0 +1,262 @@
+// Package netlist elaborates the 2x2 switching element down to logic
+// gates — the level at which the paper's cost claims are stated ("uses
+// O(n log^2 n) logic gates") — and simulates the resulting netlist. The
+// data path is built from AND/OR/NOT gates: a 2-bit setting decoder and,
+// per output, a 4:1 selector choosing between the two inputs under the
+// four settings (parallel, cross, upper broadcast, lower broadcast). The
+// tests verify the netlist agrees with the behavioral model (package
+// swbox) on every input/setting combination, and that its gate count
+// matches the per-switch constant the cost model charges.
+package netlist
+
+import (
+	"fmt"
+
+	"brsmn/internal/swbox"
+)
+
+// GateKind is a primitive logic gate.
+type GateKind uint8
+
+const (
+	// AND is a 2-input AND gate.
+	AND GateKind = iota
+	// OR is a 2-input OR gate.
+	OR
+	// NOT is an inverter.
+	NOT
+)
+
+// Gate is one netlist node: its kind and input signal ids (B unused for
+// NOT). The gate's output signal id is its index + the primary-input
+// offset.
+type Gate struct {
+	Kind GateKind
+	A, B int
+}
+
+// Netlist is a combinational circuit: primary inputs 0..NumInputs-1,
+// then one signal per gate in topological order.
+type Netlist struct {
+	NumInputs int
+	Gates     []Gate
+	// Outputs lists the signal ids of the primary outputs.
+	Outputs []int
+}
+
+// signal id helpers during construction.
+type builder struct {
+	nl *Netlist
+}
+
+func (b *builder) gate(k GateKind, a, bb int) int {
+	b.nl.Gates = append(b.nl.Gates, Gate{Kind: k, A: a, B: bb})
+	return b.nl.NumInputs + len(b.nl.Gates) - 1
+}
+func (b *builder) and(a, bb int) int { return b.gate(AND, a, bb) }
+func (b *builder) or(a, bb int) int  { return b.gate(OR, a, bb) }
+func (b *builder) not(a int) int     { return b.gate(NOT, a, -1) }
+
+// Eval simulates the netlist on the given primary-input bits.
+func (nl *Netlist) Eval(inputs []uint8) ([]uint8, error) {
+	if len(inputs) != nl.NumInputs {
+		return nil, fmt.Errorf("netlist: %d inputs, want %d", len(inputs), nl.NumInputs)
+	}
+	sig := make([]uint8, nl.NumInputs+len(nl.Gates))
+	copy(sig, inputs)
+	for i, g := range nl.Gates {
+		var v uint8
+		switch g.Kind {
+		case AND:
+			v = sig[g.A] & sig[g.B]
+		case OR:
+			v = sig[g.A] | sig[g.B]
+		case NOT:
+			v = 1 - sig[g.A]
+		default:
+			return nil, fmt.Errorf("netlist: gate %d has invalid kind %d", i, g.Kind)
+		}
+		sig[nl.NumInputs+i] = v
+	}
+	out := make([]uint8, len(nl.Outputs))
+	for i, s := range nl.Outputs {
+		if s < 0 || s >= len(sig) {
+			return nil, fmt.Errorf("netlist: output %d reads invalid signal %d", i, s)
+		}
+		out[i] = sig[s]
+	}
+	return out, nil
+}
+
+// NumGates returns the gate count.
+func (nl *Netlist) NumGates() int { return len(nl.Gates) }
+
+// SwitchDataPath elaborates the 2x2 switch data path for a `width`-bit
+// payload per port. Primary inputs (in order): s1 s0 (the setting bits,
+// s1s0 = 00 parallel, 01 cross, 10 upper broadcast, 11 lower broadcast),
+// then in0[width], then in1[width]. Primary outputs: out0[width] then
+// out1[width].
+//
+// Selection logic per the four settings:
+//
+//	out0 takes in1 when cross;            i.e. sel0 = ¬s1∧s0  (cross) or s1∧s0 (lbcast)
+//	out1 takes in0 when cross or ubcast;  out0 takes in1 when cross or lbcast
+//
+// so sel0 = s0 (cross or lower broadcast pick in1 for out0... see the
+// truth table in the tests) and sel1 = s0 XOR s1 decides out1's source.
+func SwitchDataPath(width int) *Netlist {
+	nl := &Netlist{NumInputs: 2 + 2*width}
+	b := &builder{nl: nl}
+	s1 := 0
+	s0 := 1
+	in0 := func(k int) int { return 2 + k }
+	in1 := func(k int) int { return 2 + width + k }
+
+	// Truth table of sources:
+	//  s1 s0 | out0  out1
+	//   0  0 | in0   in1   (parallel)
+	//   0  1 | in1   in0   (cross)
+	//   1  0 | in0   in0   (upper broadcast)
+	//   1  1 | in1   in1   (lower broadcast)
+	// => out0 source select = s0 (1 picks in1)
+	//    out1 source select = ¬(s0 XOR s1) (1 picks in1)
+	ns0 := b.not(s0)
+	ns1 := b.not(s1)
+	// xnor = (s0∧s1) ∨ (¬s0∧¬s1)
+	t1 := b.and(s0, s1)
+	t2 := b.and(ns0, ns1)
+	sel1 := b.or(t1, t2) // 1 => out1 takes in1
+	nsel1 := b.not(sel1)
+
+	var out0, out1 []int
+	for k := 0; k < width; k++ {
+		// out0[k] = (¬s0 ∧ in0[k]) ∨ (s0 ∧ in1[k])
+		a := b.and(ns0, in0(k))
+		c := b.and(s0, in1(k))
+		out0 = append(out0, b.or(a, c))
+		// out1[k] = (¬sel1 ∧ in0[k]) ∨ (sel1 ∧ in1[k])
+		d := b.and(nsel1, in0(k))
+		e := b.and(sel1, in1(k))
+		out1 = append(out1, b.or(d, e))
+	}
+	nl.Outputs = append(out0, out1...)
+	return nl
+}
+
+// EncodeSetting maps a behavioral setting to the (s1, s0) control bits
+// of SwitchDataPath.
+func EncodeSetting(s swbox.Setting) (s1, s0 uint8, err error) {
+	switch s {
+	case swbox.Parallel:
+		return 0, 0, nil
+	case swbox.Cross:
+		return 0, 1, nil
+	case swbox.UpperBcast:
+		return 1, 0, nil
+	case swbox.LowerBcast:
+		return 1, 1, nil
+	}
+	return 0, 0, fmt.Errorf("netlist: invalid setting %d", uint8(s))
+}
+
+// Apply runs two payload words through the elaborated switch under a
+// behavioral setting, returning the two output words.
+func Apply(nl *Netlist, width int, s swbox.Setting, a, b uint64) (uint64, uint64, error) {
+	s1, s0, err := EncodeSetting(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	in := make([]uint8, nl.NumInputs)
+	in[0], in[1] = s1, s0
+	for k := 0; k < width; k++ {
+		in[2+k] = uint8(a >> k & 1)
+		in[2+width+k] = uint8(b >> k & 1)
+	}
+	out, err := nl.Eval(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	var o0, o1 uint64
+	for k := 0; k < width; k++ {
+		o0 |= uint64(out[k]) << k
+		o1 |= uint64(out[width+k]) << k
+	}
+	return o0, o1, nil
+}
+
+// XOR is realized structurally in this netlist library as
+// (a ∨ b) ∧ ¬(a ∧ b) when needed; the serial adder below builds it
+// explicitly so every node stays a primitive gate.
+
+// SeqNetlist is a clocked circuit: a combinational netlist whose first
+// NumState primary inputs are driven by D flip-flops, which capture the
+// signals listed in NextState on every clock edge.
+type SeqNetlist struct {
+	Comb *Netlist
+	// NumState flip-flops occupy primary inputs [0, NumState).
+	NumState int
+	// NextState[k] is the combinational signal captured by flip-flop k.
+	NextState []int
+	state     []uint8
+}
+
+// Reset clears all flip-flops.
+func (s *SeqNetlist) Reset() { s.state = make([]uint8, s.NumState) }
+
+// Step applies one clock cycle: evaluate the combinational cloud with
+// the current state plus the external inputs, latch the next state, and
+// return the primary outputs.
+func (s *SeqNetlist) Step(external []uint8) ([]uint8, error) {
+	if s.state == nil {
+		s.Reset()
+	}
+	if len(external)+s.NumState != s.Comb.NumInputs {
+		return nil, fmt.Errorf("netlist: %d external inputs, want %d", len(external), s.Comb.NumInputs-s.NumState)
+	}
+	in := append(append([]uint8{}, s.state...), external...)
+	sig := make([]uint8, s.Comb.NumInputs+len(s.Comb.Gates))
+	copy(sig, in)
+	for i, g := range s.Comb.Gates {
+		var v uint8
+		switch g.Kind {
+		case AND:
+			v = sig[g.A] & sig[g.B]
+		case OR:
+			v = sig[g.A] | sig[g.B]
+		case NOT:
+			v = 1 - sig[g.A]
+		default:
+			return nil, fmt.Errorf("netlist: gate %d has invalid kind %d", i, g.Kind)
+		}
+		sig[s.Comb.NumInputs+i] = v
+	}
+	out := make([]uint8, len(s.Comb.Outputs))
+	for i, o := range s.Comb.Outputs {
+		out[i] = sig[o]
+	}
+	for k, ns := range s.NextState {
+		s.state[k] = sig[ns]
+	}
+	return out, nil
+}
+
+// SerialAdder elaborates the one-bit serial adder of Fig. 12: a full
+// adder (sum = a XOR b XOR carry, carryOut = majority(a, b, carry))
+// with the carry held in one flip-flop. External inputs: a, b. Output:
+// the sum bit.
+func SerialAdder() *SeqNetlist {
+	nl := &Netlist{NumInputs: 3} // carry (state), a, b
+	b := &builder{nl: nl}
+	carry, a, bb := 0, 1, 2
+	xor := func(x, y int) int {
+		o := b.or(x, y)
+		na := b.not(b.and(x, y))
+		return b.and(o, na)
+	}
+	axb := xor(a, bb)
+	sum := xor(axb, carry)
+	// majority = (a∧b) ∨ (carry ∧ (a XOR b))
+	maj := b.or(b.and(a, bb), b.and(carry, axb))
+	nl.Outputs = []int{sum}
+	return &SeqNetlist{Comb: nl, NumState: 1, NextState: []int{maj}}
+}

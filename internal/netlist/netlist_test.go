@@ -1,0 +1,113 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/gates"
+	"brsmn/internal/swbox"
+)
+
+// TestSwitchNetlistMatchesBehavior checks the elaborated data path
+// against the behavioral switch for every setting and every input word
+// pair, at several payload widths.
+func TestSwitchNetlistMatchesBehavior(t *testing.T) {
+	for _, width := range []int{1, 2, 4} {
+		nl := SwitchDataPath(width)
+		max := uint64(1) << width
+		for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross, swbox.UpperBcast, swbox.LowerBcast} {
+			for a := uint64(0); a < max; a++ {
+				for b := uint64(0); b < max; b++ {
+					g0, g1, err := Apply(nl, width, s, a, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Behavioral reference: route the words through
+					// swbox.Apply with a duplicate-source split.
+					w0, w1 := swbox.Apply(s, a, b, func(x uint64) (uint64, uint64) { return x, x })
+					if g0 != w0 || g1 != w1 {
+						t.Fatalf("width=%d setting=%v in=(%d,%d): netlist (%d,%d), behavioral (%d,%d)",
+							width, s, a, b, g0, g1, w0, w1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGateCountMatchesCostModel pins the elaborated 1-bit data path to
+// the constant the cost model charges per switch data path.
+func TestGateCountMatchesCostModel(t *testing.T) {
+	nl := SwitchDataPath(1)
+	if nl.NumGates() != gates.GatesPerSwitchDatapath {
+		t.Fatalf("elaborated data path has %d gates; the cost model charges %d",
+			nl.NumGates(), gates.GatesPerSwitchDatapath)
+	}
+	// Width-w scaling: 6 fixed decode gates + 6 per payload bit.
+	for _, w := range []int{2, 8, 32} {
+		if got, want := SwitchDataPath(w).NumGates(), 6+6*w; got != want {
+			t.Errorf("width %d: %d gates, want %d", w, got, want)
+		}
+	}
+}
+
+// TestEvalValidation covers the simulator guards.
+func TestEvalValidation(t *testing.T) {
+	nl := SwitchDataPath(1)
+	if _, err := nl.Eval(make([]uint8, 2)); err == nil {
+		t.Error("Eval accepted wrong input width")
+	}
+	bad := &Netlist{NumInputs: 1, Gates: []Gate{{Kind: GateKind(9), A: 0}}, Outputs: []int{1}}
+	if _, err := bad.Eval([]uint8{1}); err == nil {
+		t.Error("Eval accepted invalid gate kind")
+	}
+	bad = &Netlist{NumInputs: 1, Outputs: []int{5}}
+	if _, err := bad.Eval([]uint8{1}); err == nil {
+		t.Error("Eval accepted dangling output")
+	}
+	if _, _, err := EncodeSetting(swbox.Setting(9)); err == nil {
+		t.Error("EncodeSetting accepted invalid setting")
+	}
+	if _, _, err := Apply(nl, 1, swbox.Setting(9), 0, 0); err == nil {
+		t.Error("Apply accepted invalid setting")
+	}
+}
+
+// TestSerialAdderNetlist clocks the elaborated Fig. 12 adder against
+// the behavioral gates.SerialAdder on random bit streams.
+func TestSerialAdderNetlist(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hw := SerialAdder()
+	for trial := 0; trial < 50; trial++ {
+		hw.Reset()
+		var ref gates.SerialAdder
+		for k := 0; k < 24; k++ {
+			a := uint8(rng.Intn(2))
+			b := uint8(rng.Intn(2))
+			out, err := hw.Step([]uint8{a, b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ref.Step(a, b); out[0] != want {
+				t.Fatalf("trial %d bit %d: netlist %d, behavioral %d", trial, k, out[0], want)
+			}
+		}
+	}
+	// Full addition end to end.
+	hw.Reset()
+	x, y := 181, 77
+	sum := 0
+	for k := 0; k < 10; k++ {
+		out, err := hw.Step([]uint8{uint8(x >> k & 1), uint8(y >> k & 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum |= int(out[0]) << k
+	}
+	if sum != 258 {
+		t.Fatalf("serial sum %d, want 258", sum)
+	}
+	if _, err := hw.Step([]uint8{1}); err == nil {
+		t.Error("Step accepted wrong external width")
+	}
+}

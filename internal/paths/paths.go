@@ -1,0 +1,187 @@
+// Package paths extracts the multicast trees a routed BRSMN embeds in
+// its fabric and verifies the paper's headline structural property: every
+// multicast assignment is realized over *edge-disjoint trees* — no fabric
+// link is shared by two different connections, and each connection's
+// links form a tree rooted at its input that fans out exactly to its
+// destination set.
+//
+// The extraction walks the flattened column program (package fabric),
+// recording for every connection the set of (column, link) edges its
+// cells occupy. The checks then assert (1) pairwise edge-disjointness
+// across connections, (2) per-connection tree shape (the edge count grows
+// by exactly one per broadcast), and (3) the leaves are the destination
+// set.
+package paths
+
+import (
+	"fmt"
+	"sort"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/swbox"
+)
+
+// Edge is one occupied fabric link: the column the cell is about to
+// enter is Col; Link is the wire position the cell occupies after that
+// column (plus Col = -1 edges for the input links).
+type Edge struct {
+	Col  int
+	Link int
+}
+
+// Tree is one connection's embedded multicast tree.
+type Tree struct {
+	Source int
+	Edges  []Edge
+	// Outputs are the network outputs the connection reached, sorted.
+	Outputs []int
+}
+
+// Extract routes nothing itself: given a routed result, it flattens the
+// column program, replays the input cells and records per-connection
+// link occupancy.
+func Extract(a mcast.Assignment, res *core.Result) ([]Tree, error) {
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.N
+
+	edges := map[int][]Edge{} // source -> edges
+	for pos, c := range cells {
+		if !c.IsIdle() {
+			edges[c.Source] = append(edges[c.Source], Edge{Col: -1, Link: pos})
+		}
+	}
+	cur := cells
+	for ci, col := range cols {
+		next := make([]bsn.Cell, n)
+		for w, s := range col.Settings {
+			p0, p1 := col.Pair(w)
+			next[p0], next[p1] = swbox.Apply(s, cur[p0], cur[p1], bsn.SplitCell)
+		}
+		for pos, c := range next {
+			if !c.IsIdle() {
+				edges[c.Source] = append(edges[c.Source], Edge{Col: ci, Link: pos})
+			}
+		}
+		if col.AdvanceAfter {
+			for i := range next {
+				if next[i].IsIdle() {
+					continue
+				}
+				adv, err := bsn.Advance(next[i])
+				if err != nil {
+					return nil, fmt.Errorf("paths: column %d: %w", ci, err)
+				}
+				next[i] = adv
+			}
+		}
+		cur = next
+	}
+
+	var trees []Tree
+	for src, es := range edges {
+		tr := Tree{Source: src, Edges: es}
+		for pos, c := range cur {
+			if !c.IsIdle() && c.Source == src {
+				tr.Outputs = append(tr.Outputs, pos)
+			}
+		}
+		sort.Ints(tr.Outputs)
+		trees = append(trees, tr)
+	}
+	sort.Slice(trees, func(i, j int) bool { return trees[i].Source < trees[j].Source })
+	return trees, nil
+}
+
+// VerifyEdgeDisjoint checks that no (column, link) edge appears in two
+// trees.
+func VerifyEdgeDisjoint(trees []Tree) error {
+	owner := map[Edge]int{}
+	for _, tr := range trees {
+		for _, e := range tr.Edges {
+			if prev, taken := owner[e]; taken && prev != tr.Source {
+				return fmt.Errorf("paths: edge (col %d, link %d) shared by connections %d and %d",
+					e.Col, e.Link, prev, tr.Source)
+			}
+			owner[e] = tr.Source
+		}
+	}
+	return nil
+}
+
+// VerifyTreeShape checks each connection's occupancy is tree-shaped: at
+// every column boundary the connection occupies some number of links,
+// that number never decreases, and the total edge count equals
+// Σ_columns (copies alive after that column) + 1 — i.e. copies are only
+// ever created, never merged or dropped, ending at exactly the fanout.
+func VerifyTreeShape(a mcast.Assignment, trees []Tree, numCols int) error {
+	for _, tr := range trees {
+		perCol := make([]int, numCols+1) // index 0 = input links (col -1)
+		for _, e := range tr.Edges {
+			perCol[e.Col+1]++
+		}
+		if perCol[0] != 1 {
+			return fmt.Errorf("paths: connection %d has %d roots", tr.Source, perCol[0])
+		}
+		prev := 1
+		for ci := 1; ci <= numCols; ci++ {
+			if perCol[ci] < prev {
+				return fmt.Errorf("paths: connection %d shrinks from %d to %d copies at column %d",
+					tr.Source, prev, perCol[ci], ci-1)
+			}
+			prev = perCol[ci]
+		}
+		want := len(a.Dests[tr.Source])
+		if prev != want {
+			return fmt.Errorf("paths: connection %d ends with %d copies, fanout is %d", tr.Source, prev, want)
+		}
+		if len(tr.Outputs) != want {
+			return fmt.Errorf("paths: connection %d reached %d outputs, fanout is %d", tr.Source, len(tr.Outputs), want)
+		}
+		for k, out := range tr.Outputs {
+			if out != a.Dests[tr.Source][k] {
+				return fmt.Errorf("paths: connection %d reached output %d, destination set is %v",
+					tr.Source, out, a.Dests[tr.Source])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAll extracts and runs both checks for a routed assignment.
+func VerifyAll(a mcast.Assignment, res *core.Result) ([]Tree, error) {
+	trees, err := Extract(a, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyEdgeDisjoint(trees); err != nil {
+		return nil, err
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyTreeShape(a, trees, len(cols)); err != nil {
+		return nil, err
+	}
+	return trees, nil
+}
+
+// TotalEdges sums the edge counts over all trees — the fabric link-slots
+// the assignment consumes, for utilization reporting.
+func TotalEdges(trees []Tree) int {
+	total := 0
+	for _, tr := range trees {
+		total += len(tr.Edges)
+	}
+	return total
+}

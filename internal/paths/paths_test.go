@@ -1,0 +1,135 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/workload"
+)
+
+// TestEdgeDisjointTrees verifies the paper's structural claim on random
+// traffic across sizes: every routed assignment embeds pairwise
+// edge-disjoint trees that fan out exactly to the destination sets.
+func TestEdgeDisjointTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	for _, n := range []int{4, 8, 32, 128} {
+		for trial := 0; trial < 15; trial++ {
+			a := workload.Random(rng, n, rng.Float64(), rng.Float64())
+			res, err := core.Route(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trees, err := VerifyAll(a, res)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, a, err)
+			}
+			if len(trees) != a.ActiveInputs() {
+				t.Fatalf("n=%d: %d trees for %d active inputs", n, len(trees), a.ActiveInputs())
+			}
+		}
+	}
+}
+
+// TestBroadcastTreeShape pins the extreme: a full broadcast's tree
+// spans every output and consumes one edge slot per link per column it
+// has reached.
+func TestBroadcastTreeShape(t *testing.T) {
+	n := 16
+	a := workload.Broadcast(n, 5)
+	res, err := core.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := VerifyAll(a, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("%d trees", len(trees))
+	}
+	tr := trees[0]
+	if tr.Source != 5 || len(tr.Outputs) != n {
+		t.Fatalf("tree %+v", tr)
+	}
+	// The tree's final column occupies all n links.
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0
+	for _, e := range tr.Edges {
+		if e.Col == len(cols)-1 {
+			last++
+		}
+	}
+	if last != n {
+		t.Fatalf("final column occupancy %d, want %d", last, n)
+	}
+}
+
+// TestPermutationTreesArePaths checks unicast trees have exactly one
+// link per column.
+func TestPermutationTreesArePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	n := 32
+	a := workload.Permutation(rng, n)
+	res, err := core.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := VerifyAll(a, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trees {
+		if len(tr.Edges) != len(cols)+1 {
+			t.Fatalf("unicast connection %d occupies %d edges, want %d", tr.Source, len(tr.Edges), len(cols)+1)
+		}
+	}
+	if TotalEdges(trees) != n*(len(cols)+1) {
+		t.Fatalf("total edges %d", TotalEdges(trees))
+	}
+}
+
+// TestVerifyEdgeDisjointCatchesSharing is the failure-injection test:
+// hand-built overlapping trees must be rejected.
+func TestVerifyEdgeDisjointCatchesSharing(t *testing.T) {
+	trees := []Tree{
+		{Source: 0, Edges: []Edge{{Col: 2, Link: 5}}},
+		{Source: 1, Edges: []Edge{{Col: 2, Link: 5}}},
+	}
+	if err := VerifyEdgeDisjoint(trees); err == nil {
+		t.Error("shared edge accepted")
+	}
+	trees[1].Edges[0].Link = 6
+	if err := VerifyEdgeDisjoint(trees); err != nil {
+		t.Errorf("disjoint trees rejected: %v", err)
+	}
+}
+
+// TestVerifyTreeShapeCatchesCorruption checks shape violations are
+// rejected.
+func TestVerifyTreeShapeCatchesCorruption(t *testing.T) {
+	a := workload.Broadcast(4, 0)
+	// Two roots.
+	bad := []Tree{{Source: 0, Edges: []Edge{{-1, 0}, {-1, 1}}, Outputs: []int{0, 1, 2, 3}}}
+	if err := VerifyTreeShape(a, bad, 2); err == nil {
+		t.Error("two-root tree accepted")
+	}
+	// Shrinking copy count.
+	bad = []Tree{{Source: 0, Edges: []Edge{{-1, 0}, {0, 0}, {0, 1}, {1, 0}}, Outputs: []int{0, 1, 2, 3}}}
+	if err := VerifyTreeShape(a, bad, 2); err == nil {
+		t.Error("shrinking tree accepted")
+	}
+	// Wrong leaf count.
+	bad = []Tree{{Source: 0, Edges: []Edge{{-1, 0}, {0, 0}, {1, 0}}, Outputs: []int{0}}}
+	if err := VerifyTreeShape(a, bad, 2); err == nil {
+		t.Error("under-fanout tree accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package plancodec serializes computed switch settings into a compact
+// binary wire format, so external tooling (hardware test benches, FPGA
+// configuration flows, remote clients of cmd/brsmnd) can consume the
+// routing decisions rather than only the simulated deliveries.
+//
+// Format (all integers little-endian):
+//
+//	magic   [4]byte "BRSP"
+//	version uint8 (1)
+//	n       uint32
+//	columns uint32
+//	then per column:
+//	  kind      uint8   (fabric.ColumnKind)
+//	  level     uint8
+//	  blockLog  uint8   (log2 of the pair-wiring block size)
+//	  advance   uint8   (1 if a tag hand-off follows the column)
+//	  settings  ceil(n/2 * 2 / 8) bytes, 2 bits per switch, LSB first
+//
+// Two bits encode a swbox.Setting exactly (the paper's r_i values 0–3).
+package plancodec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"brsmn/internal/fabric"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/swbox"
+)
+
+const (
+	magic   = "BRSP"
+	version = 1
+)
+
+// Encode serializes a flattened column program for an n-port network.
+func Encode(n int, cols []fabric.Column) ([]byte, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("plancodec: size %d is not a power of two >= 2", n)
+	}
+	if len(cols) > 255*255 { // far beyond any real depth; keeps sizes sane
+		return nil, fmt.Errorf("plancodec: %d columns is implausible", len(cols))
+	}
+	out := make([]byte, 0, 16+len(cols)*(4+n/8+1))
+	out = append(out, magic...)
+	out = append(out, version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(cols)))
+	settingsBytes := (n/2*2 + 7) / 8
+	for ci, c := range cols {
+		if len(c.Settings) != n/2 {
+			return nil, fmt.Errorf("plancodec: column %d has %d settings, want %d", ci, len(c.Settings), n/2)
+		}
+		if !shuffle.IsPow2(c.BlockSize) || c.BlockSize < 2 || c.BlockSize > n {
+			return nil, fmt.Errorf("plancodec: column %d block size %d invalid", ci, c.BlockSize)
+		}
+		if c.Level < 0 || c.Level > 255 {
+			return nil, fmt.Errorf("plancodec: column %d level %d out of byte range", ci, c.Level)
+		}
+		out = append(out, uint8(c.Kind), uint8(c.Level), uint8(shuffle.Log2(c.BlockSize)), boolByte(c.AdvanceAfter))
+		packed := make([]byte, settingsBytes)
+		for w, s := range c.Settings {
+			if !s.Valid() {
+				return nil, fmt.Errorf("plancodec: column %d switch %d has invalid setting %d", ci, w, uint8(s))
+			}
+			packed[w/4] |= uint8(s) << (uint(w%4) * 2)
+		}
+		out = append(out, packed...)
+	}
+	return out, nil
+}
+
+// Decode parses a serialized column program.
+func Decode(data []byte) (int, []fabric.Column, error) {
+	if len(data) < 13 || string(data[:4]) != magic {
+		return 0, nil, fmt.Errorf("plancodec: bad magic")
+	}
+	if data[4] != version {
+		return 0, nil, fmt.Errorf("plancodec: unsupported version %d", data[4])
+	}
+	n := int(binary.LittleEndian.Uint32(data[5:9]))
+	count := int(binary.LittleEndian.Uint32(data[9:13]))
+	if !shuffle.IsPow2(n) || n < 2 {
+		return 0, nil, fmt.Errorf("plancodec: size %d is not a power of two >= 2", n)
+	}
+	if count < 0 || count > 255*255 {
+		return 0, nil, fmt.Errorf("plancodec: column count %d implausible", count)
+	}
+	settingsBytes := (n/2*2 + 7) / 8
+	pos := 13
+	cols := make([]fabric.Column, 0, count)
+	for ci := 0; ci < count; ci++ {
+		if pos+4+settingsBytes > len(data) {
+			return 0, nil, fmt.Errorf("plancodec: truncated at column %d", ci)
+		}
+		c := fabric.Column{
+			Kind:         fabric.ColumnKind(data[pos]),
+			Level:        int(data[pos+1]),
+			BlockSize:    1 << data[pos+2],
+			AdvanceAfter: data[pos+3] == 1,
+			Settings:     make([]swbox.Setting, n/2),
+		}
+		if c.BlockSize < 2 || c.BlockSize > n {
+			return 0, nil, fmt.Errorf("plancodec: column %d block size %d invalid", ci, c.BlockSize)
+		}
+		pos += 4
+		packed := data[pos : pos+settingsBytes]
+		for w := range c.Settings {
+			c.Settings[w] = swbox.Setting(packed[w/4] >> (uint(w%4) * 2) & 3)
+		}
+		pos += settingsBytes
+		cols = append(cols, c)
+	}
+	if pos != len(data) {
+		return 0, nil, fmt.Errorf("plancodec: %d trailing bytes", len(data)-pos)
+	}
+	return n, cols, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package plancodec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/swbox"
+	"brsmn/internal/workload"
+)
+
+// TestRoundTrip encodes and decodes flattened programs for routed
+// assignments and checks exact reconstruction, then replays the decoded
+// program and checks the deliveries.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	for _, n := range []int{4, 8, 64, 256} {
+		a := workload.Random(rng, n, 0.8, 0.5)
+		res, err := core.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := fabric.Flatten(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := Encode(n, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, gotCols, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != n || len(gotCols) != len(cols) {
+			t.Fatalf("n=%d: decoded (%d, %d cols)", n, gotN, len(gotCols))
+		}
+		for ci := range cols {
+			if !reflect.DeepEqual(cols[ci], gotCols[ci]) {
+				t.Fatalf("n=%d: column %d differs:\n%+v\n%+v", n, ci, cols[ci], gotCols[ci])
+			}
+		}
+		// The decoded program must still route correctly.
+		cells, err := bsn.CellsForAssignment(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := fabric.Run(gotCols, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, c := range out {
+			want := res.Deliveries[p].Source
+			got := -1
+			if !c.IsIdle() {
+				got = c.Source
+			}
+			if got != want {
+				t.Fatalf("n=%d: replayed output %d = %d, want %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption covers the format guards.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	res, err := core.Route(workload.Broadcast(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encode(8, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":  func(b []byte) []byte { b[4] = 99; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing":     func(b []byte) []byte { return append(b, 0) },
+		"zero n":       func(b []byte) []byte { b[5], b[6], b[7], b[8] = 0, 0, 0, 0; return b },
+		"bad blocklog": func(b []byte) []byte { b[15] = 31; return b },
+	}
+	for name, corrupt := range cases {
+		cp := append([]byte(nil), blob...)
+		if _, _, err := Decode(corrupt(cp)); err == nil {
+			t.Errorf("%s: Decode accepted corruption", name)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode accepted empty input")
+	}
+}
+
+// TestEncodeValidation covers the encoder guards.
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(3, nil); err == nil {
+		t.Error("Encode accepted bad size")
+	}
+	bad := []fabric.Column{{BlockSize: 2, Settings: nil}}
+	if _, err := Encode(8, bad); err == nil {
+		t.Error("Encode accepted short settings")
+	}
+	bad = []fabric.Column{{BlockSize: 3, Settings: make([]swbox.Setting, 4)}}
+	if _, err := Encode(8, bad); err == nil {
+		t.Error("Encode accepted non-power-of-two block size")
+	}
+	bad = []fabric.Column{{BlockSize: 2, Level: 300, Settings: make([]swbox.Setting, 4)}}
+	if _, err := Encode(8, bad); err == nil {
+		t.Error("Encode accepted out-of-range level")
+	}
+	bad = []fabric.Column{{BlockSize: 2, Settings: []swbox.Setting{9, 0, 0, 0}}}
+	if _, err := Encode(8, bad); err == nil {
+		t.Error("Encode accepted invalid setting")
+	}
+}

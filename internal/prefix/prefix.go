@@ -1,0 +1,89 @@
+// Package prefix implements the running-adder (parallel-prefix) network
+// used by the copy-network baseline and, conceptually, by the forward
+// phases of the BRSMN's distributed routing: a log-depth tree of adders
+// computing all prefix sums of its inputs.
+//
+// Both the plain O(n)-work sequential scan and the Ladner–Fischer-style
+// network evaluation are provided; the network form also reports its
+// depth and adder count, which feed the cost model.
+package prefix
+
+import "fmt"
+
+// Sums returns the inclusive prefix sums of xs using a sequential scan.
+func Sums(xs []int) []int {
+	out := make([]int, len(xs))
+	run := 0
+	for i, x := range xs {
+		run += x
+		out[i] = run
+	}
+	return out
+}
+
+// Exclusive returns the exclusive prefix sums of xs (out[i] is the sum of
+// xs[0..i)).
+func Exclusive(xs []int) []int {
+	out := make([]int, len(xs))
+	run := 0
+	for i, x := range xs {
+		out[i] = run
+		run += x
+	}
+	return out
+}
+
+// Network is a running-adder network over n inputs (n a power of two): a
+// Ladner–Fischer prefix circuit with log2(n) levels of two-input adders.
+type Network struct {
+	n      int
+	levels int
+	adders int
+}
+
+// NewNetwork returns a running-adder network for n inputs.
+func NewNetwork(n int) (*Network, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("prefix: size %d is not a power of two >= 1", n)
+	}
+	levels := 0
+	adders := 0
+	for d := 1; d < n; d *= 2 {
+		levels++
+		adders += n - d
+	}
+	return &Network{n: n, levels: levels, adders: adders}, nil
+}
+
+// N returns the network width.
+func (nw *Network) N() int { return nw.n }
+
+// Depth returns the number of adder levels, log2(n).
+func (nw *Network) Depth() int { return nw.levels }
+
+// Adders returns the number of two-input adders, n log2(n) - n + 1 in the
+// Ladner–Fischer form used here.
+func (nw *Network) Adders() int { return nw.adders }
+
+// Run evaluates the network: level d adds the value d positions to the
+// left into each position, which after log2(n) levels yields inclusive
+// prefix sums. The evaluation mirrors the hardware level structure so the
+// depth reported by Depth matches the longest path actually exercised.
+func (nw *Network) Run(xs []int) ([]int, error) {
+	if len(xs) != nw.n {
+		return nil, fmt.Errorf("prefix: %d inputs for a %d-wide network", len(xs), nw.n)
+	}
+	cur := append([]int(nil), xs...)
+	next := make([]int, nw.n)
+	for d := 1; d < nw.n; d *= 2 {
+		for i := 0; i < nw.n; i++ {
+			if i >= d {
+				next[i] = cur[i] + cur[i-d]
+			} else {
+				next[i] = cur[i]
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}

@@ -1,0 +1,90 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSumsAgainstScan property-tests the network against the sequential
+// scan.
+func TestSumsAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		nw, err := NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = rng.Intn(100) - 50
+			}
+			got, err := nw.Run(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Sums(xs)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: position %d: %d, want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExclusive checks the exclusive scan.
+func TestExclusive(t *testing.T) {
+	got := Exclusive([]int{3, 1, 4, 1})
+	want := []int{0, 3, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Exclusive = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQuickInclusiveExclusive checks sums relate: inclusive[i] =
+// exclusive[i] + xs[i].
+func TestQuickInclusiveExclusive(t *testing.T) {
+	f := func(raw []int8) bool {
+		xs := make([]int, len(raw))
+		for i, v := range raw {
+			xs[i] = int(v)
+		}
+		inc := Sums(xs)
+		exc := Exclusive(xs)
+		for i := range xs {
+			if inc[i] != exc[i]+xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetworkShape checks depth and adder counts.
+func TestNetworkShape(t *testing.T) {
+	nw, _ := NewNetwork(8)
+	if nw.Depth() != 3 {
+		t.Errorf("Depth(8) = %d, want 3", nw.Depth())
+	}
+	// Ladner–Fischer form used here: sum over d of (n - d) for d = 1,2,4
+	// = 7 + 6 + 4 = 17.
+	if nw.Adders() != 17 {
+		t.Errorf("Adders(8) = %d, want 17", nw.Adders())
+	}
+	if nw.N() != 8 {
+		t.Error("N wrong")
+	}
+	if _, err := NewNetwork(3); err == nil {
+		t.Error("NewNetwork(3) succeeded")
+	}
+	if _, err := nw.Run(make([]int, 4)); err == nil {
+		t.Error("Run accepted wrong width")
+	}
+}

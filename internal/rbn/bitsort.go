@@ -1,0 +1,112 @@
+package rbn
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+	"brsmn/internal/swbox"
+)
+
+// BitSortPlan computes switch settings for an n x n RBN so that the γ
+// inputs (gamma[i] == true) appear at the outputs as the circular compact
+// sequence C^n_{s,l;β,γ} — all γs contiguous modulo n starting at output
+// position s — for any requested s (Theorem 1). It is the distributed
+// self-routing algorithm of Table 3: a forward sweep sums the γ counts up
+// the binary tree embedded in the RBN, and a backward sweep distributes
+// starting positions and sets every merging stage per Lemma 1.
+//
+// With γ = "destination bit is 1" and s = n/2, the plan sorts a full
+// permutation's current address bit into ascending order,
+// 0^(n/2) 1^(n/2) — the bit-sorting network of Section 4.
+func BitSortPlan(n int, gamma []bool, s int) (*Plan, error) {
+	return Sequential.BitSortPlan(n, gamma, s)
+}
+
+// BitSortPlan is the engine-parameterized form of the package-level
+// function.
+func (e Engine) BitSortPlan(n int, gamma []bool, s int) (*Plan, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("rbn: network size %d is not a power of two >= 2", n)
+	}
+	if len(gamma) != n {
+		return nil, fmt.Errorf("rbn: %d input marks for an %d x %d network", len(gamma), n, n)
+	}
+	if s < 0 || s >= n {
+		return nil, fmt.Errorf("rbn: starting position %d out of range [0,%d)", s, n)
+	}
+	p := NewPlan(n)
+	m := p.M
+
+	// Forward phase: ls[j][b] is l, the γ count of the level-j node
+	// covering links [b*2^j, (b+1)*2^j).
+	ls := make([][]int, m+1)
+	ls[0] = make([]int, n)
+	e.parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if gamma[i] {
+				ls[0][i] = 1
+			}
+		}
+	})
+	for j := 1; j <= m; j++ {
+		ls[j] = make([]int, n>>j)
+		prev := ls[j-1]
+		cur := ls[j]
+		e.parallelFor(len(cur), func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				cur[b] = prev[2*b] + prev[2*b+1]
+			}
+		})
+	}
+
+	// Backward phase: ss[j][b] is the starting position handed to the
+	// level-j node; the root receives the caller's s. Each node applies
+	// Lemma 1 and configures its merging stage (column j-1).
+	ss := make([][]int, m+1)
+	for j := range ss {
+		ss[j] = make([]int, n>>j)
+	}
+	ss[m][0] = s
+	for j := m; j >= 1; j-- {
+		h := 1 << (j - 1) // half the node size; switches per node
+		cur := ss[j]
+		child := ss[j-1]
+		lchild := ls[j-1]
+		col := p.Stages[j-1]
+		e.parallelFor(len(cur), func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				sNode := cur[b]
+				l0 := lchild[2*b]
+				s1 := (sNode + l0) % h
+				bset := swbox.Setting(((sNode + l0) / h) % 2)
+				child[2*b] = sNode % h
+				child[2*b+1] = s1
+				// W^h_{0,s1;b̄,b}: the first s1 switches get bset.
+				base := b * h
+				for i := 0; i < h; i++ {
+					if i < s1 {
+						col[base+i] = bset
+					} else {
+						col[base+i] = bset.Opposite()
+					}
+				}
+			}
+		})
+	}
+	return p, nil
+}
+
+// BitSortRoute composes BitSortPlan with Apply: it routes the boolean
+// vector itself and returns the plan and the output vector, primarily for
+// verification.
+func BitSortRoute(n int, gamma []bool, s int) (*Plan, []bool, error) {
+	p, err := BitSortPlan(n, gamma, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Apply(p, gamma, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, out, nil
+}

@@ -1,0 +1,53 @@
+package rbn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Engine selects how the distributed setting algorithms are executed.
+// Workers <= 1 runs the forward/backward sweeps sequentially; Workers > 1
+// processes the independent nodes of each tree level concurrently, which
+// mirrors the hardware, where every node of a level computes in parallel.
+// Both modes produce bit-identical plans.
+type Engine struct {
+	Workers int
+}
+
+// Sequential is the default engine.
+var Sequential = Engine{Workers: 1}
+
+// ParallelEngine returns an engine using one worker per available CPU.
+func ParallelEngine() Engine {
+	return Engine{Workers: runtime.GOMAXPROCS(0)}
+}
+
+// minGrain is the smallest per-worker chunk worth spawning a goroutine
+// for; below it the scheduling overhead dominates the O(1) per-node work.
+const minGrain = 256
+
+// parallelFor runs fn over [0, n) split into contiguous chunks across the
+// engine's workers. With one worker (or a small n) it degenerates to a
+// plain loop.
+func (e Engine) parallelFor(n int, fn func(lo, hi int)) {
+	w := e.Workers
+	if w <= 1 || n <= minGrain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + minGrain - 1) / minGrain
+	if chunks < w {
+		w = chunks
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

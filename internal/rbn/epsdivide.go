@@ -1,0 +1,166 @@
+package rbn
+
+import (
+	"fmt"
+
+	"brsmn/internal/shuffle"
+	"brsmn/internal/tag"
+)
+
+// EpsDivide implements the distributed ε-dividing algorithm of Table 6
+// (Section 6.2). Its input is the tag vector reaching the quasisorting
+// network — values in {0, 1, ε} with at most n/2 zeros and at most n/2
+// ones — and its output relabels every ε as a dummy 0 (ε0) or dummy 1
+// (ε1) so that exactly n/2 links carry a (real or dummy) 0 and n/2 carry
+// a (real or dummy) 1. A plain bit-sorting pass on the resulting sort bits
+// then realizes the quasisorting function.
+func EpsDivide(tags []tag.Value) ([]tag.Value, error) {
+	return Sequential.EpsDivide(tags)
+}
+
+// EpsDivide is the engine-parameterized form of the package-level
+// function.
+func (e Engine) EpsDivide(tags []tag.Value) ([]tag.Value, error) {
+	n := len(tags)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("rbn: input size %d is not a power of two >= 2", n)
+	}
+	m := shuffle.Log2(n)
+
+	// Forward phase: per-node ε count; n1 (the real-1 count) is also a
+	// forward reduction (Section 7.2 counts it from bit b2).
+	ne := make([][]int, m+1)
+	n1s := make([][]int, m+1)
+	ne[0] = make([]int, n)
+	n1s[0] = make([]int, n)
+	var leafErr error
+	e.parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			switch v := tags[i]; {
+			case v == tag.Eps:
+				ne[0][i] = 1
+			case v == tag.V1:
+				n1s[0][i] = 1
+			case v == tag.V0:
+			default:
+				leafErr = fmt.Errorf("rbn: ε-divide input %d carries %v; want 0, 1 or ε", i, v)
+			}
+		}
+	})
+	if leafErr != nil {
+		return nil, leafErr
+	}
+	for j := 1; j <= m; j++ {
+		ne[j] = make([]int, n>>j)
+		n1s[j] = make([]int, n>>j)
+		e.parallelFor(n>>j, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				ne[j][b] = ne[j-1][2*b] + ne[j-1][2*b+1]
+				n1s[j][b] = n1s[j-1][2*b] + n1s[j-1][2*b+1]
+			}
+		})
+	}
+
+	n1 := n1s[m][0]
+	n0 := n - n1 - ne[m][0]
+	if n1 > n/2 {
+		return nil, fmt.Errorf("rbn: ε-divide input has %d ones, more than n/2 = %d", n1, n/2)
+	}
+	if n0 > n/2 {
+		return nil, fmt.Errorf("rbn: ε-divide input has %d zeros, more than n/2 = %d", n0, n/2)
+	}
+
+	// Backward phase: split each node's ε budget between dummy 0s and
+	// dummy 1s, filling dummy 0s greedily into the left child — any split
+	// respecting the per-node ε counts works, and this one needs only a
+	// min and three subtractions per node (Table 6).
+	ne0 := make([][]int, m+1)
+	ne1 := make([][]int, m+1)
+	for j := range ne0 {
+		ne0[j] = make([]int, n>>j)
+		ne1[j] = make([]int, n>>j)
+	}
+	ne1[m][0] = n/2 - n1
+	ne0[m][0] = ne[m][0] - ne1[m][0]
+	for j := m; j >= 1; j-- {
+		e.parallelFor(n>>j, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				e0 := ne0[j][b]
+				le := ne[j-1][2*b]   // εs in the left child
+				re := ne[j-1][2*b+1] // εs in the right child
+				l0 := min(e0, le)
+				ne0[j-1][2*b] = l0
+				ne1[j-1][2*b] = le - l0
+				ne0[j-1][2*b+1] = e0 - l0
+				ne1[j-1][2*b+1] = re - (e0 - l0)
+			}
+		})
+	}
+
+	out := append([]tag.Value(nil), tags...)
+	e.parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if tags[i] != tag.Eps {
+				continue
+			}
+			switch {
+			case ne0[0][i] == 1:
+				out[i] = tag.Eps0
+			case ne1[0][i] == 1:
+				out[i] = tag.Eps1
+			}
+		}
+	})
+	return out, nil
+}
+
+// QuasisortPlan computes the switch settings of an n x n RBN acting as
+// the quasisorting network of a binary splitting network (Section 5.2):
+// after ε-dividing, the (real and dummy) sort bits are bit-sorted with
+// starting position n/2, which routes every real 0 to the upper half of
+// the outputs and every real 1 to the lower half, εs filling the gaps.
+// It returns the plan together with the ε-divided tag vector whose sort
+// bits the plan was computed for.
+func QuasisortPlan(n int, tags []tag.Value) (*Plan, []tag.Value, error) {
+	return Sequential.QuasisortPlan(n, tags)
+}
+
+// QuasisortPlan is the engine-parameterized form of the package-level
+// function.
+func (e Engine) QuasisortPlan(n int, tags []tag.Value) (*Plan, []tag.Value, error) {
+	if len(tags) != n {
+		return nil, nil, fmt.Errorf("rbn: %d input tags for an %d x %d network", len(tags), n, n)
+	}
+	divided, err := e.EpsDivide(tags)
+	if err != nil {
+		return nil, nil, err
+	}
+	gamma := make([]bool, n)
+	for i, v := range divided {
+		gamma[i] = v.SortBit() == 1
+	}
+	// C_{n/2, n/2; 0, 1} = 0^(n/2) 1^(n/2): ascending bit sort.
+	p, err := e.BitSortPlan(n, gamma, n/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, divided, nil
+}
+
+// QuasisortRoute composes QuasisortPlan with tag routing and returns the
+// plan, the ε-divided input tags, and the output tags (with dummies
+// reverted to plain ε).
+func QuasisortRoute(n int, tags []tag.Value) (*Plan, []tag.Value, []tag.Value, error) {
+	p, divided, err := QuasisortPlan(n, tags)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err := ApplyTags(p, divided)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, v := range out {
+		out[i] = v.Real()
+	}
+	return p, divided, out, nil
+}

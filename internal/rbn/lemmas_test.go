@@ -1,0 +1,276 @@
+package rbn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brsmn/internal/seq"
+	"brsmn/internal/swbox"
+	"brsmn/internal/tag"
+)
+
+// mergeStagePlan builds an n x n plan whose first m-1 columns are identity
+// (all parallel) and whose final column carries the given n/2 settings —
+// an isolated n x n merging network, for testing the merge lemmas
+// directly.
+func mergeStagePlan(t *testing.T, n int, settings []swbox.Setting) *Plan {
+	t.Helper()
+	if len(settings) != n/2 {
+		t.Fatalf("mergeStagePlan: %d settings for n=%d", len(settings), n)
+	}
+	p := NewPlan(n)
+	copy(p.Stages[p.M-1], settings)
+	return p
+}
+
+// TestLemma1Merge exhaustively checks Lemma 1 (Appendix A / Fig. 14): for
+// every n, s, l0, l1, the prescribed binary compact setting merges
+// C_{s0,l0} and C_{s1,l1} into C_{s,l0+l1}.
+func TestLemma1Merge(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		h := n / 2
+		for s := 0; s < n; s++ {
+			for l0 := 0; l0 <= h; l0++ {
+				for l1 := 0; l1 <= h; l1++ {
+					l := l0 + l1
+					if l > n {
+						continue
+					}
+					s0 := s % h
+					s1 := (s + l0) % h
+					b := swbox.Setting(((s + l0) / h) % 2)
+					settings := seq.BinaryCompact(h, 0, s1, b.Opposite(), b)
+					p := mergeStagePlan(t, n, settings)
+					in := append(seq.Compact(h, s0, l0, 0, 1), seq.Compact(h, s1, l1, 0, 1)...)
+					out, err := Apply(p, in, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !seq.IsCompact(out, s, l, 0, 1) {
+						t.Fatalf("n=%d s=%d l0=%d l1=%d: merged %v is not C_{%d,%d}", n, s, l0, l1, out, s, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lemmaSettings computes the elimination switch settings shared by
+// Lemmas 2–5 (they are the Table 4 unified cases). upperAlpha says the αs
+// enter on the upper half (Lemmas 2/3) or lower half (Lemmas 4/5);
+// upperDominates says l0 >= l1 (Lemmas 2/4) or not (Lemmas 3/5).
+func lemmaSettings(n, s, l, l0, l1 int, upperAlpha bool) []swbox.Setting {
+	h := n / 2
+	var s0, s1, stmp, ltmp int
+	var ucast swbox.Setting
+	if l0 >= l1 {
+		s0 = s % h
+		s1 = (s + l) % h
+		stmp, ltmp = s1, l1
+		ucast = swbox.Parallel
+	} else {
+		s0 = (s + l) % h
+		s1 = s % h
+		stmp, ltmp = s0, l0
+		ucast = swbox.Cross
+	}
+	_ = s0
+	bcast := swbox.LowerBcast
+	if upperAlpha {
+		bcast = swbox.UpperBcast
+	}
+	switch {
+	case s+l < h:
+		return seq.BinaryCompact(h, stmp, ltmp, ucast, bcast)
+	case s < h:
+		return seq.TrinaryCompact(h, stmp, ltmp, h-stmp-ltmp, ucast.Opposite(), bcast, ucast)
+	case s+l < n:
+		return seq.BinaryCompact(h, stmp, ltmp, ucast.Opposite(), bcast)
+	default:
+		return seq.TrinaryCompact(h, stmp, ltmp, h-stmp-ltmp, ucast, bcast, ucast.Opposite())
+	}
+}
+
+// checkEliminationLemma verifies one elimination merge: the upper half
+// carries |l0| of upType, the lower |l1| of lowType, and the merged output
+// must be C_{s, |l0-l1|} of the dominating type with every minority value
+// neutralized to χ.
+func checkEliminationLemma(t *testing.T, n, s, l0, l1 int, upType, lowType tag.Value) {
+	t.Helper()
+	h := n / 2
+	l := l0 - l1
+	if l < 0 {
+		l = -l
+	}
+	upperAlpha := upType == tag.Alpha
+	var s0, s1 int
+	if l0 >= l1 {
+		s0, s1 = s%h, (s+l)%h
+	} else {
+		s0, s1 = (s+l)%h, s%h
+	}
+	settings := lemmaSettings(n, s, l, l0, l1, upperAlpha)
+	p := mergeStagePlan(t, n, settings)
+	in := append(seq.Compact(h, s0, l0, tag.V0, upType), seq.Compact(h, s1, l1, tag.V0, lowType)...)
+	out, err := ApplyTags(p, in)
+	if err != nil {
+		t.Fatalf("n=%d s=%d l0=%d l1=%d up=%v low=%v: %v", n, s, l0, l1, upType, lowType, err)
+	}
+	dom := upType
+	if l1 > l0 {
+		dom = lowType
+	}
+	classed := make([]tag.Value, n)
+	for i, v := range out {
+		if v.IsChi() {
+			classed[i] = tag.V0
+		} else {
+			classed[i] = v
+		}
+	}
+	if !seq.IsCompact(classed, s, l, tag.V0, dom) {
+		t.Fatalf("n=%d s=%d l0=%d l1=%d up=%v low=%v: merged %v is not C_{%d,%d;χ,%v}",
+			n, s, l0, l1, upType, lowType, out, s, l, dom)
+	}
+}
+
+// TestLemma2Merge checks Lemma 2 (Appendix B / Fig. 15): upper αs with
+// l0 >= l1 lower εs merge to a compact α run.
+func TestLemma2Merge(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		h := n / 2
+		for s := 0; s < n; s++ {
+			for l0 := 0; l0 <= h; l0++ {
+				for l1 := 0; l1 <= l0; l1++ {
+					checkEliminationLemma(t, n, s, l0, l1, tag.Alpha, tag.Eps)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma3Merge checks Lemma 3: upper αs with l1 >= l0 lower εs merge
+// to a compact ε run.
+func TestLemma3Merge(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		h := n / 2
+		for s := 0; s < n; s++ {
+			for l1 := 0; l1 <= h; l1++ {
+				for l0 := 0; l0 <= l1; l0++ {
+					checkEliminationLemma(t, n, s, l0, l1, tag.Alpha, tag.Eps)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma4Merge checks Lemma 4: upper εs with l0 >= l1 lower αs merge
+// to a compact ε run.
+func TestLemma4Merge(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		h := n / 2
+		for s := 0; s < n; s++ {
+			for l0 := 0; l0 <= h; l0++ {
+				for l1 := 0; l1 <= l0; l1++ {
+					checkEliminationLemma(t, n, s, l0, l1, tag.Eps, tag.Alpha)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma5Merge checks Lemma 5: upper εs with l1 >= l0 lower αs merge
+// to a compact α run.
+func TestLemma5Merge(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		h := n / 2
+		for s := 0; s < n; s++ {
+			for l1 := 0; l1 <= h; l1++ {
+				for l0 := 0; l0 <= l1; l0++ {
+					checkEliminationLemma(t, n, s, l0, l1, tag.Eps, tag.Alpha)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1 re-states Theorem 1 at RBN granularity (the recursive
+// composition of Lemma 1): covered more broadly by the bit-sort tests,
+// pinned here on the paper's special case C_{n/2,n/2;0,1}.
+func TestTheorem1(t *testing.T) {
+	n := 16
+	gamma := make([]bool, n)
+	for i := 0; i < n; i += 2 {
+		gamma[i] = true
+	}
+	_, out, err := BitSortRoute(n, gamma, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsCompact(out, n/2, n/2, false, true) {
+		t.Fatalf("output %v is not 0^8 1^8", out)
+	}
+}
+
+// TestTheorem3 property-tests the scatter theorem via testing/quick:
+// for arbitrary tag vectors (any nα/nε relation) and any starting
+// position, the dominating type's surplus lands as a circular compact
+// run and the minority type is eliminated.
+func TestTheorem3(t *testing.T) {
+	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
+	f := func(packed uint64, sRaw uint8) bool {
+		n := 32
+		tags := make([]tag.Value, n)
+		for i := range tags {
+			tags[i] = vals[packed>>(2*uint(i))&3]
+		}
+		s := int(sRaw) % n
+		_, out, err := ScatterRoute(n, tags, s)
+		if err != nil {
+			return false
+		}
+		in := tag.Count(tags)
+		dom, l := tag.Eps, in.NEps-in.NAlpha
+		if in.NAlpha > in.NEps {
+			dom, l = tag.Alpha, in.NAlpha-in.NEps
+		}
+		classed := make([]tag.Value, n)
+		for i, v := range out {
+			classed[i] = v
+			if v.IsChi() {
+				classed[i] = tag.V0
+			}
+		}
+		return seq.IsCompact(classed, s, l, tag.V0, dom)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2 property-tests the scatter network in its BSN setting:
+// under the eq. (2) input constraints, all αs are eliminated and the
+// output counts obey eq. (4).
+func TestTheorem2(t *testing.T) {
+	rngSrc := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		n := []int{8, 16, 64}[uint64(seed)%3]
+		rng := rand.New(rand.NewSource(seed ^ rngSrc.Int63()))
+		tags := randomBSNTags(rng, n)
+		in := tag.Count(tags)
+		if in.CheckBSNInput(n) != nil {
+			return false
+		}
+		_, out, err := ScatterRoute(n, tags, rng.Intn(n))
+		if err != nil {
+			return false
+		}
+		oc := tag.Count(out)
+		return oc == in.AfterScatter() && oc.NAlpha == 0 &&
+			oc.N0 <= n/2 && oc.N1 <= n/2 && oc.N0+oc.N1+oc.NEps == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package sched layers admission control on top of the multicast
+// network. The BRSMN realizes any *assignment* — destination sets must
+// be pairwise disjoint (no output can listen to two inputs at once). Real
+// workloads produce overlapping multicast *requests*; sched partitions a
+// batch of requests into a small number of conflict-free rounds, each a
+// valid assignment routed in one network pass.
+//
+// The partitioner is greedy first-fit over requests in decreasing fanout
+// order, which is the classic interval-style heuristic: the number of
+// rounds never exceeds the batch's conflict degree (the maximum number
+// of requests sharing one output or one source), and equals it whenever
+// one hot output serializes everything.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"brsmn/internal/core"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+)
+
+// Request is one multicast demand: a source input and its destination
+// set. Unlike assignments, requests in a batch may overlap freely.
+type Request struct {
+	Source int
+	Dests  []int
+}
+
+// Validate checks the request against an n-port network.
+func (r Request) Validate(n int) error {
+	if r.Source < 0 || r.Source >= n {
+		return fmt.Errorf("sched: source %d out of range [0,%d)", r.Source, n)
+	}
+	if len(r.Dests) == 0 {
+		return fmt.Errorf("sched: request from %d has no destinations", r.Source)
+	}
+	seen := make(map[int]bool, len(r.Dests))
+	for _, d := range r.Dests {
+		if d < 0 || d >= n {
+			return fmt.Errorf("sched: request from %d has destination %d out of range", r.Source, d)
+		}
+		if seen[d] {
+			return fmt.Errorf("sched: request from %d lists destination %d twice", r.Source, d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// ConflictDegree returns the largest number of requests sharing one
+// output or one source — a lower bound on the number of rounds any
+// schedule needs.
+func ConflictDegree(n int, reqs []Request) int {
+	outDeg := make([]int, n)
+	srcDeg := make([]int, n)
+	deg := 0
+	for _, r := range reqs {
+		srcDeg[r.Source]++
+		if srcDeg[r.Source] > deg {
+			deg = srcDeg[r.Source]
+		}
+		for _, d := range r.Dests {
+			outDeg[d]++
+			if outDeg[d] > deg {
+				deg = outDeg[d]
+			}
+		}
+	}
+	return deg
+}
+
+// Schedule partitions the requests into conflict-free rounds by greedy
+// first-fit in decreasing fanout order. The relative order of equal-size
+// requests is kept stable, so the schedule is deterministic.
+func Schedule(n int, reqs []Request) ([][]Request, error) {
+	rounds, err := scheduleIdx(n, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Request, len(rounds))
+	for i, round := range rounds {
+		for _, k := range round {
+			out[i] = append(out[i], reqs[k])
+		}
+	}
+	return out, nil
+}
+
+// scheduleIdx is Schedule returning request indices per round.
+func scheduleIdx(n int, reqs []Request) ([][]int, error) {
+	for _, r := range reqs {
+		if err := r.Validate(n); err != nil {
+			return nil, err
+		}
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(reqs[order[a]].Dests) > len(reqs[order[b]].Dests)
+	})
+
+	type roundState struct {
+		members []int
+		outUsed []bool
+		srcUsed []bool
+	}
+	var rounds []*roundState
+place:
+	for _, idx := range order {
+		r := reqs[idx]
+		for _, rd := range rounds {
+			if rd.srcUsed[r.Source] {
+				continue
+			}
+			ok := true
+			for _, d := range r.Dests {
+				if rd.outUsed[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			rd.srcUsed[r.Source] = true
+			for _, d := range r.Dests {
+				rd.outUsed[d] = true
+			}
+			rd.members = append(rd.members, idx)
+			continue place
+		}
+		rd := &roundState{outUsed: make([]bool, n), srcUsed: make([]bool, n)}
+		rd.srcUsed[r.Source] = true
+		for _, d := range r.Dests {
+			rd.outUsed[d] = true
+		}
+		rd.members = append(rd.members, idx)
+		rounds = append(rounds, rd)
+	}
+	out := make([][]int, len(rounds))
+	for i, rd := range rounds {
+		out[i] = rd.members
+	}
+	return out, nil
+}
+
+// Assignments converts scheduled rounds into routable assignments.
+func Assignments(n int, rounds [][]Request) ([]mcast.Assignment, error) {
+	out := make([]mcast.Assignment, len(rounds))
+	for i, round := range rounds {
+		dests := make([][]int, n)
+		for _, r := range round {
+			if dests[r.Source] != nil {
+				return nil, fmt.Errorf("sched: round %d uses source %d twice", i, r.Source)
+			}
+			dests[r.Source] = append([]int(nil), r.Dests...)
+		}
+		a, err := mcast.New(n, dests)
+		if err != nil {
+			return nil, fmt.Errorf("sched: round %d: %w", i, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// Result is a fully scheduled and routed batch.
+type Result struct {
+	N      int
+	Rounds []mcast.Assignment
+	// Routed[i] is the network result of round i.
+	Routed []*core.Result
+	// RoundOf[k] is the round request k was placed in (indexed like the
+	// original batch).
+	RoundOf []int
+}
+
+// RouteAll schedules the batch and routes every round through an n x n
+// BRSMN, verifying each round's deliveries.
+func RouteAll(n int, reqs []Request, eng rbn.Engine) (*Result, error) {
+	roundIdx, err := scheduleIdx(n, reqs)
+	if err != nil {
+		return nil, err
+	}
+	rounds := make([][]Request, len(roundIdx))
+	res := &Result{N: n, RoundOf: make([]int, len(reqs))}
+	for i, round := range roundIdx {
+		for _, k := range round {
+			rounds[i] = append(rounds[i], reqs[k])
+			res.RoundOf[k] = i
+		}
+	}
+	as, err := Assignments(n, rounds)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = as
+	nw, err := core.New(n, eng)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
+		r, err := nw.Route(a)
+		if err != nil {
+			return nil, fmt.Errorf("sched: routing round %d: %w", i, err)
+		}
+		res.Routed = append(res.Routed, r)
+	}
+	return res, nil
+}

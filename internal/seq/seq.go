@@ -1,0 +1,143 @@
+// Package seq implements the circular compact sequence algebra of
+// Section 4 of Yang & Wang: n-bit two-symbol sequences whose γ-run is
+// contiguous modulo n (equation 5), and the binary and trinary compact
+// switch-setting sequences W used by Lemmas 1–5 and Table 5.
+//
+// The key results of the paper are conditions under which two half-length
+// circular compact sequences merge into one full-length circular compact
+// sequence through a perfect-shuffle merging stage; this package provides
+// the constructors and recognizers that the network packages and the tests
+// build on.
+package seq
+
+import "fmt"
+
+// Compact constructs the circular compact sequence C^n_{s,l;beta,gamma} of
+// equation (5): an n-element sequence in which the l gamma-elements are
+// contiguous modulo n and begin at position s, every other element being
+// beta. It requires 0 <= s < n and 0 <= l <= n.
+func Compact[T any](n, s, l int, beta, gamma T) []T {
+	if n <= 0 || s < 0 || s >= n || l < 0 || l > n {
+		panic(fmt.Sprintf("seq: Compact(n=%d, s=%d, l=%d) out of range", n, s, l))
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = beta
+	}
+	for k := 0; k < l; k++ {
+		out[(s+k)%n] = gamma
+	}
+	return out
+}
+
+// Recognize reports whether xs is a circular compact sequence over the two
+// symbols beta and gamma, and if so returns a starting position s and run
+// length l such that xs == Compact(len(xs), s, l, beta, gamma).
+//
+// Degenerate cases: if xs contains no gamma, Recognize returns (0, 0, true)
+// (any s is valid; 0 is the canonical choice); if xs is all gammas it
+// returns (0, n, true). An element equal to neither symbol makes the
+// recognition fail.
+func Recognize[T comparable](xs []T, beta, gamma T) (s, l int, ok bool) {
+	n := len(xs)
+	for _, x := range xs {
+		switch x {
+		case gamma:
+			l++
+		case beta:
+		default:
+			return 0, 0, false
+		}
+	}
+	if l == 0 {
+		return 0, 0, true
+	}
+	if l == n {
+		return 0, n, true
+	}
+	// The gamma run starts at the unique position whose circular
+	// predecessor is beta.
+	for i := 0; i < n; i++ {
+		if xs[i] == gamma && xs[(i+n-1)%n] == beta {
+			s = i
+			// Verify the run is contiguous.
+			for k := 0; k < l; k++ {
+				if xs[(s+k)%n] != gamma {
+					return 0, 0, false
+				}
+			}
+			return s, l, true
+		}
+	}
+	return 0, 0, false
+}
+
+// IsCompact reports whether xs is the specific circular compact sequence
+// C^n_{s,l;beta,gamma}.
+func IsCompact[T comparable](xs []T, s, l int, beta, gamma T) bool {
+	gs, gl, ok := Recognize(xs, beta, gamma)
+	if !ok || gl != l {
+		return false
+	}
+	if l == 0 || l == len(xs) {
+		return true // every s describes the same sequence
+	}
+	return gs == s
+}
+
+// BinaryCompact constructs the binary compact switch-setting sequence
+// W^h_{s,l;a,b} over h switches: l consecutive switches carry setting b
+// starting at position s (circularly); the remaining switches carry a.
+// This is the sequence built by BinaryCompactSetting in Table 5.
+func BinaryCompact[T any](h, s, l int, a, b T) []T {
+	return Compact(h, s, l, a, b)
+}
+
+// TrinaryCompact constructs the trinary compact switch-setting sequence
+// W^h_{s,l1,l2;a,b,c}: starting at position s, l1 consecutive switches
+// carry b, the next l2 carry c, and the remaining h-l1-l2 carry a, all
+// circularly (Section 4). It requires l1+l2 <= h.
+func TrinaryCompact[T any](h, s, l1, l2 int, a, b, c T) []T {
+	if h <= 0 || s < 0 || s >= h || l1 < 0 || l2 < 0 || l1+l2 > h {
+		panic(fmt.Sprintf("seq: TrinaryCompact(h=%d, s=%d, l1=%d, l2=%d) out of range", h, s, l1, l2))
+	}
+	out := make([]T, h)
+	for i := range out {
+		out[i] = a
+	}
+	for k := 0; k < l1; k++ {
+		out[(s+k)%h] = b
+	}
+	for k := 0; k < l2; k++ {
+		out[(s+l1+k)%h] = c
+	}
+	return out
+}
+
+// Rotate returns xs rotated so that element i of the result is element
+// (i-k mod n) of xs; i.e. the content moves k positions forward
+// (circularly). Rotating Compact(n,s,l,...) by k yields
+// Compact(n,(s+k)%n,l,...).
+func Rotate[T any](xs []T, k int) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	k = ((k % n) + n) % n
+	out := make([]T, n)
+	for i, x := range xs {
+		out[(i+k)%n] = x
+	}
+	return out
+}
+
+// CountOf returns the number of elements of xs equal to v.
+func CountOf[T comparable](xs []T, v T) int {
+	c := 0
+	for _, x := range xs {
+		if x == v {
+			c++
+		}
+	}
+	return c
+}

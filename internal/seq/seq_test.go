@@ -1,0 +1,169 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestCompactBothBranches pins the two branches of equation (5).
+func TestCompactBothBranches(t *testing.T) {
+	// s + l <= n: β^s γ^l β^(n-s-l)
+	got := Compact[byte](8, 2, 3, 'b', 'g')
+	want := []byte("bbgggbbb")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Compact(8,2,3) = %q, want %q", got, want)
+	}
+	// s + l > n: γ^(l-n+s) β^(n-l) γ^(n-s)
+	got = Compact[byte](8, 6, 5, 'b', 'g')
+	want = []byte("gggbbbgg")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Compact(8,6,5) = %q, want %q", got, want)
+	}
+}
+
+// TestCompactRecognizeRoundTrip checks Recognize inverts Compact for all
+// (n, s, l).
+func TestCompactRecognizeRoundTrip(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for s := 0; s < n; s++ {
+			for l := 0; l <= n; l++ {
+				xs := Compact(n, s, l, 0, 1)
+				gs, gl, ok := Recognize(xs, 0, 1)
+				if !ok {
+					t.Fatalf("Recognize rejected Compact(%d,%d,%d)", n, s, l)
+				}
+				if gl != l {
+					t.Fatalf("Recognize(Compact(%d,%d,%d)) returned l=%d", n, s, l, gl)
+				}
+				if l != 0 && l != n && gs != s {
+					t.Fatalf("Recognize(Compact(%d,%d,%d)) returned s=%d", n, s, l, gs)
+				}
+				if !IsCompact(xs, s, l, 0, 1) {
+					t.Fatalf("IsCompact rejected Compact(%d,%d,%d)", n, s, l)
+				}
+			}
+		}
+	}
+}
+
+// TestRecognizeRejectsNonCompact checks fragmented sequences are
+// rejected.
+func TestRecognizeRejectsNonCompact(t *testing.T) {
+	if _, _, ok := Recognize([]int{1, 0, 1, 0}, 0, 1); ok {
+		t.Error("Recognize accepted 1010")
+	}
+	if _, _, ok := Recognize([]int{0, 1, 2, 0}, 0, 1); ok {
+		t.Error("Recognize accepted a foreign symbol")
+	}
+	if IsCompact([]int{0, 1, 1, 0}, 2, 2, 0, 1) {
+		t.Error("IsCompact matched the wrong start")
+	}
+}
+
+// TestRecognizeQuick property-tests recognition against a brute-force
+// circular-run check.
+func TestRecognizeQuick(t *testing.T) {
+	f := func(pattern uint16, nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		xs := make([]int, n)
+		l := 0
+		for i := range xs {
+			if pattern>>i&1 == 1 {
+				xs[i] = 1
+				l++
+			}
+		}
+		_, _, ok := Recognize(xs, 0, 1)
+		// Brute force: compact iff the number of 1->0 circular
+		// transitions is <= 1.
+		trans := 0
+		for i := 0; i < n; i++ {
+			if xs[i] == 1 && xs[(i+1)%n] == 0 {
+				trans++
+			}
+		}
+		return ok == (trans <= 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryCompact pins the Table 5 binary setting semantics: l
+// consecutive switches get the second setting starting at s, circularly.
+func TestBinaryCompact(t *testing.T) {
+	got := BinaryCompact[byte](4, 3, 2, 'p', 'x')
+	want := []byte("xppx")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BinaryCompact(4,3,2) = %q, want %q", got, want)
+	}
+}
+
+// TestTrinaryCompact pins the trinary setting semantics of Section 4.
+func TestTrinaryCompact(t *testing.T) {
+	// h=8, s=2: 3 b's, then 2 c's, rest a.
+	got := TrinaryCompact[byte](8, 2, 3, 2, 'a', 'b', 'c')
+	want := []byte("aabbbcca")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TrinaryCompact = %q, want %q", got, want)
+	}
+	// Wrap-around.
+	got = TrinaryCompact[byte](6, 4, 3, 2, 'a', 'b', 'c')
+	want = []byte("bccabb")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TrinaryCompact wrap = %q, want %q", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TrinaryCompact accepted l1+l2 > h")
+		}
+	}()
+	TrinaryCompact(4, 0, 3, 2, 0, 1, 2)
+}
+
+// TestRotate checks Rotate shifts a compact sequence's start.
+func TestRotate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		s := rng.Intn(n)
+		l := rng.Intn(n + 1)
+		k := rng.Intn(3*n) - n
+		got := Rotate(Compact(n, s, l, 0, 1), k)
+		want := Compact(n, ((s+k)%n+n)%n, l, 0, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Rotate(Compact(%d,%d,%d), %d) = %v, want %v", n, s, l, k, got, want)
+		}
+	}
+	if Rotate([]int(nil), 3) != nil {
+		t.Error("Rotate(nil) != nil")
+	}
+}
+
+// TestCountOf checks the counting helper.
+func TestCountOf(t *testing.T) {
+	if CountOf([]int{1, 2, 1, 1}, 1) != 3 || CountOf([]int{}, 1) != 0 {
+		t.Error("CountOf wrong")
+	}
+}
+
+// TestCompactPanics checks range validation.
+func TestCompactPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Compact(0, 0, 0, 0, 1) },
+		func() { Compact(4, 4, 0, 0, 1) },
+		func() { Compact(4, -1, 0, 0, 1) },
+		func() { Compact(4, 0, 5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

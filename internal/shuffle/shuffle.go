@@ -1,0 +1,117 @@
+// Package shuffle implements the perfect shuffle and exchange
+// interconnection functions used by the merging network of the reverse
+// banyan network (Section 4, Figs. 6–7 of Yang & Wang), and the mapping
+// between the physical shuffle wiring and the logical "pair" model that the
+// compact switch-setting lemmas are stated in.
+//
+// Physical view: an n x n merging network is one column of n/2 switches.
+// Input a of switch floor(a/2) is fed by merging-network input link
+// Wire(a), and output a of the switch drives merging-network output link
+// Wire(a), where Wire is the inverse perfect shuffle (Unshuffle here) —
+// the wiring orientation of a *reverse* banyan network, which is what the
+// paper's Fig. 6 "shuffle" denotes. Because the exchange bit (the LSB,
+// distinguishing the two ports of one switch) lands in the most
+// significant position, |Wire(a) - Wire(exchange(a))| = n/2: the network
+// connects each pair of links {p, p + n/2} (p < n/2) through one switch,
+// to the output links with the same addresses.
+//
+// Logical view (used by the lemmas and by package rbn): "switch p" is the
+// switch joining link pair {p, p + n/2}. PhysicalSwitch converts a logical
+// pair index to the physical switch address and LogicalPair inverts it;
+// under the reverse-banyan wiring the two coincide (switch p joins links
+// p and p + n/2), which the tests verify from first principles.
+package shuffle
+
+import "fmt"
+
+// checkSize panics unless n is a power of two and at least 2.
+func checkSize(n int) int {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("shuffle: network size %d is not a power of two >= 2", n))
+	}
+	m := 0
+	for v := n; v > 1; v >>= 1 {
+		m++
+	}
+	return m
+}
+
+// Shuffle returns the perfect shuffle of address a in an n-link network:
+// the m-bit address is rotated left by one bit (b_{m-1} b_{m-2} ... b_0
+// becomes b_{m-2} ... b_0 b_{m-1}).
+func Shuffle(n, a int) int {
+	m := checkSize(n)
+	if a < 0 || a >= n {
+		panic(fmt.Sprintf("shuffle: address %d out of range [0,%d)", a, n))
+	}
+	return ((a << 1) & (n - 1)) | (a >> (m - 1))
+}
+
+// Unshuffle is the inverse perfect shuffle: rotate the m-bit address right
+// by one bit.
+func Unshuffle(n, a int) int {
+	m := checkSize(n)
+	if a < 0 || a >= n {
+		panic(fmt.Sprintf("shuffle: address %d out of range [0,%d)", a, n))
+	}
+	return (a >> 1) | ((a & 1) << (m - 1))
+}
+
+// Exchange flips the least significant bit of a: the two inputs of one
+// switch are a and Exchange(a).
+func Exchange(a int) int { return a ^ 1 }
+
+// Wire is the merging-network wiring function: switch port a (an m-bit
+// address; port a mod 2 of switch a div 2) attaches to merging-network
+// link Wire(n, a) on both the input and the output side. It is the
+// inverse perfect shuffle.
+func Wire(n, a int) int { return Unshuffle(n, a) }
+
+// PhysicalSwitch returns the physical address (0..n/2-1) of the switch
+// that joins merging-network link pair {p, p+n/2} in an n-link merging
+// network; p must be in [0, n/2).
+func PhysicalSwitch(n, p int) int {
+	if p < 0 || p >= n/2 {
+		panic(fmt.Sprintf("shuffle: pair index %d out of range [0,%d)", p, n/2))
+	}
+	// Link p attaches to port a with Wire(a) = p, i.e. a = Shuffle(p);
+	// the switch is a div 2. For p < n/2 the MSB of p is 0, so
+	// Shuffle(p) = 2p and the switch address is p itself.
+	return Shuffle(n, p) / 2
+}
+
+// LogicalPair returns the logical pair index p (0..n/2-1) served by the
+// physical switch with address t in an n-link merging network: the
+// smaller of the two link addresses Wire(2t), Wire(2t+1).
+func LogicalPair(n, t int) int {
+	if t < 0 || t >= n/2 {
+		panic(fmt.Sprintf("shuffle: switch address %d out of range [0,%d)", t, n/2))
+	}
+	p := Wire(n, 2*t)
+	if q := Wire(n, 2*t+1); q < p {
+		p = q
+	}
+	return p
+}
+
+// BitReverse reverses the low `bits` bits of i. It is the permutation
+// realized by the order() function of the routing-tag format (eq. 11).
+func BitReverse(i, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = (r << 1) | (i & 1)
+		i >>= 1
+	}
+	return r
+}
+
+// Log2 returns log2(n) for a power-of-two n (and panics otherwise).
+func Log2(n int) int {
+	if n == 1 {
+		return 0
+	}
+	return checkSize(n)
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

@@ -1,0 +1,155 @@
+package shuffle
+
+import "testing"
+
+// TestShuffleUnshuffleInverse checks the two rotations invert each other
+// for all addresses up to n = 256.
+func TestShuffleUnshuffleInverse(t *testing.T) {
+	for n := 2; n <= 256; n *= 2 {
+		for a := 0; a < n; a++ {
+			if got := Unshuffle(n, Shuffle(n, a)); got != a {
+				t.Fatalf("n=%d: Unshuffle(Shuffle(%d)) = %d", n, a, got)
+			}
+			if got := Shuffle(n, Unshuffle(n, a)); got != a {
+				t.Fatalf("n=%d: Shuffle(Unshuffle(%d)) = %d", n, a, got)
+			}
+		}
+	}
+}
+
+// TestShuffleIsRotation pins the definition: shuffle doubles modulo n-1
+// style rotation (left rotate of the m-bit address).
+func TestShuffleIsRotation(t *testing.T) {
+	cases := []struct{ n, a, want int }{
+		{8, 0, 0}, {8, 1, 2}, {8, 3, 6}, {8, 4, 1}, {8, 5, 3}, {8, 7, 7},
+		{16, 8, 1}, {16, 9, 3},
+	}
+	for _, c := range cases {
+		if got := Shuffle(c.n, c.a); got != c.want {
+			t.Errorf("Shuffle(%d, %d) = %d, want %d", c.n, c.a, got, c.want)
+		}
+	}
+}
+
+// TestHalfApartProperty checks the key observation of Section 4:
+// |Wire(a) - Wire(exchange(a))| = n/2 for every switch port a of the
+// merging network's reverse-banyan wiring.
+func TestHalfApartProperty(t *testing.T) {
+	for n := 2; n <= 512; n *= 2 {
+		for a := 0; a < n; a++ {
+			d := Wire(n, a) - Wire(n, Exchange(a))
+			if d < 0 {
+				d = -d
+			}
+			if d != n/2 {
+				t.Fatalf("n=%d a=%d: |Wire(a)-Wire(ā)| = %d, want %d", n, a, d, n/2)
+			}
+		}
+	}
+}
+
+// TestPhysicalLogicalBijection checks PhysicalSwitch and LogicalPair are
+// inverse bijections on [0, n/2): the physical shuffle wiring realizes
+// exactly the logical pair model used by the lemmas.
+func TestPhysicalLogicalBijection(t *testing.T) {
+	for n := 2; n <= 512; n *= 2 {
+		seen := make([]bool, n/2)
+		for p := 0; p < n/2; p++ {
+			tsw := PhysicalSwitch(n, p)
+			if tsw < 0 || tsw >= n/2 {
+				t.Fatalf("n=%d: PhysicalSwitch(%d) = %d out of range", n, p, tsw)
+			}
+			if seen[tsw] {
+				t.Fatalf("n=%d: switch %d serves two pairs", n, tsw)
+			}
+			seen[tsw] = true
+			if got := LogicalPair(n, tsw); got != p {
+				t.Fatalf("n=%d: LogicalPair(PhysicalSwitch(%d)) = %d", n, p, got)
+			}
+		}
+	}
+}
+
+// TestPhysicalWiringJoinsPair verifies from first principles that the
+// switch PhysicalSwitch(n, p) is wired (through the shuffle) to links p
+// and p+n/2 — the content of Figs. 6–7.
+func TestPhysicalWiringJoinsPair(t *testing.T) {
+	for n := 2; n <= 256; n *= 2 {
+		for p := 0; p < n/2; p++ {
+			tsw := PhysicalSwitch(n, p)
+			a0, a1 := 2*tsw, 2*tsw+1
+			l0, l1 := Wire(n, a0), Wire(n, a1)
+			lo, hi := l0, l1
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo != p || hi != p+n/2 {
+				t.Fatalf("n=%d: switch %d joins links (%d,%d), want (%d,%d)", n, tsw, lo, hi, p, p+n/2)
+			}
+		}
+	}
+}
+
+// TestBitReverse checks the bit-reversal permutation.
+func TestBitReverse(t *testing.T) {
+	cases := []struct{ i, bits, want int }{
+		{0, 3, 0}, {1, 3, 4}, {2, 3, 2}, {3, 3, 6}, {4, 3, 1}, {5, 3, 5}, {6, 3, 3}, {7, 3, 7},
+		{0, 0, 0}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := BitReverse(c.i, c.bits); got != c.want {
+			t.Errorf("BitReverse(%d, %d) = %d, want %d", c.i, c.bits, got, c.want)
+		}
+	}
+	// Involution.
+	for bits := 0; bits <= 10; bits++ {
+		for i := 0; i < 1<<bits; i++ {
+			if BitReverse(BitReverse(i, bits), bits) != i {
+				t.Fatalf("BitReverse not an involution at (%d, %d)", i, bits)
+			}
+		}
+	}
+}
+
+// TestLog2AndIsPow2 checks the size helpers.
+func TestLog2AndIsPow2(t *testing.T) {
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(1024) != 10 {
+		t.Error("Log2 wrong")
+	}
+	for _, n := range []int{1, 2, 4, 1 << 20} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 12, 1<<20 + 1} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2(3) did not panic")
+		}
+	}()
+	Log2(3)
+}
+
+// TestPanicsOnBadArgs checks range validation.
+func TestPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { Shuffle(8, 8) },
+		func() { Shuffle(8, -1) },
+		func() { Unshuffle(6, 0) },
+		func() { PhysicalSwitch(8, 4) },
+		func() { LogicalPair(8, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

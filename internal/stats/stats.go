@@ -1,0 +1,104 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to check growth orders empirically: summary statistics,
+// ordinary least squares, and polylog-exponent estimation. With it the
+// Table 2 claims become fitted numbers — e.g. the BRSMN switch count over
+// a size sweep fits cost(n) = c · n · log^q n with q ≈ 2 — rather than
+// eyeballed ratio tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Fit is an ordinary-least-squares line fit.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// Linear fits ys = Slope*xs + Intercept and reports R².
+func Linear(xs, ys []float64) (Fit, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return Fit{}, fmt.Errorf("stats: %d xs vs %d ys", n, len(ys))
+	}
+	if n < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least 2 points, have %d", n)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: degenerate fit (all xs equal)")
+	}
+	slope := sxy / sxx
+	f := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		f.R2 = 1 // constant ys perfectly fit by a flat line
+	} else {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return f, nil
+}
+
+// PowerExponent estimates p in value ≈ c · n^p by a log-log fit.
+func PowerExponent(ns []int, values []float64) (Fit, error) {
+	xs := make([]float64, len(ns))
+	ys := make([]float64, len(values))
+	for i := range ns {
+		if ns[i] <= 0 || values[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-log fit needs positive data")
+		}
+		xs[i] = math.Log(float64(ns[i]))
+		ys[i] = math.Log(values[i])
+	}
+	return Linear(xs, ys)
+}
+
+// PolylogExponent estimates q in value ≈ c · n^base · log2(n)^q: it fits
+// log(value / n^base) against log(log2 n). base = 0 fits a pure polylog,
+// base = 1 the n·log^q family of Table 2.
+func PolylogExponent(ns []int, values []float64, base float64) (Fit, error) {
+	xs := make([]float64, len(ns))
+	ys := make([]float64, len(values))
+	for i := range ns {
+		if ns[i] < 2 || values[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: polylog fit needs n >= 2 and positive values")
+		}
+		l2 := math.Log2(float64(ns[i]))
+		xs[i] = math.Log(l2)
+		ys[i] = math.Log(values[i]) - base*math.Log(float64(ns[i]))
+	}
+	return Linear(xs, ys)
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeanStddev checks the summary statistics.
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("Stddev = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Stddev([]float64{1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+// TestLinearRecoversLine checks exact recovery on synthetic data.
+func TestLinearRecoversLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	f, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-3) > 1e-12 || math.Abs(f.Intercept+7) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("fit %+v", f)
+	}
+	if _, err := Linear(xs, ys[:3]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Linear([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate xs accepted")
+	}
+	flat, err := Linear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil || flat.Slope != 0 || flat.R2 != 1 {
+		t.Errorf("flat fit %+v, %v", flat, err)
+	}
+}
+
+// TestPowerExponent recovers p from n^p data.
+func TestPowerExponent(t *testing.T) {
+	ns := []int{4, 16, 64, 256, 1024}
+	values := make([]float64, len(ns))
+	for i, n := range ns {
+		values[i] = 2.5 * math.Pow(float64(n), 1.5)
+	}
+	f, err := PowerExponent(ns, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-1.5) > 1e-9 {
+		t.Errorf("p = %v, want 1.5", f.Slope)
+	}
+	if _, err := PowerExponent([]int{0, 2}, []float64{1, 2}); err == nil {
+		t.Error("nonpositive n accepted")
+	}
+}
+
+// TestPolylogExponent recovers q from n·log^q(n) data — the Table 2
+// family.
+func TestPolylogExponent(t *testing.T) {
+	ns := []int{16, 64, 256, 1024, 4096}
+	for _, q := range []float64{1, 2, 3} {
+		values := make([]float64, len(ns))
+		for i, n := range ns {
+			values[i] = 0.7 * float64(n) * math.Pow(math.Log2(float64(n)), q)
+		}
+		f, err := PolylogExponent(ns, values, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f.Slope-q) > 1e-9 {
+			t.Errorf("q = %v, want %v", f.Slope, q)
+		}
+	}
+	// Pure polylog with base 0.
+	values := make([]float64, len(ns))
+	for i, n := range ns {
+		values[i] = 3 * math.Pow(math.Log2(float64(n)), 2)
+	}
+	f, err := PolylogExponent(ns, values, 0)
+	if err != nil || math.Abs(f.Slope-2) > 1e-9 {
+		t.Errorf("base-0 q = %v, %v", f.Slope, err)
+	}
+	if _, err := PolylogExponent([]int{1, 4}, []float64{1, 2}, 0); err == nil {
+		t.Error("n < 2 accepted")
+	}
+}

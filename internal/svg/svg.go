@@ -1,0 +1,146 @@
+// Package svg renders routed networks as SVG figures — the graphical
+// counterpart of the paper's Fig. 2: the flattened switch columns, the
+// links between them, and each connection's multicast tree drawn in its
+// own color, fanning out from its input to exactly its destination set.
+// The output is self-contained SVG 1.1 with no scripts or external
+// references.
+package svg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/paths"
+)
+
+// palette holds visually distinct stroke colors, cycled per source.
+var palette = []string{
+	"#1965b0", "#dc050c", "#4eb265", "#882e72",
+	"#f1932d", "#7bafde", "#b17ba6", "#4d8f00",
+	"#e8601c", "#5289c7", "#90c987", "#d1bbd7",
+}
+
+// geometry constants (pixels).
+const (
+	colGap   = 64
+	rowGap   = 28
+	leftPad  = 70
+	topPad   = 40
+	swWidth  = 16
+	swHeight = 20
+)
+
+// Render draws a routed assignment: every switch of the flattened
+// fabric, light-gray idle wiring, and the embedded multicast trees in
+// per-source colors. It verifies the trees before drawing.
+func Render(a mcast.Assignment, res *core.Result) (string, error) {
+	trees, err := paths.VerifyAll(a, res)
+	if err != nil {
+		return "", err
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return "", err
+	}
+	n := a.N
+	width := leftPad*2 + (len(cols)+1)*colGap
+	height := topPad*2 + n*rowGap
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="monospace" font-size="13">%d x %d BRSMN — %s</text>`+"\n",
+		leftPad, topPad/2+4, n, n, xmlEscape(a.String()))
+
+	// Link y-coordinate of wire `link` between column boundaries.
+	y := func(link int) int { return topPad + link*rowGap + rowGap/2 }
+	// x-coordinate of the wire segment after column ci (ci = -1 is the
+	// input side).
+	x := func(ci int) int { return leftPad + (ci+1)*colGap }
+
+	// Idle wiring: straight light segments for every link span.
+	for link := 0; link < n; link++ {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			x(-1), y(link), x(len(cols)-1)+colGap/2, y(link))
+	}
+
+	// Switch boxes per column.
+	for ci, col := range cols {
+		cx := x(ci) - colGap/2
+		for w := range col.Settings {
+			p0, p1 := col.Pair(w)
+			top := y(p0) - swHeight/2
+			bottom := y(p1) + swHeight/2
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999999" stroke-width="0.8"/>`+"\n",
+				cx-swWidth/2, top, swWidth, bottom-top)
+		}
+	}
+
+	// Multicast trees: for each connection, draw its occupied link
+	// segments and the diagonal hops through switches.
+	sort.Slice(trees, func(i, j int) bool { return trees[i].Source < trees[j].Source })
+	for k, tr := range trees {
+		color := palette[k%len(palette)]
+		occupied := map[int]map[int]bool{} // col -> links
+		for _, e := range tr.Edges {
+			if occupied[e.Col] == nil {
+				occupied[e.Col] = map[int]bool{}
+			}
+			occupied[e.Col][e.Link] = true
+		}
+		for _, e := range tr.Edges {
+			// Horizontal segment of this wire span.
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+				x(e.Col)-colGap/2, y(e.Link), x(e.Col)+colGap/2, y(e.Link), color)
+			// Diagonal into the next column's switch output(s).
+			next := occupied[e.Col+1]
+			if next == nil {
+				continue
+			}
+			if ci := e.Col + 1; ci < len(cols) {
+				col := cols[ci]
+				w := switchOfLink(col, e.Link)
+				p0, p1 := col.Pair(w)
+				sx := x(ci) - colGap/2 // the switch column's x position
+				for _, out := range []int{p0, p1} {
+					if next[out] {
+						// Vertical jog inside the switch from the
+						// input wire's height to the output wire's.
+						fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+							sx, y(e.Link), sx, y(out), color)
+					}
+				}
+			}
+		}
+		// Input and output labels.
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="monospace" font-size="11" fill="%s">in %d</text>`+"\n",
+			8, y(tr.Source)+4, color, tr.Source)
+		for _, out := range tr.Outputs {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="monospace" font-size="11" fill="%s">out %d</text>`+"\n",
+				x(len(cols)-1)+colGap/2+4, y(out)+4, color, out)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// switchOfLink returns the column switch attached to a link.
+func switchOfLink(c fabric.Column, link int) int {
+	h := c.BlockSize / 2
+	b := link / c.BlockSize
+	i := link % c.BlockSize
+	if i >= h {
+		i -= h
+	}
+	return b*h + i
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,83 @@
+package svg
+
+import (
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"brsmn/internal/core"
+	"brsmn/internal/workload"
+)
+
+// TestRenderFig2 renders the paper's example and checks the document is
+// well-formed XML containing the expected structural elements.
+func TestRenderFig2(t *testing.T) {
+	a := workload.PaperFig2()
+	res, err := core.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(a, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well-formed XML end to end.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"8 x 8 BRSMN",
+		">in 0<", ">in 2<", ">in 7<",
+		">out 7<", ">out 2<",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// 4 sources get 4 distinct colors.
+	colors := map[string]bool{}
+	for _, c := range palette[:4] {
+		if strings.Contains(out, c) {
+			colors[c] = true
+		}
+	}
+	if len(colors) != 4 {
+		t.Errorf("expected 4 tree colors, saw %d", len(colors))
+	}
+}
+
+// TestRenderSizesAndLoads smoke-renders across sizes; the internal
+// VerifyAll gate means a successful render implies verified trees.
+func TestRenderSizesAndLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(270))
+	for _, n := range []int{4, 16, 64} {
+		a := workload.Random(rng, n, 0.7, 0.5)
+		res, err := core.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Render(a, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(out, "<svg") {
+			t.Fatalf("n=%d: not an SVG", n)
+		}
+	}
+}
+
+// TestXMLEscape covers metadata escaping.
+func TestXMLEscape(t *testing.T) {
+	if xmlEscape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Error("escape wrong")
+	}
+}

@@ -1,0 +1,125 @@
+// Package swbox models the 2x2 switching element used throughout the
+// multicast network: its four settings (parallel, crossing, upper
+// broadcast, lower broadcast) and the legal operations on the four routing
+// tag values shown in Fig. 3 and Fig. 7 of Yang & Wang.
+package swbox
+
+import (
+	"fmt"
+
+	"brsmn/internal/tag"
+)
+
+// Setting is the configuration of a 2x2 switch. The numeric values match
+// the r_i encoding of Section 4: 0 parallel, 1 crossing, 2 upper
+// broadcast, 3 lower broadcast.
+type Setting uint8
+
+const (
+	// Parallel connects input 0 to output 0 and input 1 to output 1
+	// (Fig. 3a / Fig. 7a).
+	Parallel Setting = 0
+	// Cross connects input 0 to output 1 and input 1 to output 0
+	// (Fig. 3b / Fig. 7b).
+	Cross Setting = 1
+	// UpperBcast broadcasts input 0 to both outputs (Fig. 3c / Fig. 7c).
+	// In tag terms it is legal only for inputs (α, ε) and yields (0, 1).
+	UpperBcast Setting = 2
+	// LowerBcast broadcasts input 1 to both outputs (Fig. 3d / Fig. 7d).
+	// In tag terms it is legal only for inputs (ε, α) and yields (0, 1).
+	LowerBcast Setting = 3
+
+	numSettings = 4
+)
+
+// NumSettings is the number of switch settings.
+const NumSettings = int(numSettings)
+
+// String implements fmt.Stringer.
+func (s Setting) String() string {
+	switch s {
+	case Parallel:
+		return "parallel"
+	case Cross:
+		return "cross"
+	case UpperBcast:
+		return "ubcast"
+	case LowerBcast:
+		return "lbcast"
+	default:
+		return fmt.Sprintf("setting(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is one of the four defined settings.
+func (s Setting) Valid() bool { return s < numSettings }
+
+// IsBroadcast reports whether s duplicates one input to both outputs.
+func (s Setting) IsBroadcast() bool { return s == UpperBcast || s == LowerBcast }
+
+// Opposite returns the complementary unicast setting (the paper's b-bar):
+// Parallel <-> Cross. It panics on broadcast settings, which have no
+// complement.
+func (s Setting) Opposite() Setting {
+	switch s {
+	case Parallel:
+		return Cross
+	case Cross:
+		return Parallel
+	}
+	panic(fmt.Sprintf("swbox: Opposite of %v", s))
+}
+
+// Apply routes two generic items through a switch with setting s. For the
+// broadcast settings, split is called on the broadcast source to produce
+// the two output copies (the copy destined to output 0 first); the other
+// input is discarded. split may be nil if s is a unicast setting.
+func Apply[T any](s Setting, in0, in1 T, split func(T) (T, T)) (out0, out1 T) {
+	switch s {
+	case Parallel:
+		return in0, in1
+	case Cross:
+		return in1, in0
+	case UpperBcast:
+		return split(in0)
+	case LowerBcast:
+		return split(in1)
+	}
+	panic(fmt.Sprintf("swbox: Apply with invalid setting %d", uint8(s)))
+}
+
+// SplitTag is the tag transformation performed by a broadcast switch: the
+// α on the source input becomes a 0 on output 0 and a 1 on output 1
+// (Fig. 3c, 3d).
+func SplitTag(v tag.Value) (tag.Value, tag.Value) { return tag.V0, tag.V1 }
+
+// ApplyTags routes two tag values through a switch and enforces the
+// legality rules of Fig. 3: unicast settings accept any values and leave
+// them unchanged; a broadcast setting requires its source input to be α
+// and the discarded input to be ε, and produces (0, 1).
+func ApplyTags(s Setting, in0, in1 tag.Value) (out0, out1 tag.Value, err error) {
+	switch s {
+	case Parallel:
+		return in0, in1, nil
+	case Cross:
+		return in1, in0, nil
+	case UpperBcast:
+		if in0 != tag.Alpha || !in1.IsEps() {
+			return 0, 0, fmt.Errorf("swbox: upper broadcast on inputs (%v, %v); need (α, ε)", in0, in1)
+		}
+		return tag.V0, tag.V1, nil
+	case LowerBcast:
+		if in1 != tag.Alpha || !in0.IsEps() {
+			return 0, 0, fmt.Errorf("swbox: lower broadcast on inputs (%v, %v); need (ε, α)", in0, in1)
+		}
+		return tag.V0, tag.V1, nil
+	}
+	return 0, 0, fmt.Errorf("swbox: invalid setting %d", uint8(s))
+}
+
+// Legal reports whether setting s is a legal operation (per Fig. 3) on the
+// given input tag values.
+func Legal(s Setting, in0, in1 tag.Value) bool {
+	_, _, err := ApplyTags(s, in0, in1)
+	return err == nil
+}

@@ -1,0 +1,115 @@
+package swbox
+
+import (
+	"testing"
+
+	"brsmn/internal/tag"
+)
+
+// TestFig3LegalOps enumerates every (setting, in0, in1) combination over
+// the four base tag values and checks legality matches Fig. 3: unicast
+// settings always legal with values unchanged; broadcasts legal exactly
+// on an (α, ε) pattern and produce (0, 1).
+func TestFig3LegalOps(t *testing.T) {
+	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
+	for _, in0 := range vals {
+		for _, in1 := range vals {
+			o0, o1, err := ApplyTags(Parallel, in0, in1)
+			if err != nil || o0 != in0 || o1 != in1 {
+				t.Errorf("parallel(%v,%v) = (%v,%v,%v)", in0, in1, o0, o1, err)
+			}
+			o0, o1, err = ApplyTags(Cross, in0, in1)
+			if err != nil || o0 != in1 || o1 != in0 {
+				t.Errorf("cross(%v,%v) = (%v,%v,%v)", in0, in1, o0, o1, err)
+			}
+			wantUpper := in0 == tag.Alpha && in1.IsEps()
+			o0, o1, err = ApplyTags(UpperBcast, in0, in1)
+			if (err == nil) != wantUpper {
+				t.Errorf("ubcast(%v,%v) legality = %v, want %v", in0, in1, err == nil, wantUpper)
+			}
+			if err == nil && (o0 != tag.V0 || o1 != tag.V1) {
+				t.Errorf("ubcast(%v,%v) = (%v,%v), want (0,1)", in0, in1, o0, o1)
+			}
+			wantLower := in1 == tag.Alpha && in0.IsEps()
+			o0, o1, err = ApplyTags(LowerBcast, in0, in1)
+			if (err == nil) != wantLower {
+				t.Errorf("lbcast(%v,%v) legality = %v, want %v", in0, in1, err == nil, wantLower)
+			}
+			if err == nil && (o0 != tag.V0 || o1 != tag.V1) {
+				t.Errorf("lbcast(%v,%v) = (%v,%v), want (0,1)", in0, in1, o0, o1)
+			}
+			if Legal(Parallel, in0, in1) != true {
+				t.Error("Legal(parallel) false")
+			}
+			if Legal(UpperBcast, in0, in1) != wantUpper {
+				t.Errorf("Legal(ubcast, %v, %v) = %v", in0, in1, !wantUpper)
+			}
+		}
+	}
+}
+
+// TestApplyGeneric checks the generic item routing for all settings.
+func TestApplyGeneric(t *testing.T) {
+	split := func(s string) (string, string) { return s + "-up", s + "-low" }
+	if a, b := Apply(Parallel, "x", "y", nil); a != "x" || b != "y" {
+		t.Error("parallel wrong")
+	}
+	if a, b := Apply(Cross, "x", "y", nil); a != "y" || b != "x" {
+		t.Error("cross wrong")
+	}
+	if a, b := Apply(UpperBcast, "x", "y", split); a != "x-up" || b != "x-low" {
+		t.Error("ubcast wrong")
+	}
+	if a, b := Apply(LowerBcast, "x", "y", split); a != "y-up" || b != "y-low" {
+		t.Error("lbcast wrong")
+	}
+}
+
+// TestSettingHelpers checks Opposite, IsBroadcast, Valid and String.
+func TestSettingHelpers(t *testing.T) {
+	if Parallel.Opposite() != Cross || Cross.Opposite() != Parallel {
+		t.Error("Opposite wrong")
+	}
+	if Parallel.IsBroadcast() || Cross.IsBroadcast() || !UpperBcast.IsBroadcast() || !LowerBcast.IsBroadcast() {
+		t.Error("IsBroadcast wrong")
+	}
+	names := map[Setting]string{Parallel: "parallel", Cross: "cross", UpperBcast: "ubcast", LowerBcast: "lbcast"}
+	for s, want := range names {
+		if !s.Valid() || s.String() != want {
+			t.Errorf("%d: String = %q, want %q", uint8(s), s.String(), want)
+		}
+	}
+	if Setting(9).Valid() {
+		t.Error("Setting(9) Valid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Opposite(UpperBcast) did not panic")
+		}
+	}()
+	UpperBcast.Opposite()
+}
+
+// TestSplitTag checks the broadcast tag transformation.
+func TestSplitTag(t *testing.T) {
+	a, b := SplitTag(tag.Alpha)
+	if a != tag.V0 || b != tag.V1 {
+		t.Errorf("SplitTag = (%v,%v), want (0,1)", a, b)
+	}
+}
+
+// TestApplyTagsInvalidSetting checks the error path.
+func TestApplyTagsInvalidSetting(t *testing.T) {
+	if _, _, err := ApplyTags(Setting(7), tag.V0, tag.V1); err == nil {
+		t.Error("ApplyTags accepted invalid setting")
+	}
+}
+
+// TestEncodingMatchesPaper checks the r_i encoding of Section 4: 0
+// parallel, 1 crossing, 2 upper broadcast, 3 lower broadcast — the
+// numbering the compact-setting lemmas rely on.
+func TestEncodingMatchesPaper(t *testing.T) {
+	if Parallel != 0 || Cross != 1 || UpperBcast != 2 || LowerBcast != 3 {
+		t.Error("setting encoding diverges from the paper's r_i values")
+	}
+}

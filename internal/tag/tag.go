@@ -1,0 +1,244 @@
+// Package tag defines the four-valued routing tags used by the binary
+// radix sorting multicast network (BRSMN) of Yang & Wang, plus the two
+// "dummy" values introduced by the quasisorting network, and the 3-bit
+// hardware encoding of Table 1.
+//
+// A tag describes, for one level of the network, where the destinations of
+// a (possibly split) multicast connection lie relative to the current
+// subnetwork's outputs:
+//
+//	V0    — every destination is in the upper half (bit is 0)
+//	V1    — every destination is in the lower half (bit is 1)
+//	Alpha — destinations in both halves: the connection must split
+//	Eps   — no destinations: the link is idle
+//
+// The quasisorting network additionally relabels some idle links as dummy
+// zeros (Eps0) or dummy ones (Eps1) so that a plain bit-sorting pass can be
+// applied (Section 5.2 of the paper).
+package tag
+
+import "fmt"
+
+// Value is a routing-tag value.
+type Value uint8
+
+const (
+	// V0 routes the connection to the upper half of the outputs.
+	V0 Value = iota
+	// V1 routes the connection to the lower half of the outputs.
+	V1
+	// Alpha splits the connection to both halves.
+	Alpha
+	// Eps marks an idle link (empty destination set).
+	Eps
+	// Eps0 is an idle link relabelled as a dummy 0 by the eps-dividing
+	// algorithm of the quasisorting network.
+	Eps0
+	// Eps1 is an idle link relabelled as a dummy 1.
+	Eps1
+
+	numValues
+)
+
+// NumValues is the number of distinct tag values (including dummies).
+const NumValues = int(numValues)
+
+// String implements fmt.Stringer using the paper's notation.
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case Alpha:
+		return "α"
+	case Eps:
+		return "ε"
+	case Eps0:
+		return "ε0"
+	case Eps1:
+		return "ε1"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(v))
+	}
+}
+
+// Valid reports whether v is one of the six defined tag values.
+func (v Value) Valid() bool { return v < numValues }
+
+// IsEps reports whether v is an idle value (Eps, Eps0 or Eps1).
+func (v Value) IsEps() bool { return v == Eps || v == Eps0 || v == Eps1 }
+
+// IsChi reports whether v is a "single" routed value in the scatter
+// network's combined notation: the paper writes χ for a link holding either
+// a 0 or a 1 (Section 5.1).
+func (v Value) IsChi() bool { return v == V0 || v == V1 }
+
+// CarriesMessage reports whether a link with this tag carries a message
+// (anything except the idle values).
+func (v Value) CarriesMessage() bool { return v == V0 || v == V1 || v == Alpha }
+
+// SortBit returns the bit used by the quasisorting network's bit-sorting
+// pass: 0 for real or dummy zeros, 1 for real or dummy ones. It is exactly
+// bit b2 of the Table 1 encoding. SortBit panics on Alpha and Eps, which
+// are never presented to the bit-sorting pass.
+func (v Value) SortBit() int {
+	switch v {
+	case V0, Eps0:
+		return 0
+	case V1, Eps1:
+		return 1
+	}
+	panic(fmt.Sprintf("tag: SortBit on %v, which has no sort bit", v))
+}
+
+// Real maps a dummy value back to Eps and leaves the others untouched.
+// After the quasisorting pass, dummy labels carry no message and revert to
+// plain idle links.
+func (v Value) Real() Value {
+	if v == Eps0 || v == Eps1 {
+		return Eps
+	}
+	return v
+}
+
+// Bits is the 3-bit encoding b0 b1 b2 of a tag value (Table 1).
+type Bits struct {
+	B0, B1, B2 uint8
+}
+
+// Encode returns the Table 1 encoding of v:
+//
+//	tag       0    1    α    ε     ε0   ε1
+//	b0b1b2   000  001  100  11X   110  111
+//
+// Plain Eps encodes with b2 = 0 (the X bit is don't-care; hardware treats
+// 110 and 111 as idle until the eps-dividing pass fixes b2).
+func Encode(v Value) Bits {
+	switch v {
+	case V0:
+		return Bits{0, 0, 0}
+	case V1:
+		return Bits{0, 0, 1}
+	case Alpha:
+		return Bits{1, 0, 0}
+	case Eps:
+		return Bits{1, 1, 0}
+	case Eps0:
+		return Bits{1, 1, 0}
+	case Eps1:
+		return Bits{1, 1, 1}
+	}
+	panic(fmt.Sprintf("tag: Encode on invalid value %d", uint8(v)))
+}
+
+// Decode is the inverse of Encode. The pair (1,1,b2) decodes to Eps0/Eps1
+// when dummies is true, and to plain Eps otherwise (before the eps-dividing
+// pass the b2 bit of an idle link is meaningless).
+func Decode(b Bits, dummies bool) (Value, error) {
+	switch b {
+	case Bits{0, 0, 0}:
+		return V0, nil
+	case Bits{0, 0, 1}:
+		return V1, nil
+	case Bits{1, 0, 0}:
+		return Alpha, nil
+	case Bits{1, 1, 0}:
+		if dummies {
+			return Eps0, nil
+		}
+		return Eps, nil
+	case Bits{1, 1, 1}:
+		if dummies {
+			return Eps1, nil
+		}
+		return Eps, nil
+	}
+	return 0, fmt.Errorf("tag: no value encodes as %d%d%d", b.B0, b.B1, b.B2)
+}
+
+// CountAlphaBit computes the one-bit quantity b0 ∧ ¬b1 used by the
+// self-routing circuit to count alphas (Section 7.2).
+func (b Bits) CountAlphaBit() uint8 { return b.B0 & (1 - b.B1) }
+
+// CountEpsBit computes the one-bit quantity b0 ∧ b1 used by the
+// self-routing circuit to count epsilons (Section 7.2).
+func (b Bits) CountEpsBit() uint8 { return b.B0 & b.B1 }
+
+// CountOneBit is the b2 bit, used to count (real and dummy) ones in the
+// quasisorting network's forward phase (Section 7.2).
+func (b Bits) CountOneBit() uint8 { return b.B2 }
+
+// Counts tallies how many links of a slice hold each of the four base
+// values (dummies count as Eps). It mirrors n0, n1, nα, nε of Section 3.
+type Counts struct {
+	N0, N1, NAlpha, NEps int
+}
+
+// Count computes Counts for a slice of tags.
+func Count(tags []Value) Counts {
+	var c Counts
+	for _, v := range tags {
+		switch v.Real() {
+		case V0:
+			c.N0++
+		case V1:
+			c.N1++
+		case Alpha:
+			c.NAlpha++
+		case Eps:
+			c.NEps++
+		}
+	}
+	return c
+}
+
+// Total returns n0 + n1 + nα + nε (equation 1 says this equals the number
+// of links counted).
+func (c Counts) Total() int { return c.N0 + c.N1 + c.NAlpha + c.NEps }
+
+// CheckBSNInput validates the input-side constraints of an n-input binary
+// splitting network, equations (1)–(3):
+//
+//	n0 + n1 + nα + nε = n
+//	n0 + nα ≤ n/2   and   n1 + nα ≤ n/2
+//	nα ≤ nε   (implied by the above)
+func (c Counts) CheckBSNInput(n int) error {
+	if c.Total() != n {
+		return fmt.Errorf("tag: counts total %d, want n = %d (eq. 1)", c.Total(), n)
+	}
+	if c.N0+c.NAlpha > n/2 {
+		return fmt.Errorf("tag: n0+nα = %d exceeds n/2 = %d (eq. 2)", c.N0+c.NAlpha, n/2)
+	}
+	if c.N1+c.NAlpha > n/2 {
+		return fmt.Errorf("tag: n1+nα = %d exceeds n/2 = %d (eq. 2)", c.N1+c.NAlpha, n/2)
+	}
+	if c.NAlpha > c.NEps {
+		return fmt.Errorf("tag: nα = %d exceeds nε = %d (eq. 3)", c.NAlpha, c.NEps)
+	}
+	return nil
+}
+
+// AfterScatter returns the output-side counts of a scatter network fed with
+// counts c, per equation (4): every alpha pairs with an epsilon and the
+// pair becomes a 0 and a 1.
+func (c Counts) AfterScatter() Counts {
+	return Counts{
+		N0:     c.N0 + c.NAlpha,
+		N1:     c.N1 + c.NAlpha,
+		NAlpha: 0,
+		NEps:   c.NEps - c.NAlpha,
+	}
+}
+
+// OtherDirection maps a direction tag to its opposite half: V0 <-> V1.
+// It panics on any other value; only direction tags have an opposite.
+func (v Value) OtherDirection() Value {
+	switch v {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	}
+	panic(fmt.Sprintf("tag: OtherDirection of %v", v))
+}

@@ -1,0 +1,169 @@
+package tag
+
+import "testing"
+
+// TestTable1Encoding checks the exact encoding of Table 1.
+func TestTable1Encoding(t *testing.T) {
+	want := map[Value]Bits{
+		V0:    {0, 0, 0},
+		V1:    {0, 0, 1},
+		Alpha: {1, 0, 0},
+		Eps:   {1, 1, 0},
+		Eps0:  {1, 1, 0},
+		Eps1:  {1, 1, 1},
+	}
+	for v, b := range want {
+		if got := Encode(v); got != b {
+			t.Errorf("Encode(%v) = %v, want %v", v, got, b)
+		}
+	}
+}
+
+// TestDecodeRoundTrip checks Decode inverts Encode in both dummy modes.
+func TestDecodeRoundTrip(t *testing.T) {
+	for _, v := range []Value{V0, V1, Alpha, Eps} {
+		got, err := Decode(Encode(v), false)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Decode(Encode(%v)) = %v", v, got)
+		}
+	}
+	for _, v := range []Value{V0, V1, Alpha, Eps0, Eps1} {
+		got, err := Decode(Encode(v), true)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v), dummies): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("Decode(Encode(%v), dummies) = %v", v, got)
+		}
+	}
+	if _, err := Decode(Bits{0, 1, 0}, false); err == nil {
+		t.Error("Decode accepted the unused code 010")
+	}
+	if _, err := Decode(Bits{1, 0, 1}, false); err == nil {
+		t.Error("Decode accepted the unused code 101")
+	}
+}
+
+// TestCountingBits checks the circuit-level counting predicates of
+// Section 7.2: b0∧¬b1 counts αs, b0∧b1 counts εs, b2 counts (real or
+// dummy) ones.
+func TestCountingBits(t *testing.T) {
+	for _, v := range []Value{V0, V1, Alpha, Eps, Eps0, Eps1} {
+		b := Encode(v)
+		if got, want := b.CountAlphaBit() == 1, v == Alpha; got != want {
+			t.Errorf("%v: CountAlphaBit = %v, want %v", v, got, want)
+		}
+		if got, want := b.CountEpsBit() == 1, v.IsEps(); got != want {
+			t.Errorf("%v: CountEpsBit = %v, want %v", v, got, want)
+		}
+	}
+	if Encode(V1).CountOneBit() != 1 || Encode(Eps1).CountOneBit() != 1 {
+		t.Error("CountOneBit must be 1 for V1 and Eps1")
+	}
+	if Encode(V0).CountOneBit() != 0 || Encode(Eps0).CountOneBit() != 0 {
+		t.Error("CountOneBit must be 0 for V0 and Eps0")
+	}
+}
+
+// TestPredicates exercises the value predicates.
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		v             Value
+		eps, chi, msg bool
+	}{
+		{V0, false, true, true},
+		{V1, false, true, true},
+		{Alpha, false, false, true},
+		{Eps, true, false, false},
+		{Eps0, true, false, false},
+		{Eps1, true, false, false},
+	}
+	for _, c := range cases {
+		if c.v.IsEps() != c.eps || c.v.IsChi() != c.chi || c.v.CarriesMessage() != c.msg {
+			t.Errorf("%v: predicates (eps=%v chi=%v msg=%v), want (%v %v %v)",
+				c.v, c.v.IsEps(), c.v.IsChi(), c.v.CarriesMessage(), c.eps, c.chi, c.msg)
+		}
+		if !c.v.Valid() {
+			t.Errorf("%v not Valid", c.v)
+		}
+	}
+	if Value(17).Valid() {
+		t.Error("Value(17) reported Valid")
+	}
+}
+
+// TestSortBit checks the quasisorting bit and its panics.
+func TestSortBit(t *testing.T) {
+	if V0.SortBit() != 0 || Eps0.SortBit() != 0 || V1.SortBit() != 1 || Eps1.SortBit() != 1 {
+		t.Error("SortBit values wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SortBit(Alpha) did not panic")
+		}
+	}()
+	Alpha.SortBit()
+}
+
+// TestReal checks dummy reversion.
+func TestReal(t *testing.T) {
+	if Eps0.Real() != Eps || Eps1.Real() != Eps || V0.Real() != V0 || Alpha.Real() != Alpha {
+		t.Error("Real() mapping wrong")
+	}
+}
+
+// TestCounts checks Count, Total and the BSN input constraints.
+func TestCounts(t *testing.T) {
+	tags := []Value{V0, V1, Alpha, Eps, Eps0, Eps1, V0, Eps}
+	c := Count(tags)
+	want := Counts{N0: 2, N1: 1, NAlpha: 1, NEps: 4}
+	if c != want {
+		t.Fatalf("Count = %+v, want %+v", c, want)
+	}
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", c.Total())
+	}
+	if err := c.CheckBSNInput(8); err != nil {
+		t.Fatalf("CheckBSNInput: %v", err)
+	}
+	if err := c.CheckBSNInput(16); err == nil {
+		t.Error("CheckBSNInput accepted wrong total")
+	}
+	bad := Counts{N0: 3, N1: 0, NAlpha: 0, NEps: 1}
+	if err := bad.CheckBSNInput(4); err == nil {
+		t.Error("CheckBSNInput accepted n0 > n/2")
+	}
+	bad = Counts{N0: 0, N1: 1, NAlpha: 2, NEps: 1}
+	if err := bad.CheckBSNInput(4); err == nil {
+		t.Error("CheckBSNInput accepted n1+nα > n/2")
+	}
+	// nα <= nε (eq. 3) is implied by eqs. 1–2, so any counts passing the
+	// half bounds also pass it: verify the α/ε check never fires alone.
+	ok := Counts{N0: 0, N1: 0, NAlpha: 2, NEps: 2}
+	if err := ok.CheckBSNInput(4); err != nil {
+		t.Errorf("CheckBSNInput rejected legal counts: %v", err)
+	}
+}
+
+// TestAfterScatter checks the equation (4) transformation.
+func TestAfterScatter(t *testing.T) {
+	c := Counts{N0: 1, N1: 2, NAlpha: 3, NEps: 10}
+	got := c.AfterScatter()
+	want := Counts{N0: 4, N1: 5, NAlpha: 0, NEps: 7}
+	if got != want {
+		t.Fatalf("AfterScatter = %+v, want %+v", got, want)
+	}
+}
+
+// TestStrings pins the display notation.
+func TestStrings(t *testing.T) {
+	pairs := map[Value]string{V0: "0", V1: "1", Alpha: "α", Eps: "ε", Eps0: "ε0", Eps1: "ε1"}
+	for v, s := range pairs {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", uint8(v), v.String(), s)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package vectors generates and checks conformance test vectors for the
+// self-routing multicast network: machine-readable records pairing a
+// multicast assignment with its routing-tag sequences, its deliveries,
+// and the exact switch-column program the distributed algorithms
+// compute (plancodec format, base64). A vectors file pins the network's
+// observable behavior across versions — and gives an independent
+// implementation (another language, an RTL model, silicon) something
+// concrete to conform to.
+package vectors
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/plancodec"
+	"brsmn/internal/workload"
+)
+
+// Vector is one conformance record.
+type Vector struct {
+	N     int     `json:"n"`
+	Dests [][]int `json:"dests"`
+	// Sequences[i] is input i's routing-tag sequence in the paper's
+	// compact notation ("" for idle inputs).
+	Sequences []string `json:"sequences"`
+	// Deliveries[out] is the source delivered at each output (-1 idle).
+	Deliveries []int `json:"deliveries"`
+	// Plan is the flattened switch-column program, plancodec-encoded
+	// then base64.
+	Plan string `json:"plan"`
+}
+
+// File is the on-disk shape.
+type File struct {
+	Format  string   `json:"format"`
+	Version int      `json:"version"`
+	Vectors []Vector `json:"vectors"`
+}
+
+// FormatName identifies the vector file format.
+const FormatName = "brsmn-conformance"
+
+// Generate produces count vectors for each listed size: the paper's
+// Fig. 2 example first (when n = 8 is listed), then a full broadcast,
+// then deterministic pseudo-random assignments from the seed.
+func Generate(sizes []int, count int, seed int64) (*File, error) {
+	rng := rand.New(rand.NewSource(seed))
+	f := &File{Format: FormatName, Version: 1}
+	for _, n := range sizes {
+		var as []mcast.Assignment
+		if n == 8 {
+			as = append(as, workload.PaperFig2())
+		}
+		b, err := mcast.Broadcast(n, rng.Intn(n))
+		if err != nil {
+			return nil, err
+		}
+		as = append(as, b)
+		for len(as) < count {
+			as = append(as, workload.Random(rng, n, rng.Float64(), rng.Float64()))
+		}
+		for _, a := range as {
+			v, err := vectorOf(a)
+			if err != nil {
+				return nil, err
+			}
+			f.Vectors = append(f.Vectors, *v)
+		}
+	}
+	return f, nil
+}
+
+func vectorOf(a mcast.Assignment) (*Vector, error) {
+	res, err := core.Route(a)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := plancodec.Encode(a.N, cols)
+	if err != nil {
+		return nil, err
+	}
+	v := &Vector{
+		N:          a.N,
+		Dests:      a.Dests,
+		Sequences:  make([]string, a.N),
+		Deliveries: make([]int, a.N),
+		Plan:       base64.StdEncoding.EncodeToString(blob),
+	}
+	seqs, err := a.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	for i := range seqs {
+		if len(a.Dests[i]) > 0 {
+			v.Sequences[i] = mcast.FormatSequence(seqs[i])
+		}
+	}
+	for out, d := range res.Deliveries {
+		v.Deliveries[out] = d.Source
+	}
+	return v, nil
+}
+
+// Check re-derives every vector from its assignment and compares all
+// recorded fields; it also replays the recorded plan through the fabric
+// and requires the recorded deliveries. It returns the number of vectors
+// checked.
+func Check(f *File) (int, error) {
+	if f.Format != FormatName {
+		return 0, fmt.Errorf("vectors: format %q, want %q", f.Format, FormatName)
+	}
+	if f.Version != 1 {
+		return 0, fmt.Errorf("vectors: unsupported version %d", f.Version)
+	}
+	for k, v := range f.Vectors {
+		if len(v.Sequences) != v.N || len(v.Deliveries) != v.N {
+			return k, fmt.Errorf("vectors: #%d: field widths (%d sequences, %d deliveries) do not match n = %d",
+				k, len(v.Sequences), len(v.Deliveries), v.N)
+		}
+		a, err := mcast.New(v.N, v.Dests)
+		if err != nil {
+			return k, fmt.Errorf("vectors: #%d: %w", k, err)
+		}
+		fresh, err := vectorOf(a)
+		if err != nil {
+			return k, fmt.Errorf("vectors: #%d: %w", k, err)
+		}
+		for i := range v.Sequences {
+			if fresh.Sequences[i] != v.Sequences[i] {
+				return k, fmt.Errorf("vectors: #%d input %d: sequence %q, recorded %q",
+					k, i, fresh.Sequences[i], v.Sequences[i])
+			}
+		}
+		for out := range v.Deliveries {
+			if fresh.Deliveries[out] != v.Deliveries[out] {
+				return k, fmt.Errorf("vectors: #%d output %d: delivery %d, recorded %d",
+					k, out, fresh.Deliveries[out], v.Deliveries[out])
+			}
+		}
+		if fresh.Plan != v.Plan {
+			return k, fmt.Errorf("vectors: #%d: switch plan drifted from the recorded bytes", k)
+		}
+		// Independent replay of the recorded plan.
+		blob, err := base64.StdEncoding.DecodeString(v.Plan)
+		if err != nil {
+			return k, fmt.Errorf("vectors: #%d: %w", k, err)
+		}
+		n, cols, err := plancodec.Decode(blob)
+		if err != nil || n != v.N {
+			return k, fmt.Errorf("vectors: #%d: plan decode: %v", k, err)
+		}
+		cells, err := bsn.CellsForAssignment(a)
+		if err != nil {
+			return k, err
+		}
+		final, err := fabric.Run(cols, cells)
+		if err != nil {
+			return k, fmt.Errorf("vectors: #%d: replay: %w", k, err)
+		}
+		for p, c := range final {
+			got := -1
+			if !c.IsIdle() {
+				got = c.Source
+			}
+			if got != v.Deliveries[p] {
+				return k, fmt.Errorf("vectors: #%d: replay output %d = %d, recorded %d", k, p, got, v.Deliveries[p])
+			}
+		}
+	}
+	return len(f.Vectors), nil
+}
+
+// Marshal renders the file as indented JSON.
+func Marshal(f *File) ([]byte, error) {
+	return json.MarshalIndent(f, "", " ")
+}
+
+// Unmarshal parses a vectors file.
+func Unmarshal(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("vectors: %w", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,99 @@
+package vectors
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateCheckRoundTrip generates vectors and immediately checks
+// them, through the JSON round trip.
+func TestGenerateCheckRoundTrip(t *testing.T) {
+	f, err := Generate([]int{4, 8, 32}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vectors) != 3*6 { // count per size (Fig. 2 and a broadcast lead n=8's)
+		t.Fatalf("%d vectors", len(f.Vectors))
+	}
+	raw, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Check(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(f.Vectors) {
+		t.Fatalf("checked %d of %d", n, len(f.Vectors))
+	}
+}
+
+// TestCheckCatchesTampering corrupts each field class and expects Check
+// to fail.
+func TestCheckCatchesTampering(t *testing.T) {
+	fresh := func() *File {
+		f, err := Generate([]int{8}, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f := fresh()
+	f.Vectors[0].Deliveries[0] = 99
+	if _, err := Check(f); err == nil {
+		t.Error("tampered delivery accepted")
+	}
+	f = fresh()
+	f.Vectors[1].Sequences[0] = "ε"
+	if _, err := Check(f); err == nil {
+		t.Error("tampered sequence accepted")
+	}
+	f = fresh()
+	f.Vectors[0].Plan = f.Vectors[0].Plan[:len(f.Vectors[0].Plan)-8] + "AAAAAAA="
+	if _, err := Check(f); err == nil {
+		t.Error("tampered plan accepted")
+	}
+	f = fresh()
+	f.Format = "other"
+	if _, err := Check(f); err == nil {
+		t.Error("wrong format accepted")
+	}
+	f = fresh()
+	f.Version = 9
+	if _, err := Check(f); err == nil {
+		t.Error("wrong version accepted")
+	}
+	f = fresh()
+	f.Vectors[0].Dests = [][]int{{0}, {0}}
+	if _, err := Check(f); err == nil {
+		t.Error("invalid assignment accepted")
+	}
+	if _, err := Unmarshal([]byte("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+// TestCommittedVectorsStillConform checks the repository's committed
+// conformance file against the current implementation.
+func TestCommittedVectorsStillConform(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "conformance.json"))
+	if err != nil {
+		t.Fatalf("missing committed vectors (regenerate with cmd/brsmnvectors): %v", err)
+	}
+	f, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 20 {
+		t.Fatalf("only %d committed vectors", n)
+	}
+}

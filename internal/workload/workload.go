@@ -1,0 +1,216 @@
+// Package workload generates multicast assignments for tests, examples
+// and benchmarks: uniform random multicast traffic, (partial)
+// permutations, broadcasts, hot spots and adversarial maximum-split
+// patterns. All generators produce valid assignments (pairwise-disjoint
+// destination sets) by construction.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brsmn/internal/mcast"
+)
+
+// Random draws a multicast assignment in which a `load` fraction of the n
+// outputs (rounded) receive traffic, destinations are assigned to active
+// inputs uniformly at random, and roughly `activeFrac` of the inputs are
+// active. load and activeFrac are clamped to [0, 1]; an activeFrac of 0
+// still yields at least one active input when load > 0.
+func Random(rng *rand.Rand, n int, load, activeFrac float64) mcast.Assignment {
+	load = clamp01(load)
+	activeFrac = clamp01(activeFrac)
+	k := int(load*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	numActive := int(activeFrac*float64(n) + 0.5)
+	if numActive < 1 && k > 0 {
+		numActive = 1
+	}
+	if numActive > n {
+		numActive = n
+	}
+	dests := make([][]int, n)
+	if k == 0 || numActive == 0 {
+		return mcast.MustNew(n, dests)
+	}
+	active := rng.Perm(n)[:numActive]
+	outs := rng.Perm(n)[:k]
+	for _, o := range outs {
+		in := active[rng.Intn(numActive)]
+		dests[in] = append(dests[in], o)
+	}
+	return mcast.MustNew(n, dests)
+}
+
+// Permutation draws a full random permutation assignment.
+func Permutation(rng *rand.Rand, n int) mcast.Assignment {
+	p := rng.Perm(n)
+	a, err := mcast.Permutation(p)
+	if err != nil {
+		panic(err) // a permutation of [0,n) is always valid
+	}
+	return a
+}
+
+// PartialPermutation draws a permutation assignment in which each input
+// is active with probability load.
+func PartialPermutation(rng *rand.Rand, n int, load float64) mcast.Assignment {
+	load = clamp01(load)
+	p := rng.Perm(n)
+	vec := make([]int, n)
+	for i := range vec {
+		if rng.Float64() < load {
+			vec[i] = p[i]
+		} else {
+			vec[i] = -1
+		}
+	}
+	a, err := mcast.Permutation(vec)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Broadcast returns the assignment in which input src multicasts to all n
+// outputs — the maximal single multicast tree.
+func Broadcast(n, src int) mcast.Assignment {
+	a, err := mcast.Broadcast(n, src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// HotSpot gives one randomly chosen input a fanout of `hot` random
+// outputs and spreads the remaining outputs as unicasts over the other
+// inputs with probability load.
+func HotSpot(rng *rand.Rand, n, hot int, load float64) mcast.Assignment {
+	if hot > n {
+		hot = n
+	}
+	load = clamp01(load)
+	dests := make([][]int, n)
+	outs := rng.Perm(n)
+	src := rng.Intn(n)
+	dests[src] = append(dests[src], outs[:hot]...)
+	rest := outs[hot:]
+	inputs := rng.Perm(n)
+	ii := 0
+	for _, o := range rest {
+		if rng.Float64() >= load {
+			continue
+		}
+		for ii < len(inputs) && inputs[ii] == src {
+			ii++
+		}
+		if ii >= len(inputs) {
+			break
+		}
+		dests[inputs[ii]] = append(dests[inputs[ii]], o)
+		ii++
+	}
+	return mcast.MustNew(n, dests)
+}
+
+// MaxSplit builds the adversarial assignment that forces the largest
+// number of α splits: `groups` active inputs, each multicasting to a
+// maximally spread (stride-`groups`) destination comb, so every
+// connection splits at every level until the final log2(groups) levels.
+// groups must be a power of two dividing n.
+func MaxSplit(n, groups int) (mcast.Assignment, error) {
+	if groups <= 0 || groups > n || n%groups != 0 || groups&(groups-1) != 0 {
+		return mcast.Assignment{}, fmt.Errorf("workload: groups = %d must be a power of two dividing n = %d", groups, n)
+	}
+	dests := make([][]int, n)
+	for g := 0; g < groups; g++ {
+		for d := g; d < n; d += groups {
+			dests[g] = append(dests[g], d)
+		}
+	}
+	return mcast.New(n, dests)
+}
+
+// EvenFanout gives each of the first n/f inputs a contiguous block of f
+// destinations — a split-light counterpart to MaxSplit with the same
+// total fanout. f must divide n.
+func EvenFanout(n, f int) (mcast.Assignment, error) {
+	if f <= 0 || n%f != 0 {
+		return mcast.Assignment{}, fmt.Errorf("workload: fanout %d must divide n = %d", f, n)
+	}
+	dests := make([][]int, n)
+	for i := 0; i < n/f; i++ {
+		for d := i * f; d < (i+1)*f; d++ {
+			dests[i] = append(dests[i], d)
+		}
+	}
+	return mcast.New(n, dests)
+}
+
+// PaperFig2 returns the 8x8 example assignment of Fig. 2 of the paper:
+// {{0,1}, ∅, {3,4,7}, {2}, ∅, ∅, ∅, {5,6}}.
+func PaperFig2() mcast.Assignment {
+	return mcast.MustNew(8, [][]int{
+		{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6},
+	})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ZipfFanout draws a multicast assignment whose per-source fanouts
+// follow a Zipf-like heavy tail (exponent s > 1): most multicasts are
+// small, a few are large — the fanout profile measured in real multicast
+// traffic. Destination sets stay disjoint; generation stops when the
+// outputs are exhausted.
+func ZipfFanout(rng *rand.Rand, n int, s float64, load float64) mcast.Assignment {
+	if s <= 1 {
+		s = 1.1
+	}
+	load = clamp01(load)
+	budget := int(load*float64(n) + 0.5)
+	outs := rng.Perm(n)
+	inputs := rng.Perm(n)
+	dests := make([][]int, n)
+	zipf := rand.NewZipf(rng, s, 1, uint64(n-1))
+	used := 0
+	for _, in := range inputs {
+		if used >= budget {
+			break
+		}
+		f := int(zipf.Uint64()) + 1
+		if used+f > budget {
+			f = budget - used
+		}
+		dests[in] = append([]int(nil), outs[used:used+f]...)
+		used += f
+	}
+	return mcast.MustNew(n, dests)
+}
+
+// Bursty draws a sequence of assignments with on/off arrival phases: in
+// an "on" phase the load is high, in an "off" phase near zero — the
+// batch form used to stress schedulers and pipelines.
+func Bursty(rng *rand.Rand, n, count int, onLoad, offLoad float64, phase int) []mcast.Assignment {
+	if phase < 1 {
+		phase = 1
+	}
+	out := make([]mcast.Assignment, count)
+	for i := range out {
+		load := offLoad
+		if (i/phase)%2 == 0 {
+			load = onLoad
+		}
+		out[i] = Random(rng, n, load, 0.6)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomValidAndLoaded checks validity and approximate load.
+func TestRandomValidAndLoaded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 64, 512} {
+		for _, load := range []float64{0, 0.25, 0.5, 1.0} {
+			a := Random(rng, n, load, 0.5)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("n=%d load=%v: %v", n, load, err)
+			}
+			want := int(load*float64(n) + 0.5)
+			if a.Fanout() != want {
+				t.Errorf("n=%d load=%v: fanout %d, want %d", n, load, a.Fanout(), want)
+			}
+		}
+	}
+	// Out-of-range load clamps.
+	a := Random(rng, 8, 3.0, -1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fanout() != 8 {
+		t.Errorf("clamped load fanout %d, want 8", a.Fanout())
+	}
+}
+
+// TestPermutationGenerators checks full and partial permutations.
+func TestPermutationGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Permutation(rng, 64)
+	if !a.IsPermutation() || a.Fanout() != 64 {
+		t.Error("Permutation not full")
+	}
+	p := PartialPermutation(rng, 64, 0.5)
+	if !p.IsPermutation() {
+		t.Error("PartialPermutation not a permutation")
+	}
+	if p.Fanout() == 0 || p.Fanout() == 64 {
+		t.Logf("unusual partial fanout %d (possible but unlikely)", p.Fanout())
+	}
+}
+
+// TestBroadcastGenerator checks the full-fanout assignment.
+func TestBroadcastGenerator(t *testing.T) {
+	a := Broadcast(16, 3)
+	if a.Fanout() != 16 || len(a.Dests[3]) != 16 {
+		t.Error("Broadcast wrong")
+	}
+}
+
+// TestHotSpot checks the hot input receives the requested fanout.
+func TestHotSpot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := HotSpot(rng, 64, 16, 0.5)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxFan := 0
+	for _, ds := range a.Dests {
+		if len(ds) > maxFan {
+			maxFan = len(ds)
+		}
+	}
+	if maxFan != 16 {
+		t.Errorf("hot fanout %d, want 16", maxFan)
+	}
+	// hot > n clamps.
+	b := HotSpot(rng, 8, 100, 0)
+	if b.Fanout() != 8 {
+		t.Errorf("clamped hot fanout %d, want 8", b.Fanout())
+	}
+}
+
+// TestMaxSplit checks the adversarial comb structure and validation.
+func TestMaxSplit(t *testing.T) {
+	a, err := MaxSplit(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		if len(a.Dests[g]) != 4 {
+			t.Errorf("group %d fanout %d, want 4", g, len(a.Dests[g]))
+		}
+		for k, d := range a.Dests[g] {
+			if d != g+4*k {
+				t.Errorf("group %d dest %d = %d, want %d", g, k, d, g+4*k)
+			}
+		}
+	}
+	for _, bad := range [][2]int{{16, 3}, {16, 0}, {16, 32}, {12, 4}} {
+		if _, err := MaxSplit(bad[0], bad[1]); err == nil {
+			t.Errorf("MaxSplit(%d,%d) succeeded", bad[0], bad[1])
+		}
+	}
+}
+
+// TestEvenFanout checks the contiguous-block generator.
+func TestEvenFanout(t *testing.T) {
+	a, err := EvenFanout(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fanout() != 16 || len(a.Dests[0]) != 4 || a.Dests[1][0] != 4 {
+		t.Error("EvenFanout structure wrong")
+	}
+	if _, err := EvenFanout(16, 3); err == nil {
+		t.Error("EvenFanout accepted non-dividing fanout")
+	}
+}
+
+// TestPaperFig2 pins the running example.
+func TestPaperFig2(t *testing.T) {
+	a := PaperFig2()
+	if a.String() != "{{0,1}, ∅, {3,4,7}, {2}, ∅, ∅, ∅, {5,6}}" {
+		t.Errorf("PaperFig2 = %v", a)
+	}
+}
+
+// TestZipfFanout checks validity, the load budget, and the heavy tail.
+func TestZipfFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{16, 64, 256} {
+		a := ZipfFanout(rng, n, 1.5, 1.0)
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if a.Fanout() != n {
+			t.Errorf("n=%d: fanout %d, want %d", n, a.Fanout(), n)
+		}
+	}
+	// Heavy tail: across many draws, some multicast exceeds 4x the mean.
+	sawBig := false
+	for trial := 0; trial < 50 && !sawBig; trial++ {
+		a := ZipfFanout(rng, 128, 1.2, 1.0)
+		for _, ds := range a.Dests {
+			if len(ds) >= 16 {
+				sawBig = true
+			}
+		}
+	}
+	if !sawBig {
+		t.Error("no heavy-tail fanout observed in 50 draws")
+	}
+	// Degenerate exponent clamps.
+	if a := ZipfFanout(rng, 16, 0.5, 0.5); a.Validate() != nil {
+		t.Error("clamped exponent invalid")
+	}
+}
+
+// TestBursty checks the phase structure.
+func TestBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	batch := Bursty(rng, 64, 8, 0.9, 0.05, 2)
+	if len(batch) != 8 {
+		t.Fatalf("%d assignments", len(batch))
+	}
+	onFan := batch[0].Fanout() + batch[1].Fanout()
+	offFan := batch[2].Fanout() + batch[3].Fanout()
+	if onFan <= offFan {
+		t.Errorf("on-phase fanout %d not above off-phase %d", onFan, offFan)
+	}
+	if b := Bursty(rng, 16, 3, 1, 0, 0); len(b) != 3 {
+		t.Error("phase clamp wrong")
+	}
+}

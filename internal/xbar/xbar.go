@@ -1,0 +1,74 @@
+// Package xbar implements an n x n crossbar multicast switch: the trivial
+// O(n^2)-cost, O(1)-depth baseline and the correctness oracle for every
+// other network in this repository. Each output has an n-way selector; a
+// multicast assignment is realized by pointing each requested output's
+// selector at its source input.
+package xbar
+
+import (
+	"fmt"
+
+	"brsmn/internal/mcast"
+)
+
+// Crossbar is an n x n crossbar. The zero value is unusable; use New.
+type Crossbar struct {
+	n int
+	// sel[out] is the input selected by output out, or -1.
+	sel []int
+}
+
+// New returns an n x n crossbar (any n >= 1; the crossbar does not need a
+// power-of-two size, but the rest of the repository uses one).
+func New(n int) (*Crossbar, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("xbar: size %d out of range", n)
+	}
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = -1
+	}
+	return &Crossbar{n: n, sel: sel}, nil
+}
+
+// N returns the crossbar size.
+func (x *Crossbar) N() int { return x.n }
+
+// Configure points the output selectors at the assignment's sources.
+func (x *Crossbar) Configure(a mcast.Assignment) error {
+	if a.N != x.n {
+		return fmt.Errorf("xbar: assignment for %d ports on a %d x %d crossbar", a.N, x.n, x.n)
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	copy(x.sel, a.OutputOwner())
+	return nil
+}
+
+// Apply delivers the input payloads to the configured outputs; outputs
+// with no selected input receive the zero value.
+func Apply[T any](x *Crossbar, in []T) ([]T, error) {
+	if len(in) != x.n {
+		return nil, fmt.Errorf("xbar: %d inputs for a %d x %d crossbar", len(in), x.n, x.n)
+	}
+	out := make([]T, x.n)
+	for o, s := range x.sel {
+		if s >= 0 {
+			out[o] = in[s]
+		}
+	}
+	return out, nil
+}
+
+// Route configures and applies in one step, returning the source feeding
+// each output (-1 for idle outputs) — the oracle interface.
+func (x *Crossbar) Route(a mcast.Assignment) ([]int, error) {
+	if err := x.Configure(a); err != nil {
+		return nil, err
+	}
+	return append([]int(nil), x.sel...), nil
+}
+
+// Crosspoints returns the hardware cost of the crossbar: n^2 crosspoints.
+func (x *Crossbar) Crosspoints() int { return x.n * x.n }

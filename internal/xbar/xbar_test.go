@@ -1,0 +1,68 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/workload"
+)
+
+// TestRouteMatchesAssignment checks the oracle against the assignment's
+// own owner map (they are definitionally equal — this pins the API).
+func TestRouteMatchesAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 64} {
+		xb, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			a := workload.Random(rng, n, rng.Float64(), rng.Float64())
+			got, err := xb.Route(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := a.OutputOwner()
+			for out := range want {
+				if got[out] != want[out] {
+					t.Fatalf("output %d: %d, want %d", out, got[out], want[out])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyPayloads checks payload fanout.
+func TestApplyPayloads(t *testing.T) {
+	xb, _ := New(4)
+	a := workload.Broadcast(4, 2)
+	if err := xb.Configure(a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(xb, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if s != "c" {
+			t.Errorf("output %d = %q", i, s)
+		}
+	}
+	if _, err := Apply(xb, []string{"a"}); err == nil {
+		t.Error("Apply accepted wrong width")
+	}
+}
+
+// TestValidation checks error paths and cost.
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+	xb, _ := New(4)
+	if err := xb.Configure(workload.Broadcast(8, 0)); err == nil {
+		t.Error("Configure accepted wrong size")
+	}
+	if xb.Crosspoints() != 16 || xb.N() != 4 {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package brsmn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn"
+	"brsmn/internal/workload"
+)
+
+// TestSoak is the long randomized differential run: thousands of random
+// assignments across sizes and workload families, every one verified
+// against the oracle on both network variants. Skipped under -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(424242))
+	total := 0
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		nw, err := brsmn.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := brsmn.NewFeedback(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		draw := []func() brsmn.Assignment{
+			func() brsmn.Assignment { return workload.Random(rng, n, rng.Float64(), rng.Float64()) },
+			func() brsmn.Assignment { return brsmn.ZipfAssignment(rng, n, 1.2+rng.Float64(), rng.Float64()) },
+			func() brsmn.Assignment { return workload.Permutation(rng, n) },
+			func() brsmn.Assignment { return workload.HotSpot(rng, n, 1+rng.Intn(n), rng.Float64()) },
+			func() brsmn.Assignment { return workload.Broadcast(n, rng.Intn(n)) },
+		}
+		for trial := 0; trial < 200; trial++ {
+			a := draw[trial%len(draw)]()
+			want, err := brsmn.Oracle(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := nw.Route(a)
+			if err != nil {
+				t.Fatalf("n=%d trial %d %v: %v", n, trial, a, err)
+			}
+			r2, err := fb.Route(a)
+			if err != nil {
+				t.Fatalf("n=%d trial %d %v: feedback: %v", n, trial, a, err)
+			}
+			for out := range want {
+				if r1.Deliveries[out].Source != want[out] || r2.Deliveries[out].Source != want[out] {
+					t.Fatalf("n=%d trial %d %v: output %d diverged", n, trial, a, out)
+				}
+			}
+			total++
+		}
+	}
+	t.Logf("soak: %d assignments verified", total)
+}

@@ -1,0 +1,60 @@
+package brsmn
+
+import (
+	"brsmn/internal/cost"
+	"brsmn/internal/gates"
+	"brsmn/internal/mcast"
+)
+
+// TagSequence returns the routing-tag sequence (Section 7.1 of the
+// paper) of a multicast with the given destination set in an n-output
+// network, in the paper's compact notation: for example, the multicast
+// {3,4,7} in an 8-output network encodes as "α1αε011" (Fig. 9). The
+// sequence has n-1 tags: the complete binary tag tree serialized level
+// by level with the bit-reversal interleaving of equation (12), so that
+// hardware can split it between the two half-size networks by simply
+// alternating tags (Fig. 10).
+func TagSequence(n int, dests []int) (string, error) {
+	s, err := mcast.SequenceFromDests(n, dests)
+	if err != nil {
+		return "", err
+	}
+	return mcast.FormatSequence(s), nil
+}
+
+// ParseTagSequence decodes a routing-tag sequence in the compact
+// notation (accepting 'a'/'e' as ASCII aliases for α/ε) back to the
+// destination set it encodes.
+func ParseTagSequence(n int, seq string) ([]int, error) {
+	tree, err := mcast.ParseSequenceString(n, seq)
+	if err != nil {
+		return nil, err
+	}
+	return tree.Dests(), nil
+}
+
+// CostRow is one row of the paper's Table 2 in concrete units: 2x2
+// switches (or crosspoints), logic gates, switch-column depth, and
+// routing time in gate delays.
+type CostRow = cost.Row
+
+// CostTable2 returns the four-network comparison of the paper's Table 2
+// at size n: the Nassimi & Sahni and Lee & Oruc order-of-growth models,
+// the BRSMN, and its feedback version.
+func CostTable2(n int) []CostRow { return cost.Table2(n) }
+
+// NetworkCost returns the BRSMN's cost row at size n.
+func NetworkCost(n int) CostRow { return cost.BRSMN(n) }
+
+// FeedbackCost returns the feedback implementation's cost row at size n.
+func FeedbackCost(n int) CostRow { return cost.Feedback(n) }
+
+// RoutingDelay returns the simulated routing time, in gate delays, of
+// the unrolled n x n BRSMN's distributed switch-setting: the pipelined
+// forward/backward sweeps of every level run cycle-accurately (Fig. 12
+// hardware model). It grows as Θ(log^2 n).
+func RoutingDelay(n int) int { return gates.BRSMNRoutingDelay(n) }
+
+// FeedbackRoutingDelay returns the simulated routing time of the
+// feedback implementation, including per-pass turnaround.
+func FeedbackRoutingDelay(n int) int { return gates.FeedbackRoutingDelay(n) }
