@@ -1,37 +1,139 @@
-// Command brsmnd serves the multicast network over JSON/HTTP: routing,
-// batch scheduling, cost queries and tag-sequence encoding. See package
-// brsmn/internal/api for the endpoint contract.
+// Command brsmnd serves the multicast network over JSON/HTTP: stateless
+// routing, batch scheduling, cost queries and tag-sequence encoding,
+// plus stateful long-lived multicast groups with epoch-based rerouting
+// and a plan cache. See packages brsmn/internal/api and
+// brsmn/internal/groupd for the endpoint and subsystem contracts.
 //
 // Usage:
 //
-//	brsmnd -addr :8642 -workers 4
+//	brsmnd -addr :8642 -n 1024 -workers 4 -epoch 250ms -epoch-threshold 64 -cache 4096
 //
-//	curl -s localhost:8642/cost?n=256
-//	curl -s -X POST localhost:8642/route -d '{"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}'
+//	curl -s localhost:8642/healthz
+//	curl -s -X POST localhost:8642/groups -d '{"id":"conf","source":2,"members":[3,4,7]}'
+//	curl -s -X POST localhost:8642/groups/conf/join -d '{"dest":9}'
+//	curl -s localhost:8642/epoch
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain through http.Server.Shutdown and the groupd epoch loop is
+// stopped before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"brsmn/internal/api"
+	"brsmn/internal/groupd"
 	"brsmn/internal/rbn"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", ":8642", "listen address")
-		workers = flag.Int("workers", 1, "switch-setting worker goroutines")
-	)
-	flag.Parse()
+// config is the parsed flag set.
+type config struct {
+	addr           string
+	workers        int
+	n              int
+	epochPeriod    time.Duration
+	epochThreshold int
+	cacheSize      int
+	shards         int
+	shutdownGrace  time.Duration
+}
+
+// parseFlags parses args (without the program name) into a config.
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("brsmnd", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", ":8642", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 1, "switch-setting worker goroutines")
+	fs.IntVar(&cfg.n, "n", 1024, "network size for long-lived groups (power of two)")
+	fs.DurationVar(&cfg.epochPeriod, "epoch", 250*time.Millisecond, "epoch reroute period (0 disables the timer)")
+	fs.IntVar(&cfg.epochThreshold, "epoch-threshold", 64, "pending membership changes that force an early epoch (0 disables)")
+	fs.IntVar(&cfg.cacheSize, "cache", 4096, "plan cache capacity in entries")
+	fs.IntVar(&cfg.shards, "shards", 16, "group registry shard count")
+	fs.DurationVar(&cfg.shutdownGrace, "grace", 5*time.Second, "graceful shutdown timeout")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 0 {
+		return config{}, fmt.Errorf("brsmnd: unexpected arguments %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// newHandler builds the live HTTP handler plus the group manager behind
+// it (which the caller must Close).
+func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
+	eng := rbn.Engine{Workers: cfg.workers}
+	gm, err := groupd.NewManager(groupd.Config{
+		N:              cfg.n,
+		Engine:         eng,
+		Shards:         cfg.shards,
+		CacheSize:      cfg.cacheSize,
+		EpochPeriod:    cfg.epochPeriod,
+		EpochThreshold: cfg.epochThreshold,
+		Workers:        cfg.workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return api.NewServer(eng, gm), gm, nil
+}
+
+// run serves until ctx is cancelled (the signal path) or the listener
+// fails, then drains in-flight requests and the epoch loop.
+func run(ctx context.Context, out io.Writer, cfg config) error {
+	handler, gm, err := newHandler(cfg)
+	if err != nil {
+		return err
+	}
+	defer gm.Close()
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           api.NewServer(rbn.Engine{Workers: *workers}),
+		Addr:              cfg.addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("brsmnd: serving the BRSMN on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "brsmnd: serving a %d-port BRSMN on %s (epoch %v, threshold %d, cache %d)\n",
+		cfg.n, cfg.addr, cfg.epochPeriod, cfg.epochThreshold, cfg.cacheSize)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "brsmnd: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("brsmnd: shutdown: %w", err)
+		}
+		if err := gm.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "brsmnd: bye")
+		return nil
+	}
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, cfg); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8642" || cfg.n != 1024 || cfg.workers != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.epochPeriod != 250*time.Millisecond || cfg.epochThreshold != 64 || cfg.cacheSize != 4096 {
+		t.Fatalf("epoch defaults = %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", ":9000", "-n", "64", "-workers", "3",
+		"-epoch", "1s", "-epoch-threshold", "8", "-cache", "16", "-shards", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9000" || cfg.n != 64 || cfg.workers != 3 ||
+		cfg.epochPeriod != time.Second || cfg.epochThreshold != 8 ||
+		cfg.cacheSize != 16 || cfg.shards != 4 {
+		t.Fatalf("overrides = %+v", cfg)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	// An invalid network size surfaces at handler construction.
+	cfg, err := parseFlags([]string{"-n", "12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newHandler(cfg); err == nil {
+		t.Fatal("n = 12 accepted by newHandler")
+	}
+}
+
+// TestHandlerRoundTrip drives the real daemon handler over httptest:
+// stateless /route plus the stateful group lifecycle.
+func TestHandlerRoundTrip(t *testing.T) {
+	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-epoch-threshold", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, gm, err := newHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gm.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Stateless route: the paper's Fig. 2 example.
+	resp, err := http.Post(ts.URL+"/route", "application/json",
+		strings.NewReader(`{"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var route struct {
+		Deliveries []int `json:"deliveries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&route); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || route.Deliveries[7] != 2 {
+		t.Fatalf("route = %d, deliveries %v", resp.StatusCode, route.Deliveries)
+	}
+
+	// Stateful: create a group, join, run an epoch, check health.
+	resp, err = http.Post(ts.URL+"/groups", "application/json",
+		strings.NewReader(`{"id":"g","source":1,"members":[2,5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/groups/g/join", "application/json", strings.NewReader(`{"dest":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/epoch", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Epoch  int64 `json:"epoch"`
+		Groups int   `json:"groups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.Epoch != 1 || rep.Groups != 1 {
+		t.Fatalf("epoch report = %+v", rep)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Groups int    `json:"groups"`
+		Epoch  int64  `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Groups != 1 || h.Epoch != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestRunGracefulShutdown boots the real server on an ephemeral port,
+// serves a request, then cancels the context and expects a clean drain.
+func TestRunGracefulShutdown(t *testing.T) {
+	// Find a free port; the tiny window between Close and ListenAndServe
+	// is acceptable in a test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cfg, err := parseFlags([]string{"-addr", addr, "-n", "8", "-epoch", "5ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, &out, cfg) }()
+
+	// Wait for the server to come up, then hit it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancel")
+	}
+	if !strings.Contains(out.String(), "draining") || !strings.Contains(out.String(), "bye") {
+		t.Fatalf("shutdown log missing: %q", out.String())
+	}
+}

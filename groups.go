@@ -15,6 +15,7 @@ import (
 type Group struct {
 	n      int
 	source int
+	size   int
 	tree   mcast.TagTree
 }
 
@@ -38,13 +39,29 @@ func NewGroup(n, source int) (*Group, error) {
 func (g *Group) Source() int { return g.source }
 
 // Join admits output port d to the group.
-func (g *Group) Join(d int) error { return g.tree.Add(d) }
+func (g *Group) Join(d int) error {
+	if err := g.tree.Add(d); err != nil {
+		return err
+	}
+	g.size++
+	return nil
+}
 
 // Leave removes output port d from the group.
-func (g *Group) Leave(d int) error { return g.tree.Remove(d) }
+func (g *Group) Leave(d int) error {
+	if err := g.tree.Remove(d); err != nil {
+		return err
+	}
+	g.size--
+	return nil
+}
 
 // Contains reports membership.
 func (g *Group) Contains(d int) bool { return g.tree.Contains(d) }
+
+// Len returns the membership count, maintained incrementally — unlike
+// Members it costs O(1) and allocates nothing.
+func (g *Group) Len() int { return g.size }
 
 // Members returns the current membership, sorted.
 func (g *Group) Members() []int { return g.tree.Dests() }

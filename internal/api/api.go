@@ -11,7 +11,10 @@
 //	GET  /sequence?n=8&dests=3,4,7
 //	                -> {"sequence":"α1αε011"}
 //
-// All handlers are stateless; a Server is safe for concurrent use.
+// The core routing handlers are stateless; a Server constructed with a
+// groupd.Manager additionally serves the stateful group endpoints of
+// groups.go (long-lived sessions, epochs, cached plans). A Server is
+// safe for concurrent use either way.
 package api
 
 import (
@@ -25,6 +28,7 @@ import (
 	"brsmn/internal/core"
 	"brsmn/internal/cost"
 	"brsmn/internal/fabric"
+	"brsmn/internal/groupd"
 	"brsmn/internal/mcast"
 	"brsmn/internal/netsim"
 	"brsmn/internal/plancodec"
@@ -36,19 +40,32 @@ import (
 // Server handles the HTTP API. Construct with NewServer.
 type Server struct {
 	eng rbn.Engine
+	gm  *groupd.Manager
 	mux *http.ServeMux
 }
 
 // NewServer returns a handler-ready server using the given engine for
-// switch setting.
-func NewServer(eng rbn.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// switch setting. gm may be nil, which disables the stateful group
+// endpoints (they answer 503) while /healthz and the stateless handlers
+// keep working.
+func NewServer(eng rbn.Engine, gm *groupd.Manager) *Server {
+	s := &Server{eng: eng, gm: gm, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /route", s.handleRoute)
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /plan", s.handlePlan)
 	s.mux.HandleFunc("POST /pipeline", s.handlePipeline)
 	s.mux.HandleFunc("GET /cost", s.handleCost)
 	s.mux.HandleFunc("GET /sequence", s.handleSequence)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /groups", s.withGroups(s.handleGroupCreate))
+	s.mux.HandleFunc("GET /groups", s.withGroups(s.handleGroupList))
+	s.mux.HandleFunc("GET /groups/{id}", s.withGroups(s.handleGroupGet))
+	s.mux.HandleFunc("POST /groups/{id}/join", s.withGroups(s.handleGroupJoin))
+	s.mux.HandleFunc("POST /groups/{id}/leave", s.withGroups(s.handleGroupLeave))
+	s.mux.HandleFunc("DELETE /groups/{id}", s.withGroups(s.handleGroupDelete))
+	s.mux.HandleFunc("GET /groups/{id}/plan", s.withGroups(s.handleGroupPlan))
+	s.mux.HandleFunc("GET /epoch", s.withGroups(s.handleEpochGet))
+	s.mux.HandleFunc("POST /epoch", s.withGroups(s.handleEpochRun))
 	return s
 }
 

@@ -1,0 +1,191 @@
+package api
+
+// Stateful group endpoints, backed by the groupd.Manager when the server
+// is constructed with one:
+//
+//	POST   /groups              {"id":"conf","source":2,"members":[3,4,7]} -> group state
+//	GET    /groups              -> {"count":…,"groups":[…]}
+//	GET    /groups/{id}         -> {"id","source","gen","size","members","sequence"}
+//	POST   /groups/{id}/join    {"dest":9}  -> {"id","gen","size"}
+//	POST   /groups/{id}/leave   {"dest":9}  -> {"id","gen","size"}
+//	DELETE /groups/{id}         -> {"deleted":"conf"}
+//	GET    /groups/{id}/plan    -> the cached/recomputed column program
+//	GET    /epoch               -> the last epoch report
+//	POST   /epoch               -> run an epoch now, return its report
+//	GET    /healthz             -> liveness + registered group count
+//
+// Without a manager the group endpoints answer 503; /healthz always
+// answers 200 so a stateless deployment stays load-balancer-ready.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"brsmn/internal/groupd"
+)
+
+func (s *Server) withGroups(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.gm == nil {
+			httpError(w, http.StatusServiceUnavailable, errors.New("api: group manager not enabled"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// groupErr maps groupd sentinel errors onto HTTP statuses.
+func groupErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, groupd.ErrNotFound):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, groupd.ErrExists):
+		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, groupd.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// CreateGroupRequest is the POST /groups payload.
+type CreateGroupRequest struct {
+	// ID is optional; empty auto-assigns one.
+	ID      string `json:"id"`
+	Source  int    `json:"source"`
+	Members []int  `json:"members"`
+}
+
+func (s *Server) handleGroupCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateGroupRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	info, err := s.gm.Create(req.ID, req.Source, req.Members)
+	if err != nil {
+		groupErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// GroupListResponse is the GET /groups reply.
+type GroupListResponse struct {
+	Count  int                `json:"count"`
+	Groups []groupd.GroupInfo `json:"groups"`
+}
+
+func (s *Server) handleGroupList(w http.ResponseWriter, r *http.Request) {
+	list := s.gm.List()
+	writeJSON(w, GroupListResponse{Count: len(list), Groups: list})
+}
+
+func (s *Server) handleGroupGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.gm.Get(r.PathValue("id"))
+	if err != nil {
+		groupErr(w, err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+// MembershipRequest is the join/leave payload.
+type MembershipRequest struct {
+	Dest int `json:"dest"`
+}
+
+func (s *Server) handleGroupJoin(w http.ResponseWriter, r *http.Request) {
+	s.handleMembership(w, r, s.gm.Join)
+}
+
+func (s *Server) handleGroupLeave(w http.ResponseWriter, r *http.Request) {
+	s.handleMembership(w, r, s.gm.Leave)
+}
+
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request, op func(string, int) (groupd.Update, error)) {
+	var req MembershipRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	u, err := op(r.PathValue("id"), req.Dest)
+	if err != nil {
+		groupErr(w, err)
+		return
+	}
+	writeJSON(w, u)
+}
+
+func (s *Server) handleGroupDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.gm.Delete(id); err != nil {
+		groupErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": id})
+}
+
+// GroupPlanResponse is the GET /groups/{id}/plan reply.
+type GroupPlanResponse struct {
+	ID      string `json:"id"`
+	Gen     uint64 `json:"gen"`
+	Cached  bool   `json:"cached"`
+	Columns int    `json:"columns"`
+	Plan    string `json:"plan"` // base64(plancodec)
+}
+
+func (s *Server) handleGroupPlan(w http.ResponseWriter, r *http.Request) {
+	p, err := s.gm.Plan(r.PathValue("id"))
+	if err != nil {
+		groupErr(w, err)
+		return
+	}
+	writeJSON(w, GroupPlanResponse{
+		ID:      p.ID,
+		Gen:     p.Gen,
+		Cached:  p.Cached,
+		Columns: p.Columns,
+		Plan:    base64.StdEncoding.EncodeToString(p.Blob),
+	})
+}
+
+func (s *Server) handleEpochGet(w http.ResponseWriter, r *http.Request) {
+	rep := s.gm.LastEpoch()
+	if rep == nil {
+		rep = &groupd.EpochReport{}
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleEpochRun(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.gm.RunEpoch()
+	if err != nil {
+		groupErr(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Groups  int    `json:"groups"`
+	Epoch   int64  `json:"epoch"`
+	Pending int64  `json:"pending"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok"}
+	if s.gm != nil {
+		resp.Groups = s.gm.Count()
+		resp.Epoch = s.gm.Epoch()
+		resp.Pending = s.gm.Pending()
+	}
+	writeJSON(w, resp)
+}

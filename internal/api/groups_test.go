@@ -1,0 +1,195 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"brsmn/internal/groupd"
+	"brsmn/internal/rbn"
+)
+
+// newGroupServer spins up a server with a 16-port group manager in
+// manual-epoch mode.
+func newGroupServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	gm, err := groupd.NewManager(groupd.Config{N: 16, Engine: rbn.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gm.Close() })
+	ts := httptest.NewServer(NewServer(rbn.Sequential, gm))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != nil {
+		raw, merr := json.Marshal(body)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		req, err = http.NewRequest(method, url, bytes.NewReader(raw))
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestGroupLifecycleHTTP walks a group through create / join / leave /
+// epoch / plan / delete over the wire.
+func TestGroupLifecycleHTTP(t *testing.T) {
+	ts := newGroupServer(t)
+
+	var info groupd.GroupInfo
+	code := doJSON(t, "POST", ts.URL+"/groups",
+		CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	if info.ID != "conf" || info.Gen != 1 || info.Size != 3 {
+		t.Fatalf("create info = %+v", info)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/groups",
+		CreateGroupRequest{ID: "conf", Source: 1}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d, want 409", code)
+	}
+
+	var u groupd.Update
+	if code := doJSON(t, "POST", ts.URL+"/groups/conf/join", MembershipRequest{Dest: 9}, &u); code != http.StatusOK {
+		t.Fatalf("join = %d", code)
+	}
+	if u.Gen != 2 || u.Size != 4 {
+		t.Fatalf("join update = %+v", u)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/groups/conf/leave", MembershipRequest{Dest: 3}, &u); code != http.StatusOK {
+		t.Fatalf("leave = %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/groups/conf/join", MembershipRequest{Dest: 9}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("double join = %d, want 422", code)
+	}
+
+	var got groupd.GroupInfo
+	if code := doJSON(t, "GET", ts.URL+"/groups/conf", nil, &got); code != http.StatusOK {
+		t.Fatalf("get = %d", code)
+	}
+	if got.Size != 3 || got.Sequence == "" {
+		t.Fatalf("get info = %+v", got)
+	}
+
+	var rep groupd.EpochReport
+	if code := doJSON(t, "POST", ts.URL+"/epoch", nil, &rep); code != http.StatusOK {
+		t.Fatalf("epoch run = %d", code)
+	}
+	if rep.Epoch != 1 || rep.Groups != 1 || len(rep.Rounds) != 1 {
+		t.Fatalf("epoch report = %+v", rep)
+	}
+	for _, d := range got.Members {
+		if rep.Rounds[0].Deliveries[d] != got.Source {
+			t.Fatalf("epoch delivered %d at output %d, want %d", rep.Rounds[0].Deliveries[d], d, got.Source)
+		}
+	}
+	var rep2 groupd.EpochReport
+	if code := doJSON(t, "GET", ts.URL+"/epoch", nil, &rep2); code != http.StatusOK {
+		t.Fatalf("epoch get = %d", code)
+	}
+	if rep2.Epoch != rep.Epoch {
+		t.Fatalf("GET /epoch = %+v, want epoch %d", rep2, rep.Epoch)
+	}
+
+	// The epoch warmed the plan cache: the first explicit plan fetch hits.
+	var plan GroupPlanResponse
+	if code := doJSON(t, "GET", ts.URL+"/groups/conf/plan", nil, &plan); code != http.StatusOK {
+		t.Fatalf("plan = %d", code)
+	}
+	if !plan.Cached || plan.Columns == 0 || plan.Plan == "" {
+		t.Fatalf("plan = %+v, want warm cache hit", plan)
+	}
+
+	var list GroupListResponse
+	if code := doJSON(t, "GET", ts.URL+"/groups", nil, &list); code != http.StatusOK || list.Count != 1 {
+		t.Fatalf("list = %d / %+v", code, list)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/groups/conf", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete = %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/groups/conf", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete = %d, want 404", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/groups/conf/join", MembershipRequest{Dest: 1}, nil); code != http.StatusNotFound {
+		t.Fatalf("join after delete = %d, want 404", code)
+	}
+}
+
+func TestGroupCreateValidationHTTP(t *testing.T) {
+	ts := newGroupServer(t)
+	if code := doJSON(t, "POST", ts.URL+"/groups", CreateGroupRequest{Source: 99}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad source = %d, want 422", code)
+	}
+	resp, err := http.Post(ts.URL+"/groups", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newGroupServer(t)
+	var h HealthResponse
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if h.Status != "ok" || h.Groups != 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/groups", CreateGroupRequest{ID: "g", Source: 0, Members: []int{1}}, nil); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	if doJSON(t, "GET", ts.URL+"/healthz", nil, &h); h.Groups != 1 || h.Pending == 0 {
+		t.Fatalf("healthz after create = %+v", h)
+	}
+}
+
+// TestGroupEndpointsWithoutManager pins the stateless deployment: group
+// endpoints 503, healthz still live.
+func TestGroupEndpointsWithoutManager(t *testing.T) {
+	ts := newTestServer(t)
+	var h HealthResponse
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d / %+v", code, h)
+	}
+	for _, probe := range []struct{ method, path string }{
+		{"POST", "/groups"},
+		{"GET", "/groups"},
+		{"GET", "/groups/x"},
+		{"POST", "/groups/x/join"},
+		{"DELETE", "/groups/x"},
+		{"GET", "/epoch"},
+		{"POST", "/epoch"},
+	} {
+		if code := doJSON(t, probe.method, ts.URL+probe.path, nil, nil); code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s = %d, want 503", probe.method, probe.path, code)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package groupd
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPlanCacheLRUOrder(t *testing.T) {
+	c := newPlanCache(2)
+	c.put(planKey{"a", 1}, []byte{1}, 1)
+	c.put(planKey{"b", 1}, []byte{2}, 1)
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.get(planKey{"a", 1}); !ok {
+		t.Fatal("a missing")
+	}
+	c.put(planKey{"c", 1}, []byte{3}, 1)
+	if _, ok := c.get(planKey{"b", 1}); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get(planKey{"a", 1}); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPlanCachePutOverwrites(t *testing.T) {
+	c := newPlanCache(4)
+	k := planKey{"g", 7}
+	c.put(k, []byte{1, 2}, 3)
+	c.put(k, []byte{9}, 5)
+	e, ok := c.get(k)
+	if !ok || !bytes.Equal(e.blob, []byte{9}) || e.columns != 5 {
+		t.Fatalf("entry = %+v ok=%v", e, ok)
+	}
+	if st := c.stats(); st.Size != 1 {
+		t.Fatalf("size = %d after overwrite", st.Size)
+	}
+}
+
+func TestPlanCacheInvalidate(t *testing.T) {
+	c := newPlanCache(4)
+	k := planKey{"g", 1}
+	c.put(k, []byte{1}, 1)
+	c.invalidate(k)
+	c.invalidate(k) // absent: no double count
+	if _, ok := c.get(k); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	st := c.stats()
+	if st.Invalidations != 1 || st.Size != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Distinct generations are distinct entries.
+	c.put(planKey{"g", 1}, []byte{1}, 1)
+	c.put(planKey{"g", 2}, []byte{2}, 1)
+	if st := c.stats(); st.Size != 2 {
+		t.Fatalf("size = %d, want 2 generations", st.Size)
+	}
+}

@@ -1,0 +1,144 @@
+package groupd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"brsmn/internal/controller"
+	"brsmn/internal/sched"
+)
+
+// RoundReport is one conflict-free round of an epoch: the groups it
+// carries and the resulting per-output delivery vector (the source input
+// delivered at each output, -1 idle).
+type RoundReport struct {
+	GroupIDs   []string `json:"groupIds"`
+	Deliveries []int    `json:"deliveries"`
+}
+
+// EpochReport summarizes one reroute epoch.
+type EpochReport struct {
+	Epoch    int64         `json:"epoch"`
+	When     time.Time     `json:"when"`
+	Duration time.Duration `json:"durationNs"`
+	// Groups is the number of non-empty groups routed this epoch.
+	Groups int `json:"groups"`
+	// Fanout is the total (source, output) connection count.
+	Fanout int           `json:"fanout"`
+	Rounds []RoundReport `json:"rounds"`
+	Cache  CacheStats    `json:"cache"`
+	// Err carries a failed background epoch's error; empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// RunEpoch executes one reroute epoch synchronously: snapshot the live
+// groups, partition them into conflict-free rounds, route every round
+// through the network (rounds run on Config.Workers concurrent
+// routings), and refresh the plan cache — changed groups replan, the
+// rest hit. Epochs are serialized; membership changes landing mid-epoch
+// count toward the next one.
+func (m *Manager) RunEpoch() (*EpochReport, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	start := time.Now()
+	m.pending.Store(0)
+
+	snaps := m.snapshot()
+	live := snaps[:0]
+	for _, sn := range snaps {
+		if len(sn.members) > 0 {
+			live = append(live, sn)
+		}
+	}
+	reqs := make([]sched.Request, len(live))
+	for i, sn := range live {
+		reqs[i] = sched.Request{Source: sn.source, Dests: sn.members}
+	}
+	roundIdx, err := sched.ScheduleIndices(m.cfg.N, reqs)
+	if err != nil {
+		return nil, fmt.Errorf("groupd: epoch scheduling: %w", err)
+	}
+	rounds := make([][]sched.Request, len(roundIdx))
+	ids := make([][]string, len(roundIdx))
+	for r, members := range roundIdx {
+		for _, k := range members {
+			rounds[r] = append(rounds[r], reqs[k])
+			ids[r] = append(ids[r], live[k].id)
+		}
+	}
+	as, err := sched.Assignments(m.cfg.N, rounds)
+	if err != nil {
+		return nil, fmt.Errorf("groupd: epoch round assembly: %w", err)
+	}
+	routed, err := controller.RouteAll(m.cfg.N, as, m.cfg.Workers, m.cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("groupd: epoch routing: %w", err)
+	}
+
+	rep := &EpochReport{
+		When:   start,
+		Groups: len(live),
+		Rounds: make([]RoundReport, len(routed)),
+	}
+	for r, sr := range routed {
+		if sr.Err != nil {
+			return nil, fmt.Errorf("groupd: epoch round %d: %w", r, sr.Err)
+		}
+		vec := make([]int, m.cfg.N)
+		for out, d := range sr.Res.Deliveries {
+			vec[out] = d.Source
+		}
+		rep.Rounds[r] = RoundReport{GroupIDs: ids[sr.Index], Deliveries: vec}
+	}
+	for _, sn := range live {
+		rep.Fanout += len(sn.members)
+		if _, err := m.planFor(sn.id, sn.gen, sn.source, sn.members); err != nil {
+			return nil, fmt.Errorf("groupd: epoch plan for %q: %w", sn.id, err)
+		}
+	}
+	rep.Epoch = m.epochN.Add(1)
+	rep.Duration = time.Since(start)
+	rep.Cache = m.cache.stats()
+	m.last.Store(rep)
+	return rep, nil
+}
+
+// Epoch returns the number of completed epochs.
+func (m *Manager) Epoch() int64 { return m.epochN.Load() }
+
+// LastEpoch returns the most recent epoch report, or nil before the
+// first epoch completes.
+func (m *Manager) LastEpoch() *EpochReport { return m.last.Load() }
+
+// Pending returns the membership changes accumulated since the last
+// epoch began.
+func (m *Manager) Pending() int64 { return m.pending.Load() }
+
+// loop is the epoch goroutine: tick-driven when EpochPeriod > 0,
+// kicked early whenever the pending-change threshold trips.
+func (m *Manager) loop() {
+	defer close(m.done)
+	var tick <-chan time.Time
+	if m.cfg.EpochPeriod > 0 {
+		t := time.NewTicker(m.cfg.EpochPeriod)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-tick:
+		case <-m.kick:
+		}
+		if _, err := m.RunEpoch(); err != nil && !errors.Is(err, ErrClosed) {
+			// An epoch can only fail on an internal invariant breach;
+			// surface it in the report stream rather than crash the loop.
+			m.last.Store(&EpochReport{Epoch: m.epochN.Load(), When: time.Now(), Err: err.Error()})
+		}
+	}
+}

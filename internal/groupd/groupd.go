@@ -1,0 +1,469 @@
+// Package groupd is the stateful group-management layer of the multicast
+// service: the piece that makes the BRSMN behave like a long-running
+// switch under churn rather than a per-request calculator. It owns three
+// cooperating parts:
+//
+//   - a session registry: long-lived multicast groups keyed by ID, each
+//     wrapping a brsmn.Group whose routing-tag tree is mutated
+//     incrementally (O(log n) nodes per join/leave) under a sharded
+//     RWMutex, with a generation counter bumped on every change;
+//   - an epoch scheduler: membership changes accumulate, and every epoch
+//     (timer tick or pending-change threshold) the live groups are
+//     partitioned into conflict-free rounds by internal/sched and routed
+//     concurrently through internal/controller, so overlapping groups
+//     coexist the way real traffic does;
+//   - a plan cache: an LRU keyed by (group ID, generation) holding
+//     plancodec-encoded column programs, so rerouting an unchanged group
+//     is a cache hit instead of an O(n log^2 n) replan. Hit/miss/eviction
+//     counters are exposed for benchmarking.
+//
+// A Manager is safe for concurrent use by the HTTP handlers of
+// internal/api and its own epoch goroutine.
+package groupd
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brsmn"
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/plancodec"
+	"brsmn/internal/rbn"
+	"brsmn/internal/shuffle"
+)
+
+// Sentinel errors the API layer maps to HTTP statuses.
+var (
+	ErrNotFound = errors.New("groupd: no such group")
+	ErrExists   = errors.New("groupd: group already exists")
+	ErrClosed   = errors.New("groupd: manager closed")
+)
+
+// Config parameterizes a Manager. The zero value of every field except N
+// is usable; NewManager fills in defaults.
+type Config struct {
+	// N is the (fixed) network size, a power of two >= 2.
+	N int
+	// Engine runs the distributed switch-setting sweeps.
+	Engine rbn.Engine
+	// Shards is the registry shard count (default 16).
+	Shards int
+	// CacheSize caps the plan cache in entries (default 1024).
+	CacheSize int
+	// EpochPeriod drives the timer-based epoch loop; 0 disables the
+	// timer (epochs run on threshold or on demand only).
+	EpochPeriod time.Duration
+	// EpochThreshold forces an early epoch once this many membership
+	// changes are pending; 0 disables threshold-driven epochs.
+	EpochThreshold int
+	// Workers is the number of rounds routed concurrently per epoch
+	// (default 1).
+	Workers int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+}
+
+// session is one registered group. The registry shard lock covers the
+// map; the session's own mutex covers the tag tree and generation.
+type session struct {
+	mu    sync.Mutex
+	id    string
+	group *brsmn.Group
+	gen   uint64
+	gone  bool // deleted from the registry while a caller still holds it
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	groups map[string]*session
+}
+
+// Manager is the stateful group subsystem. Construct with NewManager and
+// release with Close.
+type Manager struct {
+	cfg   Config
+	nw    *core.Network
+	seed  maphash.Seed
+	shards []*shard
+	cache *planCache
+
+	nextID  atomic.Uint64
+	pending atomic.Int64 // membership changes since the last epoch began
+	closed  atomic.Bool
+
+	epochMu sync.Mutex // serializes RunEpoch
+	epochN  atomic.Int64
+	last    atomic.Pointer[EpochReport]
+
+	kick        chan struct{}
+	quit        chan struct{}
+	done        chan struct{}
+	loopRunning bool
+}
+
+// NewManager builds the subsystem and, when Config enables timer- or
+// threshold-driven epochs, starts the epoch goroutine.
+func NewManager(cfg Config) (*Manager, error) {
+	if !shuffle.IsPow2(cfg.N) || cfg.N < 2 {
+		return nil, fmt.Errorf("groupd: network size %d is not a power of two >= 2", cfg.N)
+	}
+	cfg.applyDefaults()
+	nw, err := core.New(cfg.N, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:    cfg,
+		nw:     nw,
+		seed:   maphash.MakeSeed(),
+		shards: make([]*shard, cfg.Shards),
+		cache:  newPlanCache(cfg.CacheSize),
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{groups: make(map[string]*session)}
+	}
+	if cfg.EpochPeriod > 0 || cfg.EpochThreshold > 0 {
+		m.loopRunning = true
+		go m.loop()
+	}
+	return m, nil
+}
+
+// Close stops the epoch loop, waiting for an in-flight epoch to drain.
+// It is idempotent and safe to call concurrently.
+func (m *Manager) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	close(m.quit)
+	if m.loopRunning {
+		<-m.done
+	}
+	return nil
+}
+
+// N returns the configured network size.
+func (m *Manager) N() int { return m.cfg.N }
+
+func (m *Manager) shardFor(id string) *shard {
+	return m.shards[maphash.String(m.seed, id)%uint64(len(m.shards))]
+}
+
+func (m *Manager) sessionFor(id string) (*session, error) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.groups[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// noteChange records membership churn and kicks an early epoch when the
+// threshold is crossed.
+func (m *Manager) noteChange(n int) {
+	p := m.pending.Add(int64(n))
+	if m.cfg.EpochThreshold > 0 && p >= int64(m.cfg.EpochThreshold) && m.loopRunning {
+		select {
+		case m.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// GroupInfo is the full externally visible state of one group.
+type GroupInfo struct {
+	ID       string `json:"id"`
+	Source   int    `json:"source"`
+	Gen      uint64 `json:"gen"`
+	Size     int    `json:"size"`
+	Members  []int  `json:"members"`
+	Sequence string `json:"sequence"`
+}
+
+// Update is the O(log n) acknowledgement of a join/leave: enough for the
+// caller to observe progress without materializing the O(n) member list.
+type Update struct {
+	ID   string `json:"id"`
+	Gen  uint64 `json:"gen"`
+	Size int    `json:"size"`
+}
+
+// Create registers a new group rooted at source with the given initial
+// members. An empty id is auto-assigned ("g1", "g2", ...). Sources and
+// memberships may overlap freely across groups — the epoch scheduler
+// separates conflicting groups into rounds.
+func (m *Manager) Create(id string, source int, members []int) (GroupInfo, error) {
+	if m.closed.Load() {
+		return GroupInfo{}, ErrClosed
+	}
+	if id == "" {
+		id = fmt.Sprintf("g%d", m.nextID.Add(1))
+	}
+	g, err := brsmn.NewGroup(m.cfg.N, source)
+	if err != nil {
+		return GroupInfo{}, err
+	}
+	for _, d := range members {
+		if err := g.Join(d); err != nil {
+			return GroupInfo{}, fmt.Errorf("groupd: initial member %d: %w", d, err)
+		}
+	}
+	s := &session{id: id, group: g, gen: 1}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.groups[id]; ok {
+		sh.mu.Unlock()
+		return GroupInfo{}, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	sh.groups[id] = s
+	sh.mu.Unlock()
+	m.noteChange(1 + len(members))
+	return s.info(), nil
+}
+
+// Join admits output d to the group, bumping its generation and
+// invalidating the superseded cached plan. The whole path — tag-tree
+// update included — allocates O(log n), not O(n).
+func (m *Manager) Join(id string, d int) (Update, error) {
+	return m.mutate(id, d, (*brsmn.Group).Join)
+}
+
+// Leave removes output d from the group; same contract as Join.
+func (m *Manager) Leave(id string, d int) (Update, error) {
+	return m.mutate(id, d, (*brsmn.Group).Leave)
+}
+
+func (m *Manager) mutate(id string, d int, op func(*brsmn.Group, int) error) (Update, error) {
+	if m.closed.Load() {
+		return Update{}, ErrClosed
+	}
+	s, err := m.sessionFor(id)
+	if err != nil {
+		return Update{}, err
+	}
+	s.mu.Lock()
+	if s.gone {
+		s.mu.Unlock()
+		return Update{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if err := op(s.group, d); err != nil {
+		s.mu.Unlock()
+		return Update{}, err
+	}
+	old := s.gen
+	s.gen++
+	u := Update{ID: s.id, Gen: s.gen, Size: s.group.Len()}
+	s.mu.Unlock()
+	m.cache.invalidate(planKey{id: id, gen: old})
+	m.noteChange(1)
+	return u, nil
+}
+
+// Delete unregisters the group and drops its cached plan.
+func (m *Manager) Delete(id string) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.groups[id]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(sh.groups, id)
+	sh.mu.Unlock()
+	s.mu.Lock()
+	s.gone = true
+	gen := s.gen
+	s.mu.Unlock()
+	m.cache.invalidate(planKey{id: id, gen: gen})
+	m.noteChange(1)
+	return nil
+}
+
+// Get returns the group's full state.
+func (m *Manager) Get(id string) (GroupInfo, error) {
+	s, err := m.sessionFor(id)
+	if err != nil {
+		return GroupInfo{}, err
+	}
+	return s.info(), nil
+}
+
+func (s *session) info() GroupInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return GroupInfo{
+		ID:       s.id,
+		Source:   s.group.Source(),
+		Gen:      s.gen,
+		Size:     s.group.Len(),
+		Members:  s.group.Members(),
+		Sequence: s.group.Sequence(),
+	}
+}
+
+// List returns every registered group's state, sorted by ID.
+func (m *Manager) List() []GroupInfo {
+	var out []GroupInfo
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		sessions := make([]*session, 0, len(sh.groups))
+		for _, s := range sh.groups {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			out = append(out, s.info())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Count returns the number of registered groups.
+func (m *Manager) Count() int {
+	c := 0
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		c += len(sh.groups)
+		sh.mu.RUnlock()
+	}
+	return c
+}
+
+// CacheStats snapshots the plan cache counters.
+func (m *Manager) CacheStats() CacheStats { return m.cache.stats() }
+
+// PlanInfo is one group's encoded column program.
+type PlanInfo struct {
+	ID      string
+	Gen     uint64
+	Cached  bool // true when served from the plan cache
+	Columns int
+	Blob    []byte // plancodec format
+}
+
+// Plan returns the group's standalone column program — the switch
+// settings a hardware configuration flow would load to realize this
+// group alone. Served from the plan cache when the group is unchanged
+// since the last computation; otherwise a full route + flatten + encode.
+func (m *Manager) Plan(id string) (PlanInfo, error) {
+	s, err := m.sessionFor(id)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	// Fast path: an unchanged group needs only its generation to hit the
+	// cache — no O(n) member materialization.
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+	if e, ok := m.cache.get(planKey{id: id, gen: gen}); ok {
+		return PlanInfo{ID: id, Gen: gen, Cached: true, Columns: e.columns, Blob: e.blob}, nil
+	}
+	s.mu.Lock()
+	gen = s.gen // may have moved past the missed generation; key consistently
+	source := s.group.Source()
+	members := s.group.Members()
+	s.mu.Unlock()
+	blob, columns, err := m.replan(source, members)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	m.cache.put(planKey{id: id, gen: gen}, blob, columns)
+	return PlanInfo{ID: id, Gen: gen, Cached: false, Columns: columns, Blob: blob}, nil
+}
+
+func (m *Manager) planFor(id string, gen uint64, source int, members []int) (PlanInfo, error) {
+	k := planKey{id: id, gen: gen}
+	if e, ok := m.cache.get(k); ok {
+		return PlanInfo{ID: id, Gen: gen, Cached: true, Columns: e.columns, Blob: e.blob}, nil
+	}
+	blob, columns, err := m.replan(source, members)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	m.cache.put(k, blob, columns)
+	return PlanInfo{ID: id, Gen: gen, Cached: false, Columns: columns, Blob: blob}, nil
+}
+
+// replan is the cold path: a full O(n log^2 n) route of the single-group
+// assignment, flattened to physical columns and serialized.
+func (m *Manager) replan(source int, members []int) ([]byte, int, error) {
+	dests := make([][]int, m.cfg.N)
+	dests[source] = members
+	a, err := mcast.New(m.cfg.N, dests)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := m.nw.Route(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, err := plancodec.Encode(m.cfg.N, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, len(cols), nil
+}
+
+// groupSnapshot is one group's membership frozen at epoch start.
+type groupSnapshot struct {
+	id      string
+	source  int
+	gen     uint64
+	members []int
+}
+
+// snapshot freezes every registered group's state, sorted by ID so epoch
+// scheduling is deterministic for a given membership.
+func (m *Manager) snapshot() []groupSnapshot {
+	var out []groupSnapshot
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		sessions := make([]*session, 0, len(sh.groups))
+		for _, s := range sh.groups {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			s.mu.Lock()
+			out = append(out, groupSnapshot{
+				id:      s.id,
+				source:  s.group.Source(),
+				gen:     s.gen,
+				members: s.group.Members(),
+			})
+			s.mu.Unlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

@@ -88,6 +88,14 @@ func Schedule(n int, reqs []Request) ([][]Request, error) {
 	return out, nil
 }
 
+// ScheduleIndices is Schedule returning request indices per round — for
+// callers (like the group manager) that must map rounds back to the
+// identities behind the requests, which Source alone cannot do when two
+// long-lived groups share a source.
+func ScheduleIndices(n int, reqs []Request) ([][]int, error) {
+	return scheduleIdx(n, reqs)
+}
+
 // scheduleIdx is Schedule returning request indices per round.
 func scheduleIdx(n int, reqs []Request) ([][]int, error) {
 	for _, r := range reqs {
