@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"brsmn/internal/api"
+	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
 	"brsmn/internal/rbn"
 )
@@ -46,6 +47,10 @@ type config struct {
 	cacheSize      int
 	shards         int
 	shutdownGrace  time.Duration
+	probeEvery     int64
+	probeCount     int
+	faultInject    string
+	faultSeed      int64
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -60,6 +65,10 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.cacheSize, "cache", 4096, "plan cache capacity in entries")
 	fs.IntVar(&cfg.shards, "shards", 16, "group registry shard count")
 	fs.DurationVar(&cfg.shutdownGrace, "grace", 5*time.Second, "graceful shutdown timeout")
+	fs.Int64Var(&cfg.probeEvery, "probe-every", 0, "run a fault-probe round every this many epochs (0 disables periodic probing)")
+	fs.IntVar(&cfg.probeCount, "probe-count", 4, "self-test assignments per probe round")
+	fs.StringVar(&cfg.faultInject, "fault-inject", "", "arm faults at startup, e.g. stuck:3:1:cross,dead:5:7,flaky:2:0:parallel:0.25")
+	fs.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for intermittent fault excitation")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -73,6 +82,28 @@ func parseFlags(args []string) (config, error) {
 // it (which the caller must Close).
 func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
 	eng := rbn.Engine{Workers: cfg.workers}
+	inj := faultd.NewInjector(cfg.faultSeed)
+	fm, err := faultd.NewMonitor(faultd.Config{
+		N:          cfg.n,
+		Engine:     eng,
+		ProbeCount: cfg.probeCount,
+		ProbeEvery: cfg.probeEvery,
+	}, inj)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.faultInject != "" {
+		faults, err := faultd.ParseSpec(cfg.faultInject)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, f := range faults {
+			if err := f.Validate(fm.N(), fm.Depth()); err != nil {
+				return nil, nil, err
+			}
+			inj.Add(f)
+		}
+	}
 	gm, err := groupd.NewManager(groupd.Config{
 		N:              cfg.n,
 		Engine:         eng,
@@ -81,11 +112,12 @@ func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
 		EpochPeriod:    cfg.epochPeriod,
 		EpochThreshold: cfg.epochThreshold,
 		Workers:        cfg.workers,
+		Policy:         fm,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return api.NewServer(eng, gm), gm, nil
+	return api.NewServer(eng, gm, fm), gm, nil
 }
 
 // run serves until ctx is cancelled (the signal path) or the listener

@@ -22,12 +22,16 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.epochPeriod != 250*time.Millisecond || cfg.epochThreshold != 64 || cfg.cacheSize != 4096 {
 		t.Fatalf("epoch defaults = %+v", cfg)
 	}
+	if cfg.probeEvery != 0 || cfg.probeCount != 4 || cfg.faultInject != "" || cfg.faultSeed != 1 {
+		t.Fatalf("fault defaults = %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-addr", ":9000", "-n", "64", "-workers", "3",
 		"-epoch", "1s", "-epoch-threshold", "8", "-cache", "16", "-shards", "4",
+		"-probe-every", "2", "-probe-count", "6", "-fault-inject", "dead:0:1", "-fault-seed", "99",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +40,9 @@ func TestParseFlagsOverrides(t *testing.T) {
 		cfg.epochPeriod != time.Second || cfg.epochThreshold != 8 ||
 		cfg.cacheSize != 16 || cfg.shards != 4 {
 		t.Fatalf("overrides = %+v", cfg)
+	}
+	if cfg.probeEvery != 2 || cfg.probeCount != 6 || cfg.faultInject != "dead:0:1" || cfg.faultSeed != 99 {
+		t.Fatalf("fault overrides = %+v", cfg)
 	}
 }
 
@@ -54,12 +61,28 @@ func TestParseFlagsErrors(t *testing.T) {
 	if _, _, err := newHandler(cfg); err == nil {
 		t.Fatal("n = 12 accepted by newHandler")
 	}
+	// A malformed or out-of-range fault spec also surfaces there.
+	cfg, err = parseFlags([]string{"-n", "8", "-fault-inject", "stuck:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newHandler(cfg); err == nil {
+		t.Fatal("malformed -fault-inject accepted by newHandler")
+	}
+	cfg, err = parseFlags([]string{"-n", "8", "-fault-inject", "dead:999:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newHandler(cfg); err == nil {
+		t.Fatal("out-of-range -fault-inject accepted by newHandler")
+	}
 }
 
 // TestHandlerRoundTrip drives the real daemon handler over httptest:
-// stateless /route plus the stateful group lifecycle.
+// stateless /route plus the stateful group lifecycle, with periodic
+// probing armed so the epoch also exercises the fault monitor hook.
 func TestHandlerRoundTrip(t *testing.T) {
-	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-epoch-threshold", "0"})
+	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-epoch-threshold", "0", "-probe-every", "1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +152,10 @@ func TestHandlerRoundTrip(t *testing.T) {
 		Status string `json:"status"`
 		Groups int    `json:"groups"`
 		Epoch  int64  `json:"epoch"`
+		Faults *struct {
+			ProbeRounds uint64 `json:"probeRounds"`
+			Detected    bool   `json:"detected"`
+		} `json:"faults"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
@@ -136,6 +163,11 @@ func TestHandlerRoundTrip(t *testing.T) {
 	resp.Body.Close()
 	if h.Status != "ok" || h.Groups != 1 || h.Epoch != 1 {
 		t.Fatalf("healthz = %+v", h)
+	}
+	// -probe-every 1 means the epoch above ran one probe round on the
+	// clean fabric.
+	if h.Faults == nil || h.Faults.ProbeRounds != 1 || h.Faults.Detected {
+		t.Fatalf("healthz faults = %+v", h.Faults)
 	}
 }
 

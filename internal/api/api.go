@@ -28,6 +28,7 @@ import (
 	"brsmn/internal/core"
 	"brsmn/internal/cost"
 	"brsmn/internal/fabric"
+	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
 	"brsmn/internal/mcast"
 	"brsmn/internal/netsim"
@@ -41,15 +42,17 @@ import (
 type Server struct {
 	eng rbn.Engine
 	gm  *groupd.Manager
+	fm  *faultd.Monitor
 	mux *http.ServeMux
 }
 
 // NewServer returns a handler-ready server using the given engine for
 // switch setting. gm may be nil, which disables the stateful group
 // endpoints (they answer 503) while /healthz and the stateless handlers
-// keep working.
-func NewServer(eng rbn.Engine, gm *groupd.Manager) *Server {
-	s := &Server{eng: eng, gm: gm, mux: http.NewServeMux()}
+// keep working; fm may likewise be nil, which disables the
+// fault-management endpoints of faults.go.
+func NewServer(eng rbn.Engine, gm *groupd.Manager, fm *faultd.Monitor) *Server {
+	s := &Server{eng: eng, gm: gm, fm: fm, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /route", s.handleRoute)
 	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /plan", s.handlePlan)
@@ -66,6 +69,11 @@ func NewServer(eng rbn.Engine, gm *groupd.Manager) *Server {
 	s.mux.HandleFunc("GET /groups/{id}/plan", s.withGroups(s.handleGroupPlan))
 	s.mux.HandleFunc("GET /epoch", s.withGroups(s.handleEpochGet))
 	s.mux.HandleFunc("POST /epoch", s.withGroups(s.handleEpochRun))
+	s.mux.HandleFunc("GET /faults", s.withFaults(s.handleFaultsGet))
+	s.mux.HandleFunc("POST /faults", s.withFaults(s.handleFaultsPost))
+	s.mux.HandleFunc("DELETE /faults", s.withFaults(s.handleFaultsDelete))
+	s.mux.HandleFunc("GET /faults/report", s.withFaults(s.handleFaultsReport))
+	s.mux.HandleFunc("POST /probe", s.withFaults(s.handleProbe))
 	return s
 }
 

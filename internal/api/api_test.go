@@ -17,7 +17,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(NewServer(rbn.Sequential, nil))
+	ts := httptest.NewServer(NewServer(rbn.Sequential, nil, nil))
 	t.Cleanup(ts.Close)
 	return ts
 }

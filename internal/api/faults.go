@@ -1,0 +1,100 @@
+package api
+
+// Fault-management endpoints, backed by the faultd.Monitor when the
+// server is constructed with one:
+//
+//	GET    /faults         -> {"faults":[…]} — the armed fault set
+//	POST   /faults         {"spec":"stuck:3:1:cross"} or {"faults":[…]} -> the updated set
+//	DELETE /faults         -> {"cleared":k}
+//	GET    /faults/report  -> full fault-management state (stats, candidates, quarantine)
+//	POST   /probe          -> run a probe round now, return its report
+//
+// Without a monitor these endpoints answer 503, mirroring the group
+// endpoints without a manager.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"brsmn/internal/faultd"
+)
+
+func (s *Server) withFaults(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.fm == nil {
+			httpError(w, http.StatusServiceUnavailable, errors.New("api: fault monitor not enabled"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// FaultsResponse is the GET /faults (and POST /faults) reply.
+type FaultsResponse struct {
+	Faults []faultd.Fault `json:"faults"`
+}
+
+func (s *Server) handleFaultsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, FaultsResponse{Faults: s.fm.Injector().List()})
+}
+
+// InjectFaultsRequest is the POST /faults payload: structured faults,
+// the flag-style spec string, or both.
+type InjectFaultsRequest struct {
+	Faults []faultd.Fault `json:"faults"`
+	Spec   string         `json:"spec"`
+}
+
+func (s *Server) handleFaultsPost(w http.ResponseWriter, r *http.Request) {
+	var req InjectFaultsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+		return
+	}
+	faults := req.Faults
+	if req.Spec != "" {
+		parsed, err := faultd.ParseSpec(req.Spec)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		faults = append(faults, parsed...)
+	}
+	if len(faults) == 0 {
+		httpError(w, http.StatusUnprocessableEntity, errors.New("api: no faults in request"))
+		return
+	}
+	for _, f := range faults {
+		if err := f.Validate(s.fm.N(), s.fm.Depth()); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	inj := s.fm.Injector()
+	for _, f := range faults {
+		inj.Add(f)
+	}
+	writeJSON(w, FaultsResponse{Faults: inj.List()})
+}
+
+func (s *Server) handleFaultsDelete(w http.ResponseWriter, r *http.Request) {
+	inj := s.fm.Injector()
+	k := len(inj.List())
+	inj.Clear()
+	writeJSON(w, map[string]int{"cleared": k})
+}
+
+func (s *Server) handleFaultsReport(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.fm.Report())
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.fm.RunProbes()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, rep)
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
 )
 
@@ -178,6 +179,9 @@ type HealthResponse struct {
 	Groups  int    `json:"groups"`
 	Epoch   int64  `json:"epoch"`
 	Pending int64  `json:"pending"`
+	// Faults carries the fault-management counters when the monitor is
+	// enabled.
+	Faults *faultd.Stats `json:"faults,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +190,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Groups = s.gm.Count()
 		resp.Epoch = s.gm.Epoch()
 		resp.Pending = s.gm.Pending()
+	}
+	if s.fm != nil {
+		st := s.fm.Stats()
+		resp.Faults = &st
 	}
 	writeJSON(w, resp)
 }

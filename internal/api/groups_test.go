@@ -20,7 +20,7 @@ func newGroupServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { gm.Close() })
-	ts := httptest.NewServer(NewServer(rbn.Sequential, gm))
+	ts := httptest.NewServer(NewServer(rbn.Sequential, gm, nil))
 	t.Cleanup(ts.Close)
 	return ts
 }

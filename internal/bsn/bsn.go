@@ -54,14 +54,66 @@ func SplitCell(c Cell) (Cell, Cell) {
 // keeps the half selected by its exit tag — the upper subsequence for a
 // 0-exit, the lower for a 1-exit. The resulting sequence drives the
 // half-size network of the next level.
-func Advance(c Cell) (Cell, error) {
+func Advance(c Cell) (Cell, error) { return AdvanceIn(c, nil) }
+
+// Arena is a bump allocator for the routing-tag storage Advance creates
+// at every level boundary. A steady serving loop (fabric.Executor) holds
+// one Arena and resets it per run, turning the two-slices-per-live-cell
+// allocation of Advance into amortized-zero allocations. Sequences
+// handed out by an Arena are valid until its next Reset. The zero value
+// is ready to use; an Arena is not safe for concurrent use.
+type Arena struct {
+	chunk []tag.Value
+	used  int
+}
+
+// Reset recycles all storage handed out since the last Reset.
+func (ar *Arena) Reset() { ar.used = 0 }
+
+// alloc returns a clean k-element block, growing the backing chunk when
+// exhausted (abandoned chunks are reclaimed by the GC).
+func (ar *Arena) alloc(k int) []tag.Value {
+	if ar.used+k > len(ar.chunk) {
+		size := 2 * len(ar.chunk)
+		if size < 1024 {
+			size = 1024
+		}
+		if size < k {
+			size = k
+		}
+		ar.chunk = make([]tag.Value, size)
+		ar.used = 0
+	}
+	b := ar.chunk[ar.used : ar.used+k : ar.used+k]
+	ar.used += k
+	return b
+}
+
+// AdvanceIn is Advance with the split sequences sub-allocated from ar;
+// a nil ar allocates fresh storage (one slice per call).
+func AdvanceIn(c Cell, ar *Arena) (Cell, error) {
 	if c.IsIdle() {
 		return c, nil
 	}
 	if len(c.Seq) < 3 || len(c.Seq)%2 == 0 {
 		return Cell{}, fmt.Errorf("bsn: cannot advance a cell with %d remaining tags", len(c.Seq))
 	}
-	up, low := mcast.SplitSequence(c.Seq[1:])
+	rest := c.Seq[1:]
+	h := len(rest) / 2
+	var block []tag.Value
+	if ar != nil {
+		block = ar.alloc(len(rest))
+	} else {
+		block = make([]tag.Value, len(rest))
+	}
+	up, low := block[:h:h], block[h:]
+	for i, v := range rest {
+		if i%2 == 0 {
+			up[i/2] = v
+		} else {
+			low[i/2] = v
+		}
+	}
 	switch c.Tag {
 	case tag.V0:
 		c.Seq = up

@@ -16,6 +16,7 @@ package diagnosis
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"brsmn/internal/bsn"
 	"brsmn/internal/core"
@@ -80,10 +81,16 @@ func runWithFault(a mcast.Assignment, res *core.Result, f *Fault) ([]int, error)
 	return out, nil
 }
 
-// suspectsOf returns the switches traversed by every connection whose
-// delivery went wrong under the fault — the fault must lie on one of
-// them (for single faults).
-func suspectsOf(a mcast.Assignment, res *core.Result, got []int) (map[Suspect]bool, bool, error) {
+// SuspectsOf is the per-test half of the diagnosis: given a routed
+// assignment and the deliveries actually observed on the (possibly
+// faulty) fabric, it returns the candidate faulty switches this one
+// test implicates — the switches traversed by every connection whose
+// delivery went wrong. The boolean reports whether the test excited the
+// fault at all (false means got matched the fault-free expectation and
+// the suspect map is nil). got follows the fabric convention: got[out]
+// is the source delivered at output out, -1 idle, -2 everywhere when
+// the run crashed outright (a stranded cell).
+func SuspectsOf(a mcast.Assignment, res *core.Result, got []int) (map[Suspect]bool, bool, error) {
 	want := a.OutputOwner()
 	broken := map[int]bool{} // sources with at least one wrong delivery
 	anyWrong := false
@@ -135,10 +142,10 @@ func suspectsOf(a mcast.Assignment, res *core.Result, got []int) (map[Suspect]bo
 			// switch driving that link; also the switch of the NEXT
 			// column that consumes the link can be at fault.
 			if e.Col >= 0 {
-				one[Suspect{e.Col, switchOf(cols[e.Col], e.Link)}] = true
+				one[Suspect{e.Col, cols[e.Col].SwitchFor(e.Link)}] = true
 			}
 			if e.Col+1 < len(cols) {
-				one[Suspect{e.Col + 1, switchOf(cols[e.Col+1], e.Link)}] = true
+				one[Suspect{e.Col + 1, cols[e.Col+1].SwitchFor(e.Link)}] = true
 			}
 		}
 		switch {
@@ -159,23 +166,77 @@ func suspectsOf(a mcast.Assignment, res *core.Result, got []int) (map[Suspect]bo
 	return sus, true, nil
 }
 
-// switchOf returns the switch index of a column that drives/consumes a
-// link.
-func switchOf(c fabric.Column, link int) int {
-	h := c.BlockSize / 2
-	b := link / c.BlockSize
-	i := link % c.BlockSize
-	if i >= h {
-		i -= h
-	}
-	return b*h + i
-}
-
 // Report is the outcome of a diagnosis run.
 type Report struct {
 	TestsRun   int
 	Detected   bool
 	Candidates []Suspect
+}
+
+// Tracker accumulates fault evidence one test at a time — the
+// incremental form of Diagnose that an online prober (internal/faultd)
+// feeds as failed probes arrive, instead of mounting a fresh offline
+// test campaign. Candidates only ever shrink (intersection of the
+// suspect sets of exciting tests); a Tracker is not safe for concurrent
+// use.
+type Tracker struct {
+	tests      int
+	detected   bool
+	candidates map[Suspect]bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Observe folds one test's observed deliveries into the candidate set
+// and reports whether this test excited the fault. a and res are the
+// routed fault-free expectation; got is what the fabric delivered (the
+// convention of SuspectsOf).
+func (t *Tracker) Observe(a mcast.Assignment, res *core.Result, got []int) (bool, error) {
+	sus, wrong, err := SuspectsOf(a, res, got)
+	if err != nil {
+		return false, err
+	}
+	t.tests++
+	if !wrong {
+		return false, nil
+	}
+	t.detected = true
+	if t.candidates == nil {
+		t.candidates = sus
+	} else {
+		for s := range t.candidates {
+			if !sus[s] {
+				delete(t.candidates, s)
+			}
+		}
+	}
+	return true, nil
+}
+
+// Tests returns the number of observations folded in.
+func (t *Tracker) Tests() int { return t.tests }
+
+// Detected reports whether any observation excited a fault.
+func (t *Tracker) Detected() bool { return t.detected }
+
+// Pinned reports whether the candidate set has shrunk to at most k
+// suspects (and at least one test excited the fault).
+func (t *Tracker) Pinned(k int) bool { return t.detected && len(t.candidates) <= k }
+
+// Candidates returns the surviving suspects, sorted by (column, switch).
+func (t *Tracker) Candidates() []Suspect {
+	out := make([]Suspect, 0, len(t.candidates))
+	for s := range t.candidates {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Switch < out[j].Switch
+	})
+	return out
 }
 
 // Diagnose probes a fabric carrying the given stuck-at fault with up to
@@ -189,9 +250,6 @@ func Diagnose(n int, f Fault, maxTests int, seed int64) (*Report, error) {
 		return nil, fmt.Errorf("diagnosis: need at least one test")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	rep := &Report{}
-	var candidates map[Suspect]bool
-
 	tests := make([]mcast.Assignment, 0, maxTests)
 	b, err := mcast.Broadcast(n, rng.Intn(n))
 	if err != nil {
@@ -202,6 +260,7 @@ func Diagnose(n int, f Fault, maxTests int, seed int64) (*Report, error) {
 		tests = append(tests, workload.Random(rng, n, 0.9, 0.6))
 	}
 
+	tr := NewTracker()
 	for _, a := range tests {
 		res, err := core.Route(a)
 		if err != nil {
@@ -211,30 +270,16 @@ func Diagnose(n int, f Fault, maxTests int, seed int64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.TestsRun++
-		sus, wrong, err := suspectsOf(a, res, got)
-		if err != nil {
+		if _, err := tr.Observe(a, res, got); err != nil {
 			return nil, err
 		}
-		if !wrong {
-			continue // this test did not excite the fault
-		}
-		rep.Detected = true
-		if candidates == nil {
-			candidates = sus
-		} else {
-			for s := range candidates {
-				if !sus[s] {
-					delete(candidates, s)
-				}
-			}
-		}
-		if len(candidates) <= 1 {
+		if tr.Pinned(1) {
 			break
 		}
 	}
-	for s := range candidates {
-		rep.Candidates = append(rep.Candidates, s)
+	rep := &Report{TestsRun: tr.Tests(), Detected: tr.Detected()}
+	if tr.Detected() {
+		rep.Candidates = tr.Candidates()
 	}
 	return rep, nil
 }

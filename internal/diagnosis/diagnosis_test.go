@@ -89,7 +89,7 @@ func TestFaultFreeFabricIsClean(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, wrong, err := suspectsOf(a, res, got)
+		_, wrong, err := SuspectsOf(a, res, got)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,87 @@
+package diagnosis
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/core"
+	"brsmn/internal/swbox"
+	"brsmn/internal/workload"
+)
+
+// TestTrackerIncrementalMatchesDiagnose feeds the tracker the same test
+// sequence Diagnose would generate, one observation at a time, and
+// checks the incremental candidate set converges onto the true fault
+// and only ever shrinks.
+func TestTrackerIncrementalMatchesDiagnose(t *testing.T) {
+	const n = 16
+	f := Fault{Col: 5, Switch: 3, Stuck: swbox.Cross}
+	rng := rand.New(rand.NewSource(9))
+	tr := NewTracker()
+	prev := -1
+	for i := 0; i < 12; i++ {
+		a := workload.Random(rng, n, 0.9, 0.6)
+		res, err := core.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runWithFault(a, res, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Observe(a, res, got); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Detected() {
+			c := len(tr.Candidates())
+			if prev >= 0 && c > prev {
+				t.Fatalf("candidate set grew from %d to %d at test %d", prev, c, i)
+			}
+			prev = c
+		}
+	}
+	if tr.Tests() != 12 {
+		t.Fatalf("Tests() = %d, want 12", tr.Tests())
+	}
+	if !tr.Detected() {
+		t.Skip("fault benign for this traffic — nothing to localize")
+	}
+	found := false
+	for _, s := range tr.Candidates() {
+		if s.Col == f.Col && s.Switch == f.Switch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("true fault (%d,%d) not among candidates %v", f.Col, f.Switch, tr.Candidates())
+	}
+}
+
+// TestTrackerCleanObservationsDetectNothing checks fault-free evidence
+// never trips detection.
+func TestTrackerCleanObservationsDetectNothing(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(10))
+	tr := NewTracker()
+	for i := 0; i < 5; i++ {
+		a := workload.Random(rng, n, 0.7, 0.5)
+		res, err := core.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runWithFault(a, res, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		excited, err := tr.Observe(a, res, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if excited {
+			t.Fatal("clean observation reported as exciting a fault")
+		}
+	}
+	if tr.Detected() || tr.Pinned(100) {
+		t.Fatal("tracker detected a fault on a clean fabric")
+	}
+}

@@ -1,0 +1,117 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/workload"
+)
+
+// TestExecutorMatchesRun replays the same column programs through the
+// one-shot Run and a shared, buffer-reusing Executor (including runs of
+// different sizes back to back); deliveries must be identical.
+func TestExecutorMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	var e Executor
+	for trial := 0; trial < 12; trial++ {
+		n := 4 << uint(rng.Intn(4)) // 4..32, shuffled sizes stress buffer resizing
+		a := workload.Random(rng, n, rng.Float64(), rng.Float64())
+		res, err := core.Route(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := Flatten(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := bsn.CellsForAssignment(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(cols, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Run(cols, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range got {
+			gs, ws := -1, -1
+			if !got[p].IsIdle() {
+				gs = got[p].Source
+			}
+			if !want[p].IsIdle() {
+				ws = want[p].Source
+			}
+			if gs != ws {
+				t.Fatalf("trial %d n=%d output %d: executor delivered %d, Run delivered %d", trial, n, p, gs, ws)
+			}
+		}
+	}
+}
+
+// TestSwitchForInvertsPair pins SwitchFor as the inverse of Pair on
+// every column shape that occurs in a flattened program.
+func TestSwitchForInvertsPair(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		for bs := 2; bs <= n; bs *= 2 {
+			c := Column{BlockSize: bs}
+			for w := 0; w < n/2; w++ {
+				p0, p1 := c.Pair(w)
+				if c.SwitchFor(p0) != w || c.SwitchFor(p1) != w {
+					t.Fatalf("n=%d blockSize=%d: SwitchFor(Pair(%d)) = (%d,%d)",
+						n, bs, w, c.SwitchFor(p0), c.SwitchFor(p1))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkRun measures the one-shot execution path (fresh buffers per
+// call) against BenchmarkExecutorRun, the buffer-reusing serving path.
+func BenchmarkRun(b *testing.B) {
+	cols, cells := benchProgram(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cols, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorRun is the hot serving path: one Executor reused
+// across runs; allocs/op drops to zero once the buffers are warm.
+func BenchmarkExecutorRun(b *testing.B) {
+	cols, cells := benchProgram(b, 256)
+	var e Executor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cols, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchProgram(b *testing.B, n int) ([]Column, []bsn.Cell) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	a := workload.Random(rng, n, 0.9, 0.6)
+	res, err := core.Route(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols, err := Flatten(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cols, cells
+}

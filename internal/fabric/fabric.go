@@ -171,6 +171,18 @@ func (c Column) Pair(w int) (int, int) {
 	return base + i, base + i + h
 }
 
+// SwitchFor returns the switch of this column that drives/consumes the
+// given link — the inverse of Pair.
+func (c Column) SwitchFor(link int) int {
+	h := c.BlockSize / 2
+	b := link / c.BlockSize
+	i := link % c.BlockSize
+	if i >= h {
+		i -= h
+	}
+	return b*h + i
+}
+
 // Flatten converts a routed BRSMN result into its linear column program:
 // for each level in order, the scatter stages then the quasisort stages
 // of all the level's BSNs (side by side), then the delivery column. The
@@ -231,32 +243,86 @@ func Flatten(res *core.Result) ([]Column, error) {
 // cells (one per output). Each switch drives its two links exactly once
 // per column, so link occupancy is single-writer by construction here;
 // Apply performs the explicit occupancy assertion on the unflattened
-// wiring.
+// wiring. Run allocates its result; the hot serving path should hold an
+// Executor and call its Run method instead, which reuses buffers across
+// calls.
 func Run(cols []Column, in []bsn.Cell) ([]bsn.Cell, error) {
+	return new(Executor).Run(cols, in)
+}
+
+// Tamperer mutates a column program's execution in flight — the fault-
+// injection hook the faultd subsystem uses to model stuck switches and
+// dead links without forking the execution loop. Implementations must
+// not retain the slices they are handed.
+type Tamperer interface {
+	// TamperSettings may substitute the settings a column executes with.
+	// The returned slice must have the same length; return s unchanged
+	// when column ci carries no fault.
+	TamperSettings(ci int, s []swbox.Setting) []swbox.Setting
+	// TamperCells mutates the live cell vector right after column ci
+	// executes (before the level-boundary tag hand-off).
+	TamperCells(ci int, cells []bsn.Cell)
+}
+
+// Executor runs flattened column programs while reusing two internal
+// cell buffers plus a routing-tag arena across calls, so a steady
+// serving loop performs zero per-column (and, once warm, zero per-run)
+// allocations. The returned slice and the tag sequences of its cells
+// alias internal storage and are valid until the next call. An Executor
+// is not safe for concurrent use.
+type Executor struct {
+	cur, next []bsn.Cell
+	arena     bsn.Arena
+}
+
+// Run executes the program like the package-level Run, against the
+// executor's reusable buffers.
+func (e *Executor) Run(cols []Column, in []bsn.Cell) ([]bsn.Cell, error) {
+	return e.RunTampered(cols, in, nil)
+}
+
+// RunTampered executes the program with a fault-injection hook applied
+// at every column; t may be nil for a fault-free run.
+func (e *Executor) RunTampered(cols []Column, in []bsn.Cell, t Tamperer) ([]bsn.Cell, error) {
 	n := len(in)
-	cur := append([]bsn.Cell(nil), in...)
+	if cap(e.cur) < n {
+		e.cur = make([]bsn.Cell, n)
+		e.next = make([]bsn.Cell, n)
+	}
+	e.cur, e.next = e.cur[:n], e.next[:n]
+	e.arena.Reset()
+	copy(e.cur, in)
 	for ci, col := range cols {
 		if len(col.Settings) != n/2 {
 			return nil, fmt.Errorf("fabric: column %d has %d settings for n=%d", ci, len(col.Settings), n)
 		}
-		next := make([]bsn.Cell, n)
-		for w, s := range col.Settings {
-			p0, p1 := col.Pair(w)
-			next[p0], next[p1] = swbox.Apply(s, cur[p0], cur[p1], bsn.SplitCell)
+		settings := col.Settings
+		if t != nil {
+			settings = t.TamperSettings(ci, settings)
+			if len(settings) != n/2 {
+				return nil, fmt.Errorf("fabric: tamperer changed column %d to %d settings", ci, len(settings))
+			}
 		}
-		cur = next
+		for w, s := range settings {
+			p0, p1 := col.Pair(w)
+			e.next[p0], e.next[p1] = swbox.Apply(s, e.cur[p0], e.cur[p1], bsn.SplitCell)
+		}
+		e.cur, e.next = e.next, e.cur
+		if t != nil {
+			t.TamperCells(ci, e.cur)
+		}
 		if col.AdvanceAfter {
-			for i := range cur {
-				if cur[i].IsIdle() {
+			for i := range e.cur {
+				if e.cur[i].IsIdle() {
 					continue
 				}
-				adv, err := bsn.Advance(cur[i])
+				adv, err := bsn.AdvanceIn(e.cur[i], &e.arena)
 				if err != nil {
 					return nil, fmt.Errorf("fabric: column %d advance: %w", ci, err)
 				}
-				cur[i] = adv
+				e.cur[i] = adv
 			}
 		}
 	}
-	return cur, nil
+	return e.cur, nil
 }

@@ -1,0 +1,207 @@
+// Package faultd is the online fault-management subsystem of the
+// serving fabric: it closes the loop between fault injection, detection,
+// localization and degraded-mode serving. The paper's self-routing
+// property (Theorems 1–3) holds only on a fault-free fabric; faultd is
+// what lets a long-running switch keep serving when that assumption
+// breaks. Four cooperating parts:
+//
+//   - an Injector wraps any flattened column-program execution
+//     (fabric.Executor / netsim.PipelineTampered) and applies a
+//     configurable fault set: stuck-at switches, dead links, and
+//     seeded intermittent faults — the chaos-testing surface;
+//   - a prober (Monitor.RunProbes) piggybacks the cheap deterministic
+//     built-in self-test assignments of workload.Probes between groupd
+//     epochs and compares deliveries against the fault-free
+//     expectation, recording time-to-detect;
+//   - a localizer drives diagnosis.Tracker incrementally from the
+//     failed probes, intersecting suspects across probe rounds instead
+//     of mounting a fresh offline campaign;
+//   - a quarantine planner replans traffic with the destinations whose
+//     connections would traverse a confirmed-faulty switch excluded,
+//     falling back to rejecting only the unroutable subset.
+package faultd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"brsmn/internal/swbox"
+)
+
+// Kind classifies a fault.
+type Kind uint8
+
+const (
+	// StuckAt pins a switch to a fixed setting regardless of its
+	// computed plan — the classical MIN fault model of internal/diagnosis.
+	StuckAt Kind = iota
+	// DeadLink drops any cell carried by one fabric wire.
+	DeadLink
+	// Intermittent is a stuck-at fault that fires with probability Prob
+	// each time its column executes (seeded, so runs are reproducible).
+	Intermittent
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case StuckAt:
+		return "stuck"
+	case DeadLink:
+		return "dead-link"
+	case Intermittent:
+		return "intermittent"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText encodes the kind by name (used by the /faults JSON API).
+func (k Kind) MarshalText() ([]byte, error) {
+	if k > Intermittent {
+		return nil, fmt.Errorf("faultd: cannot marshal kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText is the inverse of MarshalText.
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "stuck":
+		*k = StuckAt
+	case "dead-link", "dead":
+		*k = DeadLink
+	case "intermittent", "flaky":
+		*k = Intermittent
+	default:
+		return fmt.Errorf("faultd: unknown fault kind %q", string(b))
+	}
+	return nil
+}
+
+// Fault is one hardware defect in the flattened column program. Col is
+// the column index (fault coordinates are stable for a given network
+// size: every assignment flattens to the same column structure). For
+// StuckAt and Intermittent, Switch and Stuck describe the pinned
+// switch; for DeadLink, Link is the wire (after column Col) that drops
+// its cell. Prob is the per-column excitation probability of an
+// Intermittent fault.
+type Fault struct {
+	Kind   Kind          `json:"kind"`
+	Col    int           `json:"col"`
+	Switch int           `json:"switch,omitempty"`
+	Link   int           `json:"link,omitempty"`
+	Stuck  swbox.Setting `json:"stuck,omitempty"`
+	Prob   float64       `json:"prob,omitempty"`
+}
+
+// String renders the fault in the -fault-inject spec syntax.
+func (f Fault) String() string {
+	switch f.Kind {
+	case StuckAt:
+		return fmt.Sprintf("stuck:%d:%d:%v", f.Col, f.Switch, f.Stuck)
+	case DeadLink:
+		return fmt.Sprintf("dead:%d:%d", f.Col, f.Link)
+	case Intermittent:
+		return fmt.Sprintf("flaky:%d:%d:%v:%g", f.Col, f.Switch, f.Stuck, f.Prob)
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f.Kind))
+}
+
+// Validate checks the fault against an n-port fabric of the given
+// column depth.
+func (f Fault) Validate(n, depth int) error {
+	if f.Col < 0 || f.Col >= depth {
+		return fmt.Errorf("faultd: column %d outside the %d-column fabric", f.Col, depth)
+	}
+	switch f.Kind {
+	case StuckAt, Intermittent:
+		if f.Switch < 0 || f.Switch >= n/2 {
+			return fmt.Errorf("faultd: switch %d outside a column of %d switches", f.Switch, n/2)
+		}
+		if !f.Stuck.Valid() {
+			return fmt.Errorf("faultd: invalid stuck setting %d", uint8(f.Stuck))
+		}
+		if f.Kind == Intermittent && (f.Prob <= 0 || f.Prob > 1) {
+			return fmt.Errorf("faultd: intermittent probability %g outside (0,1]", f.Prob)
+		}
+	case DeadLink:
+		if f.Link < 0 || f.Link >= n {
+			return fmt.Errorf("faultd: link %d outside a fabric of %d wires", f.Link, n)
+		}
+	default:
+		return fmt.Errorf("faultd: unknown fault kind %d", uint8(f.Kind))
+	}
+	return nil
+}
+
+// ParseSpec parses a comma-separated fault-injection spec — the
+// -fault-inject flag syntax of cmd/brsmnd:
+//
+//	stuck:<col>:<switch>:<setting>
+//	dead:<col>:<link>
+//	flaky:<col>:<switch>:<setting>:<prob>
+//
+// where <setting> is parallel | cross | ubcast | lbcast (or 0–3).
+func ParseSpec(spec string) ([]Fault, error) {
+	var out []Fault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		f, err := parseOne(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faultd: spec %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseOne(fields []string) (Fault, error) {
+	var f Fault
+	if len(fields) == 0 {
+		return f, fmt.Errorf("empty spec")
+	}
+	if err := f.Kind.UnmarshalText([]byte(fields[0])); err != nil {
+		return f, err
+	}
+	want := map[Kind]int{StuckAt: 4, DeadLink: 3, Intermittent: 5}[f.Kind]
+	if len(fields) != want {
+		return f, fmt.Errorf("%s wants %d fields, got %d", f.Kind, want, len(fields))
+	}
+	col, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return f, fmt.Errorf("bad column %q", fields[1])
+	}
+	f.Col = col
+	switch f.Kind {
+	case DeadLink:
+		link, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return f, fmt.Errorf("bad link %q", fields[2])
+		}
+		f.Link = link
+	case StuckAt, Intermittent:
+		sw, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return f, fmt.Errorf("bad switch %q", fields[2])
+		}
+		f.Switch = sw
+		s, err := swbox.ParseSetting(fields[3])
+		if err != nil {
+			return f, err
+		}
+		f.Stuck = s
+		if f.Kind == Intermittent {
+			p, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil || p <= 0 || p > 1 {
+				return f, fmt.Errorf("bad probability %q, want (0,1]", fields[4])
+			}
+			f.Prob = p
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,383 @@
+package faultd
+
+import (
+	"reflect"
+	"testing"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/swbox"
+	"brsmn/internal/workload"
+)
+
+func TestParseSpecRoundTrips(t *testing.T) {
+	spec := "stuck:3:1:cross, dead:5:7, flaky:2:0:parallel:0.25"
+	faults, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: StuckAt, Col: 3, Switch: 1, Stuck: swbox.Cross},
+		{Kind: DeadLink, Col: 5, Link: 7},
+		{Kind: Intermittent, Col: 2, Switch: 0, Stuck: swbox.Parallel, Prob: 0.25},
+	}
+	if !reflect.DeepEqual(faults, want) {
+		t.Fatalf("ParseSpec(%q) = %+v, want %+v", spec, faults, want)
+	}
+	for _, f := range faults {
+		back, err := ParseSpec(f.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", f.String(), err)
+		}
+		if !reflect.DeepEqual(back, []Fault{f}) {
+			t.Fatalf("round trip of %q lost information: %+v", f.String(), back)
+		}
+	}
+	for _, bad := range []string{"stuck:1:2", "dead:x:0", "flaky:0:0:cross:2", "gone:1:2", "stuck:0:0:sideways"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	n, depth := 8, 9
+	good := []Fault{
+		{Kind: StuckAt, Col: 0, Switch: 3, Stuck: swbox.UpperBcast},
+		{Kind: DeadLink, Col: depth - 1, Link: n - 1},
+		{Kind: Intermittent, Col: 4, Switch: 0, Stuck: swbox.Cross, Prob: 1},
+	}
+	for _, f := range good {
+		if err := f.Validate(n, depth); err != nil {
+			t.Errorf("Validate(%v): %v", f, err)
+		}
+	}
+	bad := []Fault{
+		{Kind: StuckAt, Col: depth, Switch: 0},
+		{Kind: StuckAt, Col: 0, Switch: n / 2},
+		{Kind: StuckAt, Col: 0, Switch: 0, Stuck: 7},
+		{Kind: DeadLink, Col: 0, Link: n},
+		{Kind: Intermittent, Col: 0, Switch: 0, Stuck: swbox.Cross, Prob: 0},
+		{Kind: Kind(9), Col: 0},
+	}
+	for _, f := range bad {
+		if err := f.Validate(n, depth); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid fault", f)
+		}
+	}
+}
+
+// runProbeThrough routes one probe assignment and returns its injected
+// deliveries plus the fault-free expectation.
+func runProbeThrough(t *testing.T, inj *Injector, n int) (got, want []int, a mcast.Assignment, res *core.Result) {
+	t.Helper()
+	probes, err := workload.Probes(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = probes[0]
+	res, err = core.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e fabric.Executor
+	got = inj.Deliveries(&e, cols, cells)
+	want = make([]int, n)
+	for out, src := range a.OutputOwner() {
+		want[out] = src
+	}
+	return got, want, a, res
+}
+
+func TestInjectorFaultFreeDeliversExactly(t *testing.T) {
+	inj := NewInjector(1)
+	got, want, _, _ := runProbeThrough(t, inj, 16)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fault-free deliveries %v, want %v", got, want)
+	}
+}
+
+func TestInjectorStuckAtMisdelivers(t *testing.T) {
+	inj := NewInjector(1)
+	// A full permutation drives every switch, so some stuck switch must
+	// disagree with its plan; try both unicast stuck values on switch 0
+	// of column 2 — one of them is guaranteed to differ from the plan.
+	broke := false
+	for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross} {
+		inj.Clear()
+		inj.Add(Fault{Kind: StuckAt, Col: 2, Switch: 0, Stuck: s})
+		got, want, _, _ := runProbeThrough(t, inj, 16)
+		if !reflect.DeepEqual(got, want) {
+			broke = true
+		}
+	}
+	if !broke {
+		t.Fatal("neither stuck setting of (col 2, switch 0) excited the probe")
+	}
+}
+
+func TestInjectorDeadLinkDropsDeliveries(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Add(Fault{Kind: DeadLink, Col: 0, Link: 5})
+	got, want, _, _ := runProbeThrough(t, inj, 16)
+	if reflect.DeepEqual(got, want) {
+		t.Fatal("dead link on a fully loaded fabric did not change deliveries")
+	}
+	if got[0] == -2 {
+		// A dropped cell may strand a later hand-off; either way the
+		// probe must not report clean delivery.
+		return
+	}
+	missing := 0
+	for out := range got {
+		if got[out] != want[out] {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Fatal("dead link lost no deliveries")
+	}
+}
+
+func TestInjectorIntermittentIsSeededDeterministic(t *testing.T) {
+	// An excitation is only visible when the stuck value differs from
+	// the plan's setting, so run both unicast values: one of them must
+	// both fire and skip over 8 seeded rolls at p=0.5.
+	run := func(seed int64, s swbox.Setting) []int {
+		inj := NewInjector(seed)
+		inj.Add(Fault{Kind: Intermittent, Col: 1, Switch: 2, Stuck: s, Prob: 0.5})
+		var flips []int
+		for i := 0; i < 8; i++ {
+			got, want, _, _ := runProbeThrough(t, inj, 8)
+			if reflect.DeepEqual(got, want) {
+				flips = append(flips, 0)
+			} else {
+				flips = append(flips, 1)
+			}
+		}
+		return flips
+	}
+	mixed := false
+	for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross} {
+		a, b := run(42, s), run(42, s)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("same seed, different excitation pattern: %v vs %v", a, b)
+		}
+		saw := map[int]bool{}
+		for _, f := range a {
+			saw[f] = true
+		}
+		if saw[0] && saw[1] {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Fatal("no stuck value of the p=0.5 intermittent fault both fired and skipped over 8 probes")
+	}
+}
+
+func TestMonitorDetectsAndLocalizesStuckFault(t *testing.T) {
+	const n = 16
+	inj := NewInjector(7)
+	m, err := NewMonitor(Config{N: n, ProbeCount: 4}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := m.RunProbes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected || rep.Failures != 0 {
+		t.Fatalf("clean fabric reported faulty: %+v", rep)
+	}
+
+	// Find a stuck fault the probe set excites (a full permutation uses
+	// every switch, so one of the two unicast stuck values must differ
+	// from some probe's plan at this switch).
+	truth := Fault{Kind: StuckAt, Col: 3, Switch: 2, Stuck: swbox.Parallel}
+	for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross} {
+		inj.Clear()
+		truth.Stuck = s
+		inj.Add(truth)
+		if rep, err = m.RunProbes(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			break
+		}
+	}
+	if !rep.Detected {
+		t.Fatal("no stuck value of (col 3, switch 2) was detected by the probe set")
+	}
+	st := m.Stats()
+	if st.DetectedAtProbe == 0 || st.ProbeFailures == 0 {
+		t.Fatalf("detection left no time-to-detect trace: %+v", st)
+	}
+	found := false
+	for _, c := range rep.Candidates {
+		if c.Col == truth.Col && c.Switch == truth.Switch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("true fault (%d,%d) not among candidates %v", truth.Col, truth.Switch, rep.Candidates)
+	}
+}
+
+func TestFilterAssignmentPassesThroughWhenClean(t *testing.T) {
+	inj := NewInjector(1)
+	m, err := NewMonitor(Config{N: 8}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mcast.MustNew(8, [][]int{{0, 1}, nil, {3, 4, 7}, {2}, nil, nil, nil, {5, 6}})
+	filtered, rejected := m.FilterAssignment(a)
+	if rejected != nil || !reflect.DeepEqual(filtered, a) {
+		t.Fatalf("clean monitor rewrote the assignment: rejected %v", rejected)
+	}
+}
+
+// TestFilterAssignmentSurvivesLocalizedFault drives the full loop on a
+// multicast round: inject, probe until localized, then check the
+// filtered assignment delivers 100% of its remaining outputs through
+// the real injector.
+func TestFilterAssignmentSurvivesLocalizedFault(t *testing.T) {
+	const n = 16
+	inj := NewInjector(3)
+	m, err := NewMonitor(Config{N: n, ProbeCount: 6}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross} {
+		inj.Clear()
+		inj.Add(Fault{Kind: StuckAt, Col: 4, Switch: 3, Stuck: s})
+		rep, err := m.RunProbes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			break
+		}
+	}
+	if !m.Stats().Detected {
+		t.Fatal("fault was not detected")
+	}
+
+	a := mcast.MustNew(n, [][]int{
+		{0, 1, 2, 3}, nil, {8, 9}, {4}, {5, 6}, nil, {7, 15}, nil,
+		{10}, {11, 12}, nil, {13}, {14}, nil, nil, nil,
+	})
+	filtered, rejected := m.FilterAssignment(a)
+	if filtered.Fanout()+len(rejected) != a.Fanout() {
+		t.Fatalf("filter lost outputs: fanout %d + rejected %d != %d",
+			filtered.Fanout(), len(rejected), a.Fanout())
+	}
+	checkDelivers(t, inj, filtered)
+	if m.Stats().QuarantinedOuts != len(rejected) {
+		t.Fatalf("quarantined counter %d, rejected %d", m.Stats().QuarantinedOuts, len(rejected))
+	}
+}
+
+// checkDelivers routes an assignment and asserts the (faulty) fabric
+// delivers every requested output exactly.
+func checkDelivers(t *testing.T, inj *Injector, a mcast.Assignment) {
+	t.Helper()
+	if a.Fanout() == 0 {
+		return
+	}
+	res, err := core.Route(a)
+	if err != nil {
+		t.Fatalf("routing filtered assignment: %v", err)
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e fabric.Executor
+	got := inj.Deliveries(&e, cols, cells)
+	for out, src := range a.OutputOwner() {
+		if src < 0 {
+			continue
+		}
+		if got[out] != src {
+			t.Fatalf("output %d delivered %d, want %d (deliveries %v)", out, got[out], src, got)
+		}
+	}
+}
+
+func TestFilterAssignmentTraversalFallback(t *testing.T) {
+	const n = 8
+	inj := NewInjector(5)
+	// MaxModelCandidates 0 takes the default; force the structural
+	// fallback with a cap the smallest candidate set already exceeds.
+	m, err := NewMonitor(Config{N: n, ProbeCount: 4, MaxModelCandidates: -1}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.cfg.MaxModelCandidates = 0
+	for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross} {
+		inj.Clear()
+		inj.Add(Fault{Kind: StuckAt, Col: 2, Switch: 1, Stuck: s})
+		rep, err := m.RunProbes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			break
+		}
+	}
+	if !m.Stats().Detected {
+		t.Fatal("fault was not detected")
+	}
+	if len(m.models) != 0 {
+		t.Fatalf("cap 0 still built %d fault models", len(m.models))
+	}
+	a := mcast.MustNew(n, [][]int{{0, 1, 2, 3}, nil, {4, 5}, {6}, {7}, nil, nil, nil})
+	filtered, _ := m.FilterAssignment(a)
+	checkDelivers(t, inj, filtered)
+}
+
+func TestMonitorVersionBumpsOnLocalization(t *testing.T) {
+	inj := NewInjector(2)
+	m, err := NewMonitor(Config{N: 8, ProbeCount: 2}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != 0 {
+		t.Fatalf("fresh monitor at version %d", m.Version())
+	}
+	if _, err := m.RunProbes(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != 0 {
+		t.Fatal("clean probe round bumped the policy version")
+	}
+	for _, s := range []swbox.Setting{swbox.Parallel, swbox.Cross} {
+		inj.Clear()
+		inj.Add(Fault{Kind: StuckAt, Col: 1, Switch: 0, Stuck: s})
+		if _, err := m.RunProbes(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Stats().Detected {
+			break
+		}
+	}
+	if m.Version() == 0 {
+		t.Fatal("localization did not bump the policy version")
+	}
+}

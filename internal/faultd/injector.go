@@ -1,0 +1,146 @@
+package faultd
+
+import (
+	"math/rand"
+	"sync"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/fabric"
+	"brsmn/internal/swbox"
+)
+
+// Injector is the simulated faulty hardware: a fabric.Tamperer that
+// applies a configurable fault set to any column-program execution —
+// fabric.Executor.RunTampered for one-shot runs, netsim.PipelineTampered
+// for pipelined waves. The fault set is mutable at runtime (the chaos
+// surface of POST /faults) and an Injector is safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	rng    *rand.Rand // excitation rolls for Intermittent faults
+}
+
+// NewInjector returns an empty (fault-free) injector whose intermittent
+// faults roll a deterministic seeded source.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add arms one more fault.
+func (inj *Injector) Add(f Fault) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.faults = append(inj.faults, f)
+}
+
+// Clear disarms every fault.
+func (inj *Injector) Clear() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.faults = nil
+}
+
+// List snapshots the armed fault set.
+func (inj *Injector) List() []Fault {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Fault(nil), inj.faults...)
+}
+
+// Active reports whether any fault is armed.
+func (inj *Injector) Active() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return len(inj.faults) > 0
+}
+
+// TamperSettings implements fabric.Tamperer: stuck-at faults (and
+// intermittent faults whose excitation roll fires) override the
+// column's computed settings on a private copy.
+func (inj *Injector) TamperSettings(ci int, s []swbox.Setting) []swbox.Setting {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var patched []swbox.Setting
+	for _, f := range inj.faults {
+		if f.Col != ci {
+			continue
+		}
+		switch f.Kind {
+		case StuckAt:
+		case Intermittent:
+			if inj.rng.Float64() >= f.Prob {
+				continue
+			}
+		default:
+			continue
+		}
+		if f.Switch >= len(s) {
+			continue
+		}
+		if patched == nil {
+			patched = append([]swbox.Setting(nil), s...)
+		}
+		patched[f.Switch] = f.Stuck
+	}
+	if patched != nil {
+		return patched
+	}
+	return s
+}
+
+// TamperCells implements fabric.Tamperer: dead links drop whatever cell
+// the wire carries after its column executes.
+func (inj *Injector) TamperCells(ci int, cells []bsn.Cell) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, f := range inj.faults {
+		if f.Kind == DeadLink && f.Col == ci && f.Link < len(cells) {
+			cells[f.Link] = bsn.Idle()
+		}
+	}
+}
+
+// Deliveries executes a column program through the injector and returns
+// the per-output delivered sources (-1 idle). A run the fault crashes
+// outright (a cell stranded mid-hand-off) returns -2 everywhere — the
+// convention diagnosis.SuspectsOf expects. e supplies the reusable
+// execution buffers; it must not be shared with concurrent callers.
+func (inj *Injector) Deliveries(e *fabric.Executor, cols []fabric.Column, cells []bsn.Cell) []int {
+	out := make([]int, len(cells))
+	final, err := e.RunTampered(cols, cells, inj)
+	if err != nil {
+		for i := range out {
+			out[i] = -2
+		}
+		return out
+	}
+	for p, c := range final {
+		out[p] = -1
+		if !c.IsIdle() {
+			out[p] = c.Source
+		}
+	}
+	return out
+}
+
+// modelFault is a deterministic single-fault Tamperer the quarantine
+// planner simulates candidate defects with: intermittent models are
+// treated as always-on (the worst case a plan must survive).
+type modelFault Fault
+
+func (m modelFault) TamperSettings(ci int, s []swbox.Setting) []swbox.Setting {
+	f := Fault(m)
+	if f.Col != ci || f.Kind == DeadLink || f.Switch >= len(s) {
+		return s
+	}
+	patched := append([]swbox.Setting(nil), s...)
+	patched[f.Switch] = f.Stuck
+	return patched
+}
+
+func (m modelFault) TamperCells(ci int, cells []bsn.Cell) {
+	f := Fault(m)
+	if f.Kind == DeadLink && f.Col == ci && f.Link < len(cells) {
+		cells[f.Link] = bsn.Idle()
+	}
+}

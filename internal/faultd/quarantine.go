@@ -1,0 +1,193 @@
+package faultd
+
+import (
+	"sort"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/core"
+	"brsmn/internal/diagnosis"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/paths"
+)
+
+// FilterAssignment implements groupd.FaultPolicy: with no localized
+// fault the assignment passes through untouched; otherwise the
+// quarantine planner rewrites it to avoid every candidate defect and
+// returns the output ports it had to reject. Rejected ports accumulate
+// in the quarantined set reported by Report.
+func (m *Monitor) FilterAssignment(a mcast.Assignment) (mcast.Assignment, []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.candidates) == 0 {
+		return a, nil
+	}
+	filtered, rejected := m.planAroundLocked(a)
+	if len(rejected) > 0 {
+		m.degradedReplans.Add(1)
+		for _, out := range rejected {
+			m.quarantined[out] = true
+		}
+	}
+	return filtered, rejected
+}
+
+// planAroundLocked is the quarantine planner's fixed point. Whether a
+// connection survives a fault depends on the whole round's switch
+// settings, so quarantine cannot be decided per connection up front:
+// the planner routes the assignment, simulates the routed program under
+// every candidate fault model, drops the outputs any model misdelivers,
+// and re-routes the survivors — repeating until some plan is clean
+// under every model (often the first or second iteration) or nothing is
+// left. Every iteration drops at least one active output, so the loop
+// runs at most N times.
+func (m *Monitor) planAroundLocked(a mcast.Assignment) (mcast.Assignment, []int) {
+	dropped := map[int]bool{}
+	cur := a
+	for cur.Fanout() > 0 {
+		res, err := m.nw.Route(cur)
+		if err != nil {
+			dropActive(cur, dropped)
+			cur = withoutOutputs(a, dropped)
+			break
+		}
+		bad, err := m.badOutputsLocked(cur, res)
+		if err != nil {
+			dropActive(cur, dropped)
+			cur = withoutOutputs(a, dropped)
+			break
+		}
+		if len(bad) == 0 {
+			break
+		}
+		for out := range bad {
+			dropped[out] = true
+		}
+		cur = withoutOutputs(a, dropped)
+	}
+	return cur, sortedOuts(dropped)
+}
+
+// badOutputsLocked returns the outputs of the routed plan that some
+// candidate fault model misdelivers. With a suspect set too large to
+// simulate (models empty), or when a simulated run crashes outright, it
+// falls back to the structural over-approximation: every output of a
+// tree that traverses a suspect switch.
+func (m *Monitor) badOutputsLocked(cur mcast.Assignment, res *core.Result) (map[int]bool, error) {
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, err
+	}
+	bad := map[int]bool{}
+	if len(m.models) == 0 {
+		err := m.addTraversalBad(cur, res, cols, bad)
+		return bad, err
+	}
+	cells, err := bsn.CellsForAssignment(cur)
+	if err != nil {
+		return nil, err
+	}
+	want := cur.OutputOwner()
+	crashed := false
+	for _, f := range m.models {
+		got, err := m.exec.RunTampered(cols, cells, modelFault(f))
+		if err != nil {
+			crashed = true
+			continue
+		}
+		for out, c := range got {
+			if want[out] < 0 {
+				continue
+			}
+			if c.IsIdle() || c.Source != want[out] {
+				bad[out] = true
+			}
+		}
+	}
+	if crashed {
+		if err := m.addTraversalBad(cur, res, cols, bad); err != nil {
+			return nil, err
+		}
+		if len(bad) == 0 {
+			// A model strands cells but no tree admits to touching a
+			// suspect — the crash is unattributable, so nothing left in
+			// this assignment can be vouched for.
+			dropAllOf(want, bad)
+		}
+	}
+	return bad, nil
+}
+
+// addTraversalBad adds the outputs of every multicast tree that
+// traverses a candidate switch — on either side of an occupied link:
+// the switch that drove the cell onto it and the one that consumes it.
+func (m *Monitor) addTraversalBad(cur mcast.Assignment, res *core.Result, cols []fabric.Column, bad map[int]bool) error {
+	trees, err := paths.Extract(cur, res)
+	if err != nil {
+		return err
+	}
+	suspect := make(map[diagnosis.Suspect]bool, len(m.candidates))
+	for _, s := range m.candidates {
+		suspect[s] = true
+	}
+	for _, tr := range trees {
+		if !treeTouches(tr, cols, suspect) {
+			continue
+		}
+		for _, out := range tr.Outputs {
+			bad[out] = true
+		}
+	}
+	return nil
+}
+
+func treeTouches(tr paths.Tree, cols []fabric.Column, suspect map[diagnosis.Suspect]bool) bool {
+	for _, e := range tr.Edges {
+		if e.Col >= 0 && suspect[diagnosis.Suspect{Col: e.Col, Switch: cols[e.Col].SwitchFor(e.Link)}] {
+			return true
+		}
+		if e.Col+1 < len(cols) && suspect[diagnosis.Suspect{Col: e.Col + 1, Switch: cols[e.Col+1].SwitchFor(e.Link)}] {
+			return true
+		}
+	}
+	return false
+}
+
+// dropActive marks every output the assignment still serves.
+func dropActive(cur mcast.Assignment, dropped map[int]bool) {
+	dropAllOf(cur.OutputOwner(), dropped)
+}
+
+func dropAllOf(owner []int, dropped map[int]bool) {
+	for out, src := range owner {
+		if src >= 0 {
+			dropped[out] = true
+		}
+	}
+}
+
+// withoutOutputs rebuilds the original assignment minus the dropped
+// output ports. A subset of a valid assignment is itself valid.
+func withoutOutputs(a mcast.Assignment, dropped map[int]bool) mcast.Assignment {
+	dests := make([][]int, a.N)
+	for i, ds := range a.Dests {
+		for _, d := range ds {
+			if !dropped[d] {
+				dests[i] = append(dests[i], d)
+			}
+		}
+	}
+	return mcast.MustNew(a.N, dests)
+}
+
+func sortedOuts(dropped map[int]bool) []int {
+	if len(dropped) == 0 {
+		return nil
+	}
+	outs := make([]int, 0, len(dropped))
+	for o := range dropped {
+		outs = append(outs, o)
+	}
+	sort.Ints(outs)
+	return outs
+}

@@ -6,11 +6,15 @@ import (
 )
 
 // planKey identifies one cached column program: a group at a specific
-// generation. Generations are monotonic, so a key can never refer to two
-// different memberships.
+// generation, planned under a specific fault-policy version.
+// Generations are monotonic, so a key can never refer to two different
+// memberships; a policy change (fault localized, quarantine grown)
+// bumps pv, so degraded plans never shadow healthy ones. Stale-version
+// entries age out through normal LRU eviction.
 type planKey struct {
 	id  string
 	gen uint64
+	pv  uint64
 }
 
 type planEntry struct {

@@ -7,17 +7,17 @@ import (
 
 func TestPlanCacheLRUOrder(t *testing.T) {
 	c := newPlanCache(2)
-	c.put(planKey{"a", 1}, []byte{1}, 1)
-	c.put(planKey{"b", 1}, []byte{2}, 1)
+	c.put(planKey{"a", 1, 0}, []byte{1}, 1)
+	c.put(planKey{"b", 1, 0}, []byte{2}, 1)
 	// Touch a so b becomes the LRU victim.
-	if _, ok := c.get(planKey{"a", 1}); !ok {
+	if _, ok := c.get(planKey{"a", 1, 0}); !ok {
 		t.Fatal("a missing")
 	}
-	c.put(planKey{"c", 1}, []byte{3}, 1)
-	if _, ok := c.get(planKey{"b", 1}); ok {
+	c.put(planKey{"c", 1, 0}, []byte{3}, 1)
+	if _, ok := c.get(planKey{"b", 1, 0}); ok {
 		t.Fatal("b not evicted")
 	}
-	if _, ok := c.get(planKey{"a", 1}); !ok {
+	if _, ok := c.get(planKey{"a", 1, 0}); !ok {
 		t.Fatal("a evicted despite recent use")
 	}
 	st := c.stats()
@@ -28,7 +28,7 @@ func TestPlanCacheLRUOrder(t *testing.T) {
 
 func TestPlanCachePutOverwrites(t *testing.T) {
 	c := newPlanCache(4)
-	k := planKey{"g", 7}
+	k := planKey{"g", 7, 0}
 	c.put(k, []byte{1, 2}, 3)
 	c.put(k, []byte{9}, 5)
 	e, ok := c.get(k)
@@ -42,7 +42,7 @@ func TestPlanCachePutOverwrites(t *testing.T) {
 
 func TestPlanCacheInvalidate(t *testing.T) {
 	c := newPlanCache(4)
-	k := planKey{"g", 1}
+	k := planKey{"g", 1, 0}
 	c.put(k, []byte{1}, 1)
 	c.invalidate(k)
 	c.invalidate(k) // absent: no double count
@@ -54,8 +54,8 @@ func TestPlanCacheInvalidate(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 	// Distinct generations are distinct entries.
-	c.put(planKey{"g", 1}, []byte{1}, 1)
-	c.put(planKey{"g", 2}, []byte{2}, 1)
+	c.put(planKey{"g", 1, 0}, []byte{1}, 1)
+	c.put(planKey{"g", 2, 0}, []byte{2}, 1)
 	if st := c.stats(); st.Size != 2 {
 		t.Fatalf("size = %d, want 2 generations", st.Size)
 	}

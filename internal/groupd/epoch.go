@@ -15,6 +15,9 @@ import (
 type RoundReport struct {
 	GroupIDs   []string `json:"groupIds"`
 	Deliveries []int    `json:"deliveries"`
+	// Rejected lists the output ports the fault policy excluded from
+	// this round (sorted); empty on a healthy fabric.
+	Rejected []int `json:"rejected,omitempty"`
 }
 
 // EpochReport summarizes one reroute epoch.
@@ -28,6 +31,11 @@ type EpochReport struct {
 	Fanout int           `json:"fanout"`
 	Rounds []RoundReport `json:"rounds"`
 	Cache  CacheStats    `json:"cache"`
+	// Quarantined is the total output-port count the fault policy
+	// rejected across this epoch's rounds; DegradedRounds counts the
+	// rounds it touched.
+	Quarantined    int `json:"quarantined,omitempty"`
+	DegradedRounds int `json:"degradedRounds,omitempty"`
 	// Err carries a failed background epoch's error; empty on success.
 	Err string `json:"err,omitempty"`
 }
@@ -74,6 +82,15 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("groupd: epoch round assembly: %w", err)
 	}
+	// Quarantine is a per-round decision: whether a connection survives a
+	// fault depends on the whole round's switch settings, so the policy
+	// filters each combined assignment, not each group.
+	rejected := make([][]int, len(as))
+	if m.cfg.Policy != nil {
+		for r := range as {
+			as[r], rejected[r] = m.cfg.Policy.FilterAssignment(as[r])
+		}
+	}
 	routed, err := controller.RouteAll(m.cfg.N, as, m.cfg.Workers, m.cfg.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("groupd: epoch routing: %w", err)
@@ -92,7 +109,11 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		for out, d := range sr.Res.Deliveries {
 			vec[out] = d.Source
 		}
-		rep.Rounds[r] = RoundReport{GroupIDs: ids[sr.Index], Deliveries: vec}
+		rep.Rounds[r] = RoundReport{GroupIDs: ids[sr.Index], Deliveries: vec, Rejected: rejected[sr.Index]}
+		if len(rejected[sr.Index]) > 0 {
+			rep.Quarantined += len(rejected[sr.Index])
+			rep.DegradedRounds++
+		}
 	}
 	for _, sn := range live {
 		rep.Fanout += len(sn.members)
@@ -104,6 +125,9 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	rep.Duration = time.Since(start)
 	rep.Cache = m.cache.stats()
 	m.last.Store(rep)
+	if m.cfg.Policy != nil {
+		m.cfg.Policy.AfterEpoch(rep.Epoch)
+	}
 	return rep, nil
 }
 

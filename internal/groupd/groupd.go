@@ -66,6 +66,10 @@ type Config struct {
 	// Workers is the number of rounds routed concurrently per epoch
 	// (default 1).
 	Workers int
+	// Policy, when non-nil, filters every planned assignment around
+	// believed faults and hooks probe scheduling into the epoch loop
+	// (see FaultPolicy; implemented by internal/faultd).
+	Policy FaultPolicy
 }
 
 func (c *Config) applyDefaults() {
@@ -276,7 +280,7 @@ func (m *Manager) mutate(id string, d int, op func(*brsmn.Group, int) error) (Up
 	s.gen++
 	u := Update{ID: s.id, Gen: s.gen, Size: s.group.Len()}
 	s.mu.Unlock()
-	m.cache.invalidate(planKey{id: id, gen: old})
+	m.cache.invalidate(planKey{id: id, gen: old, pv: m.policyVersion()})
 	m.noteChange(1)
 	return u, nil
 }
@@ -299,7 +303,7 @@ func (m *Manager) Delete(id string) error {
 	s.gone = true
 	gen := s.gen
 	s.mu.Unlock()
-	m.cache.invalidate(planKey{id: id, gen: gen})
+	m.cache.invalidate(planKey{id: id, gen: gen, pv: m.policyVersion()})
 	m.noteChange(1)
 	return nil
 }
@@ -381,7 +385,7 @@ func (m *Manager) Plan(id string) (PlanInfo, error) {
 	s.mu.Lock()
 	gen := s.gen
 	s.mu.Unlock()
-	if e, ok := m.cache.get(planKey{id: id, gen: gen}); ok {
+	if e, ok := m.cache.get(planKey{id: id, gen: gen, pv: m.policyVersion()}); ok {
 		return PlanInfo{ID: id, Gen: gen, Cached: true, Columns: e.columns, Blob: e.blob}, nil
 	}
 	s.mu.Lock()
@@ -393,12 +397,12 @@ func (m *Manager) Plan(id string) (PlanInfo, error) {
 	if err != nil {
 		return PlanInfo{}, err
 	}
-	m.cache.put(planKey{id: id, gen: gen}, blob, columns)
+	m.cache.put(planKey{id: id, gen: gen, pv: m.policyVersion()}, blob, columns)
 	return PlanInfo{ID: id, Gen: gen, Cached: false, Columns: columns, Blob: blob}, nil
 }
 
 func (m *Manager) planFor(id string, gen uint64, source int, members []int) (PlanInfo, error) {
-	k := planKey{id: id, gen: gen}
+	k := planKey{id: id, gen: gen, pv: m.policyVersion()}
 	if e, ok := m.cache.get(k); ok {
 		return PlanInfo{ID: id, Gen: gen, Cached: true, Columns: e.columns, Blob: e.blob}, nil
 	}
@@ -411,13 +415,17 @@ func (m *Manager) planFor(id string, gen uint64, source int, members []int) (Pla
 }
 
 // replan is the cold path: a full O(n log^2 n) route of the single-group
-// assignment, flattened to physical columns and serialized.
+// assignment — filtered around believed faults when a policy is set —
+// flattened to physical columns and serialized.
 func (m *Manager) replan(source int, members []int) ([]byte, int, error) {
 	dests := make([][]int, m.cfg.N)
 	dests[source] = members
 	a, err := mcast.New(m.cfg.N, dests)
 	if err != nil {
 		return nil, 0, err
+	}
+	if m.cfg.Policy != nil {
+		a, _ = m.cfg.Policy.FilterAssignment(a)
 	}
 	res, err := m.nw.Route(a)
 	if err != nil {

@@ -1,0 +1,33 @@
+package groupd
+
+import "brsmn/internal/mcast"
+
+// FaultPolicy lets a fault-management subsystem (internal/faultd) shape
+// the traffic groupd plans, without groupd depending on how faults are
+// detected. The Manager consults the policy at every planning site —
+// each epoch round's combined assignment and every single-group replan —
+// and tags cached plans with the policy version so a localization
+// change invalidates the cached healthy-fabric plans implicitly.
+// Implementations must be safe for concurrent use.
+type FaultPolicy interface {
+	// FilterAssignment rewrites an assignment to avoid the faults the
+	// policy currently believes in, returning the filtered assignment
+	// and the output ports it rejected (sorted). A policy with nothing
+	// to avoid returns the assignment unchanged and a nil slice.
+	FilterAssignment(a mcast.Assignment) (mcast.Assignment, []int)
+	// Version changes whenever FilterAssignment's behavior changes.
+	Version() uint64
+	// AfterEpoch runs after each completed epoch (outside the epoch
+	// lock's critical planning path) — the hook probe scheduling hangs
+	// off of.
+	AfterEpoch(epoch int64)
+}
+
+// policyVersion is the Manager's current plan-cache version tag: 0
+// without a policy.
+func (m *Manager) policyVersion() uint64 {
+	if m.cfg.Policy == nil {
+		return 0
+	}
+	return m.cfg.Policy.Version()
+}

@@ -47,6 +47,10 @@ type Report struct {
 	// MaxColumnsBusy is the peak number of columns active in one cycle
 	// — the pipeline's achieved parallelism.
 	MaxColumnsBusy int
+	// Misdelivered counts outputs whose delivery differed from the
+	// fault-free expectation. Always 0 for Pipeline, which fails on the
+	// first mismatch; PipelineTampered reports instead of failing.
+	Misdelivered int
 }
 
 // Speedup is the pipelining gain: sequential makespan over pipelined
@@ -64,6 +68,20 @@ func (r *Report) Speedup() float64 {
 // its assignment. The per-cycle column occupancies are asserted
 // disjoint: two waves never configure the same column at the same time.
 func Pipeline(assignments []mcast.Assignment, gap int, eng rbn.Engine) (*Report, error) {
+	return pipeline(assignments, gap, eng, nil)
+}
+
+// PipelineTampered is Pipeline with a fault-injection hook applied to
+// every wave's column executions (the column index handed to the
+// Tamperer is the wave's own program position, matching the fault
+// coordinates of the flattened program). Misdeliveries caused by the
+// faults are counted in Report.Misdelivered rather than failing the
+// run; a fault that strands a cell mid-hand-off still errors.
+func PipelineTampered(assignments []mcast.Assignment, gap int, eng rbn.Engine, t fabric.Tamperer) (*Report, error) {
+	return pipeline(assignments, gap, eng, t)
+}
+
+func pipeline(assignments []mcast.Assignment, gap int, eng rbn.Engine, tamper fabric.Tamperer) (*Report, error) {
 	if len(assignments) == 0 {
 		return nil, fmt.Errorf("netsim: no assignments")
 	}
@@ -118,12 +136,22 @@ func Pipeline(assignments []mcast.Assignment, gap int, eng rbn.Engine) (*Report,
 			}
 			busy[pos] = wid
 			col := wv.cols[pos]
+			settings := col.Settings
+			if tamper != nil {
+				settings = tamper.TamperSettings(pos, settings)
+				if len(settings) != n/2 {
+					return nil, fmt.Errorf("netsim: tamperer changed column %d to %d settings", pos, len(settings))
+				}
+			}
 			next := make([]bsn.Cell, n)
-			for sw, s := range col.Settings {
+			for sw, s := range settings {
 				p0, p1 := col.Pair(sw)
 				next[p0], next[p1] = swbox.Apply(s, wv.cells[p0], wv.cells[p1], bsn.SplitCell)
 			}
 			wv.cells = next
+			if tamper != nil {
+				tamper.TamperCells(pos, wv.cells)
+			}
 			if col.AdvanceAfter {
 				for i := range wv.cells {
 					if wv.cells[i].IsIdle() {
@@ -148,7 +176,10 @@ func Pipeline(assignments []mcast.Assignment, gap int, eng rbn.Engine) (*Report,
 						out[p] = c.Source
 					}
 					if out[p] != owner[p] {
-						return nil, fmt.Errorf("netsim: wave %d output %d delivered %d, want %d", wid, p, out[p], owner[p])
+						if tamper == nil {
+							return nil, fmt.Errorf("netsim: wave %d output %d delivered %d, want %d", wid, p, out[p], owner[p])
+						}
+						rep.Misdelivered++
 					}
 				}
 				rep.Deliveries[wid] = out

@@ -5,7 +5,9 @@
 package swbox
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"brsmn/internal/tag"
 )
@@ -53,6 +55,55 @@ func (s Setting) String() string {
 
 // Valid reports whether s is one of the four defined settings.
 func (s Setting) Valid() bool { return s < numSettings }
+
+// ParseSetting is the inverse of String, also accepting the numeric r_i
+// encoding — the form fault-injection specs and the /faults API use.
+func ParseSetting(name string) (Setting, error) {
+	switch name {
+	case "parallel":
+		return Parallel, nil
+	case "cross":
+		return Cross, nil
+	case "ubcast":
+		return UpperBcast, nil
+	case "lbcast":
+		return LowerBcast, nil
+	}
+	if v, err := strconv.Atoi(name); err == nil && Setting(v).Valid() {
+		return Setting(v), nil
+	}
+	return 0, fmt.Errorf("swbox: unknown setting %q", name)
+}
+
+// MarshalJSON encodes the setting by name.
+func (s Setting) MarshalJSON() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("swbox: cannot marshal invalid setting %d", uint8(s))
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts a setting name or its numeric encoding.
+func (s *Setting) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		v, err := ParseSetting(name)
+		if err != nil {
+			return err
+		}
+		*s = v
+		return nil
+	}
+	var num int
+	if err := json.Unmarshal(b, &num); err != nil {
+		return fmt.Errorf("swbox: setting must be a name or number: %w", err)
+	}
+	if !Setting(num).Valid() {
+		return fmt.Errorf("swbox: setting %d out of range", num)
+	}
+	*s = Setting(num)
+	return nil
+}
 
 // IsBroadcast reports whether s duplicates one input to both outputs.
 func (s Setting) IsBroadcast() bool { return s == UpperBcast || s == LowerBcast }

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"brsmn/internal/core"
+	"brsmn/internal/cost"
+	"brsmn/internal/paths"
+)
+
+// TestProbesCoverEverySwitch asserts the advertised coverage property
+// via internal/paths: for each probe, the union of its extracted tree
+// edges occupies every link of every switch column, so every physical
+// switch (both the one driving and the one consuming each link) is
+// exercised by every single probe.
+func TestProbesCoverEverySwitch(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		probes, err := Probes(n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth := cost.BRSMNDepth(n)
+		for pi, a := range probes {
+			res, err := core.Route(a)
+			if err != nil {
+				t.Fatalf("n=%d probe %d: %v", n, pi, err)
+			}
+			trees, err := paths.VerifyAll(a, res)
+			if err != nil {
+				t.Fatalf("n=%d probe %d: %v", n, pi, err)
+			}
+			covered := make([]map[int]bool, depth)
+			for ci := range covered {
+				covered[ci] = map[int]bool{}
+			}
+			for _, tr := range trees {
+				for _, e := range tr.Edges {
+					if e.Col >= 0 {
+						covered[e.Col][e.Link] = true
+					}
+				}
+			}
+			for ci := range covered {
+				if len(covered[ci]) != n {
+					t.Fatalf("n=%d probe %d: column %d carries %d of %d links",
+						n, pi, ci, len(covered[ci]), n)
+				}
+			}
+		}
+	}
+}
+
+// TestProbesDeterministicAndDistinct pins determinism (same inputs,
+// same probes) and that successive probes use different permutations.
+func TestProbesDeterministicAndDistinct(t *testing.T) {
+	a, err := Probes(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Probes(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		for i := range a[j].Dests {
+			if a[j].Dests[i][0] != b[j].Dests[i][0] {
+				t.Fatal("Probes is not deterministic")
+			}
+		}
+		if j > 0 && a[j].Dests[0][0] == a[j-1].Dests[0][0] {
+			t.Fatalf("probes %d and %d use the same mask", j-1, j)
+		}
+	}
+	if _, err := Probes(6, 1); err == nil {
+		t.Error("accepted non-power-of-two size")
+	}
+	if _, err := Probes(8, 0); err == nil {
+		t.Error("accepted zero probes")
+	}
+}

@@ -149,6 +149,36 @@ func EvenFanout(n, f int) (mcast.Assignment, error) {
 	return mcast.New(n, dests)
 }
 
+// Probes returns k small deterministic built-in self-test assignments
+// with a known full-coverage property: probe j is the full XOR
+// permutation i -> i ^ mask_j (mask_j cycling over 1..n-1), so all n
+// inputs are active and — the fabric being edge-disjoint and
+// single-writer — every link of every switch column carries a live cell
+// in every probe. Every physical switch is therefore exercised by every
+// probe, while successive masks vary the computed settings so a
+// stuck-at switch disagrees with some probe's plan. The assignments are
+// unicast (fanout 1 each), making probes the cheapest traffic that
+// still sweeps the whole fabric — what internal/faultd piggybacks
+// between serving epochs.
+func Probes(n, k int) ([]mcast.Assignment, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workload: probe size %d is not a power of two >= 2", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("workload: need at least one probe, got %d", k)
+	}
+	out := make([]mcast.Assignment, k)
+	for j := 0; j < k; j++ {
+		mask := j%(n-1) + 1 // never 0: identity leaves settings degenerate
+		dests := make([][]int, n)
+		for i := 0; i < n; i++ {
+			dests[i] = []int{i ^ mask}
+		}
+		out[j] = mcast.MustNew(n, dests)
+	}
+	return out, nil
+}
+
 // PaperFig2 returns the 8x8 example assignment of Fig. 2 of the paper:
 // {{0,1}, ∅, {3,4,7}, {2}, ∅, ∅, ∅, {5,6}}.
 func PaperFig2() mcast.Assignment {
