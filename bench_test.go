@@ -46,6 +46,7 @@ func benchAssignments(n int) []mcast.Assignment {
 // BenchmarkTable1Encoding measures the tag encode/decode pair of
 // Table 1.
 func BenchmarkTable1Encoding(b *testing.B) {
+	b.ReportAllocs()
 	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps, tag.Eps0, tag.Eps1}
 	for i := 0; i < b.N; i++ {
 		v := vals[i%len(vals)]
@@ -59,8 +60,10 @@ func BenchmarkTable1Encoding(b *testing.B) {
 // BenchmarkTable2BRSMN routes random multicast assignments through the
 // unrolled network — the "new design" row of Table 2.
 func BenchmarkTable2BRSMN(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			nw, err := brsmn.New(n)
 			if err != nil {
 				b.Fatal(err)
@@ -79,8 +82,10 @@ func BenchmarkTable2BRSMN(b *testing.B) {
 // BenchmarkTable2Feedback routes the same traffic through the feedback
 // implementation — the "feedback version" row of Table 2 (Fig. 13).
 func BenchmarkTable2Feedback(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			nw, err := brsmn.NewFeedback(n)
 			if err != nil {
 				b.Fatal(err)
@@ -100,8 +105,10 @@ func BenchmarkTable2Feedback(b *testing.B) {
 // copy-network + Benes baseline (stand-in for the prior recursively
 // decomposed designs; see DESIGN.md substitutions).
 func BenchmarkTable2CopyNet(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			nw, err := copynet.New(n)
 			if err != nil {
 				b.Fatal(err)
@@ -119,8 +126,10 @@ func BenchmarkTable2CopyNet(b *testing.B) {
 
 // BenchmarkTable2Crossbar routes through the O(n^2) crossbar oracle.
 func BenchmarkTable2Crossbar(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			xb, err := xbar.New(n)
 			if err != nil {
 				b.Fatal(err)
@@ -139,8 +148,10 @@ func BenchmarkTable2Crossbar(b *testing.B) {
 // BenchmarkTable3BitSort measures the Table 3 distributed bit-sorting
 // algorithm (plan computation only).
 func BenchmarkTable3BitSort(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(8))
 			gamma := make([]bool, n)
 			for i := range gamma {
@@ -159,9 +170,11 @@ func BenchmarkTable3BitSort(b *testing.B) {
 // BenchmarkTable4Scatter measures the Table 4/5 distributed scatter
 // algorithm.
 func BenchmarkTable4Scatter(b *testing.B) {
+	b.ReportAllocs()
 	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(9))
 			tags := make([]tag.Value, n)
 			for i := range tags {
@@ -179,8 +192,10 @@ func BenchmarkTable4Scatter(b *testing.B) {
 
 // BenchmarkTable6EpsDivide measures the Table 6 ε-dividing algorithm.
 func BenchmarkTable6EpsDivide(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(10))
 			tags := make([]tag.Value, n)
 			perm := rng.Perm(n)
@@ -205,6 +220,7 @@ func BenchmarkTable6EpsDivide(b *testing.B) {
 
 // BenchmarkFig2Example routes the paper's running 8x8 example.
 func BenchmarkFig2Example(b *testing.B) {
+	b.ReportAllocs()
 	nw, err := brsmn.New(8)
 	if err != nil {
 		b.Fatal(err)
@@ -220,8 +236,10 @@ func BenchmarkFig2Example(b *testing.B) {
 // BenchmarkFig9TagSequence measures routing-tag sequence encoding
 // (Figs. 9 and 11 wire format).
 func BenchmarkFig9TagSequence(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(11))
 			dests := rng.Perm(n)[:n/4]
 			b.ResetTimer()
@@ -236,6 +254,7 @@ func BenchmarkFig9TagSequence(b *testing.B) {
 
 // BenchmarkFig10SequenceSplit measures the alternating split of Fig. 10.
 func BenchmarkFig10SequenceSplit(b *testing.B) {
+	b.ReportAllocs()
 	seq, err := mcast.SequenceFromDests(1024, []int{1, 17, 333, 512, 800})
 	if err != nil {
 		b.Fatal(err)
@@ -248,8 +267,10 @@ func BenchmarkFig10SequenceSplit(b *testing.B) {
 // BenchmarkFig12ForwardSweep measures the cycle-accurate pipelined adder
 // tree simulation behind the routing-time column.
 func BenchmarkFig12ForwardSweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			leaves := make([]int, n)
 			for i := range leaves {
 				leaves[i] = i % 2
@@ -268,6 +289,7 @@ func BenchmarkFig12ForwardSweep(b *testing.B) {
 // engines on one large scatter plan — the distributed algorithm's
 // software parallelism ablation.
 func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
 	n := 4096
 	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
 	rng := rand.New(rand.NewSource(12))
@@ -276,6 +298,7 @@ func BenchmarkEngine(b *testing.B) {
 		tags[i] = vals[rng.Intn(4)]
 	}
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := rbn.Sequential.ScatterPlan(n, tags, 0); err != nil {
 				b.Fatal(err)
@@ -283,6 +306,7 @@ func BenchmarkEngine(b *testing.B) {
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		eng := rbn.ParallelEngine()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.ScatterPlan(n, tags, 0); err != nil {
@@ -298,10 +322,12 @@ func BenchmarkEngine(b *testing.B) {
 // looping algorithm — the design choice Table 2's routing-time column is
 // about.
 func BenchmarkAblationCentralizedSetting(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		rng := rand.New(rand.NewSource(13))
 		perm := rng.Perm(n)
 		b.Run(fmt.Sprintf("distributed/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := brsmn.RoutePermutation(perm); err != nil {
 					b.Fatal(err)
@@ -309,6 +335,7 @@ func BenchmarkAblationCentralizedSetting(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("centralized-benes/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := benes.RoutePermutation(perm); err != nil {
 					b.Fatal(err)
@@ -323,6 +350,7 @@ func BenchmarkAblationCentralizedSetting(b *testing.B) {
 // ablation of the permutation network (half the hardware, same result on
 // unicast traffic).
 func BenchmarkAblationScatterless(b *testing.B) {
+	b.ReportAllocs()
 	n := 256
 	rng := rand.New(rand.NewSource(14))
 	perm := rng.Perm(n)
@@ -335,6 +363,7 @@ func BenchmarkAblationScatterless(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("full-brsmn", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := nw.Route(a); err != nil {
 				b.Fatal(err)
@@ -342,6 +371,7 @@ func BenchmarkAblationScatterless(b *testing.B) {
 		}
 	})
 	b.Run("permnet", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := brsmn.RoutePermutation(perm); err != nil {
 				b.Fatal(err)
@@ -353,6 +383,7 @@ func BenchmarkAblationScatterless(b *testing.B) {
 // BenchmarkFig13Passes measures the per-pass overhead of the feedback
 // implementation on the maximum-split workload.
 func BenchmarkFig13Passes(b *testing.B) {
+	b.ReportAllocs()
 	n := 256
 	a, err := brsmn.MaxSplitAssignment(n, 16)
 	if err != nil {
@@ -371,6 +402,7 @@ func BenchmarkFig13Passes(b *testing.B) {
 
 // BenchmarkRoutingDelayModel evaluates the gate-delay model itself.
 func BenchmarkRoutingDelayModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if d := brsmn.RoutingDelay(1024); d <= 0 {
 			b.Fatal("nonpositive delay")
@@ -384,6 +416,7 @@ func BenchmarkRoutingDelayModel(b *testing.B) {
 // (no setting computation, Θ(n log² n) comparators at Θ(log² n) depth) —
 // the design choice behind using RBNs for every component.
 func BenchmarkAblationQuasisortVsBitonic(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		rng := rand.New(rand.NewSource(15))
 		tags := make([]tag.Value, n)
@@ -398,6 +431,7 @@ func BenchmarkAblationQuasisortVsBitonic(b *testing.B) {
 			tags[i] = tag.Eps
 		}
 		b.Run(fmt.Sprintf("rbn/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, _, err := rbn.QuasisortRoute(n, tags); err != nil {
 					b.Fatal(err)
@@ -405,6 +439,7 @@ func BenchmarkAblationQuasisortVsBitonic(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("bitonic/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			bit := func(v tag.Value) int {
 				switch v {
 				case tag.V0:
@@ -427,6 +462,7 @@ func BenchmarkAblationQuasisortVsBitonic(b *testing.B) {
 // a batch of assignments streamed one column apart (Section 7's
 // pipelined operation).
 func BenchmarkPipelinedThroughput(b *testing.B) {
+	b.ReportAllocs()
 	n := 64
 	rng := rand.New(rand.NewSource(16))
 	as := make([]mcast.Assignment, 8)
@@ -447,6 +483,7 @@ func BenchmarkPipelinedThroughput(b *testing.B) {
 // BenchmarkScheduleAndRoute measures the admission-control extension on
 // a conflicted batch.
 func BenchmarkScheduleAndRoute(b *testing.B) {
+	b.ReportAllocs()
 	n := 64
 	rng := rand.New(rand.NewSource(17))
 	reqs := make([]brsmn.Request, n)
@@ -464,8 +501,10 @@ func BenchmarkScheduleAndRoute(b *testing.B) {
 // BenchmarkTable2GCN routes the same traffic through the implemented
 // Nassimi–Sahni-style generalized connection network.
 func BenchmarkTable2GCN(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			nw, err := gcn.New(n)
 			if err != nil {
 				b.Fatal(err)
@@ -484,6 +523,7 @@ func BenchmarkTable2GCN(b *testing.B) {
 // BenchmarkRouteBatchWorkers measures the concurrent stream controller
 // at several worker counts.
 func BenchmarkRouteBatchWorkers(b *testing.B) {
+	b.ReportAllocs()
 	n := 128
 	rng := rand.New(rand.NewSource(18))
 	as := make([]brsmn.Assignment, 8)
@@ -492,6 +532,7 @@ func BenchmarkRouteBatchWorkers(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := brsmn.RouteBatch(n, as, workers); err != nil {
 					b.Fatal(err)
@@ -504,8 +545,10 @@ func BenchmarkRouteBatchWorkers(b *testing.B) {
 // BenchmarkGroupChurn measures incremental membership updates against
 // full tree rebuilds.
 func BenchmarkGroupChurn(b *testing.B) {
+	b.ReportAllocs()
 	n := 1024
 	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
 		g, err := brsmn.NewGroup(n, 0)
 		if err != nil {
 			b.Fatal(err)
@@ -524,6 +567,7 @@ func BenchmarkGroupChurn(b *testing.B) {
 		}
 	})
 	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
 		members := map[int]bool{}
 		for i := 0; i < b.N; i++ {
 			d := i % (n - 1)
@@ -546,6 +590,7 @@ func BenchmarkGroupChurn(b *testing.B) {
 // BenchmarkEdgeDisjointVerify measures the paths extraction/verification
 // layer.
 func BenchmarkEdgeDisjointVerify(b *testing.B) {
+	b.ReportAllocs()
 	n := 128
 	rng := rand.New(rand.NewSource(19))
 	a := workload.Random(rng, n, 0.8, 0.5)
@@ -563,6 +608,7 @@ func BenchmarkEdgeDisjointVerify(b *testing.B) {
 
 // BenchmarkHeaderStreaming measures the flit-level header simulation.
 func BenchmarkHeaderStreaming(b *testing.B) {
+	b.ReportAllocs()
 	n := 256
 	dests := make([]int, n)
 	for i := range dests {
@@ -577,6 +623,7 @@ func BenchmarkHeaderStreaming(b *testing.B) {
 
 // BenchmarkDiagnosis measures stuck-fault localization.
 func BenchmarkDiagnosis(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := diagnosis.Diagnose(16, diagnosis.Fault{Col: 5, Switch: 3, Stuck: 1}, 6, int64(i)); err != nil {
 			b.Fatal(err)
@@ -587,6 +634,7 @@ func BenchmarkDiagnosis(b *testing.B) {
 // BenchmarkRTLScatter measures the serial-unit (circuit) scatter against
 // the algorithmic one — the cost of the RTL fidelity.
 func BenchmarkRTLScatter(b *testing.B) {
+	b.ReportAllocs()
 	n := 256
 	vals := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps}
 	rng := rand.New(rand.NewSource(20))
@@ -595,6 +643,7 @@ func BenchmarkRTLScatter(b *testing.B) {
 		tags[i] = vals[rng.Intn(4)]
 	}
 	b.Run("algorithmic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := rbn.ScatterPlan(n, tags, 0); err != nil {
 				b.Fatal(err)
@@ -602,6 +651,7 @@ func BenchmarkRTLScatter(b *testing.B) {
 		}
 	})
 	b.Run("rtl", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := circuit.ScatterPlan(n, tags, 0); err != nil {
 				b.Fatal(err)
@@ -613,6 +663,7 @@ func BenchmarkRTLScatter(b *testing.B) {
 // BenchmarkZipfTraffic routes heavy-tailed fanout traffic — the fanout
 // profile of real multicast workloads.
 func BenchmarkZipfTraffic(b *testing.B) {
+	b.ReportAllocs()
 	n := 256
 	rng := rand.New(rand.NewSource(21))
 	as := make([]brsmn.Assignment, 16)
@@ -628,5 +679,68 @@ func BenchmarkZipfTraffic(b *testing.B) {
 		if _, err := nw.Route(as[i%len(as)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRouteReuse isolates the planning pipeline's allocation
+// regimes: a cold network construction per routing, the concurrency-safe
+// Network.Route (pooled planner + one detaching clone per call), a
+// reused Planner (steady-state zero-allocation routing; results alias
+// planner storage), and the reused planner with the parallel sub-network
+// recursion enabled.
+func BenchmarkRouteReuse(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		as := benchAssignments(n)
+		b.Run(fmt.Sprintf("cold/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nw, err := brsmn.New(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nw.Route(as[i%len(as)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("network/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			nw, err := brsmn.New(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.Route(as[i%len(as)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("planner/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			p, err := brsmn.NewPlanner(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Route(as[i%len(as)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("planner-parallel/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			p, err := brsmn.NewPlanner(n, brsmn.WithParallelSetting(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Route(as[i%len(as)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

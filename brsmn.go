@@ -103,6 +103,47 @@ func (nw *Network) RouteWithPayloads(a Assignment, payloads []any) (*Result, err
 	return nw.inner.RouteWithPayloads(a, payloads)
 }
 
+// Planner is a reusable routing pipeline: all scratch state a routing
+// needs — per-level cell buffers, tag-sequence arenas, and the RBN plan
+// storage for every sub-BSN — is allocated once at construction and
+// recycled across calls, so steady-state Route allocates (almost)
+// nothing.
+//
+// The trade for zero allocation is result lifetime: a Result returned
+// by a Planner aliases the planner's internal storage and is valid only
+// until the next Route/RouteWithPayloads call on the same planner. Call
+// Result.Clone to detach a result you need to keep. A Planner is NOT
+// safe for concurrent use; give each goroutine its own, or use Network
+// (whose internal planner pool makes Route concurrency-safe at the cost
+// of one detaching clone per call).
+type Planner struct {
+	inner *core.Planner
+}
+
+// NewPlanner returns a reusable planner for an n x n BRSMN. Options are
+// the same as New; WithParallelSetting additionally parallelizes the
+// planner's sub-network recursion across the independent halves.
+func NewPlanner(n int, opts ...Option) (*Planner, error) {
+	c := buildConfig(opts)
+	inner, err := core.NewPlanner(n, c.engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{inner: inner}, nil
+}
+
+// N returns the planner's network size.
+func (p *Planner) N() int { return p.inner.N() }
+
+// Route routes a multicast assignment reusing the planner's scratch
+// state. The Result aliases planner storage — see the Planner doc.
+func (p *Planner) Route(a Assignment) (*Result, error) { return p.inner.Route(a) }
+
+// RouteWithPayloads is Route with a payload per input.
+func (p *Planner) RouteWithPayloads(a Assignment, payloads []any) (*Result, error) {
+	return p.inner.RouteWithPayloads(a, payloads)
+}
+
 // FeedbackNetwork is the feedback implementation of the BRSMN
 // (Section 7.3 of the paper): one reverse banyan network reused for
 // 2 log2(n) - 1 passes, for O(n log n) hardware cost.

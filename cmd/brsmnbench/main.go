@@ -11,6 +11,11 @@
 //	brsmnbench -exp wallclock -n 256 -trials 20
 //	brsmnbench -exp splits -n 64
 //	brsmnbench -exp all
+//
+// The wallclock, pipeline and route experiments also emit machine-
+// readable JSON for benchmark tracking (the BENCH_route.json artifact):
+//
+//	brsmnbench -exp route -n 1024 -trials 20 -format json > BENCH_route.json
 package main
 
 import (
@@ -26,16 +31,25 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, all")
-		n      = flag.Int("n", 256, "network size for single-size experiments")
-		sizes  = flag.String("sizes", "16,64,256,1024,4096", "comma-separated sizes for sweeps")
-		trials = flag.Int("trials", 10, "assignments per wall-clock measurement")
-		seed   = flag.Int64("seed", 1, "random seed")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, route, all")
+		n       = flag.Int("n", 256, "network size for single-size experiments")
+		sizes   = flag.String("sizes", "16,64,256,1024,4096", "comma-separated sizes for sweeps")
+		trials  = flag.Int("trials", 10, "assignments per wall-clock measurement")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "text", "output format: text or json (json: wallclock, pipeline, route)")
+		workers = flag.Int("workers", 4, "worker count for the route experiment's parallel regime")
 	)
 	flag.Parse()
 	szs, err := parseSizes(*sizes)
 	if err == nil {
-		err = run(os.Stdout, *exp, *n, szs, *trials, *seed)
+		switch *format {
+		case "text":
+			err = run(os.Stdout, *exp, *n, szs, *trials, *seed)
+		case "json":
+			err = runJSON(os.Stdout, *exp, *n, *trials, *seed, *workers)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brsmnbench:", err)
@@ -53,6 +67,35 @@ func parseSizes(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// runJSON handles the experiments with a machine-readable form. The
+// text-only experiments reject -format json instead of silently
+// falling back.
+func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers int) error {
+	var (
+		rep any
+		err error
+	)
+	switch exp {
+	case "route":
+		rep, err = harness.RouteBench(n, trials, seed, workers)
+	case "wallclock":
+		rep, err = harness.WallClockJSON(n, trials, seed)
+	case "pipeline":
+		rep, err = harness.PipelineJSON(n, 8, seed)
+	default:
+		return fmt.Errorf("experiment %q has no json output (json: wallclock, pipeline, route)", exp)
+	}
+	if err != nil {
+		return err
+	}
+	out, err := harness.MarshalReport(rep)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, out)
+	return err
 }
 
 func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64) error {
@@ -98,6 +141,16 @@ func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64) er
 		return section(out, err)
 	case "ktradeoff":
 		return section(harness.KTradeoffExperiment(n), nil)
+	case "route":
+		rep, err := harness.RouteBench(n, trials, seed, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Routing hot-path regimes, n = %d, %d trials (GOMAXPROCS=%d)\n", rep.N, rep.Trials, rep.GoMaxProcs)
+		for _, m := range rep.Regimes {
+			fmt.Fprintf(w, "  %-18s %12d ns/op %12d B/op %8d allocs/op\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+		return nil
 	case "all":
 		for _, e := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission", "saturation", "ktradeoff", "wallclock"} {
 			if err := run(w, e, n, sizes, trials, seed); err != nil {

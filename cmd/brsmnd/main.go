@@ -26,6 +26,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +52,7 @@ type config struct {
 	probeCount     int
 	faultInject    string
 	faultSeed      int64
+	pprofAddr      string
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -69,6 +71,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.probeCount, "probe-count", 4, "self-test assignments per probe round")
 	fs.StringVar(&cfg.faultInject, "fault-inject", "", "arm faults at startup, e.g. stuck:3:1:cross,dead:5:7,flaky:2:0:parallel:0.25")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for intermittent fault excitation")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -135,6 +138,24 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	// The profiling endpoints live on their own mux and listener so the
+	// serving address never exposes them; see README "Profiling".
+	if cfg.pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: cfg.pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		defer psrv.Close()
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("brsmnd: pprof listener: %v", err)
+			}
+		}()
+		fmt.Fprintf(out, "brsmnd: pprof on %s/debug/pprof/\n", cfg.pprofAddr)
+	}
 	fmt.Fprintf(out, "brsmnd: serving a %d-port BRSMN on %s (epoch %v, threshold %d, cache %d)\n",
 		cfg.n, cfg.addr, cfg.epochPeriod, cfg.epochThreshold, cfg.cacheSize)
 	select {

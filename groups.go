@@ -5,6 +5,7 @@ import (
 
 	"brsmn/internal/mcast"
 	"brsmn/internal/shuffle"
+	"brsmn/internal/tag"
 )
 
 // Group is a long-lived dynamic multicast group: a source port plus a
@@ -17,6 +18,7 @@ type Group struct {
 	source int
 	size   int
 	tree   mcast.TagTree
+	seqBuf []tag.Value // retained across Sequence calls
 }
 
 // NewGroup creates an empty group rooted at the given source port of an
@@ -67,8 +69,13 @@ func (g *Group) Len() int { return g.size }
 func (g *Group) Members() []int { return g.tree.Dests() }
 
 // Sequence returns the group's current routing-tag sequence in the
-// paper's notation — what the source attaches to each message.
-func (g *Group) Sequence() string { return mcast.FormatSequence(g.tree.Sequence()) }
+// paper's notation — what the source attaches to each message. The tag
+// buffer is retained on the group and reused, so repeated calls on a
+// long-lived group allocate only the formatted string.
+func (g *Group) Sequence() string {
+	g.seqBuf = g.tree.AppendSequence(g.seqBuf[:0])
+	return mcast.FormatSequence(g.seqBuf)
+}
 
 // AssignmentFromGroups builds a routable assignment from the groups'
 // current memberships. Groups must have distinct sources and disjoint

@@ -70,6 +70,11 @@ type Arena struct {
 // Reset recycles all storage handed out since the last Reset.
 func (ar *Arena) Reset() { ar.used = 0 }
 
+// Alloc returns a clean k-element block valid until the arena's next
+// Reset. It is the building block for callers (the core planner) that
+// bump-allocate tag storage outside AdvanceIn.
+func (ar *Arena) Alloc(k int) []tag.Value { return ar.alloc(k) }
+
 // alloc returns a clean k-element block, growing the backing chunk when
 // exhausted (abandoned chunks are reclaimed by the GC).
 func (ar *Arena) alloc(k int) []tag.Value {

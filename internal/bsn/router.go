@@ -1,0 +1,123 @@
+package bsn
+
+import (
+	"fmt"
+
+	"brsmn/internal/rbn"
+	"brsmn/internal/tag"
+)
+
+// Router is a reusable binary-splitting-network router: it performs the
+// same two-pass scatter + quasisort routing as Route, but computes the
+// switch settings into caller-owned preallocated plans and draws every
+// intermediate vector (head tags, mid tags, ε-divided tags, the cell
+// ping-pong buffers and the RBN sweep scratch) from its own storage,
+// sized once and recycled across calls. A warm Router routes a BSN with
+// zero allocations.
+//
+// The cell slice returned by Route aliases the router's buffers and is
+// valid until the next call; Divided likewise. A Router is not safe for
+// concurrent use — pool routers (one per worker) to parallelize.
+type Router struct {
+	n       int // capacity (largest size seen)
+	lastN   int // size of the most recent Route call
+	tags    []tag.Value
+	midTags []tag.Value
+	divided []tag.Value
+	bufA    []Cell
+	bufB    []Cell
+	sc      *rbn.Scratch
+}
+
+// NewRouter returns a router pre-sized for n x n BSNs. It grows on
+// demand, so the size is a hint; the zero value also works.
+func NewRouter(n int) *Router {
+	r := &Router{}
+	r.ensure(n)
+	return r
+}
+
+func (r *Router) ensure(n int) {
+	if n <= r.n {
+		return
+	}
+	r.tags = make([]tag.Value, n)
+	r.midTags = make([]tag.Value, n)
+	r.divided = make([]tag.Value, n)
+	r.bufA = make([]Cell, n)
+	r.bufB = make([]Cell, n)
+	if r.sc == nil {
+		r.sc = rbn.NewScratch(n)
+	}
+	r.n = n
+}
+
+// Divided returns the ε-divided tag vector of the last Route call,
+// valid until the next call.
+func (r *Router) Divided() []tag.Value { return r.divided[:r.lastN] }
+
+// Route drives len(in) cells through a BSN, writing the scatter and
+// quasisort switch settings into the two preallocated plans (both of
+// size len(in)) and returning the output cells. The output aliases the
+// router's internal buffers: consume or copy it before the next call.
+// Input constraints and half-placement checks match Route.
+func (r *Router) Route(in []Cell, eng rbn.Engine, scatter, quasi *rbn.Plan) ([]Cell, error) {
+	n := len(in)
+	if scatter.N != n || quasi.N != n {
+		return nil, fmt.Errorf("bsn: plans sized %d, %d for %d input cells", scatter.N, quasi.N, n)
+	}
+	r.ensure(n)
+	r.lastN = n
+	tags := r.tags[:n]
+	for i, c := range in {
+		if c.Tag.CarriesMessage() && (len(c.Seq) == 0 || c.Seq[0] != c.Tag) {
+			return nil, fmt.Errorf("bsn: cell %d has tag %v but sequence head %v", i, c.Tag, headOf(c.Seq))
+		}
+		if c.IsIdle() {
+			tags[i] = tag.Eps
+		} else {
+			tags[i] = c.Tag
+		}
+	}
+	if err := tag.Count(tags).CheckBSNInput(n); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: scatter — eliminate αs.
+	if err := eng.ScatterPlanInto(scatter, tags, 0, r.sc); err != nil {
+		return nil, err
+	}
+	mid, err := rbn.ApplyScratch(scatter, in, r.bufA[:n], r.bufB[:n], SplitCell)
+	if err != nil {
+		return nil, err
+	}
+	midTags := r.midTags[:n]
+	for i, c := range mid {
+		if c.Tag == tag.Alpha {
+			return nil, fmt.Errorf("bsn: α survived the scatter network at position %d", i)
+		}
+		if c.IsIdle() {
+			midTags[i] = tag.Eps
+		} else {
+			midTags[i] = c.Tag
+		}
+	}
+
+	// Pass 2: quasisort — 0s to the upper half, 1s to the lower half.
+	if err := eng.QuasisortPlanInto(quasi, r.divided[:n], midTags, r.sc); err != nil {
+		return nil, err
+	}
+	out, err := rbn.ApplyScratch(quasi, mid, r.bufA[:n], r.bufB[:n], nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range out {
+		if c.Tag == tag.V0 && i >= n/2 {
+			return nil, fmt.Errorf("bsn: 0-tagged connection from input %d quasisorted to lower-half output %d", c.Source, i)
+		}
+		if c.Tag == tag.V1 && i < n/2 {
+			return nil, fmt.Errorf("bsn: 1-tagged connection from input %d quasisorted to upper-half output %d", c.Source, i)
+		}
+	}
+	return out, nil
+}

@@ -31,12 +31,20 @@ type StreamResult struct {
 // order. The channel closes after the last result. A routing error is
 // delivered in its slot; the stream keeps going.
 func RouteStream(ctx context.Context, n int, in <-chan mcast.Assignment, workers int, eng rbn.Engine) (<-chan StreamResult, error) {
-	if workers < 1 {
-		return nil, fmt.Errorf("controller: %d workers out of range", workers)
-	}
 	nw, err := core.New(n, eng)
 	if err != nil {
 		return nil, err
+	}
+	return RouteStreamOn(ctx, nw, in, workers)
+}
+
+// RouteStreamOn is RouteStream on a caller-provided network, so a
+// long-running service (the groupd epoch loop) reuses the network's
+// warm planner pool across epochs instead of rebuilding the pipeline
+// per call.
+func RouteStreamOn(ctx context.Context, nw *core.Network, in <-chan mcast.Assignment, workers int) (<-chan StreamResult, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("controller: %d workers out of range", workers)
 	}
 
 	type job struct {
@@ -133,6 +141,16 @@ func RouteStream(ctx context.Context, n int, in <-chan mcast.Assignment, workers
 // RouteAll is the slice convenience over RouteStream: route every
 // assignment with the given concurrency and return the ordered results.
 func RouteAll(n int, assignments []mcast.Assignment, workers int, eng rbn.Engine) ([]StreamResult, error) {
+	nw, err := core.New(n, eng)
+	if err != nil {
+		return nil, err
+	}
+	return RouteAllOn(nw, assignments, workers)
+}
+
+// RouteAllOn is RouteAll on a caller-provided network (see
+// RouteStreamOn).
+func RouteAllOn(nw *core.Network, assignments []mcast.Assignment, workers int) ([]StreamResult, error) {
 	in := make(chan mcast.Assignment)
 	go func() {
 		defer close(in)
@@ -140,7 +158,7 @@ func RouteAll(n int, assignments []mcast.Assignment, workers int, eng rbn.Engine
 			in <- a
 		}
 	}()
-	out, err := RouteStream(context.Background(), n, in, workers, eng)
+	out, err := RouteStreamOn(context.Background(), nw, in, workers)
 	if err != nil {
 		return nil, err
 	}

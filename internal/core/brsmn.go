@@ -52,24 +52,35 @@ type Result struct {
 	Final []swbox.Setting
 }
 
-// Network is an n x n BRSMN routing engine. The zero value is not usable;
-// construct with New.
+// Network is an n x n BRSMN routing engine backed by a planner pool:
+// each Route draws a warm arena-backed Planner, routes through it, and
+// detaches the result, so steady-state routing costs a handful of
+// allocations (the detached Result) instead of rebuilding the whole
+// pipeline. A Network is safe for concurrent use. The zero value is not
+// usable; construct with New.
 type Network struct {
-	n   int
-	eng rbn.Engine
+	n    int
+	eng  rbn.Engine
+	pool *PlannerPool
 }
 
 // New returns an n x n BRSMN (n a power of two, n >= 2) whose distributed
 // switch-setting sweeps run on the given engine.
 func New(n int, eng rbn.Engine) (*Network, error) {
-	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("core: network size %d is not a power of two >= 2", n)
+	pool, err := NewPlannerPool(n, eng)
+	if err != nil {
+		return nil, err
 	}
-	return &Network{n: n, eng: eng}, nil
+	return &Network{n: n, eng: eng, pool: pool}, nil
 }
 
 // N returns the network size.
 func (nw *Network) N() int { return nw.n }
+
+// Planners exposes the network's planner pool for callers that want the
+// raw zero-allocation path (results valid only until the planner's next
+// Route) instead of Route's detached results.
+func (nw *Network) Planners() *PlannerPool { return nw.pool }
 
 // Route realizes a multicast assignment: it computes every switch setting
 // with the self-routing algorithms and simulates the resulting
@@ -83,99 +94,15 @@ func (nw *Network) Route(a mcast.Assignment) (*Result, error) {
 // connection; Deliveries carry the payloads to every destination.
 // payloads may be nil for payload-free routing.
 func (nw *Network) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result, error) {
-	if payloads != nil && len(payloads) != nw.n {
-		return nil, fmt.Errorf("core: %d payloads for %d inputs", len(payloads), nw.n)
-	}
-	if a.N != nw.n {
-		return nil, fmt.Errorf("core: assignment for %d inputs on a %d x %d network", a.N, nw.n, nw.n)
-	}
-	if err := a.Validate(); err != nil {
+	pl := nw.pool.Get()
+	res, err := pl.RouteWithPayloads(a, payloads)
+	if err != nil {
+		nw.pool.Put(pl)
 		return nil, err
 	}
-	cells, err := bsn.CellsForAssignment(a)
-	if err != nil {
-		return nil, err
-	}
-	if payloads != nil {
-		for i := range cells {
-			if !cells[i].IsIdle() {
-				cells[i].Payload = payloads[i]
-			}
-		}
-	}
-	res := &Result{
-		N:          nw.n,
-		Deliveries: make([]Delivery, nw.n),
-		Final:      make([]swbox.Setting, 0, nw.n/2),
-	}
-	if err := nw.routeRec(cells, 1, 0, res); err != nil {
-		return nil, err
-	}
-	if err := Verify(a, res); err != nil {
-		return nil, fmt.Errorf("core: routed configuration failed verification: %w", err)
-	}
-	return res, nil
-}
-
-// routeRec routes the cells of one (sub-)BRSMN covering network outputs
-// [base, base+len(cells)).
-func (nw *Network) routeRec(cells []bsn.Cell, level, base int, res *Result) error {
-	n := len(cells)
-	if n == 2 {
-		return nw.deliver(cells, base, res)
-	}
-	r, err := bsn.Route(cells, nw.eng)
-	if err != nil {
-		return fmt.Errorf("core: level %d BSN at output base %d: %w", level, base, err)
-	}
-	res.Plans = append(res.Plans, LevelPlan{
-		Level: level, Base: base, Size: n, Scatter: r.Scatter, Quasi: r.Quasi,
-	})
-	upper := make([]bsn.Cell, n/2)
-	lower := make([]bsn.Cell, n/2)
-	for i, c := range r.Out {
-		adv := c
-		if !c.IsIdle() {
-			adv, err = bsn.Advance(c)
-			if err != nil {
-				return fmt.Errorf("core: level %d output %d: %w", level, i, err)
-			}
-		}
-		if i < n/2 {
-			upper[i] = adv
-		} else {
-			lower[i-n/2] = adv
-		}
-	}
-	if err := nw.routeRec(upper, level+1, base, res); err != nil {
-		return err
-	}
-	return nw.routeRec(lower, level+1, base+n/2, res)
-}
-
-// deliver realizes a 2x2 BRSMN — the last level of the recursion — as a
-// single switch: a 0-tagged connection goes to the upper output, a
-// 1-tagged one to the lower output and an α connection to both.
-func (nw *Network) deliver(cells []bsn.Cell, base int, res *Result) error {
-	heads := [2]tag.Value{tag.Eps, tag.Eps}
-	for k, c := range cells {
-		if c.IsIdle() {
-			continue
-		}
-		if len(c.Seq) != 1 {
-			return fmt.Errorf("core: final-level cell from input %d still has %d tags", c.Source, len(c.Seq))
-		}
-		heads[k] = c.Seq[0]
-	}
-	setting, err := FinalSetting(heads)
-	if err != nil {
-		return err
-	}
-	out0, out1 := swbox.Apply(setting, cells[0], cells[1], splitFinal)
-	res.Final = append(res.Final, setting)
-	res.Deliveries[base] = deliveryOf(out0)
-	res.Deliveries[base+1] = deliveryOf(out1)
-	return nil
+	out := res.Clone()
+	nw.pool.Put(pl)
+	return out, nil
 }
 
 func deliveryOf(c bsn.Cell) Delivery {
@@ -223,14 +150,7 @@ func Verify(a mcast.Assignment, res *Result) error {
 	if a.N != res.N {
 		return fmt.Errorf("core: verifying an n=%d assignment against an n=%d result", a.N, res.N)
 	}
-	owner := a.OutputOwner()
-	for out, want := range owner {
-		got := res.Deliveries[out].Source
-		if got != want {
-			return fmt.Errorf("core: output %d received source %d, want %d", out, got, want)
-		}
-	}
-	return nil
+	return verifyOwner(a.OutputOwner(), res.Deliveries)
 }
 
 // Route is a convenience constructing a sequential-engine network and

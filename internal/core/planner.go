@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+	"brsmn/internal/shuffle"
+	"brsmn/internal/swbox"
+	"brsmn/internal/tag"
+)
+
+// plannerGrain is the smallest sub-BRSMN worth routing on its own
+// goroutine; below it the per-node planning work no longer amortizes the
+// spawn cost. It matches the sweep grain of rbn.Engine.
+const plannerGrain = 256
+
+// Planner is a reusable, arena-backed BRSMN routing pipeline: all
+// per-route state — input routing-tag sequences, the per-level cell
+// vectors, every reverse-banyan plan, the final-column settings and the
+// delivery vector — is allocated once at New and recycled, so a warm
+// Planner routes an assignment with zero steady-state allocations.
+//
+// The Result returned by Route aliases the planner's storage and is
+// valid only until the next Route call; callers that retain results
+// (or route through a shared pool) detach them with Result.Clone.
+//
+// With an Engine of Workers > 1 the planner also routes the two
+// independent half-size sub-BRSMNs of each level concurrently: their
+// input halves, output halves and plan slots are disjoint (Theorem 2
+// splits the assignment so each half is again a valid assignment), so
+// the recursion parallelizes without locks and produces bit-identical
+// results to the sequential walk. A Planner is not safe for concurrent
+// use; use a PlannerPool to share one network across goroutines.
+type Planner struct {
+	n       int
+	m       int // log2(n)
+	eng     rbn.Engine
+	workers int
+
+	owner []int            // fused validation + verification buffer
+	seqb  mcast.SeqBuilder // routing-tag sequence construction
+	seqAr bsn.Arena        // input sequence storage
+
+	// levels[l] holds the cell vector entering recursion level l+1:
+	// levels[0] is the network input; a level-l node at output base b of
+	// size s reads levels[l-1][b:b+s] and writes its children's cells to
+	// levels[l][b:b+s]. Sibling nodes write disjoint ranges, so the
+	// parallel recursion needs no synchronization.
+	levels [][]bsn.Cell
+
+	// plans holds one slot per BSN instance in DFS preorder — the exact
+	// order the sequential recursion appends them — with both RBN plans
+	// preallocated. The slot of a node's upper child is slot+1, of its
+	// lower child slot+size/4 (one plus the size/4-1 slots of the upper
+	// subtree). arenas[slot] backs the advanced routing-tag sequences
+	// created at that node's exit, which must outlive its whole subtree.
+	plans  []LevelPlan
+	arenas []bsn.Arena
+
+	routers chan *bsn.Router // BSN router pool, one per worker
+	tokens  chan struct{}    // bounds extra recursion goroutines to workers-1
+
+	final      []swbox.Setting
+	deliveries []Delivery
+	res        Result
+}
+
+// NewPlanner builds a planner for an n x n BRSMN (n a power of two,
+// n >= 2) running its setting sweeps — and, for Workers > 1, its
+// sub-BRSMN recursion — on the given engine.
+func NewPlanner(n int, eng rbn.Engine) (*Planner, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("core: network size %d is not a power of two >= 2", n)
+	}
+	w := eng.Workers
+	if w < 1 {
+		w = 1
+	}
+	m := shuffle.Log2(n)
+	p := &Planner{
+		n:          n,
+		m:          m,
+		eng:        eng,
+		workers:    w,
+		owner:      make([]int, n),
+		levels:     make([][]bsn.Cell, m),
+		final:      make([]swbox.Setting, n/2),
+		deliveries: make([]Delivery, n),
+		routers:    make(chan *bsn.Router, w),
+		tokens:     make(chan struct{}, w-1),
+	}
+	for l := range p.levels {
+		p.levels[l] = make([]bsn.Cell, n)
+	}
+	slots := n/2 - 1 // BSN instances: one per sub-BRSMN of size >= 4
+	p.plans = make([]LevelPlan, slots)
+	p.arenas = make([]bsn.Arena, slots)
+	p.initSlots(1, 0, n, 0)
+	for i := 0; i < w; i++ {
+		p.routers <- bsn.NewRouter(n)
+	}
+	return p, nil
+}
+
+// initSlots lays the static part of every plan slot (level, base, size
+// and the two preallocated RBN plans) in DFS preorder.
+func (p *Planner) initSlots(level, base, size, slot int) {
+	if size == 2 {
+		return
+	}
+	p.plans[slot] = LevelPlan{
+		Level: level, Base: base, Size: size,
+		Scatter: rbn.NewPlan(size), Quasi: rbn.NewPlan(size),
+	}
+	p.initSlots(level+1, base, size/2, slot+1)
+	p.initSlots(level+1, base+size/2, size/2, slot+size/4)
+}
+
+// N returns the network size.
+func (p *Planner) N() int { return p.n }
+
+// Route realizes a multicast assignment. The returned Result aliases
+// the planner's recycled storage — valid until the next Route call.
+func (p *Planner) Route(a mcast.Assignment) (*Result, error) {
+	return p.RouteWithPayloads(a, nil)
+}
+
+// RouteWithPayloads is Route with a payload attached to each input's
+// connection. payloads may be nil for payload-free routing.
+func (p *Planner) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result, error) {
+	if payloads != nil && len(payloads) != p.n {
+		return nil, fmt.Errorf("core: %d payloads for %d inputs", len(payloads), p.n)
+	}
+	if a.N != p.n {
+		return nil, fmt.Errorf("core: assignment for %d inputs on a %d x %d network", a.N, p.n, p.n)
+	}
+	if err := a.OwnerInto(p.owner); err != nil {
+		return nil, err
+	}
+	p.seqAr.Reset()
+	in := p.levels[0]
+	for i := range in {
+		ds := a.Dests[i]
+		if len(ds) == 0 {
+			in[i] = bsn.Idle()
+			continue
+		}
+		s, err := p.seqb.AppendFromDests(p.seqAr.Alloc(p.n - 1)[:0], p.n, ds)
+		if err != nil {
+			return nil, fmt.Errorf("mcast: input %d: %w", i, err)
+		}
+		c := bsn.Cell{Tag: s[0], Source: i, Seq: s}
+		if payloads != nil {
+			c.Payload = payloads[i]
+		}
+		in[i] = c
+	}
+	for i := range p.arenas {
+		p.arenas[i].Reset()
+	}
+	if err := p.routeRec(1, 0, p.n, 0); err != nil {
+		return nil, err
+	}
+	p.res = Result{N: p.n, Deliveries: p.deliveries, Plans: p.plans, Final: p.final}
+	if err := verifyOwner(p.owner, p.deliveries); err != nil {
+		return nil, fmt.Errorf("core: routed configuration failed verification: %w", err)
+	}
+	return &p.res, nil
+}
+
+// routeRec routes the sub-BRSMN at the given level covering network
+// outputs [base, base+size), filling plan slot `slot` and recursing
+// into its two halves — concurrently when workers and tokens allow.
+func (p *Planner) routeRec(level, base, size, slot int) error {
+	if size == 2 {
+		return p.deliver(level, base)
+	}
+	lp := &p.plans[slot]
+	cells := p.levels[level-1][base : base+size]
+	r := <-p.routers
+	out, err := r.Route(cells, p.eng, lp.Scatter, lp.Quasi)
+	if err != nil {
+		p.routers <- r
+		return fmt.Errorf("core: level %d BSN at output base %d: %w", level, base, err)
+	}
+	next := p.levels[level][base : base+size]
+	ar := &p.arenas[slot]
+	for i, c := range out {
+		adv := c
+		if !c.IsIdle() {
+			adv, err = bsn.AdvanceIn(c, ar)
+			if err != nil {
+				p.routers <- r
+				return fmt.Errorf("core: level %d output %d: %w", level, i, err)
+			}
+		}
+		next[i] = adv
+	}
+	p.routers <- r
+
+	half := size / 2
+	upSlot, loSlot := slot+1, slot+size/4
+	if p.workers > 1 && half >= plannerGrain {
+		select {
+		case p.tokens <- struct{}{}:
+			var wg sync.WaitGroup
+			var upErr error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				upErr = p.routeRec(level+1, base, half, upSlot)
+				<-p.tokens
+			}()
+			loErr := p.routeRec(level+1, base+half, half, loSlot)
+			wg.Wait()
+			if upErr != nil {
+				return upErr
+			}
+			return loErr
+		default:
+		}
+	}
+	if err := p.routeRec(level+1, base, half, upSlot); err != nil {
+		return err
+	}
+	return p.routeRec(level+1, base+half, half, loSlot)
+}
+
+// deliver realizes the 2x2 switch covering outputs base and base+1.
+func (p *Planner) deliver(level, base int) error {
+	cells := p.levels[level-1][base : base+2]
+	heads := [2]tag.Value{tag.Eps, tag.Eps}
+	for k, c := range cells {
+		if c.IsIdle() {
+			continue
+		}
+		if len(c.Seq) != 1 {
+			return fmt.Errorf("core: final-level cell from input %d still has %d tags", c.Source, len(c.Seq))
+		}
+		heads[k] = c.Seq[0]
+	}
+	setting, err := FinalSetting(heads)
+	if err != nil {
+		return err
+	}
+	out0, out1 := swbox.Apply(setting, cells[0], cells[1], splitFinal)
+	p.final[base/2] = setting
+	p.deliveries[base] = deliveryOf(out0)
+	p.deliveries[base+1] = deliveryOf(out1)
+	return nil
+}
+
+// verifyOwner checks deliveries against a validated owner map.
+func verifyOwner(owner []int, deliveries []Delivery) error {
+	for out, want := range owner {
+		got := deliveries[out].Source
+		if got != want {
+			return fmt.Errorf("core: output %d received source %d, want %d", out, got, want)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the result detached from any
+// planner-owned storage, packed into a handful of flat backing arrays
+// (about seven allocations regardless of network size).
+func (r *Result) Clone() *Result {
+	out := &Result{
+		N:          r.N,
+		Deliveries: append([]Delivery(nil), r.Deliveries...),
+		Final:      append([]swbox.Setting(nil), r.Final...),
+	}
+	if len(r.Plans) == 0 {
+		return out
+	}
+	totSet, totCol := 0, 0
+	for _, lp := range r.Plans {
+		totSet += lp.Scatter.M*lp.Scatter.N/2 + lp.Quasi.M*lp.Quasi.N/2
+		totCol += lp.Scatter.M + lp.Quasi.M
+	}
+	flat := make([]swbox.Setting, totSet)
+	cols := make([][]swbox.Setting, totCol)
+	plans := make([]rbn.Plan, 2*len(r.Plans))
+	out.Plans = make([]LevelPlan, len(r.Plans))
+	si, ci := 0, 0
+	clonePlan := func(src, dst *rbn.Plan) {
+		dst.N, dst.M = src.N, src.M
+		dst.Stages = cols[ci : ci+src.M : ci+src.M]
+		ci += src.M
+		for j, col := range src.Stages {
+			c := flat[si : si+len(col) : si+len(col)]
+			si += len(col)
+			copy(c, col)
+			dst.Stages[j] = c
+		}
+	}
+	for i, lp := range r.Plans {
+		sc, qu := &plans[2*i], &plans[2*i+1]
+		clonePlan(lp.Scatter, sc)
+		clonePlan(lp.Quasi, qu)
+		out.Plans[i] = LevelPlan{Level: lp.Level, Base: lp.Base, Size: lp.Size, Scatter: sc, Quasi: qu}
+	}
+	return out
+}
+
+// PlannerPool shares planners for one network shape across goroutines:
+// Get returns a warm planner (building one on first use or after a GC
+// cycle reclaimed the pool), Put recycles it. The pool is the backing
+// store of Network's Route and is safe for concurrent use.
+type PlannerPool struct {
+	n    int
+	eng  rbn.Engine
+	pool sync.Pool
+}
+
+// NewPlannerPool builds a pool of planners for n x n BRSMNs on the
+// given engine.
+func NewPlannerPool(n int, eng rbn.Engine) (*PlannerPool, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("core: network size %d is not a power of two >= 2", n)
+	}
+	p := &PlannerPool{n: n, eng: eng}
+	p.pool.New = func() any {
+		pl, err := NewPlanner(p.n, p.eng)
+		if err != nil {
+			panic(err) // unreachable: n validated above
+		}
+		return pl
+	}
+	return p, nil
+}
+
+// N returns the pool's network size.
+func (p *PlannerPool) N() int { return p.n }
+
+// Get returns a planner sized for the pool's network.
+func (p *PlannerPool) Get() *Planner { return p.pool.Get().(*Planner) }
+
+// Put returns a planner to the pool. Results obtained from it become
+// invalid once another goroutine reuses the planner — Clone first.
+func (p *PlannerPool) Put(pl *Planner) {
+	if pl != nil && pl.n == p.n {
+		p.pool.Put(pl)
+	}
+}

@@ -72,6 +72,7 @@ type Monitor struct {
 
 	mu          sync.Mutex
 	exec        fabric.Executor // probe/replan execution buffers, under mu
+	planner     *core.Planner   // quarantine replanning pipeline, under mu
 	tracker     *diagnosis.Tracker
 	candidates  []diagnosis.Suspect
 	models      []Fault // quarantine fault models derived from candidates
@@ -98,11 +99,16 @@ func NewMonitor(cfg Config, inj *Injector) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
+	planner, err := core.NewPlanner(cfg.N, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("faultd: %w", err)
+	}
 	m := &Monitor{
 		cfg:         cfg,
 		depth:       cost.BRSMNDepth(cfg.N),
 		inj:         inj,
 		nw:          nw,
+		planner:     planner,
 		tracker:     diagnosis.NewTracker(),
 		quarantined: map[int]bool{},
 	}

@@ -45,7 +45,11 @@ func (m *Monitor) planAroundLocked(a mcast.Assignment) (mcast.Assignment, []int)
 	dropped := map[int]bool{}
 	cur := a
 	for cur.Fanout() > 0 {
-		res, err := m.nw.Route(cur)
+		// The monitor's dedicated planner (guarded by mu, like exec)
+		// recycles its arenas across the simulate-drop-reroute
+		// iterations; res is transient — consumed by badOutputsLocked
+		// before the next iteration reuses the planner's storage.
+		res, err := m.planner.Route(cur)
 		if err != nil {
 			dropActive(cur, dropped)
 			cur = withoutOutputs(a, dropped)

@@ -91,7 +91,7 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 			as[r], rejected[r] = m.cfg.Policy.FilterAssignment(as[r])
 		}
 	}
-	routed, err := controller.RouteAll(m.cfg.N, as, m.cfg.Workers, m.cfg.Engine)
+	routed, err := controller.RouteAllOn(m.nw, as, m.cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("groupd: epoch routing: %w", err)
 	}

@@ -102,11 +102,11 @@ type shard struct {
 // Manager is the stateful group subsystem. Construct with NewManager and
 // release with Close.
 type Manager struct {
-	cfg   Config
-	nw    *core.Network
-	seed  maphash.Seed
+	cfg    Config
+	nw     *core.Network
+	seed   maphash.Seed
 	shards []*shard
-	cache *planCache
+	cache  *planCache
 
 	nextID  atomic.Uint64
 	pending atomic.Int64 // membership changes since the last epoch began
@@ -414,9 +414,12 @@ func (m *Manager) planFor(id string, gen uint64, source int, members []int) (Pla
 	return PlanInfo{ID: id, Gen: gen, Cached: false, Columns: columns, Blob: blob}, nil
 }
 
-// replan is the cold path: a full O(n log^2 n) route of the single-group
-// assignment — filtered around believed faults when a policy is set —
-// flattened to physical columns and serialized.
+// replan is the cache-miss path: a full O(n log^2 n) route of the
+// single-group assignment — filtered around believed faults when a
+// policy is set — flattened to physical columns and serialized. It
+// routes on a pooled planner and flattens the transient result in
+// place (Flatten copies every setting), so a replan burst reuses warm
+// arenas instead of rebuilding the pipeline per group.
 func (m *Manager) replan(source int, members []int) ([]byte, int, error) {
 	dests := make([][]int, m.cfg.N)
 	dests[source] = members
@@ -427,11 +430,15 @@ func (m *Manager) replan(source int, members []int) ([]byte, int, error) {
 	if m.cfg.Policy != nil {
 		a, _ = m.cfg.Policy.FilterAssignment(a)
 	}
-	res, err := m.nw.Route(a)
+	pool := m.nw.Planners()
+	pl := pool.Get()
+	res, err := pl.Route(a)
 	if err != nil {
+		pool.Put(pl)
 		return nil, 0, err
 	}
 	cols, err := fabric.Flatten(res)
+	pool.Put(pl)
 	if err != nil {
 		return nil, 0, err
 	}

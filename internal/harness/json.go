@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"brsmn/internal/benes"
+	"brsmn/internal/copynet"
+	"brsmn/internal/core"
+	"brsmn/internal/feedback"
+	"brsmn/internal/mcast"
+	"brsmn/internal/netsim"
+	"brsmn/internal/rbn"
+	"brsmn/internal/workload"
+)
+
+// Measurement is one measured routing regime: mean wall-clock time and
+// mean heap allocation per routed assignment. Allocation figures come
+// from runtime.MemStats deltas around the whole trial loop, so they are
+// exact for single-goroutine regimes and close for parallel ones.
+type Measurement struct {
+	Name        string `json:"name"`
+	Workers     int    `json:"workers"`
+	NsPerOp     int64  `json:"nsPerOp"`
+	AllocsPerOp uint64 `json:"allocsPerOp"`
+	BytesPerOp  uint64 `json:"bytesPerOp"`
+}
+
+func measure(name string, workers, trials int, f func() error) (Measurement, error) {
+	// One untimed warm-up pass lets pooled arenas reach steady state so
+	// the numbers describe the regime, not its first call.
+	if err := f(); err != nil {
+		return Measurement{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		if err := f(); err != nil {
+			return Measurement{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	t := uint64(trials)
+	return Measurement{
+		Name:        name,
+		Workers:     workers,
+		NsPerOp:     elapsed.Nanoseconds() / int64(trials),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / t,
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / t,
+	}, nil
+}
+
+// RouteBenchReport is the machine-readable routing benchmark behind
+// BENCH_route.json: the planning pipeline's allocation/latency regimes
+// on one batch of random assignments.
+type RouteBenchReport struct {
+	Experiment string        `json:"experiment"`
+	N          int           `json:"n"`
+	Trials     int           `json:"trials"`
+	Seed       int64         `json:"seed"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numCpu"`
+	Regimes    []Measurement `json:"regimes"`
+}
+
+// RouteBench measures the routing hot path across its regimes: a cold
+// network construction per routing, the pooled concurrency-safe
+// Network.Route, a reused sequential Planner, and the reused planner
+// with the parallel sub-network recursion on `workers` workers.
+func RouteBench(n, trials int, seed int64, workers int) (*RouteBenchReport, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	if workers < 2 {
+		workers = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	as := make([]mcast.Assignment, 8)
+	for i := range as {
+		as[i] = workload.Random(rng, n, 0.8, 0.5)
+	}
+	next := func(i int) mcast.Assignment { return as[i%len(as)] }
+
+	rep := &RouteBenchReport{
+		Experiment: "route",
+		N:          n,
+		Trials:     trials,
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	i := 0
+	cold, err := measure("cold", 1, trials, func() error {
+		nw, err := core.New(n, rbn.Sequential)
+		if err != nil {
+			return err
+		}
+		_, err = nw.Route(next(i))
+		i++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Regimes = append(rep.Regimes, cold)
+
+	nw, err := core.New(n, rbn.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	network, err := measure("network", 1, trials, func() error {
+		_, err := nw.Route(next(i))
+		i++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Regimes = append(rep.Regimes, network)
+
+	pl, err := core.NewPlanner(n, rbn.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	planner, err := measure("planner", 1, trials, func() error {
+		_, err := pl.Route(next(i))
+		i++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Regimes = append(rep.Regimes, planner)
+
+	plp, err := core.NewPlanner(n, rbn.Engine{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	par, err := measure("planner-parallel", workers, trials, func() error {
+		_, err := plp.Route(next(i))
+		i++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Regimes = append(rep.Regimes, par)
+	return rep, nil
+}
+
+// WallClockReport is the machine-readable form of WallClock.
+type WallClockReport struct {
+	Experiment string        `json:"experiment"`
+	N          int           `json:"n"`
+	Trials     int           `json:"trials"`
+	Seed       int64         `json:"seed"`
+	Networks   []Measurement `json:"networks"`
+}
+
+// WallClockJSON measures the same four networks as WallClock and
+// returns the structured report.
+func WallClockJSON(n, trials int, seed int64) (*WallClockReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	assignments := make([]mcast.Assignment, trials)
+	for i := range assignments {
+		assignments[i] = workload.Random(rng, n, 0.8, 0.5)
+	}
+	un, err := core.New(n, rbn.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := feedback.New(n, rbn.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	cn, err := copynet.New(n)
+	if err != nil {
+		return nil, err
+	}
+	rep := &WallClockReport{Experiment: "wallclock", N: n, Trials: trials, Seed: seed}
+	batch := func(f func(mcast.Assignment) error) func() error {
+		i := 0
+		return func() error {
+			err := f(assignments[i%len(assignments)])
+			i++
+			return err
+		}
+	}
+	for _, spec := range []struct {
+		name string
+		f    func(mcast.Assignment) error
+	}{
+		{"brsmn-unrolled", func(a mcast.Assignment) error { _, err := un.Route(a); return err }},
+		{"brsmn-feedback", func(a mcast.Assignment) error { _, err := fb.Route(a); return err }},
+		{"copynet-benes", func(a mcast.Assignment) error { _, err := cn.Route(a); return err }},
+		{"benes-unicast", func(a mcast.Assignment) error {
+			perm := make([]int, a.N)
+			owner := a.OutputOwner()
+			for i := range perm {
+				perm[i] = -1
+			}
+			for out, in := range owner {
+				if in >= 0 && perm[in] < 0 {
+					perm[in] = out
+				}
+			}
+			_, err := benes.RoutePermutation(perm)
+			return err
+		}},
+	} {
+		m, err := measure(spec.name, 1, trials, batch(spec.f))
+		if err != nil {
+			return nil, err
+		}
+		rep.Networks = append(rep.Networks, m)
+	}
+	return rep, nil
+}
+
+// PipelineReport is the machine-readable form of PipelineExperiment.
+type PipelineReport struct {
+	Experiment string          `json:"experiment"`
+	N          int             `json:"n"`
+	Waves      int             `json:"waves"`
+	Seed       int64           `json:"seed"`
+	Gaps       []PipelinePoint `json:"gaps"`
+}
+
+// PipelinePoint is one injection-gap row of the pipelined simulation.
+type PipelinePoint struct {
+	Gap                int     `json:"gap"`
+	Depth              int     `json:"depth"`
+	Makespan           int     `json:"makespan"`
+	SequentialMakespan int     `json:"sequentialMakespan"`
+	Speedup            float64 `json:"speedup"`
+	MaxColumnsBusy     int     `json:"maxColumnsBusy"`
+}
+
+// PipelineJSON runs the pipelined fabric simulation and returns the
+// structured report.
+func PipelineJSON(n, waves int, seed int64) (*PipelineReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	as := make([]mcast.Assignment, waves)
+	for i := range as {
+		as[i] = workload.Random(rng, n, 0.8, 0.5)
+	}
+	rep := &PipelineReport{Experiment: "pipeline", N: n, Waves: waves, Seed: seed}
+	for _, gap := range []int{1, 2, 4} {
+		r, err := netsim.Pipeline(as, gap, rbn.Sequential)
+		if err != nil {
+			return nil, err
+		}
+		rep.Gaps = append(rep.Gaps, PipelinePoint{
+			Gap:                gap,
+			Depth:              r.Depth,
+			Makespan:           r.Makespan,
+			SequentialMakespan: r.SequentialMakespan,
+			Speedup:            r.Speedup(),
+			MaxColumnsBusy:     r.MaxColumnsBusy,
+		})
+	}
+	return rep, nil
+}
+
+// MarshalReport renders any of the structured reports as indented JSON
+// with a trailing newline, the on-disk format of BENCH_route.json.
+func MarshalReport(v any) (string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("harness: encoding report: %w", err)
+	}
+	return string(b) + "\n", nil
+}

@@ -57,13 +57,26 @@ func MustNew(n int, dests [][]int) Assignment {
 // Validate checks the multicast assignment conditions: every destination
 // is in range and no output appears in two destination sets.
 func (a Assignment) Validate() error {
+	return a.OwnerInto(make([]int, a.N))
+}
+
+// OwnerInto validates the assignment while filling owner (length a.N)
+// with each output's connected input, -1 for unfed outputs — the fused,
+// allocation-free form of Validate + OutputOwner used by the routing
+// planner.
+func (a Assignment) OwnerInto(owner []int) error {
 	if !shuffle.IsPow2(a.N) || a.N < 2 {
 		return fmt.Errorf("mcast: network size %d is not a power of two >= 2", a.N)
 	}
 	if len(a.Dests) != a.N {
 		return fmt.Errorf("mcast: %d destination sets, want %d", len(a.Dests), a.N)
 	}
-	owner := make(map[int]int, a.N)
+	if len(owner) != a.N {
+		return fmt.Errorf("mcast: owner buffer of length %d for %d outputs", len(owner), a.N)
+	}
+	for i := range owner {
+		owner[i] = -1
+	}
 	for i, ds := range a.Dests {
 		prev := -1
 		for _, d := range ds {
@@ -74,7 +87,7 @@ func (a Assignment) Validate() error {
 				return fmt.Errorf("mcast: input %d lists destination %d twice", i, d)
 			}
 			prev = d
-			if j, taken := owner[d]; taken {
+			if j := owner[d]; j >= 0 {
 				return fmt.Errorf("mcast: output %d requested by both inputs %d and %d", d, j, i)
 			}
 			owner[d] = i

@@ -30,6 +30,20 @@ func (t TagTree) Sequence() []tag.Value {
 	return out
 }
 
+// AppendSequence appends the routing-tag sequence to dst and returns
+// the extended slice — the allocation-free form of Sequence for callers
+// that own a reusable buffer (equation 12 appends exactly t.N-1 tags).
+func (t TagTree) AppendSequence(dst []tag.Value) []tag.Value {
+	for i := 1; i <= t.Levels(); i++ {
+		level := t.Level(i)
+		bits := i - 1
+		for j := range level {
+			dst = append(dst, level[shuffle.BitReverse(j, bits)])
+		}
+	}
+	return dst
+}
+
 // SequenceFromDests is a convenience composing BuildTagTree and Sequence.
 func SequenceFromDests(n int, dests []int) ([]tag.Value, error) {
 	t, err := BuildTagTree(n, dests)
@@ -37,6 +51,70 @@ func SequenceFromDests(n int, dests []int) ([]tag.Value, error) {
 		return nil, err
 	}
 	return t.Sequence(), nil
+}
+
+// AppendSequenceFromDests is SequenceFromDests appending into dst. The
+// tag tree itself is still built transiently; loops that must not
+// allocate at all use a SeqBuilder.
+func AppendSequenceFromDests(dst []tag.Value, n int, dests []int) ([]tag.Value, error) {
+	t, err := BuildTagTree(n, dests)
+	if err != nil {
+		return nil, err
+	}
+	return t.AppendSequence(dst), nil
+}
+
+// SeqBuilder computes routing-tag sequences without per-call
+// allocation: it owns the tag-tree node array and the prefix-marking
+// scratch that BuildTagTree would otherwise allocate per connection,
+// recycling them across calls. The zero value is ready to use; a
+// SeqBuilder is not safe for concurrent use.
+type SeqBuilder struct {
+	n     int
+	nodes []tag.Value
+	has   []bool
+}
+
+// AppendFromDests appends the routing-tag sequence of the connection
+// with the given destination set to dst and returns the extended slice,
+// performing the same validation as BuildTagTree.
+func (b *SeqBuilder) AppendFromDests(dst []tag.Value, n int, dests []int) ([]tag.Value, error) {
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("mcast: network size %d is not a power of two >= 2", n)
+	}
+	if n > b.n {
+		b.nodes = make([]tag.Value, n)
+		b.has = make([]bool, 2*n)
+		b.n = n
+	}
+	has := b.has[:2*n]
+	clear(has)
+	for _, d := range dests {
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("mcast: destination %d out of range [0,%d)", d, n)
+		}
+		if has[n+d] {
+			return nil, fmt.Errorf("mcast: duplicate destination %d", d)
+		}
+		for k := n + d; k >= 1; k /= 2 {
+			has[k] = true
+		}
+	}
+	nodes := b.nodes[:n]
+	for k := 1; k < n; k++ {
+		left, right := has[2*k], has[2*k+1]
+		switch {
+		case left && right:
+			nodes[k] = tag.Alpha
+		case left:
+			nodes[k] = tag.V0
+		case right:
+			nodes[k] = tag.V1
+		default:
+			nodes[k] = tag.Eps
+		}
+	}
+	return TagTree{N: n, Nodes: nodes}.AppendSequence(dst), nil
 }
 
 // ParseSequence rebuilds the tag tree from a routing-tag sequence for an

@@ -28,72 +28,101 @@ func (e Engine) BitSortPlan(n int, gamma []bool, s int) (*Plan, error) {
 	if !shuffle.IsPow2(n) || n < 2 {
 		return nil, fmt.Errorf("rbn: network size %d is not a power of two >= 2", n)
 	}
+	p := NewPlan(n)
+	if err := e.BitSortPlanInto(p, gamma, s, nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BitSortPlanInto computes the bit-sorting plan into p (fully
+// overwriting its settings), drawing the forward/backward sweep arrays
+// from sc; a nil sc allocates transient scratch.
+func (e Engine) BitSortPlanInto(p *Plan, gamma []bool, s int, sc *Scratch) error {
+	n := p.N
 	if len(gamma) != n {
-		return nil, fmt.Errorf("rbn: %d input marks for an %d x %d network", len(gamma), n, n)
+		return fmt.Errorf("rbn: %d input marks for an %d x %d network", len(gamma), n, n)
 	}
 	if s < 0 || s >= n {
-		return nil, fmt.Errorf("rbn: starting position %d out of range [0,%d)", s, n)
+		return fmt.Errorf("rbn: starting position %d out of range [0,%d)", s, n)
 	}
-	p := NewPlan(n)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensure(n)
 	m := p.M
 
 	// Forward phase: ls[j][b] is l, the γ count of the level-j node
-	// covering links [b*2^j, (b+1)*2^j).
-	ls := make([][]int, m+1)
-	ls[0] = make([]int, n)
-	e.parallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if gamma[i] {
-				ls[0][i] = 1
-			}
-		}
-	})
-	for j := 1; j <= m; j++ {
-		ls[j] = make([]int, n>>j)
-		prev := ls[j-1]
-		cur := ls[j]
-		e.parallelFor(len(cur), func(lo, hi int) {
-			for b := lo; b < hi; b++ {
-				cur[b] = prev[2*b] + prev[2*b+1]
+	// covering links [b*2^j, (b+1)*2^j). Sweep bodies are capture-free
+	// parFor literals, so a sequential engine allocates nothing.
+	ls := sc.ls
+	parFor(e, n, bitSortLeafArgs{ls[0], gamma},
+		func(a bitSortLeafArgs, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := 0
+				if a.gamma[i] {
+					v = 1
+				}
+				a.dst[i] = v
 			}
 		})
+	for j := 1; j <= m; j++ {
+		parFor(e, n>>j, intSumArgs{ls[j-1], ls[j][:n>>j]},
+			func(a intSumArgs, lo, hi int) {
+				for b := lo; b < hi; b++ {
+					a.cur[b] = a.prev[2*b] + a.prev[2*b+1]
+				}
+			})
 	}
 
 	// Backward phase: ss[j][b] is the starting position handed to the
 	// level-j node; the root receives the caller's s. Each node applies
 	// Lemma 1 and configures its merging stage (column j-1).
-	ss := make([][]int, m+1)
-	for j := range ss {
-		ss[j] = make([]int, n>>j)
-	}
+	ss := sc.ss
 	ss[m][0] = s
 	for j := m; j >= 1; j-- {
 		h := 1 << (j - 1) // half the node size; switches per node
-		cur := ss[j]
-		child := ss[j-1]
-		lchild := ls[j-1]
-		col := p.Stages[j-1]
-		e.parallelFor(len(cur), func(lo, hi int) {
+		args := bitSortBwdArgs{
+			cur: ss[j][:n>>j], child: ss[j-1], lchild: ls[j-1],
+			col: p.Stages[j-1], h: h,
+		}
+		parFor(e, n>>j, args, func(a bitSortBwdArgs, lo, hi int) {
+			h := a.h
 			for b := lo; b < hi; b++ {
-				sNode := cur[b]
-				l0 := lchild[2*b]
+				sNode := a.cur[b]
+				l0 := a.lchild[2*b]
 				s1 := (sNode + l0) % h
 				bset := swbox.Setting(((sNode + l0) / h) % 2)
-				child[2*b] = sNode % h
-				child[2*b+1] = s1
+				a.child[2*b] = sNode % h
+				a.child[2*b+1] = s1
 				// W^h_{0,s1;b̄,b}: the first s1 switches get bset.
 				base := b * h
 				for i := 0; i < h; i++ {
 					if i < s1 {
-						col[base+i] = bset
+						a.col[base+i] = bset
 					} else {
-						col[base+i] = bset.Opposite()
+						a.col[base+i] = bset.Opposite()
 					}
 				}
 			}
 		})
 	}
-	return p, nil
+	return nil
+}
+
+// Args structs for the capture-free parFor sweep bodies of
+// BitSortPlanInto.
+type bitSortLeafArgs struct {
+	dst   []int
+	gamma []bool
+}
+
+type intSumArgs struct{ prev, cur []int }
+
+type bitSortBwdArgs struct {
+	cur, child, lchild []int
+	col                []swbox.Setting
+	h                  int
 }
 
 // BitSortRoute composes BitSortPlan with Apply: it routes the boolean

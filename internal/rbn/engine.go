@@ -26,6 +26,37 @@ func ParallelEngine() Engine {
 // for; below it the scheduling overhead dominates the O(1) per-node work.
 const minGrain = 256
 
+// parFor runs fn(args, lo, hi) over [0, n) split into contiguous chunks
+// across the engine's workers; with one worker (or a small n) it
+// degenerates to a single direct call. fn must be capture-free — all
+// state flows through args — so the func value is static and the
+// sequential fast path performs no allocation (a closure passed to the
+// goroutine-spawning slow path would otherwise escape to the heap at
+// every call site, dominating the allocation profile of a warm planning
+// loop).
+func parFor[A any](e Engine, n int, args A, fn func(a A, lo, hi int)) {
+	w := e.Workers
+	if w <= 1 || n <= minGrain {
+		fn(args, 0, n)
+		return
+	}
+	chunks := (n + minGrain - 1) / minGrain
+	if chunks < w {
+		w = chunks
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(args, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // parallelFor runs fn over [0, n) split into contiguous chunks across the
 // engine's workers. With one worker (or a small n) it degenerates to a
 // plain loop.

@@ -25,93 +25,144 @@ func (e Engine) EpsDivide(tags []tag.Value) ([]tag.Value, error) {
 	if !shuffle.IsPow2(n) || n < 2 {
 		return nil, fmt.Errorf("rbn: input size %d is not a power of two >= 2", n)
 	}
+	out := make([]tag.Value, n)
+	if err := e.EpsDivideInto(out, tags, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EpsDivideInto is EpsDivide writing the relabelled vector into dst
+// (len(dst) == len(tags), dst may alias tags), drawing the sweep arrays
+// from sc; a nil sc allocates transient scratch.
+func (e Engine) EpsDivideInto(dst []tag.Value, tags []tag.Value, sc *Scratch) error {
+	n := len(tags)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return fmt.Errorf("rbn: input size %d is not a power of two >= 2", n)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("rbn: ε-divide destination length %d for %d inputs", len(dst), n)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensure(n)
 	m := shuffle.Log2(n)
 
 	// Forward phase: per-node ε count; n1 (the real-1 count) is also a
-	// forward reduction (Section 7.2 counts it from bit b2).
-	ne := make([][]int, m+1)
-	n1s := make([][]int, m+1)
-	ne[0] = make([]int, n)
-	n1s[0] = make([]int, n)
-	var leafErr error
-	e.parallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			switch v := tags[i]; {
-			case v == tag.Eps:
-				ne[0][i] = 1
-			case v == tag.V1:
-				n1s[0][i] = 1
-			case v == tag.V0:
-			default:
-				leafErr = fmt.Errorf("rbn: ε-divide input %d carries %v; want 0, 1 or ε", i, v)
-			}
-		}
-	})
-	if leafErr != nil {
-		return nil, leafErr
-	}
-	for j := 1; j <= m; j++ {
-		ne[j] = make([]int, n>>j)
-		n1s[j] = make([]int, n>>j)
-		e.parallelFor(n>>j, func(lo, hi int) {
-			for b := lo; b < hi; b++ {
-				ne[j][b] = ne[j-1][2*b] + ne[j-1][2*b+1]
-				n1s[j][b] = n1s[j-1][2*b] + n1s[j-1][2*b+1]
+	// forward reduction (Section 7.2 counts it from bit b2). The leaf
+	// level writes every entry (scratch rows carry stale prior sweeps).
+	// Sweep bodies are capture-free parFor literals, so a sequential
+	// engine allocates nothing.
+	ne := sc.ne
+	n1s := sc.n1s
+	sc.err = nil
+	parFor(e, n, epsLeafArgs{ne[0], n1s[0], tags, sc},
+		func(a epsLeafArgs, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				eps, one := 0, 0
+				switch v := a.tags[i]; {
+				case v == tag.Eps:
+					eps = 1
+				case v == tag.V1:
+					one = 1
+				case v == tag.V0:
+				default:
+					a.sc.err = fmt.Errorf("rbn: ε-divide input %d carries %v; want 0, 1 or ε", i, v)
+				}
+				a.ne[i] = eps
+				a.n1s[i] = one
 			}
 		})
+	if sc.err != nil {
+		return sc.err
+	}
+	for j := 1; j <= m; j++ {
+		parFor(e, n>>j, intSumArgs{ne[j-1], ne[j][:n>>j]},
+			func(a intSumArgs, lo, hi int) {
+				for b := lo; b < hi; b++ {
+					a.cur[b] = a.prev[2*b] + a.prev[2*b+1]
+				}
+			})
+		parFor(e, n>>j, intSumArgs{n1s[j-1], n1s[j][:n>>j]},
+			func(a intSumArgs, lo, hi int) {
+				for b := lo; b < hi; b++ {
+					a.cur[b] = a.prev[2*b] + a.prev[2*b+1]
+				}
+			})
 	}
 
 	n1 := n1s[m][0]
 	n0 := n - n1 - ne[m][0]
 	if n1 > n/2 {
-		return nil, fmt.Errorf("rbn: ε-divide input has %d ones, more than n/2 = %d", n1, n/2)
+		return fmt.Errorf("rbn: ε-divide input has %d ones, more than n/2 = %d", n1, n/2)
 	}
 	if n0 > n/2 {
-		return nil, fmt.Errorf("rbn: ε-divide input has %d zeros, more than n/2 = %d", n0, n/2)
+		return fmt.Errorf("rbn: ε-divide input has %d zeros, more than n/2 = %d", n0, n/2)
 	}
 
 	// Backward phase: split each node's ε budget between dummy 0s and
 	// dummy 1s, filling dummy 0s greedily into the left child — any split
 	// respecting the per-node ε counts works, and this one needs only a
-	// min and three subtractions per node (Table 6).
-	ne0 := make([][]int, m+1)
-	ne1 := make([][]int, m+1)
-	for j := range ne0 {
-		ne0[j] = make([]int, n>>j)
-		ne1[j] = make([]int, n>>j)
-	}
+	// min and three subtractions per node (Table 6). Every level is fully
+	// written top-down, so no pre-zeroing is needed.
+	ne0 := sc.ne0
+	ne1 := sc.ne1
 	ne1[m][0] = n/2 - n1
 	ne0[m][0] = ne[m][0] - ne1[m][0]
 	for j := m; j >= 1; j-- {
-		e.parallelFor(n>>j, func(lo, hi int) {
+		args := epsBwdArgs{
+			ne0: ne0[j][:n>>j], ne0c: ne0[j-1],
+			ne1c: ne1[j-1], nec: ne[j-1],
+		}
+		parFor(e, n>>j, args, func(a epsBwdArgs, lo, hi int) {
 			for b := lo; b < hi; b++ {
-				e0 := ne0[j][b]
-				le := ne[j-1][2*b]   // εs in the left child
-				re := ne[j-1][2*b+1] // εs in the right child
+				e0 := a.ne0[b]
+				le := a.nec[2*b]   // εs in the left child
+				re := a.nec[2*b+1] // εs in the right child
 				l0 := min(e0, le)
-				ne0[j-1][2*b] = l0
-				ne1[j-1][2*b] = le - l0
-				ne0[j-1][2*b+1] = e0 - l0
-				ne1[j-1][2*b+1] = re - (e0 - l0)
+				a.ne0c[2*b] = l0
+				a.ne1c[2*b] = le - l0
+				a.ne0c[2*b+1] = e0 - l0
+				a.ne1c[2*b+1] = re - (e0 - l0)
 			}
 		})
 	}
 
-	out := append([]tag.Value(nil), tags...)
-	e.parallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if tags[i] != tag.Eps {
-				continue
+	parFor(e, n, epsRelabelArgs{dst, tags, ne0[0], ne1[0]},
+		func(a epsRelabelArgs, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := a.tags[i]
+				if v == tag.Eps {
+					switch {
+					case a.ne0[i] == 1:
+						v = tag.Eps0
+					case a.ne1[i] == 1:
+						v = tag.Eps1
+					}
+				}
+				a.dst[i] = v
 			}
-			switch {
-			case ne0[0][i] == 1:
-				out[i] = tag.Eps0
-			case ne1[0][i] == 1:
-				out[i] = tag.Eps1
-			}
-		}
-	})
-	return out, nil
+		})
+	return nil
+}
+
+// Args structs for the capture-free parFor sweep bodies of
+// EpsDivideInto.
+type epsLeafArgs struct {
+	ne, n1s []int
+	tags    []tag.Value
+	sc      *Scratch
+}
+
+type epsBwdArgs struct {
+	ne0             []int // this level's dummy-0 budgets
+	ne0c, ne1c, nec []int // children's budgets and ε counts
+}
+
+type epsRelabelArgs struct {
+	dst, tags []tag.Value
+	ne0, ne1  []int
 }
 
 // QuasisortPlan computes the switch settings of an n x n RBN acting as
@@ -128,23 +179,39 @@ func QuasisortPlan(n int, tags []tag.Value) (*Plan, []tag.Value, error) {
 // QuasisortPlan is the engine-parameterized form of the package-level
 // function.
 func (e Engine) QuasisortPlan(n int, tags []tag.Value) (*Plan, []tag.Value, error) {
-	if len(tags) != n {
-		return nil, nil, fmt.Errorf("rbn: %d input tags for an %d x %d network", len(tags), n, n)
+	if !shuffle.IsPow2(n) || n < 2 {
+		return nil, nil, fmt.Errorf("rbn: network size %d is not a power of two >= 2", n)
 	}
-	divided, err := e.EpsDivide(tags)
-	if err != nil {
+	p := NewPlan(n)
+	divided := make([]tag.Value, n)
+	if err := e.QuasisortPlanInto(p, divided, tags, nil); err != nil {
 		return nil, nil, err
 	}
-	gamma := make([]bool, n)
+	return p, divided, nil
+}
+
+// QuasisortPlanInto computes the quasisort plan into p (fully
+// overwriting its settings) and the ε-divided tag vector into divided
+// (length p.N), drawing every sweep array from sc; a nil sc allocates
+// transient scratch.
+func (e Engine) QuasisortPlanInto(p *Plan, divided []tag.Value, tags []tag.Value, sc *Scratch) error {
+	n := p.N
+	if len(tags) != n {
+		return fmt.Errorf("rbn: %d input tags for an %d x %d network", len(tags), n, n)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensure(n)
+	if err := e.EpsDivideInto(divided, tags, sc); err != nil {
+		return err
+	}
+	gamma := sc.gamma[:n]
 	for i, v := range divided {
 		gamma[i] = v.SortBit() == 1
 	}
 	// C_{n/2, n/2; 0, 1} = 0^(n/2) 1^(n/2): ascending bit sort.
-	p, err := e.BitSortPlan(n, gamma, n/2)
-	if err != nil {
-		return nil, nil, err
-	}
-	return p, divided, nil
+	return e.BitSortPlanInto(p, gamma, n/2, sc)
 }
 
 // QuasisortRoute composes QuasisortPlan with tag routing and returns the

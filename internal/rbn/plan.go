@@ -37,15 +37,17 @@ type Plan struct {
 }
 
 // NewPlan allocates an all-parallel plan for an n x n RBN (n a power of
-// two, n >= 2).
+// two, n >= 2). The stage columns share one flat backing array, so a
+// plan costs three allocations regardless of depth.
 func NewPlan(n int) *Plan {
 	if !shuffle.IsPow2(n) || n < 2 {
 		panic(fmt.Sprintf("rbn: network size %d is not a power of two >= 2", n))
 	}
 	m := shuffle.Log2(n)
+	flat := make([]swbox.Setting, m*(n/2))
 	st := make([][]swbox.Setting, m)
 	for j := range st {
-		st[j] = make([]swbox.Setting, n/2)
+		st[j] = flat[j*(n/2) : (j+1)*(n/2) : (j+1)*(n/2)]
 	}
 	return &Plan{N: n, M: m, Stages: st}
 }
@@ -109,11 +111,28 @@ func (p *Plan) Validate() error {
 // discarded input is dropped. split may be nil only if the plan contains
 // no broadcast settings.
 func Apply[T any](p *Plan, in []T, split func(T) (T, T)) ([]T, error) {
+	return ApplyScratch(p, in, make([]T, p.N), make([]T, p.N), split)
+}
+
+// ApplyScratch is Apply routing through caller-provided ping-pong
+// buffers a and b (each of length p.N): the returned slice aliases one
+// of them, so a steady loop performs no per-call allocation. in may
+// itself be a or b (the output of a previous ApplyScratch on the same
+// buffers), in which case the copy is skipped.
+func ApplyScratch[T any](p *Plan, in, a, b []T, split func(T) (T, T)) ([]T, error) {
 	if len(in) != p.N {
 		return nil, fmt.Errorf("rbn: %d inputs for an %d x %d network", len(in), p.N, p.N)
 	}
-	cur := append([]T(nil), in...)
-	next := make([]T, p.N)
+	if len(a) != p.N || len(b) != p.N {
+		return nil, fmt.Errorf("rbn: scratch buffers of length %d, %d for an %d x %d network", len(a), len(b), p.N, p.N)
+	}
+	cur, next := a, b
+	if &in[0] == &b[0] {
+		cur, next = b, a
+	}
+	if &in[0] != &cur[0] {
+		copy(cur, in)
+	}
 	for j := 0; j < p.M; j++ {
 		col := p.Stages[j]
 		for w, s := range col {

@@ -41,90 +41,108 @@ func (e Engine) ScatterPlan(n int, tags []tag.Value, s int) (*Plan, error) {
 	if !shuffle.IsPow2(n) || n < 2 {
 		return nil, fmt.Errorf("rbn: network size %d is not a power of two >= 2", n)
 	}
+	p := NewPlan(n)
+	if err := e.ScatterPlanInto(p, tags, s, nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ScatterPlanInto computes the scatter plan into p (fully overwriting
+// its settings), drawing every sweep array from sc; a nil sc allocates
+// transient scratch. This is the zero-allocation form used by the
+// routing planner: with a warm scratch and a preallocated plan the call
+// allocates nothing.
+func (e Engine) ScatterPlanInto(p *Plan, tags []tag.Value, s int, sc *Scratch) error {
+	n := p.N
 	if len(tags) != n {
-		return nil, fmt.Errorf("rbn: %d input tags for an %d x %d network", len(tags), n, n)
+		return fmt.Errorf("rbn: %d input tags for an %d x %d network", len(tags), n, n)
 	}
 	if s < 0 || s >= n {
-		return nil, fmt.Errorf("rbn: starting position %d out of range [0,%d)", s, n)
+		return fmt.Errorf("rbn: starting position %d out of range [0,%d)", s, n)
 	}
-	p := NewPlan(n)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensure(n)
 	m := p.M
 
 	// Forward phase (Table 4): leaves report (1, α) for α inputs,
 	// (1, ε) for idle inputs and (0, ε) for 0/1 (χ) inputs; internal
 	// nodes add same-type surpluses and cancel opposite-type ones.
-	fwd := make([][]scatterNode, m+1)
-	fwd[0] = make([]scatterNode, n)
-	var leafErr error
-	e.parallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := tags[i]
-			switch {
-			case v == tag.Alpha:
-				fwd[0][i] = scatterNode{1, tag.Alpha}
-			case v.IsEps():
-				fwd[0][i] = scatterNode{1, tag.Eps}
-			case v.IsChi():
-				fwd[0][i] = scatterNode{0, tag.Eps}
-			default:
-				leafErr = fmt.Errorf("rbn: input %d carries invalid tag %v", i, v)
-			}
-		}
-	})
-	if leafErr != nil {
-		return nil, leafErr
-	}
-	for j := 1; j <= m; j++ {
-		fwd[j] = make([]scatterNode, n>>j)
-		prev, cur := fwd[j-1], fwd[j]
-		e.parallelFor(len(cur), func(lo, hi int) {
-			for b := lo; b < hi; b++ {
-				c0, c1 := prev[2*b], prev[2*b+1]
+	//
+	// Every sweep body below is a capture-free literal fed through
+	// parFor with an explicit args struct, so a sequential engine runs
+	// them as direct calls with no closure allocation.
+	fwd := sc.fwd
+	sc.err = nil
+	parFor(e, n, scatterLeafArgs{fwd[0], tags, sc},
+		func(a scatterLeafArgs, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := a.tags[i]
 				switch {
-				case c0.typ == c1.typ:
-					cur[b] = scatterNode{c0.l + c1.l, c0.typ}
-				case c0.l >= c1.l:
-					cur[b] = scatterNode{c0.l - c1.l, c0.typ}
+				case v == tag.Alpha:
+					a.dst[i] = scatterNode{1, tag.Alpha}
+				case v.IsEps():
+					a.dst[i] = scatterNode{1, tag.Eps}
+				case v.IsChi():
+					a.dst[i] = scatterNode{0, tag.Eps}
 				default:
-					cur[b] = scatterNode{c1.l - c0.l, c1.typ}
-				}
-				if cur[b].l == 0 {
-					cur[b].typ = tag.Eps
+					a.sc.err = fmt.Errorf("rbn: input %d carries invalid tag %v", i, v)
 				}
 			}
 		})
+	if sc.err != nil {
+		return sc.err
+	}
+	for j := 1; j <= m; j++ {
+		parFor(e, n>>j, scatterFwdArgs{fwd[j-1][:n>>(j-1)], fwd[j][:n>>j]},
+			func(a scatterFwdArgs, lo, hi int) {
+				for b := lo; b < hi; b++ {
+					c0, c1 := a.prev[2*b], a.prev[2*b+1]
+					switch {
+					case c0.typ == c1.typ:
+						a.cur[b] = scatterNode{c0.l + c1.l, c0.typ}
+					case c0.l >= c1.l:
+						a.cur[b] = scatterNode{c0.l - c1.l, c0.typ}
+					default:
+						a.cur[b] = scatterNode{c1.l - c0.l, c1.typ}
+					}
+					if a.cur[b].l == 0 {
+						a.cur[b].typ = tag.Eps
+					}
+				}
+			})
 	}
 
 	// Backward phase + switch-setting phase (Table 4).
-	ss := make([][]int, m+1)
-	for j := range ss {
-		ss[j] = make([]int, n>>j)
-	}
+	ss := sc.ss
 	ss[m][0] = s
 	for j := m; j >= 1; j-- {
 		h := 1 << (j - 1) // switches per node; node size n' = 2h
-		cur := ss[j]
-		child := ss[j-1]
-		fprev := fwd[j-1]
-		l := fwd[j]
-		col := p.Stages[j-1]
-		e.parallelFor(len(cur), func(lo, hi int) {
+		args := scatterBwdArgs{
+			cur: ss[j][:n>>j], child: ss[j-1],
+			fprev: fwd[j-1], l: fwd[j],
+			col: p.Stages[j-1], h: h,
+		}
+		parFor(e, n>>j, args, func(a scatterBwdArgs, lo, hi int) {
+			h := a.h
 			for b := lo; b < hi; b++ {
-				sNode := cur[b]
-				lNode := l[b].l
-				c0, c1 := fprev[2*b], fprev[2*b+1]
+				sNode := a.cur[b]
+				lNode := a.l[b].l
+				c0, c1 := a.fprev[2*b], a.fprev[2*b+1]
 				base := b * h
 				if c0.typ == c1.typ {
 					// ε/α-addition: Lemma 1 with l = l0 + l1.
 					s1 := (sNode + c0.l) % h
 					bset := swbox.Setting(((sNode + c0.l) / h) % 2)
-					child[2*b] = sNode % h
-					child[2*b+1] = s1
+					a.child[2*b] = sNode % h
+					a.child[2*b+1] = s1
 					for i := 0; i < h; i++ {
 						if i < s1 {
-							col[base+i] = bset
+							a.col[base+i] = bset
 						} else {
-							col[base+i] = bset.Opposite()
+							a.col[base+i] = bset.Opposite()
 						}
 					}
 					continue
@@ -147,30 +165,46 @@ func (e Engine) ScatterPlan(n int, tags []tag.Value, s int) (*Plan, error) {
 					stmp, ltmp = s0, c0.l
 					ucast = swbox.Cross
 				}
-				child[2*b] = s0
-				child[2*b+1] = s1
+				a.child[2*b] = s0
+				a.child[2*b+1] = s1
 				var bcast swbox.Setting
 				if c0.typ == tag.Alpha {
 					bcast = swbox.UpperBcast
 				} else {
 					bcast = swbox.LowerBcast
 				}
-				var settings []swbox.Setting
+				dst := a.col[base : base+h]
 				switch {
 				case sNode+lNode < h:
-					settings = seq.BinaryCompact(h, stmp, ltmp, ucast, bcast)
+					seq.CompactInto(dst, stmp, ltmp, ucast, bcast)
 				case sNode < h: // and sNode+lNode >= h
-					settings = seq.TrinaryCompact(h, stmp, ltmp, h-stmp-ltmp, ucast.Opposite(), bcast, ucast)
+					seq.TrinaryCompactInto(dst, stmp, ltmp, h-stmp-ltmp, ucast.Opposite(), bcast, ucast)
 				case sNode+lNode < 2*h: // and sNode >= h
-					settings = seq.BinaryCompact(h, stmp, ltmp, ucast.Opposite(), bcast)
+					seq.CompactInto(dst, stmp, ltmp, ucast.Opposite(), bcast)
 				default: // sNode >= h and sNode+lNode >= 2h
-					settings = seq.TrinaryCompact(h, stmp, ltmp, h-stmp-ltmp, ucast, bcast, ucast.Opposite())
+					seq.TrinaryCompactInto(dst, stmp, ltmp, h-stmp-ltmp, ucast, bcast, ucast.Opposite())
 				}
-				copy(col[base:base+h], settings)
 			}
 		})
 	}
-	return p, nil
+	return nil
+}
+
+// Args structs for the capture-free parFor sweep bodies of
+// ScatterPlanInto.
+type scatterLeafArgs struct {
+	dst  []scatterNode
+	tags []tag.Value
+	sc   *Scratch
+}
+
+type scatterFwdArgs struct{ prev, cur []scatterNode }
+
+type scatterBwdArgs struct {
+	cur, child []int
+	fprev, l   []scatterNode
+	col        []swbox.Setting
+	h          int
 }
 
 // ScatterRoute composes ScatterPlan with tag routing and returns the plan

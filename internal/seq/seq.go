@@ -85,6 +85,22 @@ func IsCompact[T comparable](xs []T, s, l int, beta, gamma T) bool {
 	return gs == s
 }
 
+// CompactInto fills dst with C^len(dst)_{s,l;beta,gamma} — the in-place
+// form of Compact for hot paths that reuse a settings column instead of
+// allocating one per merging node.
+func CompactInto[T any](dst []T, s, l int, beta, gamma T) {
+	n := len(dst)
+	if n <= 0 || s < 0 || s >= n || l < 0 || l > n {
+		panic(fmt.Sprintf("seq: CompactInto(n=%d, s=%d, l=%d) out of range", n, s, l))
+	}
+	for i := range dst {
+		dst[i] = beta
+	}
+	for k := 0; k < l; k++ {
+		dst[(s+k)%n] = gamma
+	}
+}
+
 // BinaryCompact constructs the binary compact switch-setting sequence
 // W^h_{s,l;a,b} over h switches: l consecutive switches carry setting b
 // starting at position s (circularly); the remaining switches carry a.
@@ -112,6 +128,24 @@ func TrinaryCompact[T any](h, s, l1, l2 int, a, b, c T) []T {
 		out[(s+l1+k)%h] = c
 	}
 	return out
+}
+
+// TrinaryCompactInto fills dst with W^len(dst)_{s,l1,l2;a,b,c} — the
+// in-place form of TrinaryCompact.
+func TrinaryCompactInto[T any](dst []T, s, l1, l2 int, a, b, c T) {
+	h := len(dst)
+	if h <= 0 || s < 0 || s >= h || l1 < 0 || l2 < 0 || l1+l2 > h {
+		panic(fmt.Sprintf("seq: TrinaryCompactInto(h=%d, s=%d, l1=%d, l2=%d) out of range", h, s, l1, l2))
+	}
+	for i := range dst {
+		dst[i] = a
+	}
+	for k := 0; k < l1; k++ {
+		dst[(s+k)%h] = b
+	}
+	for k := 0; k < l2; k++ {
+		dst[(s+l1+k)%h] = c
+	}
 }
 
 // Rotate returns xs rotated so that element i of the result is element
