@@ -12,10 +12,12 @@
 //	curl -s -X POST localhost:8642/groups -d '{"id":"conf","source":2,"members":[3,4,7]}'
 //	curl -s -X POST localhost:8642/groups/conf/join -d '{"dest":9}'
 //	curl -s localhost:8642/epoch
+//	curl -s localhost:8642/metrics
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain through http.Server.Shutdown and the groupd epoch loop is
-// stopped before exit.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the groupd epoch
+// loop (and with it the faultd prober it drives) stops first, then
+// in-flight requests drain through http.Server.Shutdown — background
+// work never races a closing listener.
 package main
 
 import (
@@ -29,12 +31,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"brsmn/internal/api"
 	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
+	"brsmn/internal/obs"
 	"brsmn/internal/rbn"
 )
 
@@ -53,6 +57,8 @@ type config struct {
 	faultInject    string
 	faultSeed      int64
 	pprofAddr      string
+	metrics        bool
+	traceSample    int
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -72,6 +78,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.faultInject, "fault-inject", "", "arm faults at startup, e.g. stuck:3:1:cross,dead:5:7,flaky:2:0:parallel:0.25")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for intermittent fault excitation")
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
+	fs.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics on /metrics")
+	fs.IntVar(&cfg.traceSample, "trace-sample", 0, "record a planning trace for every k-th replan per group, served on /trace/{group} (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -85,6 +93,26 @@ func parseFlags(args []string) (config, error) {
 // it (which the caller must Close).
 func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
 	eng := rbn.Engine{Workers: cfg.workers}
+	var reg *obs.Registry
+	var tracer *obs.TraceRecorder
+	if cfg.metrics {
+		reg = obs.NewRegistry()
+		eng.Occ = &rbn.Occupancy{}
+		occ := eng.Occ
+		reg.GaugeFunc("brsmn_engine_workers", "Configured switch-setting worker goroutines.",
+			func() float64 { return float64(cfg.workers) })
+		reg.GaugeFunc(`brsmn_engine_occupancy{kind="busy"}`,
+			"Switch-setting workers: currently running and observed peak.",
+			func() float64 { return float64(occ.Busy()) })
+		reg.GaugeFunc(`brsmn_engine_occupancy{kind="peak"}`,
+			"Switch-setting workers: currently running and observed peak.",
+			func() float64 { return float64(occ.Peak()) })
+		reg.GaugeFunc("brsmn_goroutines", "Live goroutines in the daemon process.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+	}
+	if cfg.traceSample > 0 {
+		tracer = obs.NewTraceRecorder(cfg.traceSample)
+	}
 	inj := faultd.NewInjector(cfg.faultSeed)
 	fm, err := faultd.NewMonitor(faultd.Config{
 		N:          cfg.n,
@@ -107,6 +135,11 @@ func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
 			inj.Add(f)
 		}
 	}
+	// Register before the manager starts its epoch loop: AfterEpoch
+	// probing reads the monitor's instruments from that goroutine.
+	if reg != nil {
+		fm.RegisterMetrics(reg)
+	}
 	gm, err := groupd.NewManager(groupd.Config{
 		N:              cfg.n,
 		Engine:         eng,
@@ -116,11 +149,20 @@ func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
 		EpochThreshold: cfg.epochThreshold,
 		Workers:        cfg.workers,
 		Policy:         fm,
+		Metrics:        reg,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return api.NewServer(eng, gm, fm), gm, nil
+	var opts []api.Option
+	if reg != nil {
+		opts = append(opts, api.WithMetrics(reg))
+	}
+	if tracer != nil {
+		opts = append(opts, api.WithTracer(tracer))
+	}
+	return api.NewServer(eng, gm, fm, opts...), gm, nil
 }
 
 // run serves until ctx is cancelled (the signal path) or the listener
@@ -163,13 +205,16 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 		return err
 	case <-ctx.Done():
 		fmt.Fprintln(out, "brsmnd: signal received, draining")
+		// Stop the epoch ticker (and the faultd prober it drives via
+		// AfterEpoch) before the listener: background replans must not
+		// keep running into a server that is tearing down.
+		if err := gm.Close(); err != nil {
+			return err
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("brsmnd: shutdown: %w", err)
-		}
-		if err := gm.Close(); err != nil {
-			return err
 		}
 		fmt.Fprintln(out, "brsmnd: bye")
 		return nil

@@ -25,6 +25,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.probeEvery != 0 || cfg.probeCount != 4 || cfg.faultInject != "" || cfg.faultSeed != 1 {
 		t.Fatalf("fault defaults = %+v", cfg)
 	}
+	if !cfg.metrics || cfg.traceSample != 0 {
+		t.Fatalf("observability defaults = %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
@@ -32,6 +35,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-addr", ":9000", "-n", "64", "-workers", "3",
 		"-epoch", "1s", "-epoch-threshold", "8", "-cache", "16", "-shards", "4",
 		"-probe-every", "2", "-probe-count", "6", "-fault-inject", "dead:0:1", "-fault-seed", "99",
+		"-metrics=false", "-trace-sample", "7",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,6 +47,9 @@ func TestParseFlagsOverrides(t *testing.T) {
 	}
 	if cfg.probeEvery != 2 || cfg.probeCount != 6 || cfg.faultInject != "dead:0:1" || cfg.faultSeed != 99 {
 		t.Fatalf("fault overrides = %+v", cfg)
+	}
+	if cfg.metrics || cfg.traceSample != 7 {
+		t.Fatalf("observability overrides = %+v", cfg)
 	}
 }
 

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlerMetricsAndTrace drives the default (-metrics on) handler
+// and checks the scrape and trace surfaces end to end.
+func TestHandlerMetricsAndTrace(t *testing.T) {
+	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-epoch-threshold", "0", "-trace-sample", "1", "-probe-every", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, gm, err := newHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gm.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	post := func(path, body string, want int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	post("/groups", `{"id":"g","source":1,"members":[2,5]}`, http.StatusCreated)
+	post("/epoch", "", http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		"brsmn_epoch_duration_seconds",
+		"brsmn_plan_cache_ops_total",
+		"brsmn_planner_pool_ops_total",
+		"brsmn_faultd_probe_rounds_total 1",
+		"brsmn_engine_occupancy",
+		"brsmn_goroutines",
+		"brsmn_http_requests_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/trace/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Group string `json:"group"`
+		Trace *struct {
+			N       int   `json:"n"`
+			TotalNs int64 `json:"totalNs"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || tr.Group != "g" || tr.Trace == nil || tr.Trace.N != 8 {
+		t.Fatalf("/trace/g = %d, %+v", resp.StatusCode, tr)
+	}
+}
+
+// TestHandlerMetricsDisabled checks -metrics=false removes the scrape
+// surface (503, the disabled convention) without breaking serving.
+func TestHandlerMetricsDisabled(t *testing.T) {
+	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-metrics=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, gm, err := newHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gm.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/metrics with -metrics=false = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+}
+
+// daemonGoroutines scans all goroutine stacks for daemon-owned work:
+// the epoch loop, fault probing, the run loop itself, or the serving
+// listener. After a clean shutdown none may remain.
+func daemonGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for _, s := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(s, "brsmn/internal/groupd.(*Manager).loop") ||
+			strings.Contains(s, "brsmn/internal/faultd.(*Monitor).RunProbes") ||
+			strings.Contains(s, "brsmn/cmd/brsmnd.run(") ||
+			strings.Contains(s, "net/http.(*Server).Serve") {
+			leaked = append(leaked, s)
+		}
+	}
+	return leaked
+}
+
+// TestRunShutdownUnderLoad cancels the daemon while client goroutines
+// hammer epoch and membership endpoints, then asserts no daemon
+// goroutine outlives run — the regression for the shutdown-ordering bug
+// where the epoch ticker and fault prober kept replanning against a
+// closing server.
+func TestRunShutdownUnderLoad(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	// A fast epoch timer plus periodic probing keeps background work
+	// in flight at cancel time.
+	cfg, err := parseFlags([]string{"-addr", addr, "-n", "16", "-epoch", "1ms", "-probe-every", "1", "-trace-sample", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, &out, cfg) }()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/groups", "application/json",
+		strings.NewReader(`{"id":"g","source":1,"members":[2,5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stop := make(chan struct{})
+	var clients sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once the listener closes.
+				if resp, err := http.Post(base+"/epoch", "application/json", nil); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if resp, err := http.Get(base + "/metrics"); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond) // let load and epochs overlap
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancel under load")
+	}
+	close(stop)
+	clients.Wait()
+
+	// Daemon goroutines may need a beat to unwind after run returns.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		leaked := daemonGoroutines()
+		if len(leaked) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d daemon goroutines survived shutdown:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

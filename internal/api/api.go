@@ -32,6 +32,7 @@ import (
 	"brsmn/internal/groupd"
 	"brsmn/internal/mcast"
 	"brsmn/internal/netsim"
+	"brsmn/internal/obs"
 	"brsmn/internal/plancodec"
 	"brsmn/internal/rbn"
 	"brsmn/internal/sched"
@@ -40,41 +41,91 @@ import (
 
 // Server handles the HTTP API. Construct with NewServer.
 type Server struct {
-	eng rbn.Engine
-	gm  *groupd.Manager
-	fm  *faultd.Monitor
-	mux *http.ServeMux
+	eng    rbn.Engine
+	gm     *groupd.Manager
+	fm     *faultd.Monitor
+	reg    *obs.Registry
+	tracer *obs.TraceRecorder
+	mux    *http.ServeMux
 }
 
 // NewServer returns a handler-ready server using the given engine for
 // switch setting. gm may be nil, which disables the stateful group
 // endpoints (they answer 503) while /healthz and the stateless handlers
 // keep working; fm may likewise be nil, which disables the
-// fault-management endpoints of faults.go.
-func NewServer(eng rbn.Engine, gm *groupd.Manager, fm *faultd.Monitor) *Server {
+// fault-management endpoints of faults.go. Options wire the optional
+// observability surfaces of obs.go.
+func NewServer(eng rbn.Engine, gm *groupd.Manager, fm *faultd.Monitor, opts ...Option) *Server {
 	s := &Server{eng: eng, gm: gm, fm: fm, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /route", s.handleRoute)
-	s.mux.HandleFunc("POST /schedule", s.handleSchedule)
-	s.mux.HandleFunc("POST /plan", s.handlePlan)
-	s.mux.HandleFunc("POST /pipeline", s.handlePipeline)
-	s.mux.HandleFunc("GET /cost", s.handleCost)
-	s.mux.HandleFunc("GET /sequence", s.handleSequence)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /groups", s.withGroups(s.handleGroupCreate))
-	s.mux.HandleFunc("GET /groups", s.withGroups(s.handleGroupList))
-	s.mux.HandleFunc("GET /groups/{id}", s.withGroups(s.handleGroupGet))
-	s.mux.HandleFunc("POST /groups/{id}/join", s.withGroups(s.handleGroupJoin))
-	s.mux.HandleFunc("POST /groups/{id}/leave", s.withGroups(s.handleGroupLeave))
-	s.mux.HandleFunc("DELETE /groups/{id}", s.withGroups(s.handleGroupDelete))
-	s.mux.HandleFunc("GET /groups/{id}/plan", s.withGroups(s.handleGroupPlan))
-	s.mux.HandleFunc("GET /epoch", s.withGroups(s.handleEpochGet))
-	s.mux.HandleFunc("POST /epoch", s.withGroups(s.handleEpochRun))
-	s.mux.HandleFunc("GET /faults", s.withFaults(s.handleFaultsGet))
-	s.mux.HandleFunc("POST /faults", s.withFaults(s.handleFaultsPost))
-	s.mux.HandleFunc("DELETE /faults", s.withFaults(s.handleFaultsDelete))
-	s.mux.HandleFunc("GET /faults/report", s.withFaults(s.handleFaultsReport))
-	s.mux.HandleFunc("POST /probe", s.withFaults(s.handleProbe))
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.route("POST /route", "route", s.handleRoute)
+	s.route("POST /schedule", "schedule", s.handleSchedule)
+	s.route("POST /plan", "plan", s.handlePlan)
+	s.route("POST /pipeline", "pipeline", s.handlePipeline)
+	s.route("GET /cost", "cost", s.handleCost)
+	s.route("GET /sequence", "sequence", s.handleSequence)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("POST /groups", "group_create", s.withGroups(s.handleGroupCreate))
+	s.route("GET /groups", "group_list", s.withGroups(s.handleGroupList))
+	s.route("GET /groups/{id}", "group_get", s.withGroups(s.handleGroupGet))
+	s.route("POST /groups/{id}/join", "group_join", s.withGroups(s.handleGroupJoin))
+	s.route("POST /groups/{id}/leave", "group_leave", s.withGroups(s.handleGroupLeave))
+	s.route("DELETE /groups/{id}", "group_delete", s.withGroups(s.handleGroupDelete))
+	s.route("GET /groups/{id}/plan", "group_plan", s.withGroups(s.handleGroupPlan))
+	s.route("GET /epoch", "epoch", s.withGroups(s.handleEpochGet))
+	s.route("POST /epoch", "epoch", s.withGroups(s.handleEpochRun))
+	s.route("GET /faults", "faults", s.withFaults(s.handleFaultsGet))
+	s.route("POST /faults", "faults", s.withFaults(s.handleFaultsPost))
+	s.route("DELETE /faults", "faults", s.withFaults(s.handleFaultsDelete))
+	s.route("GET /faults/report", "faults_report", s.withFaults(s.handleFaultsReport))
+	s.route("POST /probe", "probe", s.withFaults(s.handleProbe))
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /trace/{group}", "trace", s.handleTrace)
+
+	// Method-less fallbacks: a request for a registered path with an
+	// unregistered method lands here instead of ServeMux's plain-text
+	// auto-405, so the reply is JSON with an Allow header. The root
+	// fallback likewise turns the default plain-text 404 into JSON.
+	s.notAllowed("/route", "POST")
+	s.notAllowed("/schedule", "POST")
+	s.notAllowed("/plan", "POST")
+	s.notAllowed("/pipeline", "POST")
+	s.notAllowed("/cost", "GET")
+	s.notAllowed("/sequence", "GET")
+	s.notAllowed("/healthz", "GET")
+	s.notAllowed("/groups", "GET, POST")
+	s.notAllowed("/groups/{id}", "GET, DELETE")
+	s.notAllowed("/groups/{id}/join", "POST")
+	s.notAllowed("/groups/{id}/leave", "POST")
+	s.notAllowed("/groups/{id}/plan", "GET")
+	s.notAllowed("/epoch", "GET, POST")
+	s.notAllowed("/faults", "GET, POST, DELETE")
+	s.notAllowed("/faults/report", "GET")
+	s.notAllowed("/probe", "POST")
+	s.notAllowed("/metrics", "GET")
+	s.notAllowed("/trace/{group}", "GET")
+	s.mux.HandleFunc("/", s.instrument("not_found", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("api: no such endpoint %s", r.URL.Path))
+	}))
 	return s
+}
+
+// route registers an instrumented handler.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, h))
+}
+
+// notAllowed registers the method-less fallback for a path. Go's
+// ServeMux prefers method-specific patterns, so this only fires for
+// methods no handler claims.
+func (s *Server) notAllowed(path, allow string) {
+	s.mux.HandleFunc(path, s.instrument("method_not_allowed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		httpError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("api: method %s not allowed on %s; allowed: %s", r.Method, r.URL.Path, allow))
+	}))
 }
 
 // ServeHTTP implements http.Handler.

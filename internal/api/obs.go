@@ -1,0 +1,95 @@
+package api
+
+// Observability endpoints and HTTP instrumentation, active when the
+// server is constructed with WithMetrics / WithTracer:
+//
+//	GET /metrics         -> Prometheus text exposition of the registry
+//	GET /trace/{group}   -> the last recorded planning trace as JSON
+//
+// Every handler is additionally wrapped to count requests by handler
+// and status code (brsmn_http_requests_total) and observe latency
+// (brsmn_http_request_seconds). Without a registry the wrapper is a
+// direct call — no status capture, no clock reads.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"brsmn/internal/obs"
+)
+
+// Option configures optional Server subsystems.
+type Option func(*Server)
+
+// WithMetrics serves reg on GET /metrics and instruments every handler
+// with request/latency series.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithTracer serves rec's last-trace-per-group on GET /trace/{group}.
+func WithTracer(rec *obs.TraceRecorder) Option {
+	return func(s *Server) { s.tracer = rec }
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusServiceUnavailable, errors.New("api: metrics not enabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// TraceResponse is the GET /trace/{group} reply.
+type TraceResponse struct {
+	Group string          `json:"group"`
+	Trace *obs.RouteTrace `json:"trace"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		httpError(w, http.StatusServiceUnavailable, errors.New("api: tracing not enabled"))
+		return
+	}
+	group := r.PathValue("group")
+	tr := s.tracer.Last(group)
+	if tr == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("api: no trace recorded for %q (traces are sampled; route the group first)", group))
+		return
+	}
+	writeJSON(w, TraceResponse{Group: group, Trace: tr})
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with per-handler request counting and latency
+// observation. With no registry it returns h unchanged.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.reg == nil {
+			h(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		s.reg.Counter(
+			fmt.Sprintf(`brsmn_http_requests_total{handler=%q,code="%d"}`, name, sw.code),
+			"HTTP requests by handler and status code.").Inc()
+		s.reg.Histogram(`brsmn_http_request_seconds{handler=`+strconv.Quote(name)+`}`,
+			"HTTP request latency by handler.", obs.SecondsBuckets()).ObserveDuration(time.Since(t0))
+	}
+}

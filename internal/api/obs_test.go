@@ -1,0 +1,206 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"brsmn/internal/groupd"
+	"brsmn/internal/obs"
+	"brsmn/internal/rbn"
+)
+
+// newObsServer spins up a fully instrumented server: registry, tracer
+// sampling every replan, and a 16-port group manager sharing both.
+func newObsServer(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTraceRecorder(1)
+	gm, err := groupd.NewManager(groupd.Config{N: 16, Engine: rbn.Sequential, Metrics: reg, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gm.Close() })
+	ts := httptest.NewServer(NewServer(rbn.Sequential, gm, nil, WithMetrics(reg), WithTracer(tracer)))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newObsServer(t)
+
+	// Generate some traffic so the HTTP series exist.
+	var created groupd.GroupInfo
+	if code := doJSON(t, "POST", ts.URL+"/groups", CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, &created); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/epoch", nil, nil); code != http.StatusOK {
+		t.Fatalf("epoch = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		"# TYPE brsmn_epoch_duration_seconds histogram",
+		"brsmn_plan_cache_ops_total{op=\"miss\"}",
+		"brsmn_planner_pool_ops_total{op=\"get\"}",
+		"brsmn_http_requests_total{handler=\"group_create\",code=\"201\"} 1",
+		"brsmn_http_request_seconds",
+		"brsmn_groups 1",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	ts := httptest.NewServer(NewServer(rbn.Sequential, nil, nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/metrics without registry = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newObsServer(t)
+
+	if code := doJSON(t, "POST", ts.URL+"/groups", CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, nil); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	// The replan (and with it the sampled trace) happens on plan demand.
+	if code := doJSON(t, "GET", ts.URL+"/groups/conf/plan", nil, nil); code != http.StatusOK {
+		t.Fatalf("plan = %d", code)
+	}
+
+	var got TraceResponse
+	if code := doJSON(t, "GET", ts.URL+"/trace/conf", nil, &got); code != http.StatusOK {
+		t.Fatalf("/trace/conf = %d", code)
+	}
+	if got.Group != "conf" || got.Trace == nil {
+		t.Fatalf("trace response = %+v", got)
+	}
+	if got.Trace.N != 16 || got.Trace.Fanout != 3 || got.Trace.TotalNs <= 0 || got.Trace.Settings <= 0 {
+		t.Fatalf("trace body = %+v", got.Trace)
+	}
+
+	resp, err := http.Get(ts.URL + "/trace/unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace/unknown = %d, want 404", resp.StatusCode)
+	}
+
+	// Without a tracer the endpoint is disabled, not missing.
+	bare := httptest.NewServer(NewServer(rbn.Sequential, nil, nil))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/trace/conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/trace without tracer = %d, want 503", resp.StatusCode)
+	}
+}
+
+// checkJSONError asserts an error response is JSON all the way: content
+// type, a decodable {"error": ...} body, and the expected status.
+func checkJSONError(t *testing.T, resp *http.Response, wantCode int) errorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s: status %d, want %d", resp.Request.URL.Path, resp.StatusCode, wantCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s: content-type %q, want application/json", resp.Request.URL.Path, ct)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("%s: error body is not JSON: %v", resp.Request.URL.Path, err)
+	}
+	if body.Error == "" {
+		t.Fatalf("%s: empty error message", resp.Request.URL.Path)
+	}
+	return body
+}
+
+// TestMethodNotAllowedJSON is the conformance fix regression test: a
+// wrong method on a real endpoint must answer 405 (not 404) with a JSON
+// body and an Allow header — /faults and /probe were the offenders.
+func TestMethodNotAllowedJSON(t *testing.T) {
+	ts, _ := newObsServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{"PUT", "/faults", "GET, POST, DELETE"},
+		{"GET", "/probe", "POST"},
+		{"DELETE", "/probe", "POST"},
+		{"GET", "/route", "POST"},
+		{"PUT", "/groups", "GET, POST"},
+		{"PATCH", "/groups/conf", "GET, DELETE"},
+		{"POST", "/metrics", "GET"},
+		{"POST", "/trace/conf", "GET"},
+		{"DELETE", "/epoch", "GET, POST"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkJSONError(t, resp, http.StatusMethodNotAllowed)
+		if allow := resp.Header.Get("Allow"); allow != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, allow, tc.allow)
+		}
+	}
+}
+
+func TestNotFoundJSON(t *testing.T) {
+	ts, _ := newObsServer(t)
+	resp, err := http.Get(ts.URL + "/no/such/endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusNotFound)
+}
+
+// TestMalformedJSONBody asserts every decoding endpoint answers 400
+// with a JSON error body on syntactically broken request JSON.
+func TestMalformedJSONBody(t *testing.T) {
+	ts, _ := newObsServer(t)
+	for _, path := range []string{"/route", "/schedule", "/plan", "/pipeline", "/groups"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(`{"n": 8,`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkJSONError(t, resp, http.StatusBadRequest)
+	}
+}

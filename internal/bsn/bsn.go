@@ -64,24 +64,44 @@ func Advance(c Cell) (Cell, error) { return AdvanceIn(c, nil) }
 // is ready to use; an Arena is not safe for concurrent use.
 type Arena struct {
 	chunk []tag.Value
-	used  int
+	used  int // bump pointer into the current chunk
+	total int // tags handed out since the last Reset, across chunk growth
 }
 
 // Reset recycles all storage handed out since the last Reset.
-func (ar *Arena) Reset() { ar.used = 0 }
+func (ar *Arena) Reset() { ar.used, ar.total = 0, 0 }
+
+// Cap returns the retained backing capacity in tag values — the arena's
+// contribution to a long-lived planner's memory footprint.
+func (ar *Arena) Cap() int { return len(ar.chunk) }
+
+// Used returns the tag values handed out since the last Reset. Unlike
+// the internal bump pointer it survives chunk growth, so it measures a
+// reset cycle's true demand — the signal pool retention policies decay.
+func (ar *Arena) Used() int { return ar.total }
+
+// Release drops the retained backing chunk entirely, so the next Alloc
+// regrows from actual need — the shrink path for pools that kept a
+// high-water arena past its workload.
+func (ar *Arena) Release() { ar.chunk = nil; ar.used = 0; ar.total = 0 }
 
 // Alloc returns a clean k-element block valid until the arena's next
 // Reset. It is the building block for callers (the core planner) that
 // bump-allocate tag storage outside AdvanceIn.
 func (ar *Arena) Alloc(k int) []tag.Value { return ar.alloc(k) }
 
+// MinChunk is the smallest backing chunk an arena grows to — the
+// per-arena floor of a planner's retained footprint, which memory
+// accounting (core's pool retention policy) builds its baseline from.
+const MinChunk = 1024
+
 // alloc returns a clean k-element block, growing the backing chunk when
 // exhausted (abandoned chunks are reclaimed by the GC).
 func (ar *Arena) alloc(k int) []tag.Value {
 	if ar.used+k > len(ar.chunk) {
 		size := 2 * len(ar.chunk)
-		if size < 1024 {
-			size = 1024
+		if size < MinChunk {
+			size = MinChunk
 		}
 		if size < k {
 			size = k
@@ -91,6 +111,7 @@ func (ar *Arena) alloc(k int) []tag.Value {
 	}
 	b := ar.chunk[ar.used : ar.used+k : ar.used+k]
 	ar.used += k
+	ar.total += k
 	return b
 }
 

@@ -2,6 +2,8 @@ package bsn
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"brsmn/internal/rbn"
 	"brsmn/internal/tag"
@@ -62,6 +64,15 @@ func (r *Router) Divided() []tag.Value { return r.divided[:r.lastN] }
 // router's internal buffers: consume or copy it before the next call.
 // Input constraints and half-placement checks match Route.
 func (r *Router) Route(in []Cell, eng rbn.Engine, scatter, quasi *rbn.Plan) ([]Cell, error) {
+	return r.RouteTimed(in, eng, scatter, quasi, nil, nil)
+}
+
+// RouteTimed is Route with optional per-pass timing: when non-nil,
+// scatterNs and quasiNs receive the wall-clock nanoseconds of the
+// scatter and quasisort passes via atomic adds (callers routing
+// sub-BRSMNs concurrently accumulate into shared trace fields). With
+// both nil it is exactly Route — no clock reads on the untraced path.
+func (r *Router) RouteTimed(in []Cell, eng rbn.Engine, scatter, quasi *rbn.Plan, scatterNs, quasiNs *int64) ([]Cell, error) {
 	n := len(in)
 	if scatter.N != n || quasi.N != n {
 		return nil, fmt.Errorf("bsn: plans sized %d, %d for %d input cells", scatter.N, quasi.N, n)
@@ -84,6 +95,10 @@ func (r *Router) Route(in []Cell, eng rbn.Engine, scatter, quasi *rbn.Plan) ([]C
 	}
 
 	// Pass 1: scatter — eliminate αs.
+	var t0 time.Time
+	if scatterNs != nil {
+		t0 = time.Now()
+	}
 	if err := eng.ScatterPlanInto(scatter, tags, 0, r.sc); err != nil {
 		return nil, err
 	}
@@ -102,8 +117,14 @@ func (r *Router) Route(in []Cell, eng rbn.Engine, scatter, quasi *rbn.Plan) ([]C
 			midTags[i] = c.Tag
 		}
 	}
+	if scatterNs != nil {
+		atomic.AddInt64(scatterNs, int64(time.Since(t0)))
+	}
 
 	// Pass 2: quasisort — 0s to the upper half, 1s to the lower half.
+	if quasiNs != nil {
+		t0 = time.Now()
+	}
 	if err := eng.QuasisortPlanInto(quasi, r.divided[:n], midTags, r.sc); err != nil {
 		return nil, err
 	}
@@ -118,6 +139,9 @@ func (r *Router) Route(in []Cell, eng rbn.Engine, scatter, quasi *rbn.Plan) ([]C
 		if c.Tag == tag.V1 && i < n/2 {
 			return nil, fmt.Errorf("bsn: 1-tagged connection from input %d quasisorted to upper-half output %d", c.Source, i)
 		}
+	}
+	if quasiNs != nil {
+		atomic.AddInt64(quasiNs, int64(time.Since(t0)))
 	}
 	return out, nil
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"brsmn/internal/mcast"
+	"brsmn/internal/obs"
+	"brsmn/internal/rbn"
+)
+
+// permAssignment is the workload that maximizes arena retention: every
+// input active, so the sequence arena grows to n*(n-1) tags.
+func permAssignment(n int) mcast.Assignment {
+	dests := make([][]int, n)
+	for i := range dests {
+		dests[i] = []int{i}
+	}
+	return mcast.MustNew(n, dests)
+}
+
+func sparseAssignment(n int) mcast.Assignment {
+	dests := make([][]int, n)
+	dests[0] = []int{1}
+	return mcast.MustNew(n, dests)
+}
+
+// TestPoolShrinksOversizedArenas is the retention-policy regression
+// test: a dense (full permutation) route grows a pooled planner's
+// arenas far past the structural baseline, and a following sparse
+// steady state must release them — unbounded high-water retention was
+// the bug.
+func TestPoolShrinksOversizedArenas(t *testing.T) {
+	const n = 1024
+	pool, err := NewPlannerPool(n, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := permAssignment(n)
+	pl := pool.Get()
+	// Route twice: the first route grows the arenas chunk by chunk, the
+	// second records steady-state usage in them.
+	for i := 0; i < 2; i++ {
+		if _, err := pl.Route(dense); err != nil {
+			t.Fatal(err)
+		}
+	}
+	denseRetained := int64(pl.RetainedTagBytes())
+	if denseRetained <= shrinkFactor*baselineTagBytes(n) {
+		t.Fatalf("dense retention %d under the shrink threshold %d; workload too small to exercise the policy",
+			denseRetained, shrinkFactor*baselineTagBytes(n))
+	}
+	pool.Put(pl)
+	if st := pool.Stats(); st.Shrinks != 0 {
+		t.Fatalf("planner shrunk while the dense need is fresh: %+v", st)
+	}
+
+	// Sparse steady state: the need estimate decays until the retained
+	// dense arenas exceed shrinkFactor times it.
+	sparse := sparseAssignment(n)
+	var shrunkAt int
+	for i := 0; i < 100; i++ {
+		pl := pool.Get()
+		if _, err := pl.Route(sparse); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(pl)
+		if pool.Stats().Shrinks > 0 {
+			shrunkAt = i + 1
+			break
+		}
+	}
+	st := pool.Stats()
+	if st.Shrinks == 0 {
+		t.Fatalf("no shrink after 100 sparse routes: %+v", st)
+	}
+	if st.RetainedHighWaterBytes < denseRetained {
+		t.Fatalf("high-water %d below observed dense retention %d", st.RetainedHighWaterBytes, denseRetained)
+	}
+
+	// The planner now in the pool regrows to sparse need only.
+	pl = pool.Get()
+	if _, err := pl.Route(sparse); err != nil {
+		t.Fatal(err)
+	}
+	regrown := int64(pl.RetainedTagBytes())
+	pool.Put(pl)
+	if regrown >= denseRetained/shrinkFactor {
+		t.Fatalf("retained %d after shrink at sparse route %d; want well under the dense %d",
+			regrown, shrunkAt, denseRetained)
+	}
+}
+
+// TestRouteTracedMatchesUntraced is the differential check: tracing must
+// observe the planning pipeline, not perturb it — same deliveries, same
+// switch settings, bit for bit.
+func TestRouteTracedMatchesUntraced(t *testing.T) {
+	const n = 64
+	a := mcast.MustNew(n, [][]int{2: {0, 5, 9, 33}, 7: {1, 2}, 40: {60, 61, 62, 63}})
+
+	nw, err := New(n, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := nw.Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &obs.RouteTrace{Key: "diff"}
+	traced, err := nw.RouteTraced(a, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Deliveries, traced.Deliveries) {
+		t.Fatal("tracing changed deliveries")
+	}
+	if !reflect.DeepEqual(plain.Final, traced.Final) {
+		t.Fatal("tracing changed the final column settings")
+	}
+	if len(plain.Plans) != len(traced.Plans) {
+		t.Fatalf("plan count %d vs %d", len(plain.Plans), len(traced.Plans))
+	}
+	for i := range plain.Plans {
+		p, q := plain.Plans[i], traced.Plans[i]
+		if !reflect.DeepEqual(p.Scatter.Stages, q.Scatter.Stages) ||
+			!reflect.DeepEqual(p.Quasi.Stages, q.Quasi.Stages) {
+			t.Fatalf("tracing changed BSN %d's switch settings", i)
+		}
+	}
+
+	// The trace itself must carry the paper-level quantities.
+	if tr.N != n || tr.LevelsSwept != 6 || tr.BSNs != len(plain.Plans) {
+		t.Fatalf("trace shape = %+v", tr)
+	}
+	if tr.Settings <= 0 || tr.Columns <= 0 || tr.Fanout != 10 || tr.IdleInputs != n-3 {
+		t.Fatalf("trace quantities = %+v", tr)
+	}
+	if tr.TotalNs <= 0 || tr.ScatterNs <= 0 || tr.QuasiNs <= 0 {
+		t.Fatalf("trace stage times = %+v", tr)
+	}
+	if tr.CloneNs <= 0 {
+		t.Fatalf("network clone stage untimed: %+v", tr)
+	}
+
+	// A nil trace falls back to the untraced path.
+	if _, err := nw.RouteTraced(a, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsAllocBudget is the other half of the differential check:
+// the always-on pool counters and engine occupancy accounting must not
+// add more than 5 allocs per warm Network.Route (the BenchmarkRouteReuse
+// "network" regime).
+func TestMetricsAllocBudget(t *testing.T) {
+	const n = 256
+	a := permAssignment(n)
+
+	base, err := New(n, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := New(n, rbn.Engine{Occ: &rbn.Occupancy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := func(nw *Network) float64 {
+		// Warm the pool out of the measurement.
+		if _, err := nw.Route(a); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := nw.Route(a); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plain := route(base)
+	withObs := route(instrumented)
+	if withObs > plain+5 {
+		t.Fatalf("metrics accounting costs %.0f allocs/route over the %.0f baseline; budget is 5", withObs-plain, plain)
+	}
+}

@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"brsmn/internal/bsn"
 	"brsmn/internal/mcast"
+	"brsmn/internal/obs"
 	"brsmn/internal/rbn"
 	"brsmn/internal/shuffle"
 	"brsmn/internal/swbox"
@@ -66,6 +69,11 @@ type Planner struct {
 	final      []swbox.Setting
 	deliveries []Delivery
 	res        Result
+
+	// tr, when non-nil, is the trace the current route accumulates stage
+	// durations into (see RouteTraced in obs.go). The untraced hot path
+	// pays one nil check per recursion node for it.
+	tr *obs.RouteTrace
 }
 
 // NewPlanner builds a planner for an n x n BRSMN (n a power of two,
@@ -145,8 +153,14 @@ func (p *Planner) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result
 	for i := range in {
 		ds := a.Dests[i]
 		if len(ds) == 0 {
+			if p.tr != nil {
+				p.tr.IdleInputs++
+			}
 			in[i] = bsn.Idle()
 			continue
+		}
+		if p.tr != nil {
+			p.tr.Fanout += len(ds)
 		}
 		s, err := p.seqb.AppendFromDests(p.seqAr.Alloc(p.n - 1)[:0], p.n, ds)
 		if err != nil {
@@ -181,10 +195,20 @@ func (p *Planner) routeRec(level, base, size, slot int) error {
 	lp := &p.plans[slot]
 	cells := p.levels[level-1][base : base+size]
 	r := <-p.routers
-	out, err := r.Route(cells, p.eng, lp.Scatter, lp.Quasi)
+	var out []bsn.Cell
+	var err error
+	if tr := p.tr; tr != nil {
+		out, err = r.RouteTimed(cells, p.eng, lp.Scatter, lp.Quasi, &tr.ScatterNs, &tr.QuasiNs)
+	} else {
+		out, err = r.Route(cells, p.eng, lp.Scatter, lp.Quasi)
+	}
 	if err != nil {
 		p.routers <- r
 		return fmt.Errorf("core: level %d BSN at output base %d: %w", level, base, err)
+	}
+	var tAdv time.Time
+	if p.tr != nil {
+		tAdv = time.Now()
 	}
 	next := p.levels[level][base : base+size]
 	ar := &p.arenas[slot]
@@ -198,6 +222,9 @@ func (p *Planner) routeRec(level, base, size, slot int) error {
 			}
 		}
 		next[i] = adv
+	}
+	if tr := p.tr; tr != nil {
+		obs.AddNs(&tr.AdvanceNs, time.Since(tAdv))
 	}
 	p.routers <- r
 
@@ -231,6 +258,9 @@ func (p *Planner) routeRec(level, base, size, slot int) error {
 
 // deliver realizes the 2x2 switch covering outputs base and base+1.
 func (p *Planner) deliver(level, base int) error {
+	if tr := p.tr; tr != nil {
+		defer func(t0 time.Time) { obs.AddNs(&tr.DeliverNs, time.Since(t0)) }(time.Now())
+	}
 	cells := p.levels[level-1][base : base+2]
 	heads := [2]tag.Value{tag.Eps, tag.Eps}
 	for k, c := range cells {
@@ -310,10 +340,19 @@ func (r *Result) Clone() *Result {
 // Get returns a warm planner (building one on first use or after a GC
 // cycle reclaimed the pool), Put recycles it. The pool is the backing
 // store of Network's Route and is safe for concurrent use.
+//
+// The pool also bounds arena retention: planners whose routing-tag
+// arenas grew far past the recent workload (a one-off dense route in a
+// sparse steady state) have them released on Put — see maintain in
+// obs.go. Counters are exposed through Stats.
 type PlannerPool struct {
 	n    int
 	eng  rbn.Engine
 	pool sync.Pool
+
+	gets, news, puts, shrinks atomic.Uint64
+	need                      atomic.Int64 // decayed recent per-route arena need, bytes
+	hw                        atomic.Int64 // retained arena high-water, bytes
 }
 
 // NewPlannerPool builds a pool of planners for n x n BRSMNs on the
@@ -328,6 +367,7 @@ func NewPlannerPool(n int, eng rbn.Engine) (*PlannerPool, error) {
 		if err != nil {
 			panic(err) // unreachable: n validated above
 		}
+		p.news.Add(1)
 		return pl
 	}
 	return p, nil
@@ -337,12 +377,17 @@ func NewPlannerPool(n int, eng rbn.Engine) (*PlannerPool, error) {
 func (p *PlannerPool) N() int { return p.n }
 
 // Get returns a planner sized for the pool's network.
-func (p *PlannerPool) Get() *Planner { return p.pool.Get().(*Planner) }
+func (p *PlannerPool) Get() *Planner {
+	p.gets.Add(1)
+	return p.pool.Get().(*Planner)
+}
 
 // Put returns a planner to the pool. Results obtained from it become
 // invalid once another goroutine reuses the planner — Clone first.
 func (p *PlannerPool) Put(pl *Planner) {
 	if pl != nil && pl.n == p.n {
+		p.puts.Add(1)
+		p.maintain(pl)
 		p.pool.Put(pl)
 	}
 }

@@ -1,0 +1,53 @@
+package faultd
+
+// Metrics registration for the fault-management loop:
+//
+//	brsmn_faultd_probe_rounds_total        counter    probe rounds executed
+//	brsmn_faultd_probes_total              counter    self-test assignments run
+//	brsmn_faultd_probe_failures_total      counter    self-tests that misdelivered
+//	brsmn_faultd_probe_round_seconds       histogram  one probe round, wall-clock
+//	brsmn_faultd_detected                  gauge      1 once any fault was excited
+//	brsmn_faultd_time_to_detect_probes     gauge      probes run until first detection
+//	brsmn_faultd_candidates                gauge      localizer's surviving suspect set
+//	brsmn_faultd_quarantined_outputs       gauge      outputs degraded replanning rejected
+//	brsmn_faultd_degraded_replans_total    counter    quarantine replans performed
+//	brsmn_faultd_policy_version            gauge      FaultPolicy version (cache key part)
+//	brsmn_faultd_armed_faults              gauge      chaos-injected faults currently armed
+
+import "brsmn/internal/obs"
+
+// RegisterMetrics wires the monitor's series into reg. The counters are
+// scrape-time reads of the atomics the monitor already keeps; only the
+// probe-round histogram is an inline instrument.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
+	m.probeDur = reg.Histogram("brsmn_faultd_probe_round_seconds",
+		"Wall-clock duration of one probe round.", obs.SecondsBuckets())
+	reg.CounterFunc("brsmn_faultd_probe_rounds_total", "Probe rounds executed.",
+		func() float64 { return float64(m.probeRounds.Load()) })
+	reg.CounterFunc("brsmn_faultd_probes_total", "Built-in self-test assignments run.",
+		func() float64 { return float64(m.probesRun.Load()) })
+	reg.CounterFunc("brsmn_faultd_probe_failures_total", "Self-tests that misdelivered.",
+		func() float64 { return float64(m.probeFailures.Load()) })
+	reg.GaugeFunc("brsmn_faultd_detected", "1 once any probe has excited a fault.",
+		func() float64 {
+			if m.Stats().Detected {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("brsmn_faultd_time_to_detect_probes",
+		"Probes run until the first detection (0 while undetected).",
+		func() float64 { return float64(m.detectedAtProbe.Load()) })
+	reg.GaugeFunc("brsmn_faultd_candidates", "Localizer's surviving suspect count.",
+		func() float64 { return float64(m.Stats().Candidates) })
+	reg.GaugeFunc("brsmn_faultd_quarantined_outputs",
+		"Output ports degraded replanning has rejected.",
+		func() float64 { return float64(m.Stats().QuarantinedOuts) })
+	reg.CounterFunc("brsmn_faultd_degraded_replans_total", "Quarantine replans performed.",
+		func() float64 { return float64(m.degradedReplans.Load()) })
+	reg.GaugeFunc("brsmn_faultd_policy_version",
+		"Fault policy version; bumps invalidate cached degraded plans.",
+		func() float64 { return float64(m.version.Load()) })
+	reg.GaugeFunc("brsmn_faultd_armed_faults", "Chaos-injected faults currently armed.",
+		func() float64 { return float64(len(m.inj.List())) })
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"brsmn/internal/bsn"
 	"brsmn/internal/core"
@@ -12,6 +13,7 @@ import (
 	"brsmn/internal/diagnosis"
 	"brsmn/internal/fabric"
 	"brsmn/internal/mcast"
+	"brsmn/internal/obs"
 	"brsmn/internal/rbn"
 	"brsmn/internal/workload"
 )
@@ -77,6 +79,10 @@ type Monitor struct {
 	candidates  []diagnosis.Suspect
 	models      []Fault // quarantine fault models derived from candidates
 	quarantined map[int]bool
+
+	// probeDur, when set by RegisterMetrics, observes probe round
+	// durations; nil-safe like every obs instrument.
+	probeDur *obs.Histogram
 
 	version         atomic.Uint64
 	probeRounds     atomic.Uint64
@@ -163,6 +169,7 @@ type ProbeReport struct {
 func (m *Monitor) RunProbes() (*ProbeReport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer func(t0 time.Time) { m.probeDur.ObserveDuration(time.Since(t0)) }(time.Now())
 	m.probeRounds.Add(1)
 	rep := &ProbeReport{}
 	for _, p := range m.probes {

@@ -3,6 +3,7 @@ package groupd
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // planKey identifies one cached column program: a group at a specific
@@ -39,13 +40,17 @@ type CacheStats struct {
 // key eagerly; an entry inserted by a racing Plan for an already-stale
 // generation is harmless — no lookup uses old generations — and ages out
 // through normal LRU eviction.
+//
+// The mutex covers only the LRU structure; the counters are sync/atomic
+// so Stats can be read lock-free while epoch goroutines churn the cache
+// (and so a scrape never contends with the replan path).
 type planCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[planKey]*list.Element
 
-	hits, misses, evictions, invalidations uint64
+	hits, misses, evictions, invalidations atomic.Uint64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -61,10 +66,10 @@ func (c *planCache) get(k planKey) (planEntry, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return planEntry{}, false
 	}
-	c.hits++
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return *el.Value.(*planEntry), true
 }
@@ -82,7 +87,7 @@ func (c *planCache) put(k planKey, blob []byte, columns int) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*planEntry).key)
-		c.evictions++
+		c.evictions.Add(1)
 	}
 }
 
@@ -92,19 +97,20 @@ func (c *planCache) invalidate(k planKey) {
 	if el, ok := c.items[k]; ok {
 		c.ll.Remove(el)
 		delete(c.items, k)
-		c.invalidations++
+		c.invalidations.Add(1)
 	}
 }
 
 func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	size := c.ll.Len()
+	c.mu.Unlock()
 	return CacheStats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
-		Size:          c.ll.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Size:          size,
 		Capacity:      c.capacity,
 	}
 }

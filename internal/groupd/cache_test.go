@@ -2,6 +2,7 @@ package groupd
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 )
 
@@ -58,5 +59,61 @@ func TestPlanCacheInvalidate(t *testing.T) {
 	c.put(planKey{"g", 2, 0}, []byte{2}, 1)
 	if st := c.stats(); st.Size != 2 {
 		t.Fatalf("size = %d, want 2 generations", st.Size)
+	}
+}
+
+// TestPlanCacheStatsRace hammers stats() while writer goroutines churn
+// the cache — the counters were plain ints read outside the structural
+// mutex, which the race detector flags and which could tear or drop
+// increments on scrape-heavy deployments. Run with -race.
+func TestPlanCacheStatsRace(t *testing.T) {
+	const (
+		writers    = 4
+		iterations = 2000
+	)
+	c := newPlanCache(8)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.stats()
+				}
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			id := string(rune('a' + w))
+			for i := 0; i < iterations; i++ {
+				k := planKey{id, uint64(i % 32), 0}
+				c.put(k, []byte{byte(i)}, 1)
+				c.get(k)
+				if i%7 == 0 {
+					c.invalidate(k)
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Every get either hit or missed; none may have been lost.
+	st := c.stats()
+	if st.Hits+st.Misses != writers*iterations {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, writers*iterations)
+	}
+	if st.Size > st.Capacity {
+		t.Fatalf("size %d exceeds capacity %d", st.Size, st.Capacity)
 	}
 }

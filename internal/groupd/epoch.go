@@ -124,6 +124,11 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	rep.Epoch = m.epochN.Add(1)
 	rep.Duration = time.Since(start)
 	rep.Cache = m.cache.stats()
+	if m.met != nil {
+		m.met.epochsOK.Inc()
+		m.met.epochDur.ObserveDuration(rep.Duration)
+		m.met.epochRounds.Observe(float64(len(rep.Rounds)))
+	}
 	m.last.Store(rep)
 	if m.cfg.Policy != nil {
 		m.cfg.Policy.AfterEpoch(rep.Epoch)
@@ -162,6 +167,9 @@ func (m *Manager) loop() {
 		if _, err := m.RunEpoch(); err != nil && !errors.Is(err, ErrClosed) {
 			// An epoch can only fail on an internal invariant breach;
 			// surface it in the report stream rather than crash the loop.
+			if m.met != nil {
+				m.met.epochsErr.Inc()
+			}
 			m.last.Store(&EpochReport{Epoch: m.epochN.Load(), When: time.Now(), Err: err.Error()})
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"brsmn/internal/core"
 	"brsmn/internal/fabric"
 	"brsmn/internal/mcast"
+	"brsmn/internal/obs"
 	"brsmn/internal/plancodec"
 	"brsmn/internal/rbn"
 	"brsmn/internal/shuffle"
@@ -70,6 +71,13 @@ type Config struct {
 	// believed faults and hooks probe scheduling into the epoch loop
 	// (see FaultPolicy; implemented by internal/faultd).
 	Policy FaultPolicy
+	// Metrics, when non-nil, receives the manager's series: epoch
+	// duration/rounds histograms, replan latency, plan-cache and
+	// planner-pool counters (see metrics.go for the full reference).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, samples replans per group and records a
+	// per-stage RouteTrace for each sampled one.
+	Tracer *obs.TraceRecorder
 }
 
 func (c *Config) applyDefaults() {
@@ -116,6 +124,9 @@ type Manager struct {
 	epochN  atomic.Int64
 	last    atomic.Pointer[EpochReport]
 
+	met    *managerMetrics // nil when Config.Metrics was nil
+	tracer *obs.TraceRecorder
+
 	kick        chan struct{}
 	quit        chan struct{}
 	done        chan struct{}
@@ -145,6 +156,10 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{groups: make(map[string]*session)}
+	}
+	m.tracer = cfg.Tracer
+	if cfg.Metrics != nil {
+		m.met = m.registerMetrics(cfg.Metrics)
 	}
 	if cfg.EpochPeriod > 0 || cfg.EpochThreshold > 0 {
 		m.loopRunning = true
@@ -393,7 +408,7 @@ func (m *Manager) Plan(id string) (PlanInfo, error) {
 	source := s.group.Source()
 	members := s.group.Members()
 	s.mu.Unlock()
-	blob, columns, err := m.replan(source, members)
+	blob, columns, err := m.replan(id, source, members)
 	if err != nil {
 		return PlanInfo{}, err
 	}
@@ -406,7 +421,7 @@ func (m *Manager) planFor(id string, gen uint64, source int, members []int) (Pla
 	if e, ok := m.cache.get(k); ok {
 		return PlanInfo{ID: id, Gen: gen, Cached: true, Columns: e.columns, Blob: e.blob}, nil
 	}
-	blob, columns, err := m.replan(source, members)
+	blob, columns, err := m.replan(id, source, members)
 	if err != nil {
 		return PlanInfo{}, err
 	}
@@ -420,7 +435,13 @@ func (m *Manager) planFor(id string, gen uint64, source int, members []int) (Pla
 // routes on a pooled planner and flattens the transient result in
 // place (Flatten copies every setting), so a replan burst reuses warm
 // arenas instead of rebuilding the pipeline per group.
-func (m *Manager) replan(source int, members []int) ([]byte, int, error) {
+//
+// When the manager has a tracer and this group's sampling counter
+// trips, the route runs traced: the planner stamps its stage durations
+// and paper-level quantities, flatten/encode land as extra spans, and
+// the finished trace is recorded under the group ID.
+func (m *Manager) replan(id string, source int, members []int) ([]byte, int, error) {
+	start := time.Now()
 	dests := make([][]int, m.cfg.N)
 	dests[source] = members
 	a, err := mcast.New(m.cfg.N, dests)
@@ -430,21 +451,44 @@ func (m *Manager) replan(source int, members []int) ([]byte, int, error) {
 	if m.cfg.Policy != nil {
 		a, _ = m.cfg.Policy.FilterAssignment(a)
 	}
+	var tr *obs.RouteTrace
+	if m.tracer.ShouldSample(id) {
+		tr = &obs.RouteTrace{Key: id}
+	}
 	pool := m.nw.Planners()
 	pl := pool.Get()
-	res, err := pl.Route(a)
+	var res *core.Result
+	if tr != nil {
+		res, err = pl.RouteTraced(a, tr)
+	} else {
+		res, err = pl.Route(a)
+	}
 	if err != nil {
 		pool.Put(pl)
 		return nil, 0, err
 	}
+	tFlatten := time.Now()
 	cols, err := fabric.Flatten(res)
 	pool.Put(pl)
 	if err != nil {
 		return nil, 0, err
 	}
+	if tr != nil {
+		tr.AddStage("flatten", time.Since(tFlatten))
+	}
+	tEncode := time.Now()
 	blob, err := plancodec.Encode(m.cfg.N, cols)
 	if err != nil {
 		return nil, 0, err
+	}
+	if tr != nil {
+		tr.AddStage("encode", time.Since(tEncode))
+		tr.Columns = len(cols)
+		m.tracer.Record(tr)
+	}
+	if m.met != nil {
+		m.met.replans.Inc()
+		m.met.replanDur.ObserveDuration(time.Since(start))
 	}
 	return blob, len(cols), nil
 }

@@ -1,0 +1,92 @@
+package groupd
+
+// Metrics registration for the group manager. All series live under the
+// brsmn_ prefix and map onto the paper's accounting where one exists:
+//
+//	brsmn_epoch_duration_seconds      histogram  one reroute epoch, wall-clock
+//	brsmn_epoch_rounds                histogram  conflict-free rounds per epoch
+//	brsmn_epochs_total{result=...}    counter    ok | error
+//	brsmn_replan_duration_seconds     histogram  cache-miss O(n log² n) replan
+//	brsmn_replans_total               counter    cache-miss replans
+//	brsmn_plan_cache_ops_total{op=..} counter    hit | miss | eviction | invalidation
+//	brsmn_plan_cache_entries          gauge      live entries (capacity as its own gauge)
+//	brsmn_groups                      gauge      registered groups
+//	brsmn_pending_changes             gauge      membership churn since last epoch
+//	brsmn_planner_pool_ops_total{op}  counter    get | new | put | shrink
+//	brsmn_planner_arena_bytes{kind}   gauge      retained high-water | recent need
+//
+// Counters that subsystems already keep atomically (cache, pool) are
+// exposed as scrape-time funcs, so serving paths pay nothing extra.
+
+import (
+	"brsmn/internal/core"
+	"brsmn/internal/obs"
+)
+
+// managerMetrics holds the instruments the manager updates inline.
+type managerMetrics struct {
+	epochDur    *obs.Histogram
+	epochRounds *obs.Histogram
+	epochsOK    *obs.Counter
+	epochsErr   *obs.Counter
+	replans     *obs.Counter
+	replanDur   *obs.Histogram
+}
+
+// registerMetrics wires the manager's series into reg and returns the
+// inline instruments.
+func (m *Manager) registerMetrics(reg *obs.Registry) *managerMetrics {
+	met := &managerMetrics{
+		epochDur: reg.Histogram("brsmn_epoch_duration_seconds",
+			"Wall-clock duration of one reroute epoch.", obs.SecondsBuckets()),
+		epochRounds: reg.Histogram("brsmn_epoch_rounds",
+			"Conflict-free rounds scheduled per epoch.", []float64{1, 2, 4, 8, 16, 32, 64}),
+		epochsOK: reg.Counter(`brsmn_epochs_total{result="ok"}`,
+			"Completed reroute epochs by result."),
+		epochsErr: reg.Counter(`brsmn_epochs_total{result="error"}`,
+			"Completed reroute epochs by result."),
+		replans: reg.Counter("brsmn_replans_total",
+			"Cache-miss full replans (O(n log^2 n) routes)."),
+		replanDur: reg.Histogram("brsmn_replan_duration_seconds",
+			"Wall-clock duration of one cache-miss replan, flatten and encode included.", obs.SecondsBuckets()),
+	}
+
+	cacheOp := func(name string, read func(CacheStats) uint64) {
+		reg.CounterFunc(`brsmn_plan_cache_ops_total{op="`+name+`"}`,
+			"Plan cache operations by kind.",
+			func() float64 { return float64(read(m.cache.stats())) })
+	}
+	cacheOp("hit", func(s CacheStats) uint64 { return s.Hits })
+	cacheOp("miss", func(s CacheStats) uint64 { return s.Misses })
+	cacheOp("eviction", func(s CacheStats) uint64 { return s.Evictions })
+	cacheOp("invalidation", func(s CacheStats) uint64 { return s.Invalidations })
+	reg.GaugeFunc("brsmn_plan_cache_entries", "Live plan cache entries.",
+		func() float64 { return float64(m.cache.stats().Size) })
+	reg.GaugeFunc("brsmn_plan_cache_capacity", "Plan cache capacity in entries.",
+		func() float64 { return float64(m.cfg.CacheSize) })
+
+	reg.GaugeFunc("brsmn_groups", "Registered multicast groups.",
+		func() float64 { return float64(m.Count()) })
+	reg.GaugeFunc("brsmn_pending_changes", "Membership changes since the last epoch began.",
+		func() float64 { return float64(m.Pending()) })
+	reg.CounterFunc("brsmn_epoch_number", "Completed epoch count.",
+		func() float64 { return float64(m.Epoch()) })
+
+	pool := m.nw.Planners()
+	poolOp := func(name string, read func(core.PoolStats) uint64) {
+		reg.CounterFunc(`brsmn_planner_pool_ops_total{op="`+name+`"}`,
+			"Planner pool operations by kind (new = pool miss).",
+			func() float64 { return float64(read(pool.Stats())) })
+	}
+	poolOp("get", func(s core.PoolStats) uint64 { return s.Gets })
+	poolOp("new", func(s core.PoolStats) uint64 { return s.News })
+	poolOp("put", func(s core.PoolStats) uint64 { return s.Puts })
+	poolOp("shrink", func(s core.PoolStats) uint64 { return s.Shrinks })
+	reg.GaugeFunc(`brsmn_planner_arena_bytes{kind="highwater"}`,
+		"Planner arena retention: observed high-water and decayed recent need.",
+		func() float64 { return float64(pool.Stats().RetainedHighWaterBytes) })
+	reg.GaugeFunc(`brsmn_planner_arena_bytes{kind="need"}`,
+		"Planner arena retention: observed high-water and decayed recent need.",
+		func() float64 { return float64(pool.Stats().RecentNeedBytes) })
+	return met
+}

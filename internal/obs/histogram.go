@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bucket i counts observations <= bounds[i], with an implicit
+// +Inf bucket, plus a running sum and count. Observe is lock-free — one
+// atomic add on the bucket, one on the count, one CAS loop on the sum —
+// so it is safe on serving hot paths.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sumMu  atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given strictly ascending
+// upper bucket bounds. An empty or nil bounds slice yields a histogram
+// with only the +Inf bucket.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the "le" bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumMu.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumMu.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the Prometheus base
+// unit for latency series.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumMu.Load())
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket. Intended for tests and snapshots.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the upper bucket bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// write renders the histogram's exposition lines. A labelled name like
+// name{a="b"} folds the le label into the existing set.
+func (h *Histogram) write(b *strings.Builder, name string) {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}") + ","
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", base, labels, formatValue(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", base, suffix, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", base, suffix, h.count.Load())
+}
+
+// ExpBuckets returns n ascending bounds starting at start, each factor
+// times the previous — the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// SecondsBuckets is the default latency bucket layout: 13 exponential
+// buckets from 1µs to ~16s, wide enough for a cache hit and a cold
+// n=4096 replan on the same series.
+func SecondsBuckets() []float64 { return ExpBuckets(1e-6, 4, 13) }

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("gauge max = %d, want 7", g.Max())
+	}
+	g.Add(10)
+	if g.Max() != 14 {
+		t.Fatalf("gauge max after raise = %d, want 14", g.Max())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to a bound lands in that bound's bucket, the next representable
+// value above it in the following bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Observe(0.5)                      // bucket le=1
+	h.Observe(1)                        // le=1: boundary is inclusive
+	h.Observe(math.Nextafter(1, 2))     // le=10
+	h.Observe(10)                       // le=10
+	h.Observe(math.Nextafter(100, 200)) // +Inf
+	h.Observe(1e9)                      // +Inf
+	got := h.BucketCounts()
+	want := []uint64{2, 2, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if want := 0.5 + 1 + math.Nextafter(1, 2) + 10 + math.Nextafter(100, 200) + 1e9; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 4, 4)
+	want := []float64{1e-6, 4e-6, 1.6e-5, 6.4e-5}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if got := SecondsBuckets(); len(got) != 13 || got[0] != 1e-6 {
+		t.Fatalf("SecondsBuckets = %v", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter(`ops_total{op="hit"}`, "ops")
+	c2 := r.Counter(`ops_total{op="hit"}`, "ops")
+	if c1 != c2 {
+		t.Fatal("same series name must return the same counter")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Fatal("instruments not shared")
+	}
+	g1 := r.Gauge("depth", "d")
+	g2 := r.Gauge("depth", "d")
+	if g1 != g2 {
+		t.Fatal("same series name must return the same gauge")
+	}
+	h1 := r.Histogram("lat_seconds", "l", []float64{1})
+	h2 := r.Histogram("lat_seconds", "l", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("same series name must return the same histogram")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch accepted")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// HELP/TYPE once per family, label sets preserved, histogram buckets
+// cumulative with fused le labels, families sorted by name.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter(`brsmn_cache_ops_total{op="hit"}`, "Plan cache operations.")
+	miss := r.Counter(`brsmn_cache_ops_total{op="miss"}`, "Plan cache operations.")
+	g := r.Gauge("brsmn_groups", "Registered groups.")
+	h := r.Histogram("brsmn_epoch_seconds", "Epoch duration.", []float64{0.001, 0.01})
+	r.GaugeFunc("brsmn_busy_workers", "Busy sweep workers.", func() float64 { return 2.5 })
+
+	hits.Add(3)
+	miss.Inc()
+	g.Set(7)
+	h.Observe(0.001) // le=0.001 (boundary inclusive)
+	h.Observe(0.005) // le=0.01
+	h.Observe(5)     // +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP brsmn_busy_workers Busy sweep workers.
+# TYPE brsmn_busy_workers gauge
+brsmn_busy_workers 2.5
+# HELP brsmn_cache_ops_total Plan cache operations.
+# TYPE brsmn_cache_ops_total counter
+brsmn_cache_ops_total{op="hit"} 3
+brsmn_cache_ops_total{op="miss"} 1
+# HELP brsmn_epoch_seconds Epoch duration.
+# TYPE brsmn_epoch_seconds histogram
+brsmn_epoch_seconds_bucket{le="0.001"} 1
+brsmn_epoch_seconds_bucket{le="0.01"} 2
+brsmn_epoch_seconds_bucket{le="+Inf"} 3
+brsmn_epoch_seconds_sum 5.006
+brsmn_epoch_seconds_count 3
+# HELP brsmn_groups Registered groups.
+# TYPE brsmn_groups gauge
+brsmn_groups 7
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestLabelledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat_seconds{stage="scatter"}`, "Latency.", []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{stage="scatter",le="1"} 1`,
+		`lat_seconds_bucket{stage="scatter",le="+Inf"} 1`,
+		`lat_seconds_sum{stage="scatter"} 0.5`,
+		`lat_seconds_count{stage="scatter"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentInstruments hammers every instrument type from many
+// goroutines (run under -race in CI) and checks conservation.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", SecondsBuckets())
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%13) * 1e-6)
+				if i%97 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	total := uint64(0)
+	for _, b := range h.BucketCounts() {
+		total += b
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket total %d != count %d", total, h.Count())
+	}
+}

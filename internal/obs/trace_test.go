@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRecorderSampling(t *testing.T) {
+	r := NewTraceRecorder(3)
+	got := 0
+	for i := 0; i < 9; i++ {
+		if r.ShouldSample("g1") {
+			got++
+		}
+	}
+	if got != 3 {
+		t.Fatalf("sampled %d of 9 with sample=3, want 3", got)
+	}
+	// First run of a fresh key always samples.
+	if !r.ShouldSample("g2") {
+		t.Fatal("first run of a new key not sampled")
+	}
+	// Disabled recorders never sample.
+	if NewTraceRecorder(0).ShouldSample("g") {
+		t.Fatal("sample=0 recorder sampled")
+	}
+	var nilRec *TraceRecorder
+	if nilRec.ShouldSample("g") {
+		t.Fatal("nil recorder sampled")
+	}
+	nilRec.Record(&RouteTrace{Key: "g"}) // must not panic
+	if nilRec.Last("g") != nil || nilRec.Keys() != nil || nilRec.Total() != 0 {
+		t.Fatal("nil recorder must read empty")
+	}
+}
+
+func TestTraceRecorderLastWins(t *testing.T) {
+	r := NewTraceRecorder(1)
+	r.Record(&RouteTrace{Key: "g", TotalNs: 1})
+	r.Record(&RouteTrace{Key: "g", TotalNs: 2})
+	if tr := r.Last("g"); tr == nil || tr.TotalNs != 2 {
+		t.Fatalf("Last = %+v, want TotalNs 2", r.Last("g"))
+	}
+	if r.Last("missing") != nil {
+		t.Fatal("missing key must return nil")
+	}
+	if len(r.Keys()) != 1 || r.Total() != 2 {
+		t.Fatalf("keys %v total %d", r.Keys(), r.Total())
+	}
+}
+
+// TestTraceRecorderConcurrent drives sampling and recording for many
+// keys from many goroutines (meaningful under -race).
+func TestTraceRecorderConcurrent(t *testing.T) {
+	r := NewTraceRecorder(2)
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(i+w)%len(keys)]
+				if r.ShouldSample(k) {
+					r.Record(&RouteTrace{Key: k, N: 8, When: time.Unix(0, int64(i))})
+				}
+				_ = r.Last(k)
+				_ = r.Keys()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if r.Last(k) == nil {
+			t.Fatalf("key %q has no trace after concurrent run", k)
+		}
+	}
+}
+
+func TestRouteTraceJSONShape(t *testing.T) {
+	tr := &RouteTrace{Key: "g", N: 8, TotalNs: 42, LevelsSwept: 3}
+	tr.AddStage("flatten", 5*time.Millisecond)
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RouteTrace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != "g" || back.TotalNs != 42 || len(back.Extra) != 1 || back.Extra[0].Name != "flatten" {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

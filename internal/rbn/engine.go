@@ -3,15 +3,58 @@ package rbn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Occupancy counts the sweep-worker goroutines currently executing a
+// parallel chunk, plus the all-time peak — the "how busy is the engine"
+// gauge the daemon's metrics surface scrapes. A nil *Occupancy is valid
+// and records nothing, so the tracking costs two atomic adds per spawn
+// batch only when someone is watching. Safe for concurrent use.
+type Occupancy struct {
+	busy atomic.Int64
+	peak atomic.Int64
+}
+
+// Busy returns the number of worker goroutines currently in a sweep.
+func (o *Occupancy) Busy() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.busy.Load()
+}
+
+// Peak returns the largest concurrent worker count observed.
+func (o *Occupancy) Peak() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.peak.Load()
+}
+
+// add moves the busy count by n, raising the peak on the way up.
+func (o *Occupancy) add(n int64) {
+	if o == nil {
+		return
+	}
+	b := o.busy.Add(n)
+	for {
+		p := o.peak.Load()
+		if b <= p || o.peak.CompareAndSwap(p, b) {
+			return
+		}
+	}
+}
 
 // Engine selects how the distributed setting algorithms are executed.
 // Workers <= 1 runs the forward/backward sweeps sequentially; Workers > 1
 // processes the independent nodes of each tree level concurrently, which
 // mirrors the hardware, where every node of a level computes in parallel.
-// Both modes produce bit-identical plans.
+// Both modes produce bit-identical plans. Occ, when non-nil, tracks
+// worker occupancy across every sweep the engine runs.
 type Engine struct {
 	Workers int
+	Occ     *Occupancy
 }
 
 // Sequential is the default engine.
@@ -44,6 +87,7 @@ func parFor[A any](e Engine, n int, args A, fn func(a A, lo, hi int)) {
 	if chunks < w {
 		w = chunks
 	}
+	e.Occ.add(int64(w))
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
@@ -55,6 +99,7 @@ func parFor[A any](e Engine, n int, args A, fn func(a A, lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	e.Occ.add(int64(-w))
 }
 
 // parallelFor runs fn over [0, n) split into contiguous chunks across the
@@ -70,6 +115,7 @@ func (e Engine) parallelFor(n int, fn func(lo, hi int)) {
 	if chunks < w {
 		w = chunks
 	}
+	e.Occ.add(int64(w))
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
@@ -81,4 +127,5 @@ func (e Engine) parallelFor(n int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	e.Occ.add(int64(-w))
 }
