@@ -1,21 +1,24 @@
 // Command brsmnd serves the multicast network over JSON/HTTP: stateless
 // routing, batch scheduling, cost queries and tag-sequence encoding,
 // plus stateful long-lived multicast groups with epoch-based rerouting
-// and a plan cache. See packages brsmn/internal/api and
-// brsmn/internal/groupd for the endpoint and subsystem contracts.
+// and a plan cache, partitioned across -shards independent planner
+// shards with batched admission. See packages brsmn/internal/api,
+// brsmn/internal/groupd and brsmn/internal/shard for the endpoint and
+// subsystem contracts.
 //
 // Usage:
 //
-//	brsmnd -addr :8642 -n 1024 -workers 4 -epoch 250ms -epoch-threshold 64 -cache 4096
+//	brsmnd -addr :8642 -n 1024 -workers 4 -shards 4 -epoch 250ms -epoch-threshold 64 -cache 4096
 //
 //	curl -s localhost:8642/healthz
-//	curl -s -X POST localhost:8642/groups -d '{"id":"conf","source":2,"members":[3,4,7]}'
-//	curl -s -X POST localhost:8642/groups/conf/join -d '{"dest":9}'
-//	curl -s localhost:8642/epoch
+//	curl -s -X POST localhost:8642/v1/groups -d '{"id":"conf","source":2,"members":[3,4,7]}'
+//	curl -s -X POST localhost:8642/v1/groups/conf/join -d '{"dest":9}'
+//	curl -s localhost:8642/v1/epoch
+//	curl -s localhost:8642/v1/shards
 //	curl -s localhost:8642/metrics
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the groupd epoch
-// loop (and with it the faultd prober it drives) stops first, then
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the per-shard
+// epoch loops (and the faultd probers they drive) stop first, then
 // in-flight requests drain through http.Server.Shutdown — background
 // work never races a closing listener.
 package main
@@ -40,6 +43,7 @@ import (
 	"brsmn/internal/groupd"
 	"brsmn/internal/obs"
 	"brsmn/internal/rbn"
+	"brsmn/internal/shard"
 )
 
 // config is the parsed flag set.
@@ -51,6 +55,9 @@ type config struct {
 	epochThreshold int
 	cacheSize      int
 	shards         int
+	registryShards int
+	batchMax       int
+	queueDepth     int
 	shutdownGrace  time.Duration
 	probeEvery     int64
 	probeCount     int
@@ -66,32 +73,38 @@ func parseFlags(args []string) (config, error) {
 	var cfg config
 	fs := flag.NewFlagSet("brsmnd", flag.ContinueOnError)
 	fs.StringVar(&cfg.addr, "addr", ":8642", "listen address")
-	fs.IntVar(&cfg.workers, "workers", 1, "switch-setting worker goroutines")
+	fs.IntVar(&cfg.workers, "workers", 1, "switch-setting worker goroutines per shard")
 	fs.IntVar(&cfg.n, "n", 1024, "network size for long-lived groups (power of two)")
 	fs.DurationVar(&cfg.epochPeriod, "epoch", 250*time.Millisecond, "epoch reroute period (0 disables the timer)")
 	fs.IntVar(&cfg.epochThreshold, "epoch-threshold", 64, "pending membership changes that force an early epoch (0 disables)")
-	fs.IntVar(&cfg.cacheSize, "cache", 4096, "plan cache capacity in entries")
-	fs.IntVar(&cfg.shards, "shards", 16, "group registry shard count")
+	fs.IntVar(&cfg.cacheSize, "cache", 4096, "plan cache capacity in entries, per shard")
+	fs.IntVar(&cfg.shards, "shards", 1, "serving shards: independent planner fabrics groups are partitioned across")
+	fs.IntVar(&cfg.registryShards, "registry-shards", 16, "group registry lock shards within each serving shard")
+	fs.IntVar(&cfg.batchMax, "batch-max", 32, "max admissions drained per shard worker batch")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 256, "per-shard admission queue depth (full queue sheds with 429)")
 	fs.DurationVar(&cfg.shutdownGrace, "grace", 5*time.Second, "graceful shutdown timeout")
 	fs.Int64Var(&cfg.probeEvery, "probe-every", 0, "run a fault-probe round every this many epochs (0 disables periodic probing)")
 	fs.IntVar(&cfg.probeCount, "probe-count", 4, "self-test assignments per probe round")
-	fs.StringVar(&cfg.faultInject, "fault-inject", "", "arm faults at startup, e.g. stuck:3:1:cross,dead:5:7,flaky:2:0:parallel:0.25")
+	fs.StringVar(&cfg.faultInject, "fault-inject", "", "arm faults at startup on every shard, e.g. stuck:3:1:cross,dead:5:7,flaky:2:0:parallel:0.25")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for intermittent fault excitation")
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	fs.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics on /metrics")
-	fs.IntVar(&cfg.traceSample, "trace-sample", 0, "record a planning trace for every k-th replan per group, served on /trace/{group} (0 disables)")
+	fs.IntVar(&cfg.traceSample, "trace-sample", 0, "record a planning trace for every k-th replan per group, served on /v1/trace/{group} (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() != 0 {
 		return config{}, fmt.Errorf("brsmnd: unexpected arguments %v", fs.Args())
 	}
+	if cfg.shards < 1 {
+		return config{}, fmt.Errorf("brsmnd: -shards must be at least 1, got %d", cfg.shards)
+	}
 	return cfg, nil
 }
 
-// newHandler builds the live HTTP handler plus the group manager behind
-// it (which the caller must Close).
-func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
+// newHandler builds the live HTTP handler plus the shard set behind it
+// (which the caller must Close).
+func newHandler(cfg config) (http.Handler, *shard.Set, error) {
 	eng := rbn.Engine{Workers: cfg.workers}
 	var reg *obs.Registry
 	var tracer *obs.TraceRecorder
@@ -113,66 +126,83 @@ func newHandler(cfg config) (http.Handler, *groupd.Manager, error) {
 	if cfg.traceSample > 0 {
 		tracer = obs.NewTraceRecorder(cfg.traceSample)
 	}
-	inj := faultd.NewInjector(cfg.faultSeed)
-	fm, err := faultd.NewMonitor(faultd.Config{
-		N:          cfg.n,
-		Engine:     eng,
-		ProbeCount: cfg.probeCount,
-		ProbeEvery: cfg.probeEvery,
-	}, inj)
-	if err != nil {
-		return nil, nil, err
-	}
+
+	// One fault monitor (own fabric, own injector stream) per serving
+	// shard. Startup faults arm on every shard so detection behaves the
+	// same at any -shards.
+	var armed []faultd.Fault
 	if cfg.faultInject != "" {
-		faults, err := faultd.ParseSpec(cfg.faultInject)
+		var err error
+		if armed, err = faultd.ParseSpec(cfg.faultInject); err != nil {
+			return nil, nil, err
+		}
+	}
+	monitors := make([]*faultd.Monitor, cfg.shards)
+	for i := range monitors {
+		inj := faultd.NewInjector(cfg.faultSeed + int64(i))
+		fm, err := faultd.NewMonitor(faultd.Config{
+			N:            cfg.n,
+			Engine:       eng,
+			ProbeCount:   cfg.probeCount,
+			ProbeEvery:   cfg.probeEvery,
+			MetricsLabel: fmt.Sprintf(`shard="%d"`, i),
+		}, inj)
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, f := range faults {
+		for _, f := range armed {
 			if err := f.Validate(fm.N(), fm.Depth()); err != nil {
 				return nil, nil, err
 			}
 			inj.Add(f)
 		}
+		// Register before the shard set starts its epoch loops: AfterEpoch
+		// probing reads the monitor's instruments from those goroutines.
+		if reg != nil {
+			fm.RegisterMetrics(reg)
+		}
+		monitors[i] = fm
 	}
-	// Register before the manager starts its epoch loop: AfterEpoch
-	// probing reads the monitor's instruments from that goroutine.
-	if reg != nil {
-		fm.RegisterMetrics(reg)
-	}
-	gm, err := groupd.NewManager(groupd.Config{
-		N:              cfg.n,
-		Engine:         eng,
-		Shards:         cfg.shards,
-		CacheSize:      cfg.cacheSize,
-		EpochPeriod:    cfg.epochPeriod,
-		EpochThreshold: cfg.epochThreshold,
-		Workers:        cfg.workers,
-		Policy:         fm,
-		Metrics:        reg,
-		Tracer:         tracer,
+
+	set, err := shard.New(shard.Config{
+		Shards:     cfg.shards,
+		QueueDepth: cfg.queueDepth,
+		BatchMax:   cfg.batchMax,
+		Group: groupd.Config{
+			N:              cfg.n,
+			Engine:         eng,
+			Shards:         cfg.registryShards,
+			CacheSize:      cfg.cacheSize,
+			EpochPeriod:    cfg.epochPeriod,
+			EpochThreshold: cfg.epochThreshold,
+			Workers:        cfg.workers,
+			Tracer:         tracer,
+		},
+		NewPolicy:    func(i int) groupd.FaultPolicy { return monitors[i] },
+		OnQuarantine: func(i int) { log.Printf("brsmnd: shard %d reported unhealthy, quarantined and rebalanced", i) },
+		Metrics:      reg,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	var opts []api.Option
+	opts := []api.Option{api.WithShards(set, monitors)}
 	if reg != nil {
 		opts = append(opts, api.WithMetrics(reg))
 	}
 	if tracer != nil {
 		opts = append(opts, api.WithTracer(tracer))
 	}
-	return api.NewServer(eng, gm, fm, opts...), gm, nil
+	return api.NewServer(eng, set, nil, opts...), set, nil
 }
 
 // run serves until ctx is cancelled (the signal path) or the listener
-// fails, then drains in-flight requests and the epoch loop.
+// fails, then drains in-flight requests and the epoch loops.
 func run(ctx context.Context, out io.Writer, cfg config) error {
-	handler, gm, err := newHandler(cfg)
+	handler, set, err := newHandler(cfg)
 	if err != nil {
 		return err
 	}
-	defer gm.Close()
+	defer set.Close()
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           handler,
@@ -198,17 +228,18 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 		}()
 		fmt.Fprintf(out, "brsmnd: pprof on %s/debug/pprof/\n", cfg.pprofAddr)
 	}
-	fmt.Fprintf(out, "brsmnd: serving a %d-port BRSMN on %s (epoch %v, threshold %d, cache %d)\n",
-		cfg.n, cfg.addr, cfg.epochPeriod, cfg.epochThreshold, cfg.cacheSize)
+	fmt.Fprintf(out, "brsmnd: serving a %d-port BRSMN on %s (%d shards, epoch %v, threshold %d, cache %d)\n",
+		cfg.n, cfg.addr, cfg.shards, cfg.epochPeriod, cfg.epochThreshold, cfg.cacheSize)
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 		fmt.Fprintln(out, "brsmnd: signal received, draining")
-		// Stop the epoch ticker (and the faultd prober it drives via
-		// AfterEpoch) before the listener: background replans must not
-		// keep running into a server that is tearing down.
-		if err := gm.Close(); err != nil {
+		// Stop the admission queues and epoch tickers (and the faultd
+		// probers they drive via AfterEpoch) before the listener:
+		// background replans must not keep running into a server that is
+		// tearing down.
+		if err := set.Close(); err != nil {
 			return err
 		}
 		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)

@@ -22,6 +22,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.epochPeriod != 250*time.Millisecond || cfg.epochThreshold != 64 || cfg.cacheSize != 4096 {
 		t.Fatalf("epoch defaults = %+v", cfg)
 	}
+	if cfg.shards != 1 || cfg.registryShards != 16 || cfg.batchMax != 32 || cfg.queueDepth != 256 {
+		t.Fatalf("shard defaults = %+v", cfg)
+	}
 	if cfg.probeEvery != 0 || cfg.probeCount != 4 || cfg.faultInject != "" || cfg.faultSeed != 1 {
 		t.Fatalf("fault defaults = %+v", cfg)
 	}
@@ -33,7 +36,8 @@ func TestParseFlagsDefaults(t *testing.T) {
 func TestParseFlagsOverrides(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-addr", ":9000", "-n", "64", "-workers", "3",
-		"-epoch", "1s", "-epoch-threshold", "8", "-cache", "16", "-shards", "4",
+		"-epoch", "1s", "-epoch-threshold", "8", "-cache", "16",
+		"-shards", "4", "-registry-shards", "8", "-batch-max", "16", "-queue-depth", "64",
 		"-probe-every", "2", "-probe-count", "6", "-fault-inject", "dead:0:1", "-fault-seed", "99",
 		"-metrics=false", "-trace-sample", "7",
 	})
@@ -41,9 +45,11 @@ func TestParseFlagsOverrides(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cfg.addr != ":9000" || cfg.n != 64 || cfg.workers != 3 ||
-		cfg.epochPeriod != time.Second || cfg.epochThreshold != 8 ||
-		cfg.cacheSize != 16 || cfg.shards != 4 {
+		cfg.epochPeriod != time.Second || cfg.epochThreshold != 8 || cfg.cacheSize != 16 {
 		t.Fatalf("overrides = %+v", cfg)
+	}
+	if cfg.shards != 4 || cfg.registryShards != 8 || cfg.batchMax != 16 || cfg.queueDepth != 64 {
+		t.Fatalf("shard overrides = %+v", cfg)
 	}
 	if cfg.probeEvery != 2 || cfg.probeCount != 6 || cfg.faultInject != "dead:0:1" || cfg.faultSeed != 99 {
 		t.Fatalf("fault overrides = %+v", cfg)
@@ -59,6 +65,9 @@ func TestParseFlagsErrors(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"stray"}); err == nil {
 		t.Fatal("stray positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-shards", "0"}); err == nil {
+		t.Fatal("-shards 0 accepted")
 	}
 	// An invalid network size surfaces at handler construction.
 	cfg, err := parseFlags([]string{"-n", "12"})
@@ -85,24 +94,50 @@ func TestParseFlagsErrors(t *testing.T) {
 	}
 }
 
+// envelope is the /v1 response shape the daemon tests unwrap.
+type envelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// unwrap decodes resp's envelope data into out (when non-nil) and
+// returns the status code.
+func unwrap(t *testing.T, resp *http.Response, out any) int {
+	t.Helper()
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("%s: not an envelope: %v", resp.Request.URL.Path, err)
+	}
+	if out != nil && len(env.Data) > 0 && string(env.Data) != "null" {
+		if err := json.Unmarshal(env.Data, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
 // TestHandlerRoundTrip drives the real daemon handler over httptest:
-// stateless /route plus the stateful group lifecycle, with periodic
+// stateless /v1/route plus the stateful group lifecycle, with periodic
 // probing armed so the epoch also exercises the fault monitor hook.
 func TestHandlerRoundTrip(t *testing.T) {
 	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-epoch-threshold", "0", "-probe-every", "1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, gm, err := newHandler(cfg)
+	handler, set, err := newHandler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer gm.Close()
+	defer set.Close()
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
 	// Stateless route: the paper's Fig. 2 example.
-	resp, err := http.Post(ts.URL+"/route", "application/json",
+	resp, err := http.Post(ts.URL+"/v1/route", "application/json",
 		strings.NewReader(`{"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}`))
 	if err != nil {
 		t.Fatal(err)
@@ -110,33 +145,27 @@ func TestHandlerRoundTrip(t *testing.T) {
 	var route struct {
 		Deliveries []int `json:"deliveries"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&route); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || route.Deliveries[7] != 2 {
-		t.Fatalf("route = %d, deliveries %v", resp.StatusCode, route.Deliveries)
+	if code := unwrap(t, resp, &route); code != http.StatusOK || route.Deliveries[7] != 2 {
+		t.Fatalf("route = %d, deliveries %v", code, route.Deliveries)
 	}
 
 	// Stateful: create a group, join, run an epoch, check health.
-	resp, err = http.Post(ts.URL+"/groups", "application/json",
+	resp, err = http.Post(ts.URL+"/v1/groups", "application/json",
 		strings.NewReader(`{"id":"g","source":1,"members":[2,5]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("create = %d", resp.StatusCode)
+	if code := unwrap(t, resp, nil); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
 	}
-	resp, err = http.Post(ts.URL+"/groups/g/join", "application/json", strings.NewReader(`{"dest":7}`))
+	resp, err = http.Post(ts.URL+"/v1/groups/g/join", "application/json", strings.NewReader(`{"dest":7}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("join = %d", resp.StatusCode)
+	if code := unwrap(t, resp, nil); code != http.StatusOK {
+		t.Fatalf("join = %d", code)
 	}
-	resp, err = http.Post(ts.URL+"/epoch", "application/json", nil)
+	resp, err = http.Post(ts.URL+"/v1/epoch", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,12 +173,8 @@ func TestHandlerRoundTrip(t *testing.T) {
 		Epoch  int64 `json:"epoch"`
 		Groups int   `json:"groups"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if rep.Epoch != 1 || rep.Groups != 1 {
-		t.Fatalf("epoch report = %+v", rep)
+	if code := unwrap(t, resp, &rep); code != http.StatusOK || rep.Epoch != 1 || rep.Groups != 1 {
+		t.Fatalf("epoch = %d, report = %+v", code, rep)
 	}
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -163,11 +188,14 @@ func TestHandlerRoundTrip(t *testing.T) {
 			ProbeRounds uint64 `json:"probeRounds"`
 			Detected    bool   `json:"detected"`
 		} `json:"faults"`
+		Shards *struct {
+			Shards int `json:"shards"`
+			Live   int `json:"live"`
+		} `json:"shards"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		t.Fatal(err)
+	if code := unwrap(t, resp, &h); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
 	}
-	resp.Body.Close()
 	if h.Status != "ok" || h.Groups != 1 || h.Epoch != 1 {
 		t.Fatalf("healthz = %+v", h)
 	}
@@ -175,6 +203,72 @@ func TestHandlerRoundTrip(t *testing.T) {
 	// clean fabric.
 	if h.Faults == nil || h.Faults.ProbeRounds != 1 || h.Faults.Detected {
 		t.Fatalf("healthz faults = %+v", h.Faults)
+	}
+	if h.Shards == nil || h.Shards.Shards != 1 || h.Shards.Live != 1 {
+		t.Fatalf("healthz shards = %+v", h.Shards)
+	}
+
+	// The legacy paths still work end to end: 308 replays the POST body
+	// against the /v1 successor.
+	resp, err = http.Post(ts.URL+"/groups/g/leave", "application/json", strings.NewReader(`{"dest":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := unwrap(t, resp, nil); code != http.StatusOK {
+		t.Fatalf("legacy leave = %d", code)
+	}
+}
+
+// TestHandlerSharded boots a 3-shard daemon handler and checks groups
+// land across shards and the shard surface reports them.
+func TestHandlerSharded(t *testing.T) {
+	cfg, err := parseFlags([]string{"-n", "16", "-shards", "3", "-epoch", "0", "-epoch-threshold", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, set, err := newHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	for i := 0; i < 12; i++ {
+		resp, err := http.Post(ts.URL+"/v1/groups", "application/json",
+			strings.NewReader(`{"source":`+string(rune('0'+i%8))+`,"members":[8]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code := unwrap(t, resp, nil); code != http.StatusCreated {
+			t.Fatalf("create %d = %d", i, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Shards   int `json:"shards"`
+		Live     int `json:"live"`
+		Groups   int `json:"groups"`
+		PerShard []struct {
+			Groups   int    `json:"groups"`
+			Admitted uint64 `json:"admitted"`
+		} `json:"perShard"`
+	}
+	if code := unwrap(t, resp, &stats); code != http.StatusOK {
+		t.Fatalf("shards = %d", code)
+	}
+	if stats.Shards != 3 || stats.Live != 3 || stats.Groups != 12 {
+		t.Fatalf("shard stats = %+v", stats)
+	}
+	var admitted uint64
+	for _, ps := range stats.PerShard {
+		admitted += ps.Admitted
+	}
+	if admitted != 12 {
+		t.Fatalf("admitted across shards = %d, want 12", admitted)
 	}
 }
 

@@ -15,17 +15,18 @@ import (
 )
 
 // TestHandlerMetricsAndTrace drives the default (-metrics on) handler
-// and checks the scrape and trace surfaces end to end.
+// and checks the scrape and trace surfaces end to end. All planner and
+// faultd series carry the shard label.
 func TestHandlerMetricsAndTrace(t *testing.T) {
 	cfg, err := parseFlags([]string{"-n", "8", "-epoch", "0", "-epoch-threshold", "0", "-trace-sample", "1", "-probe-every", "1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, gm, err := newHandler(cfg)
+	handler, set, err := newHandler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer gm.Close()
+	defer set.Close()
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
@@ -40,8 +41,8 @@ func TestHandlerMetricsAndTrace(t *testing.T) {
 			t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, want)
 		}
 	}
-	post("/groups", `{"id":"g","source":1,"members":[2,5]}`, http.StatusCreated)
-	post("/epoch", "", http.StatusOK)
+	post("/v1/groups", `{"id":"g","source":1,"members":[2,5]}`, http.StatusCreated)
+	post("/v1/epoch", "", http.StatusOK)
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -60,33 +61,40 @@ func TestHandlerMetricsAndTrace(t *testing.T) {
 		"brsmn_epoch_duration_seconds",
 		"brsmn_plan_cache_ops_total",
 		"brsmn_planner_pool_ops_total",
-		"brsmn_faultd_probe_rounds_total 1",
+		`brsmn_faultd_probe_rounds_total{shard="0"} 1`,
 		"brsmn_engine_occupancy",
 		"brsmn_goroutines",
 		"brsmn_http_requests_total",
+		`brsmn_shard_admitted_total{shard="0"} 1`,
+		`brsmn_shard_queue_capacity{shard="0"} 256`,
+		"brsmn_shards 1",
+		"brsmn_shards_live 1",
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("/metrics missing %q", series)
 		}
 	}
 
-	resp, err = http.Get(ts.URL + "/trace/g")
+	resp, err = http.Get(ts.URL + "/v1/trace/g")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tr struct {
-		Group string `json:"group"`
-		Trace *struct {
-			N       int   `json:"n"`
-			TotalNs int64 `json:"totalNs"`
-		} `json:"trace"`
+	var env struct {
+		Data *struct {
+			Group string `json:"group"`
+			Trace *struct {
+				N       int   `json:"n"`
+				TotalNs int64 `json:"totalNs"`
+			} `json:"trace"`
+		} `json:"data"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || tr.Group != "g" || tr.Trace == nil || tr.Trace.N != 8 {
-		t.Fatalf("/trace/g = %d, %+v", resp.StatusCode, tr)
+	if resp.StatusCode != http.StatusOK || env.Data == nil || env.Data.Group != "g" ||
+		env.Data.Trace == nil || env.Data.Trace.N != 8 {
+		t.Fatalf("/v1/trace/g = %d, %+v", resp.StatusCode, env.Data)
 	}
 }
 
@@ -97,11 +105,11 @@ func TestHandlerMetricsDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, gm, err := newHandler(cfg)
+	handler, set, err := newHandler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer gm.Close()
+	defer set.Close()
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -123,14 +131,16 @@ func TestHandlerMetricsDisabled(t *testing.T) {
 }
 
 // daemonGoroutines scans all goroutine stacks for daemon-owned work:
-// the epoch loop, fault probing, the run loop itself, or the serving
-// listener. After a clean shutdown none may remain.
+// the epoch loops, shard admission workers, fault probing, the run loop
+// itself, or the serving listener. After a clean shutdown none may
+// remain.
 func daemonGoroutines() []string {
 	buf := make([]byte, 1<<20)
 	n := runtime.Stack(buf, true)
 	var leaked []string
 	for _, s := range strings.Split(string(buf[:n]), "\n\n") {
 		if strings.Contains(s, "brsmn/internal/groupd.(*Manager).loop") ||
+			strings.Contains(s, "brsmn/internal/shard.(*Shard).worker") ||
 			strings.Contains(s, "brsmn/internal/faultd.(*Monitor).RunProbes") ||
 			strings.Contains(s, "brsmn/cmd/brsmnd.run(") ||
 			strings.Contains(s, "net/http.(*Server).Serve") {
@@ -140,11 +150,11 @@ func daemonGoroutines() []string {
 	return leaked
 }
 
-// TestRunShutdownUnderLoad cancels the daemon while client goroutines
-// hammer epoch and membership endpoints, then asserts no daemon
-// goroutine outlives run — the regression for the shutdown-ordering bug
-// where the epoch ticker and fault prober kept replanning against a
-// closing server.
+// TestRunShutdownUnderLoad cancels a sharded daemon while client
+// goroutines hammer epoch and membership endpoints, then asserts no
+// daemon goroutine outlives run — the regression for the
+// shutdown-ordering bug where the epoch ticker and fault prober kept
+// replanning against a closing server.
 func TestRunShutdownUnderLoad(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -154,8 +164,8 @@ func TestRunShutdownUnderLoad(t *testing.T) {
 	l.Close()
 
 	// A fast epoch timer plus periodic probing keeps background work
-	// in flight at cancel time.
-	cfg, err := parseFlags([]string{"-addr", addr, "-n", "16", "-epoch", "1ms", "-probe-every", "1", "-trace-sample", "1"})
+	// in flight at cancel time, on two shards.
+	cfg, err := parseFlags([]string{"-addr", addr, "-n", "16", "-shards", "2", "-epoch", "1ms", "-probe-every", "1", "-trace-sample", "1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +188,7 @@ func TestRunShutdownUnderLoad(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	resp, err := http.Post(base+"/groups", "application/json",
+	resp, err := http.Post(base+"/v1/groups", "application/json",
 		strings.NewReader(`{"id":"g","source":1,"members":[2,5]}`))
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +208,7 @@ func TestRunShutdownUnderLoad(t *testing.T) {
 				default:
 				}
 				// Errors are expected once the listener closes.
-				if resp, err := http.Post(base+"/epoch", "application/json", nil); err == nil {
+				if resp, err := http.Post(base+"/v1/epoch", "application/json", nil); err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 				}

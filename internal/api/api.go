@@ -1,25 +1,33 @@
-// Package api exposes the multicast network as a JSON-over-HTTP service
-// — the integration surface for systems that want to drive a (simulated
-// or future hardware) BRSMN switch remotely. Endpoints:
+// Package api exposes the multicast network as a versioned JSON-over-HTTP
+// service — the integration surface for systems that want to drive a
+// (simulated or future hardware) BRSMN switch remotely. All endpoints
+// live under /v1 and reply with the uniform envelope of envelope.go
+// ({"data": ..., "error": ...}); the stateless core:
 //
-//	POST /route     {"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}
-//	                -> {"deliveries":[0,0,3,2,2,7,7,2], "splits":…, "depth":…}
-//	POST /schedule  {"n":16,"requests":[{"source":0,"dests":[1,2]},…]}
-//	                -> {"rounds":[[…round-0 deliveries…],…],"roundOf":[0,1,…]}
-//	GET  /cost?n=256
-//	                -> the Table 2 rows at that size
-//	GET  /sequence?n=8&dests=3,4,7
-//	                -> {"sequence":"α1αε011"}
+//	POST /v1/route     {"n":8,"dests":[[0,1],null,[3,4,7],[2],null,null,null,[5,6]]}
+//	                   -> {"data":{"deliveries":[…],"splits":…,"depth":…},"error":null}
+//	POST /v1/schedule  {"n":16,"requests":[{"source":0,"dests":[1,2]},…]}
+//	POST /v1/plan      route + flattened plancodec column program
+//	POST /v1/pipeline  batch pipelining simulation
+//	GET  /v1/cost?n=256
+//	GET  /v1/sequence?n=8&dests=3,4,7
 //
-// The core routing handlers are stateless; a Server constructed with a
-// groupd.Manager additionally serves the stateful group endpoints of
-// groups.go (long-lived sessions, epochs, cached plans). A Server is
-// safe for concurrent use either way.
+// A Server constructed with a Groups backend (a *groupd.Manager, or the
+// sharded *shard.Set) additionally serves the stateful group endpoints
+// of groups.go; a *faultd.Monitor enables the fault endpoints of
+// faults.go; WithShards enables the shard introspection and rebalance
+// endpoints of shards.go.
+//
+// The pre-/v1 paths remain as deprecated aliases: they answer 301 (GET,
+// HEAD) or 308 (everything else) to the /v1 successor, carrying
+// `Deprecation: true` and a `Link: …; rel="successor-version"` header.
+// GET /healthz and GET /metrics are additionally served directly at
+// their legacy paths — load balancers and Prometheus scrapers don't
+// chase redirects. A Server is safe for concurrent use.
 package api
 
 import (
 	"encoding/base64"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -29,85 +37,107 @@ import (
 	"brsmn/internal/cost"
 	"brsmn/internal/fabric"
 	"brsmn/internal/faultd"
-	"brsmn/internal/groupd"
 	"brsmn/internal/mcast"
 	"brsmn/internal/netsim"
 	"brsmn/internal/obs"
 	"brsmn/internal/plancodec"
 	"brsmn/internal/rbn"
 	"brsmn/internal/sched"
+	"brsmn/internal/shard"
 	"brsmn/internal/shuffle"
 )
 
 // Server handles the HTTP API. Construct with NewServer.
 type Server struct {
-	eng    rbn.Engine
-	gm     *groupd.Manager
-	fm     *faultd.Monitor
-	reg    *obs.Registry
-	tracer *obs.TraceRecorder
-	mux    *http.ServeMux
+	eng      rbn.Engine
+	groups   Groups
+	fm       *faultd.Monitor
+	set      *shard.Set
+	monitors []*faultd.Monitor
+	reg      *obs.Registry
+	tracer   *obs.TraceRecorder
+	mux      *http.ServeMux
 }
 
 // NewServer returns a handler-ready server using the given engine for
-// switch setting. gm may be nil, which disables the stateful group
-// endpoints (they answer 503) while /healthz and the stateless handlers
-// keep working; fm may likewise be nil, which disables the
+// switch setting. g may be nil, which disables the stateful group
+// endpoints (they answer 503) while /v1/healthz and the stateless
+// handlers keep working; fm may likewise be nil, which disables the
 // fault-management endpoints of faults.go. Options wire the optional
-// observability surfaces of obs.go.
-func NewServer(eng rbn.Engine, gm *groupd.Manager, fm *faultd.Monitor, opts ...Option) *Server {
-	s := &Server{eng: eng, gm: gm, fm: fm, mux: http.NewServeMux()}
+// observability surfaces of obs.go and the sharded serving layer of
+// shards.go.
+func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Server {
+	s := &Server{eng: eng, groups: g, fm: fm, mux: http.NewServeMux()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.route("POST /route", "route", s.handleRoute)
-	s.route("POST /schedule", "schedule", s.handleSchedule)
-	s.route("POST /plan", "plan", s.handlePlan)
-	s.route("POST /pipeline", "pipeline", s.handlePipeline)
-	s.route("GET /cost", "cost", s.handleCost)
-	s.route("GET /sequence", "sequence", s.handleSequence)
+	s.route("POST /v1/route", "route", s.handleRoute)
+	s.route("POST /v1/schedule", "schedule", s.handleSchedule)
+	s.route("POST /v1/plan", "plan", s.handlePlan)
+	s.route("POST /v1/pipeline", "pipeline", s.handlePipeline)
+	s.route("GET /v1/cost", "cost", s.handleCost)
+	s.route("GET /v1/sequence", "sequence", s.handleSequence)
+	s.route("GET /v1/healthz", "healthz", s.handleHealthz)
+	s.route("POST /v1/groups", "group_create", s.withGroups(s.handleGroupCreate))
+	s.route("GET /v1/groups", "group_list", s.withGroups(s.handleGroupList))
+	s.route("GET /v1/groups/{id}", "group_get", s.withGroups(s.handleGroupGet))
+	s.route("POST /v1/groups/{id}/join", "group_join", s.withGroups(s.handleGroupJoin))
+	s.route("POST /v1/groups/{id}/leave", "group_leave", s.withGroups(s.handleGroupLeave))
+	s.route("DELETE /v1/groups/{id}", "group_delete", s.withGroups(s.handleGroupDelete))
+	s.route("GET /v1/groups/{id}/plan", "group_plan", s.withGroups(s.handleGroupPlan))
+	s.route("GET /v1/epoch", "epoch", s.withGroups(s.handleEpochGet))
+	s.route("POST /v1/epoch", "epoch", s.withGroups(s.handleEpochRun))
+	s.route("GET /v1/faults", "faults", s.withFaults(s.handleFaultsGet))
+	s.route("POST /v1/faults", "faults", s.withFaults(s.handleFaultsPost))
+	s.route("DELETE /v1/faults", "faults", s.withFaults(s.handleFaultsDelete))
+	s.route("GET /v1/faults/report", "faults_report", s.withFaults(s.handleFaultsReport))
+	s.route("POST /v1/probe", "probe", s.withFaults(s.handleProbe))
+	s.route("GET /v1/shards", "shards", s.withShards(s.handleShards))
+	s.route("POST /v1/shards/{id}/quarantine", "shard_quarantine", s.withShards(s.handleShardQuarantine))
+	s.route("POST /v1/shards/{id}/reinstate", "shard_reinstate", s.withShards(s.handleShardReinstate))
+	s.route("GET /v1/metrics", "metrics", s.handleMetrics)
+	s.route("GET /v1/trace/{group}", "trace", s.handleTrace)
+
+	// Load balancers and Prometheus scrapers don't chase redirects:
+	// serve the probe and exposition paths directly at their unversioned
+	// addresses too.
 	s.route("GET /healthz", "healthz", s.handleHealthz)
-	s.route("POST /groups", "group_create", s.withGroups(s.handleGroupCreate))
-	s.route("GET /groups", "group_list", s.withGroups(s.handleGroupList))
-	s.route("GET /groups/{id}", "group_get", s.withGroups(s.handleGroupGet))
-	s.route("POST /groups/{id}/join", "group_join", s.withGroups(s.handleGroupJoin))
-	s.route("POST /groups/{id}/leave", "group_leave", s.withGroups(s.handleGroupLeave))
-	s.route("DELETE /groups/{id}", "group_delete", s.withGroups(s.handleGroupDelete))
-	s.route("GET /groups/{id}/plan", "group_plan", s.withGroups(s.handleGroupPlan))
-	s.route("GET /epoch", "epoch", s.withGroups(s.handleEpochGet))
-	s.route("POST /epoch", "epoch", s.withGroups(s.handleEpochRun))
-	s.route("GET /faults", "faults", s.withFaults(s.handleFaultsGet))
-	s.route("POST /faults", "faults", s.withFaults(s.handleFaultsPost))
-	s.route("DELETE /faults", "faults", s.withFaults(s.handleFaultsDelete))
-	s.route("GET /faults/report", "faults_report", s.withFaults(s.handleFaultsReport))
-	s.route("POST /probe", "probe", s.withFaults(s.handleProbe))
 	s.route("GET /metrics", "metrics", s.handleMetrics)
-	s.route("GET /trace/{group}", "trace", s.handleTrace)
 
 	// Method-less fallbacks: a request for a registered path with an
 	// unregistered method lands here instead of ServeMux's plain-text
-	// auto-405, so the reply is JSON with an Allow header. The root
-	// fallback likewise turns the default plain-text 404 into JSON.
-	s.notAllowed("/route", "POST")
-	s.notAllowed("/schedule", "POST")
-	s.notAllowed("/plan", "POST")
-	s.notAllowed("/pipeline", "POST")
-	s.notAllowed("/cost", "GET")
-	s.notAllowed("/sequence", "GET")
+	// auto-405, so the reply is the envelope with an Allow header.
+	s.notAllowed("/v1/route", "POST")
+	s.notAllowed("/v1/schedule", "POST")
+	s.notAllowed("/v1/plan", "POST")
+	s.notAllowed("/v1/pipeline", "POST")
+	s.notAllowed("/v1/cost", "GET")
+	s.notAllowed("/v1/sequence", "GET")
+	s.notAllowed("/v1/healthz", "GET")
+	s.notAllowed("/v1/groups", "GET, POST")
+	s.notAllowed("/v1/groups/{id}", "GET, DELETE")
+	s.notAllowed("/v1/groups/{id}/join", "POST")
+	s.notAllowed("/v1/groups/{id}/leave", "POST")
+	s.notAllowed("/v1/groups/{id}/plan", "GET")
+	s.notAllowed("/v1/epoch", "GET, POST")
+	s.notAllowed("/v1/faults", "GET, POST, DELETE")
+	s.notAllowed("/v1/faults/report", "GET")
+	s.notAllowed("/v1/probe", "POST")
+	s.notAllowed("/v1/shards", "GET")
+	s.notAllowed("/v1/shards/{id}/quarantine", "POST")
+	s.notAllowed("/v1/shards/{id}/reinstate", "POST")
+	s.notAllowed("/v1/metrics", "GET")
+	s.notAllowed("/v1/trace/{group}", "GET")
 	s.notAllowed("/healthz", "GET")
-	s.notAllowed("/groups", "GET, POST")
-	s.notAllowed("/groups/{id}", "GET, DELETE")
-	s.notAllowed("/groups/{id}/join", "POST")
-	s.notAllowed("/groups/{id}/leave", "POST")
-	s.notAllowed("/groups/{id}/plan", "GET")
-	s.notAllowed("/epoch", "GET, POST")
-	s.notAllowed("/faults", "GET, POST, DELETE")
-	s.notAllowed("/faults/report", "GET")
-	s.notAllowed("/probe", "POST")
 	s.notAllowed("/metrics", "GET")
-	s.notAllowed("/trace/{group}", "GET")
+
+	s.registerLegacy()
+
+	// The catch-all 404 goes through the same envelope writer as every
+	// other error — no plain-text leaks.
 	s.mux.HandleFunc("/", s.instrument("not_found", func(w http.ResponseWriter, r *http.Request) {
-		httpError(w, http.StatusNotFound, fmt.Errorf("api: no such endpoint %s", r.URL.Path))
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("api: no such endpoint %s", r.URL.Path))
 	}))
 	return s
 }
@@ -123,21 +153,31 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 func (s *Server) notAllowed(path, allow string) {
 	s.mux.HandleFunc(path, s.instrument("method_not_allowed", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		httpError(w, http.StatusMethodNotAllowed,
-			fmt.Errorf("api: method %s not allowed on %s; allowed: %s", r.Method, r.URL.Path, allow))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("api: method %s not allowed on %s; allowed: %s", r.Method, r.URL.Path, allow))
 	}))
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// RouteRequest is the /route payload.
+// RouteRequest is the /v1/route payload.
 type RouteRequest struct {
 	N     int     `json:"n"`
 	Dests [][]int `json:"dests"`
 }
 
-// RouteResponse is the /route reply.
+func (r *RouteRequest) validate() (fields []FieldError) {
+	if r.N < 2 || !shuffle.IsPow2(r.N) {
+		fields = append(fields, FieldError{Field: "n", Reason: "required: a power of two >= 2"})
+	}
+	if len(r.Dests) == 0 {
+		fields = append(fields, FieldError{Field: "dests", Reason: "required: one destination list per source"})
+	}
+	return fields
+}
+
+// RouteResponse is the /v1/route reply.
 type RouteResponse struct {
 	// Deliveries[out] is the source delivered at that output, -1 idle.
 	Deliveries []int `json:"deliveries"`
@@ -149,8 +189,7 @@ type RouteResponse struct {
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	var req RouteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+	if !decode(w, r, &req) {
 		return
 	}
 	a, err := mcast.New(req.N, req.Dests)
@@ -184,16 +223,23 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			resp.Splits++
 		}
 	}
-	writeJSON(w, resp)
+	writeData(w, http.StatusOK, resp)
 }
 
-// ScheduleRequest is the /schedule payload.
+// ScheduleRequest is the /v1/schedule payload.
 type ScheduleRequest struct {
 	N        int             `json:"n"`
 	Requests []sched.Request `json:"requests"`
 }
 
-// ScheduleResponse is the /schedule reply.
+func (r *ScheduleRequest) validate() (fields []FieldError) {
+	if r.N < 2 || !shuffle.IsPow2(r.N) {
+		fields = append(fields, FieldError{Field: "n", Reason: "required: a power of two >= 2"})
+	}
+	return fields
+}
+
+// ScheduleResponse is the /v1/schedule reply.
 type ScheduleResponse struct {
 	// Rounds[i][out] is round i's delivery vector.
 	Rounds [][]int `json:"rounds"`
@@ -203,12 +249,7 @@ type ScheduleResponse struct {
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
-		return
-	}
-	if !shuffle.IsPow2(req.N) || req.N < 2 {
-		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("api: n = %d is not a power of two >= 2", req.N))
+	if !decode(w, r, &req) {
 		return
 	}
 	res, err := sched.RouteAll(req.N, req.Requests, s.eng)
@@ -224,10 +265,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rounds = append(resp.Rounds, vec)
 	}
-	writeJSON(w, resp)
+	writeData(w, http.StatusOK, resp)
 }
 
-// CostResponse is the /cost reply: the Table 2 rows.
+// CostResponse is the /v1/cost reply: the Table 2 rows.
 type CostResponse struct {
 	N    int        `json:"n"`
 	Rows []cost.Row `json:"rows"`
@@ -236,13 +277,14 @@ type CostResponse struct {
 func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.URL.Query().Get("n"))
 	if err != nil || !shuffle.IsPow2(n) || n < 2 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: n must be a power of two >= 2"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request",
+			FieldError{Field: "n", Reason: "required: a power of two >= 2"})
 		return
 	}
-	writeJSON(w, CostResponse{N: n, Rows: cost.Table2(n)})
+	writeData(w, http.StatusOK, CostResponse{N: n, Rows: cost.Table2(n)})
 }
 
-// SequenceResponse is the /sequence reply.
+// SequenceResponse is the /v1/sequence reply.
 type SequenceResponse struct {
 	Sequence string `json:"sequence"`
 }
@@ -250,7 +292,8 @@ type SequenceResponse struct {
 func (s *Server) handleSequence(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.URL.Query().Get("n"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad n"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request",
+			FieldError{Field: "n", Reason: "required: an integer network size"})
 		return
 	}
 	var dests []int
@@ -259,7 +302,8 @@ func (s *Server) handleSequence(w http.ResponseWriter, r *http.Request) {
 		for _, f := range strings.Split(raw, ",") {
 			d, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad destination %q", f))
+				writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request",
+					FieldError{Field: "dests", Reason: fmt.Sprintf("bad destination %q", f)})
 				return
 			}
 			dests = append(dests, d)
@@ -270,28 +314,10 @@ func (s *Server) handleSequence(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, SequenceResponse{Sequence: mcast.FormatSequence(seq)})
+	writeData(w, http.StatusOK, SequenceResponse{Sequence: mcast.FormatSequence(seq)})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing else to do but note it.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
-}
-
-// PlanResponse is the /plan reply: the routed assignment's deliveries
+// PlanResponse is the /v1/plan reply: the routed assignment's deliveries
 // plus the flattened switch-column program in the plancodec binary
 // format, base64-encoded — what a hardware configuration flow consumes.
 type PlanResponse struct {
@@ -302,8 +328,7 @@ type PlanResponse struct {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req RouteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+	if !decode(w, r, &req) {
 		return
 	}
 	a, err := mcast.New(req.N, req.Dests)
@@ -339,10 +364,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	for out, d := range res.Deliveries {
 		resp.Deliveries[out] = d.Source
 	}
-	writeJSON(w, resp)
+	writeData(w, http.StatusOK, resp)
 }
 
-// PipelineRequest is the /pipeline payload: a batch of same-size
+// PipelineRequest is the /v1/pipeline payload: a batch of same-size
 // assignments plus the injection gap.
 type PipelineRequest struct {
 	N     int       `json:"n"`
@@ -350,7 +375,20 @@ type PipelineRequest struct {
 	Batch [][][]int `json:"batch"` // Batch[k] = assignment k's dests
 }
 
-// PipelineResponse is the /pipeline reply.
+func (r *PipelineRequest) validate() (fields []FieldError) {
+	if r.N < 2 || !shuffle.IsPow2(r.N) {
+		fields = append(fields, FieldError{Field: "n", Reason: "required: a power of two >= 2"})
+	}
+	if r.Gap < 0 {
+		fields = append(fields, FieldError{Field: "gap", Reason: "must be non-negative"})
+	}
+	if len(r.Batch) == 0 {
+		fields = append(fields, FieldError{Field: "batch", Reason: "required: at least one assignment"})
+	}
+	return fields
+}
+
+// PipelineResponse is the /v1/pipeline reply.
 type PipelineResponse struct {
 	Depth          int     `json:"depth"`
 	Makespan       int     `json:"makespan"`
@@ -362,8 +400,7 @@ type PipelineResponse struct {
 
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	var req PipelineRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+	if !decode(w, r, &req) {
 		return
 	}
 	as := make([]mcast.Assignment, len(req.Batch))
@@ -380,7 +417,7 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, PipelineResponse{
+	writeData(w, http.StatusOK, PipelineResponse{
 		Depth:          rep.Depth,
 		Makespan:       rep.Makespan,
 		Sequential:     rep.SequentialMakespan,

@@ -1,0 +1,53 @@
+package api
+
+// Shared request decoding and validation. Every /v1 handler with a body
+// funnels through decode, so malformed JSON and invalid fields produce
+// the same 400 envelope: code "bad_request" with per-field
+// {field, reason} entries — never an ad-hoc string.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// validator is the request-side contract: structural checks that gate a
+// handler before any engine work, reported per field.
+type validator interface {
+	validate() []FieldError
+}
+
+// decode unmarshals r's body into dst and runs its validation. On
+// failure it writes the uniform 400 envelope and returns false. An
+// empty body decodes as the zero value, so validate decides which
+// fields are required.
+func decode(w http.ResponseWriter, r *http.Request, dst validator) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "request body is not valid JSON",
+			FieldError{Field: "body", Reason: err.Error()})
+		return false
+	}
+	if fields := dst.validate(); len(fields) > 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request", fields...)
+		return false
+	}
+	return true
+}
+
+// queryInt parses an optional non-negative integer query parameter,
+// collecting a FieldError on failure.
+func queryInt(q url.Values, name string, def int, fields *[]FieldError) int {
+	raw := q.Get(name)
+	if raw == "" {
+		return def
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		*fields = append(*fields, FieldError{Field: name, Reason: "must be a non-negative integer"})
+		return def
+	}
+	return v
+}

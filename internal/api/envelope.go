@@ -1,0 +1,96 @@
+package api
+
+// The /v1 response envelope. Every JSON endpoint replies
+//
+//	{"data": <payload>, "error": null}        on success
+//	{"data": null, "error": {"code", "message", "fields"}} on failure
+//
+// so clients branch on one shape. Error codes are machine-readable and
+// stable; messages are for humans and may change.
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Envelope is the uniform /v1 response shape. Both keys are always
+// present (Data is JSON null on errors, Error null on success).
+type Envelope struct {
+	Data  any        `json:"data"`
+	Error *ErrorBody `json:"error"`
+}
+
+// ErrorBody is the envelope's error half.
+type ErrorBody struct {
+	// Code is one of the Code* constants — the machine-readable branch
+	// key.
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Fields pinpoints request-validation failures per field.
+	Fields []FieldError `json:"fields,omitempty"`
+}
+
+// FieldError names one invalid request field — the uniform 400 shape
+// shared by every /v1 handler.
+type FieldError struct {
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+// Stable machine-readable error codes.
+const (
+	CodeBadRequest       = "bad_request"        // 400: malformed body or parameters
+	CodeInvalidArgument  = "invalid_argument"   // 422: well-formed but semantically unroutable
+	CodeNotFound         = "not_found"          // 404
+	CodeMethodNotAllowed = "method_not_allowed" // 405
+	CodeConflict         = "conflict"           // 409
+	CodeOverloaded       = "overloaded"         // 429: admission queue shed the request
+	CodeUnavailable      = "unavailable"        // 503: subsystem disabled or shutting down
+	CodeInternal         = "internal"           // 500
+)
+
+// codeForStatus maps an HTTP status onto its default error code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusUnprocessableEntity:
+		return CodeInvalidArgument
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// writeData writes a success envelope.
+func writeData(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(Envelope{Data: v}); err != nil {
+		// Headers are gone; nothing else to do but note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeError writes an error envelope with an explicit code.
+func writeError(w http.ResponseWriter, status int, code, message string, fields ...FieldError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(Envelope{Error: &ErrorBody{Code: code, Message: message, Fields: fields}})
+}
+
+// httpError writes an error envelope deriving the code from the status
+// — the migration shim for handlers that only have an error value.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeError(w, status, codeForStatus(status), err.Error())
+}

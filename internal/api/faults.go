@@ -1,20 +1,20 @@
 package api
 
-// Fault-management endpoints, backed by the faultd.Monitor when the
-// server is constructed with one:
+// Fault-management endpoints, backed by one faultd.Monitor per serving
+// shard (or a single monitor when unsharded):
 //
-//	GET    /faults         -> {"faults":[…]} — the armed fault set
-//	POST   /faults         {"spec":"stuck:3:1:cross"} or {"faults":[…]} -> the updated set
-//	DELETE /faults         -> {"cleared":k}
-//	GET    /faults/report  -> full fault-management state (stats, candidates, quarantine)
-//	POST   /probe          -> run a probe round now, return its report
+//	GET    /v1/faults          -> the armed fault set
+//	POST   /v1/faults          {"spec":"stuck:3:1:cross"} or {"faults":[…]} -> the updated set
+//	DELETE /v1/faults          -> {"cleared":k}
+//	GET    /v1/faults/report   -> full fault-management state (stats, candidates, quarantine)
+//	POST   /v1/probe           -> run a probe round now, return its report
 //
-// Without a monitor these endpoints answer 503, mirroring the group
-// endpoints without a manager.
+// When the server fronts several monitors (WithShards), the ?shard=k
+// query parameter selects the fabric; it defaults to shard 0. Without
+// any monitor these endpoints answer 503, mirroring the group endpoints
+// without a backend.
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 
@@ -23,34 +23,87 @@ import (
 
 func (s *Server) withFaults(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.fm == nil {
-			httpError(w, http.StatusServiceUnavailable, errors.New("api: fault monitor not enabled"))
+		if s.defaultMonitor() == nil {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "api: fault monitor not enabled")
 			return
 		}
 		h(w, r)
 	}
 }
 
-// FaultsResponse is the GET /faults (and POST /faults) reply.
+// defaultMonitor is the monitor fault requests address without an
+// explicit ?shard: the single unsharded monitor, or shard 0's.
+func (s *Server) defaultMonitor() *faultd.Monitor {
+	if s.fm != nil {
+		return s.fm
+	}
+	if len(s.monitors) > 0 {
+		return s.monitors[0]
+	}
+	return nil
+}
+
+// monitorFor resolves the ?shard=k selector. With a single monitor any
+// explicit non-zero selector is rejected, so clients can't silently
+// address a fabric that isn't there.
+func (s *Server) monitorFor(w http.ResponseWriter, r *http.Request) *faultd.Monitor {
+	q := r.URL.Query()
+	var fields []FieldError
+	k := queryInt(q, "shard", 0, &fields)
+	if len(fields) > 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request", fields...)
+		return nil
+	}
+	if len(s.monitors) > 0 {
+		if k >= len(s.monitors) {
+			writeError(w, http.StatusNotFound, CodeNotFound,
+				fmt.Sprintf("api: no shard %d (have %d)", k, len(s.monitors)))
+			return nil
+		}
+		return s.monitors[k]
+	}
+	if k != 0 {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("api: no shard %d on an unsharded server", k))
+		return nil
+	}
+	return s.fm
+}
+
+// FaultsResponse is the GET /v1/faults (and POST /v1/faults) reply.
 type FaultsResponse struct {
 	Faults []faultd.Fault `json:"faults"`
 }
 
 func (s *Server) handleFaultsGet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, FaultsResponse{Faults: s.fm.Injector().List()})
+	fm := s.monitorFor(w, r)
+	if fm == nil {
+		return
+	}
+	writeData(w, http.StatusOK, FaultsResponse{Faults: fm.Injector().List()})
 }
 
-// InjectFaultsRequest is the POST /faults payload: structured faults,
+// InjectFaultsRequest is the POST /v1/faults payload: structured faults,
 // the flag-style spec string, or both.
 type InjectFaultsRequest struct {
 	Faults []faultd.Fault `json:"faults"`
 	Spec   string         `json:"spec"`
 }
 
+func (r *InjectFaultsRequest) validate() (fields []FieldError) {
+	if len(r.Faults) == 0 && r.Spec == "" {
+		fields = append(fields, FieldError{Field: "faults", Reason: "required: faults or spec"})
+	}
+	return fields
+}
+
 func (s *Server) handleFaultsPost(w http.ResponseWriter, r *http.Request) {
+	fm := s.monitorFor(w, r)
+	if fm == nil {
+		return
+	}
 	var req InjectFaultsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+	if !decode(w, r, &req) {
 		return
 	}
 	faults := req.Faults
@@ -62,39 +115,47 @@ func (s *Server) handleFaultsPost(w http.ResponseWriter, r *http.Request) {
 		}
 		faults = append(faults, parsed...)
 	}
-	if len(faults) == 0 {
-		httpError(w, http.StatusUnprocessableEntity, errors.New("api: no faults in request"))
-		return
-	}
 	for _, f := range faults {
-		if err := f.Validate(s.fm.N(), s.fm.Depth()); err != nil {
+		if err := f.Validate(fm.N(), fm.Depth()); err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 	}
-	inj := s.fm.Injector()
+	inj := fm.Injector()
 	for _, f := range faults {
 		inj.Add(f)
 	}
-	writeJSON(w, FaultsResponse{Faults: inj.List()})
+	writeData(w, http.StatusOK, FaultsResponse{Faults: inj.List()})
 }
 
 func (s *Server) handleFaultsDelete(w http.ResponseWriter, r *http.Request) {
-	inj := s.fm.Injector()
+	fm := s.monitorFor(w, r)
+	if fm == nil {
+		return
+	}
+	inj := fm.Injector()
 	k := len(inj.List())
 	inj.Clear()
-	writeJSON(w, map[string]int{"cleared": k})
+	writeData(w, http.StatusOK, map[string]int{"cleared": k})
 }
 
 func (s *Server) handleFaultsReport(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.fm.Report())
+	fm := s.monitorFor(w, r)
+	if fm == nil {
+		return
+	}
+	writeData(w, http.StatusOK, fm.Report())
 }
 
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.fm.RunProbes()
+	fm := s.monitorFor(w, r)
+	if fm == nil {
+		return
+	}
+	rep, err := fm.RunProbes()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, rep)
+	writeData(w, http.StatusOK, rep)
 }

@@ -1,58 +1,86 @@
 package api
 
-// Stateful group endpoints, backed by the groupd.Manager when the server
-// is constructed with one:
+// Stateful group endpoints, backed by any Groups implementation — a
+// single *groupd.Manager, or the sharded *shard.Set:
 //
-//	POST   /groups              {"id":"conf","source":2,"members":[3,4,7]} -> group state
-//	GET    /groups              -> {"count":…,"groups":[…]}
-//	GET    /groups/{id}         -> {"id","source","gen","size","members","sequence"}
-//	POST   /groups/{id}/join    {"dest":9}  -> {"id","gen","size"}
-//	POST   /groups/{id}/leave   {"dest":9}  -> {"id","gen","size"}
-//	DELETE /groups/{id}         -> {"deleted":"conf"}
-//	GET    /groups/{id}/plan    -> the cached/recomputed column program
-//	GET    /epoch               -> the last epoch report
-//	POST   /epoch               -> run an epoch now, return its report
-//	GET    /healthz             -> liveness + registered group count
+//	POST   /v1/groups              {"id":"conf","source":2,"members":[3,4,7]} -> group state
+//	GET    /v1/groups              -> {"count","offset","groups"} (paginated, Link headers)
+//	GET    /v1/groups/{id}         -> {"id","source","gen","size","members","sequence"}
+//	POST   /v1/groups/{id}/join    {"dest":9}  -> {"id","gen","size"}
+//	POST   /v1/groups/{id}/leave   {"dest":9}  -> {"id","gen","size"}
+//	DELETE /v1/groups/{id}         -> {"deleted":"conf"}
+//	GET    /v1/groups/{id}/plan    -> the cached/recomputed column program
+//	GET    /v1/epoch               -> the last epoch report
+//	POST   /v1/epoch               -> run an epoch now, return its report
+//	GET    /v1/healthz             -> liveness + group/shard/fault summary
 //
-// Without a manager the group endpoints answer 503; /healthz always
+// Without a backend the group endpoints answer 503; /v1/healthz always
 // answers 200 so a stateless deployment stays load-balancer-ready.
 
 import (
 	"encoding/base64"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
+	"brsmn/internal/shard"
+)
+
+// Groups is the group-serving backend contract: the intersection of
+// *groupd.Manager (one fabric) and *shard.Set (K fabrics behind batched
+// admission) the HTTP layer needs. Both satisfy it.
+type Groups interface {
+	N() int
+	Create(id string, source int, members []int) (groupd.GroupInfo, error)
+	Join(id string, d int) (groupd.Update, error)
+	Leave(id string, d int) (groupd.Update, error)
+	Delete(id string) error
+	Get(id string) (groupd.GroupInfo, error)
+	List() []groupd.GroupInfo
+	Count() int
+	Plan(id string) (groupd.PlanInfo, error)
+	Epoch() int64
+	Pending() int64
+	CacheStats() groupd.CacheStats
+	RunEpoch() (*groupd.EpochReport, error)
+	LastEpoch() *groupd.EpochReport
+}
+
+var (
+	_ Groups = (*groupd.Manager)(nil)
+	_ Groups = (*shard.Set)(nil)
 )
 
 func (s *Server) withGroups(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.gm == nil {
-			httpError(w, http.StatusServiceUnavailable, errors.New("api: group manager not enabled"))
+		if s.groups == nil {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "api: group backend not enabled")
 			return
 		}
 		h(w, r)
 	}
 }
 
-// groupErr maps groupd sentinel errors onto HTTP statuses.
+// groupErr maps backend sentinel errors onto statuses and codes:
+// groupd's registry errors plus shard's admission and placement errors.
 func groupErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, groupd.ErrNotFound):
 		httpError(w, http.StatusNotFound, err)
 	case errors.Is(err, groupd.ErrExists):
 		httpError(w, http.StatusConflict, err)
-	case errors.Is(err, groupd.ErrClosed):
+	case errors.Is(err, groupd.ErrClosed), errors.Is(err, shard.ErrClosed), errors.Is(err, shard.ErrNoLiveShard):
 		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, shard.ErrOverloaded):
+		httpError(w, http.StatusTooManyRequests, err)
 	default:
 		httpError(w, http.StatusUnprocessableEntity, err)
 	}
 }
 
-// CreateGroupRequest is the POST /groups payload.
+// CreateGroupRequest is the POST /v1/groups payload.
 type CreateGroupRequest struct {
 	// ID is optional; empty auto-assigns one.
 	ID      string `json:"id"`
@@ -60,40 +88,84 @@ type CreateGroupRequest struct {
 	Members []int  `json:"members"`
 }
 
+func (r *CreateGroupRequest) validate() (fields []FieldError) {
+	if r.Source < 0 {
+		fields = append(fields, FieldError{Field: "source", Reason: "must be a non-negative input port"})
+	}
+	for _, m := range r.Members {
+		if m < 0 {
+			fields = append(fields, FieldError{Field: "members", Reason: fmt.Sprintf("output %d is negative", m)})
+			break
+		}
+	}
+	return fields
+}
+
 func (s *Server) handleGroupCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateGroupRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+	if !decode(w, r, &req) {
 		return
 	}
-	info, err := s.gm.Create(req.ID, req.Source, req.Members)
+	info, err := s.groups.Create(req.ID, req.Source, req.Members)
 	if err != nil {
 		groupErr(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	_ = json.NewEncoder(w).Encode(info)
+	writeData(w, http.StatusCreated, info)
 }
 
-// GroupListResponse is the GET /groups reply.
+// GroupListResponse is the GET /v1/groups reply. Count is the total
+// registered groups; Groups is the requested window of them.
 type GroupListResponse struct {
 	Count  int                `json:"count"`
+	Offset int                `json:"offset"`
 	Groups []groupd.GroupInfo `json:"groups"`
 }
 
+// handleGroupList serves the group listing with offset/limit pagination
+// and RFC 8288 Link headers for the neighboring pages.
 func (s *Server) handleGroupList(w http.ResponseWriter, r *http.Request) {
-	list := s.gm.List()
-	writeJSON(w, GroupListResponse{Count: len(list), Groups: list})
+	q := r.URL.Query()
+	var fields []FieldError
+	limit := queryInt(q, "limit", 0, &fields)
+	offset := queryInt(q, "offset", 0, &fields)
+	if len(fields) > 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request", fields...)
+		return
+	}
+	list := s.groups.List()
+	total := len(list)
+	if offset > total {
+		offset = total
+	}
+	window := list[offset:]
+	if limit > 0 {
+		end := offset + limit
+		if end > total {
+			end = total
+		}
+		window = list[offset:end]
+		if end < total {
+			w.Header().Add("Link", fmt.Sprintf(`</v1/groups?offset=%d&limit=%d>; rel="next"`, end, limit))
+		}
+		if offset > 0 {
+			prev := offset - limit
+			if prev < 0 {
+				prev = 0
+			}
+			w.Header().Add("Link", fmt.Sprintf(`</v1/groups?offset=%d&limit=%d>; rel="prev"`, prev, limit))
+		}
+	}
+	writeData(w, http.StatusOK, GroupListResponse{Count: total, Offset: offset, Groups: window})
 }
 
 func (s *Server) handleGroupGet(w http.ResponseWriter, r *http.Request) {
-	info, err := s.gm.Get(r.PathValue("id"))
+	info, err := s.groups.Get(r.PathValue("id"))
 	if err != nil {
 		groupErr(w, err)
 		return
 	}
-	writeJSON(w, info)
+	writeData(w, http.StatusOK, info)
 }
 
 // MembershipRequest is the join/leave payload.
@@ -101,18 +173,24 @@ type MembershipRequest struct {
 	Dest int `json:"dest"`
 }
 
+func (r *MembershipRequest) validate() (fields []FieldError) {
+	if r.Dest < 0 {
+		fields = append(fields, FieldError{Field: "dest", Reason: "must be a non-negative output port"})
+	}
+	return fields
+}
+
 func (s *Server) handleGroupJoin(w http.ResponseWriter, r *http.Request) {
-	s.handleMembership(w, r, s.gm.Join)
+	s.handleMembership(w, r, s.groups.Join)
 }
 
 func (s *Server) handleGroupLeave(w http.ResponseWriter, r *http.Request) {
-	s.handleMembership(w, r, s.gm.Leave)
+	s.handleMembership(w, r, s.groups.Leave)
 }
 
 func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request, op func(string, int) (groupd.Update, error)) {
 	var req MembershipRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("api: bad JSON: %w", err))
+	if !decode(w, r, &req) {
 		return
 	}
 	u, err := op(r.PathValue("id"), req.Dest)
@@ -120,19 +198,19 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request, op fun
 		groupErr(w, err)
 		return
 	}
-	writeJSON(w, u)
+	writeData(w, http.StatusOK, u)
 }
 
 func (s *Server) handleGroupDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.gm.Delete(id); err != nil {
+	if err := s.groups.Delete(id); err != nil {
 		groupErr(w, err)
 		return
 	}
-	writeJSON(w, map[string]string{"deleted": id})
+	writeData(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
-// GroupPlanResponse is the GET /groups/{id}/plan reply.
+// GroupPlanResponse is the GET /v1/groups/{id}/plan reply.
 type GroupPlanResponse struct {
 	ID      string `json:"id"`
 	Gen     uint64 `json:"gen"`
@@ -142,12 +220,12 @@ type GroupPlanResponse struct {
 }
 
 func (s *Server) handleGroupPlan(w http.ResponseWriter, r *http.Request) {
-	p, err := s.gm.Plan(r.PathValue("id"))
+	p, err := s.groups.Plan(r.PathValue("id"))
 	if err != nil {
 		groupErr(w, err)
 		return
 	}
-	writeJSON(w, GroupPlanResponse{
+	writeData(w, http.StatusOK, GroupPlanResponse{
 		ID:      p.ID,
 		Gen:     p.Gen,
 		Cached:  p.Cached,
@@ -157,43 +235,50 @@ func (s *Server) handleGroupPlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEpochGet(w http.ResponseWriter, r *http.Request) {
-	rep := s.gm.LastEpoch()
+	rep := s.groups.LastEpoch()
 	if rep == nil {
 		rep = &groupd.EpochReport{}
 	}
-	writeJSON(w, rep)
+	writeData(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleEpochRun(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.gm.RunEpoch()
+	rep, err := s.groups.RunEpoch()
 	if err != nil {
 		groupErr(w, err)
 		return
 	}
-	writeJSON(w, rep)
+	writeData(w, http.StatusOK, rep)
 }
 
-// HealthResponse is the GET /healthz reply.
+// HealthResponse is the GET /v1/healthz reply.
 type HealthResponse struct {
 	Status  string `json:"status"`
 	Groups  int    `json:"groups"`
 	Epoch   int64  `json:"epoch"`
 	Pending int64  `json:"pending"`
 	// Faults carries the fault-management counters when the monitor is
-	// enabled.
+	// enabled (the default monitor when serving sharded).
 	Faults *faultd.Stats `json:"faults,omitempty"`
+	// Shards carries the serving layer's aggregated snapshot when the
+	// server fronts a shard.Set.
+	Shards *shard.SetStats `json:"shards,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok"}
-	if s.gm != nil {
-		resp.Groups = s.gm.Count()
-		resp.Epoch = s.gm.Epoch()
-		resp.Pending = s.gm.Pending()
+	if s.groups != nil {
+		resp.Groups = s.groups.Count()
+		resp.Epoch = s.groups.Epoch()
+		resp.Pending = s.groups.Pending()
 	}
-	if s.fm != nil {
-		st := s.fm.Stats()
+	if fm := s.defaultMonitor(); fm != nil {
+		st := fm.Stats()
 		resp.Faults = &st
 	}
-	writeJSON(w, resp)
+	if s.set != nil {
+		st := s.set.Stats()
+		resp.Shards = &st
+	}
+	writeData(w, http.StatusOK, resp)
 }

@@ -3,8 +3,12 @@ package api
 // Observability endpoints and HTTP instrumentation, active when the
 // server is constructed with WithMetrics / WithTracer:
 //
-//	GET /metrics         -> Prometheus text exposition of the registry
-//	GET /trace/{group}   -> the last recorded planning trace as JSON
+//	GET /v1/metrics         -> Prometheus text exposition of the registry
+//	GET /v1/trace/{group}   -> the last recorded planning trace as JSON
+//
+// /metrics is also served unversioned (scrapers don't follow
+// redirects); its exposition-format body is the one non-envelope
+// response besides redirects.
 //
 // Every handler is additionally wrapped to count requests by handler
 // and status code (brsmn_http_requests_total) and observe latency
@@ -12,7 +16,6 @@ package api
 // direct call — no status capture, no clock reads.
 
 import (
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -37,14 +40,14 @@ func WithTracer(rec *obs.TraceRecorder) Option {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.reg == nil {
-		httpError(w, http.StatusServiceUnavailable, errors.New("api: metrics not enabled"))
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "api: metrics not enabled")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }
 
-// TraceResponse is the GET /trace/{group} reply.
+// TraceResponse is the GET /v1/trace/{group} reply.
 type TraceResponse struct {
 	Group string          `json:"group"`
 	Trace *obs.RouteTrace `json:"trace"`
@@ -52,16 +55,17 @@ type TraceResponse struct {
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
-		httpError(w, http.StatusServiceUnavailable, errors.New("api: tracing not enabled"))
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "api: tracing not enabled")
 		return
 	}
 	group := r.PathValue("group")
 	tr := s.tracer.Last(group)
 	if tr == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("api: no trace recorded for %q (traces are sampled; route the group first)", group))
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("api: no trace recorded for %q (traces are sampled; route the group first)", group))
 		return
 	}
-	writeJSON(w, TraceResponse{Group: group, Trace: tr})
+	writeData(w, http.StatusOK, TraceResponse{Group: group, Trace: tr})
 }
 
 // statusWriter captures the response code for the request counter.

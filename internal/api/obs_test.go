@@ -1,7 +1,6 @@
 package api
 
 import (
-	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -34,39 +33,43 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// Generate some traffic so the HTTP series exist.
 	var created groupd.GroupInfo
-	if code := doJSON(t, "POST", ts.URL+"/groups", CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, &created); code != http.StatusCreated {
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups", CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, &created); code != http.StatusCreated {
 		t.Fatalf("create = %d", code)
 	}
-	if code := doJSON(t, "POST", ts.URL+"/epoch", nil, nil); code != http.StatusOK {
+	if code := doJSON(t, "POST", ts.URL+"/v1/epoch", nil, nil); code != http.StatusOK {
 		t.Fatalf("epoch = %d", code)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/metrics = %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Fatalf("/metrics content-type = %q", ct)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := string(raw)
-	for _, series := range []string{
-		"# TYPE brsmn_epoch_duration_seconds histogram",
-		"brsmn_plan_cache_ops_total{op=\"miss\"}",
-		"brsmn_planner_pool_ops_total{op=\"get\"}",
-		"brsmn_http_requests_total{handler=\"group_create\",code=\"201\"} 1",
-		"brsmn_http_request_seconds",
-		"brsmn_groups 1",
-	} {
-		if !strings.Contains(text, series) {
-			t.Errorf("/metrics missing %q", series)
+	// The exposition is served both at /v1/metrics and, for scrapers
+	// that don't follow redirects, directly at /metrics.
+	for _, path := range []string{"/metrics", "/v1/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("%s content-type = %q", path, ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		for _, series := range []string{
+			"# TYPE brsmn_epoch_duration_seconds histogram",
+			"brsmn_plan_cache_ops_total{op=\"miss\"}",
+			"brsmn_planner_pool_ops_total{op=\"get\"}",
+			"brsmn_http_requests_total{handler=\"group_create\",code=\"201\"} 1",
+			"brsmn_http_request_seconds",
+			"brsmn_groups 1",
+		} {
+			if !strings.Contains(text, series) {
+				t.Errorf("%s missing %q", path, series)
+			}
 		}
 	}
 }
@@ -87,17 +90,17 @@ func TestMetricsDisabled(t *testing.T) {
 func TestTraceEndpoint(t *testing.T) {
 	ts, _ := newObsServer(t)
 
-	if code := doJSON(t, "POST", ts.URL+"/groups", CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, nil); code != http.StatusCreated {
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups", CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}}, nil); code != http.StatusCreated {
 		t.Fatalf("create = %d", code)
 	}
 	// The replan (and with it the sampled trace) happens on plan demand.
-	if code := doJSON(t, "GET", ts.URL+"/groups/conf/plan", nil, nil); code != http.StatusOK {
+	if code := doJSON(t, "GET", ts.URL+"/v1/groups/conf/plan", nil, nil); code != http.StatusOK {
 		t.Fatalf("plan = %d", code)
 	}
 
 	var got TraceResponse
-	if code := doJSON(t, "GET", ts.URL+"/trace/conf", nil, &got); code != http.StatusOK {
-		t.Fatalf("/trace/conf = %d", code)
+	if code := doJSON(t, "GET", ts.URL+"/v1/trace/conf", nil, &got); code != http.StatusOK {
+		t.Fatalf("/v1/trace/conf = %d", code)
 	}
 	if got.Group != "conf" || got.Trace == nil {
 		t.Fatalf("trace response = %+v", got)
@@ -106,66 +109,65 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatalf("trace body = %+v", got.Trace)
 	}
 
-	resp, err := http.Get(ts.URL + "/trace/unknown")
+	resp, err := http.Get(ts.URL + "/v1/trace/unknown")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("/trace/unknown = %d, want 404", resp.StatusCode)
+		t.Fatalf("/v1/trace/unknown = %d, want 404", resp.StatusCode)
 	}
 
 	// Without a tracer the endpoint is disabled, not missing.
 	bare := httptest.NewServer(NewServer(rbn.Sequential, nil, nil))
 	defer bare.Close()
-	resp, err = http.Get(bare.URL + "/trace/conf")
+	resp, err = http.Get(bare.URL + "/v1/trace/conf")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("/trace without tracer = %d, want 503", resp.StatusCode)
+		t.Fatalf("/v1/trace without tracer = %d, want 503", resp.StatusCode)
 	}
 }
 
 // checkJSONError asserts an error response is JSON all the way: content
-// type, a decodable {"error": ...} body, and the expected status.
-func checkJSONError(t *testing.T, resp *http.Response, wantCode int) errorBody {
+// type, a decodable envelope with a machine-readable code and null data,
+// and the expected status.
+func checkJSONError(t *testing.T, resp *http.Response, wantCode int) *ErrorBody {
 	t.Helper()
-	defer resp.Body.Close()
 	if resp.StatusCode != wantCode {
 		t.Fatalf("%s: status %d, want %d", resp.Request.URL.Path, resp.StatusCode, wantCode)
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("%s: content-type %q, want application/json", resp.Request.URL.Path, ct)
 	}
-	var body errorBody
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatalf("%s: error body is not JSON: %v", resp.Request.URL.Path, err)
+	e := readEnvelope(t, resp, nil)
+	if e == nil || e.Code == "" || e.Message == "" {
+		t.Fatalf("%s: error half is empty: %+v", resp.Request.URL.Path, e)
 	}
-	if body.Error == "" {
-		t.Fatalf("%s: empty error message", resp.Request.URL.Path)
-	}
-	return body
+	return e
 }
 
-// TestMethodNotAllowedJSON is the conformance fix regression test: a
-// wrong method on a real endpoint must answer 405 (not 404) with a JSON
-// body and an Allow header — /faults and /probe were the offenders.
+// TestMethodNotAllowedJSON: a wrong method on a real /v1 endpoint must
+// answer 405 (not 404) with the JSON envelope and an Allow header.
 func TestMethodNotAllowedJSON(t *testing.T) {
 	ts, _ := newObsServer(t)
 	cases := []struct {
 		method, path, allow string
 	}{
-		{"PUT", "/faults", "GET, POST, DELETE"},
-		{"GET", "/probe", "POST"},
-		{"DELETE", "/probe", "POST"},
-		{"GET", "/route", "POST"},
-		{"PUT", "/groups", "GET, POST"},
-		{"PATCH", "/groups/conf", "GET, DELETE"},
+		{"PUT", "/v1/faults", "GET, POST, DELETE"},
+		{"GET", "/v1/probe", "POST"},
+		{"DELETE", "/v1/probe", "POST"},
+		{"GET", "/v1/route", "POST"},
+		{"PUT", "/v1/groups", "GET, POST"},
+		{"PATCH", "/v1/groups/conf", "GET, DELETE"},
+		{"POST", "/v1/metrics", "GET"},
 		{"POST", "/metrics", "GET"},
-		{"POST", "/trace/conf", "GET"},
-		{"DELETE", "/epoch", "GET, POST"},
+		{"POST", "/healthz", "GET"},
+		{"POST", "/v1/trace/conf", "GET"},
+		{"DELETE", "/v1/epoch", "GET, POST"},
+		{"DELETE", "/v1/shards", "GET"},
 	}
 	for _, tc := range cases {
 		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
@@ -176,7 +178,10 @@ func TestMethodNotAllowedJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		checkJSONError(t, resp, http.StatusMethodNotAllowed)
+		e := checkJSONError(t, resp, http.StatusMethodNotAllowed)
+		if e.Code != CodeMethodNotAllowed {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.path, e.Code, CodeMethodNotAllowed)
+		}
 		if allow := resp.Header.Get("Allow"); allow != tc.allow {
 			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, allow, tc.allow)
 		}
@@ -185,22 +190,30 @@ func TestMethodNotAllowedJSON(t *testing.T) {
 
 func TestNotFoundJSON(t *testing.T) {
 	ts, _ := newObsServer(t)
-	resp, err := http.Get(ts.URL + "/no/such/endpoint")
-	if err != nil {
-		t.Fatal(err)
+	for _, path := range []string{"/no/such/endpoint", "/v1/no/such/endpoint", "/v2/route"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := checkJSONError(t, resp, http.StatusNotFound); e.Code != CodeNotFound {
+			t.Errorf("%s: code %q, want %q", path, e.Code, CodeNotFound)
+		}
 	}
-	checkJSONError(t, resp, http.StatusNotFound)
 }
 
 // TestMalformedJSONBody asserts every decoding endpoint answers 400
-// with a JSON error body on syntactically broken request JSON.
+// with the envelope and a field-level reason on syntactically broken
+// request JSON.
 func TestMalformedJSONBody(t *testing.T) {
 	ts, _ := newObsServer(t)
-	for _, path := range []string{"/route", "/schedule", "/plan", "/pipeline", "/groups"} {
+	for _, path := range []string{"/v1/route", "/v1/schedule", "/v1/plan", "/v1/pipeline", "/v1/groups"} {
 		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(`{"n": 8,`))
 		if err != nil {
 			t.Fatal(err)
 		}
-		checkJSONError(t, resp, http.StatusBadRequest)
+		e := checkJSONError(t, resp, http.StatusBadRequest)
+		if e.Code != CodeBadRequest || len(e.Fields) == 0 || e.Fields[0].Field != "body" {
+			t.Errorf("%s: error = %+v, want bad_request with a body field reason", path, e)
+		}
 	}
 }

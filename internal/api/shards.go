@@ -1,0 +1,94 @@
+package api
+
+// Shard introspection and rebalance endpoints, active when the server
+// fronts a shard.Set (WithShards):
+//
+//	GET  /v1/shards                    -> the Set's aggregated + per-shard stats
+//	POST /v1/shards/{id}/quarantine    -> pull a shard off the ring, migrate its groups
+//	POST /v1/shards/{id}/reinstate     -> return it and migrate its groups back
+//
+// Without a Set these endpoints answer 503 like the other gated
+// surfaces. Quarantining the last live shard is refused with 409.
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"brsmn/internal/faultd"
+	"brsmn/internal/shard"
+)
+
+// WithShards wires the sharded serving layer: set fronts the group
+// endpoints' backend (pass it as NewServer's Groups too), and monitors
+// — one per shard, may be nil — back the ?shard=k selector of the
+// fault endpoints.
+func WithShards(set *shard.Set, monitors []*faultd.Monitor) Option {
+	return func(s *Server) {
+		s.set = set
+		s.monitors = monitors
+	}
+}
+
+func (s *Server) withShards(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.set == nil {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "api: sharded serving not enabled")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeData(w, http.StatusOK, s.set.Stats())
+}
+
+// shardID parses the {id} path value, writing the 400 envelope on junk.
+func shardID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid request",
+			FieldError{Field: "id", Reason: "must be a non-negative shard index"})
+		return 0, false
+	}
+	return id, true
+}
+
+// shardErr maps Set placement errors: unknown shard 404, closed 503,
+// everything else (already quarantined, not quarantined, last live
+// shard) is a state conflict.
+func shardErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, shard.ErrNoSuchShard):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, shard.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusConflict, err)
+	}
+}
+
+func (s *Server) handleShardQuarantine(w http.ResponseWriter, r *http.Request) {
+	id, ok := shardID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.set.Quarantine(id); err != nil {
+		shardErr(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, s.set.Stats())
+}
+
+func (s *Server) handleShardReinstate(w http.ResponseWriter, r *http.Request) {
+	id, ok := shardID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.set.Reinstate(id); err != nil {
+		shardErr(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, s.set.Stats())
+}

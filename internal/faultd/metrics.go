@@ -18,36 +18,39 @@ import "brsmn/internal/obs"
 
 // RegisterMetrics wires the monitor's series into reg. The counters are
 // scrape-time reads of the atomics the monitor already keeps; only the
-// probe-round histogram is an inline instrument.
+// probe-round histogram is an inline instrument. Config.MetricsLabel is
+// folded into every series name so per-shard monitors coexist in one
+// registry.
 func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
-	m.probeDur = reg.Histogram("brsmn_faultd_probe_round_seconds",
+	lbl := func(name string) string { return obs.WithLabel(name, m.cfg.MetricsLabel) }
+	m.probeDur = reg.Histogram(lbl("brsmn_faultd_probe_round_seconds"),
 		"Wall-clock duration of one probe round.", obs.SecondsBuckets())
-	reg.CounterFunc("brsmn_faultd_probe_rounds_total", "Probe rounds executed.",
+	reg.CounterFunc(lbl("brsmn_faultd_probe_rounds_total"), "Probe rounds executed.",
 		func() float64 { return float64(m.probeRounds.Load()) })
-	reg.CounterFunc("brsmn_faultd_probes_total", "Built-in self-test assignments run.",
+	reg.CounterFunc(lbl("brsmn_faultd_probes_total"), "Built-in self-test assignments run.",
 		func() float64 { return float64(m.probesRun.Load()) })
-	reg.CounterFunc("brsmn_faultd_probe_failures_total", "Self-tests that misdelivered.",
+	reg.CounterFunc(lbl("brsmn_faultd_probe_failures_total"), "Self-tests that misdelivered.",
 		func() float64 { return float64(m.probeFailures.Load()) })
-	reg.GaugeFunc("brsmn_faultd_detected", "1 once any probe has excited a fault.",
+	reg.GaugeFunc(lbl("brsmn_faultd_detected"), "1 once any probe has excited a fault.",
 		func() float64 {
 			if m.Stats().Detected {
 				return 1
 			}
 			return 0
 		})
-	reg.GaugeFunc("brsmn_faultd_time_to_detect_probes",
+	reg.GaugeFunc(lbl("brsmn_faultd_time_to_detect_probes"),
 		"Probes run until the first detection (0 while undetected).",
 		func() float64 { return float64(m.detectedAtProbe.Load()) })
-	reg.GaugeFunc("brsmn_faultd_candidates", "Localizer's surviving suspect count.",
+	reg.GaugeFunc(lbl("brsmn_faultd_candidates"), "Localizer's surviving suspect count.",
 		func() float64 { return float64(m.Stats().Candidates) })
-	reg.GaugeFunc("brsmn_faultd_quarantined_outputs",
+	reg.GaugeFunc(lbl("brsmn_faultd_quarantined_outputs"),
 		"Output ports degraded replanning has rejected.",
 		func() float64 { return float64(m.Stats().QuarantinedOuts) })
-	reg.CounterFunc("brsmn_faultd_degraded_replans_total", "Quarantine replans performed.",
+	reg.CounterFunc(lbl("brsmn_faultd_degraded_replans_total"), "Quarantine replans performed.",
 		func() float64 { return float64(m.degradedReplans.Load()) })
-	reg.GaugeFunc("brsmn_faultd_policy_version",
+	reg.GaugeFunc(lbl("brsmn_faultd_policy_version"),
 		"Fault policy version; bumps invalidate cached degraded plans.",
 		func() float64 { return float64(m.version.Load()) })
-	reg.GaugeFunc("brsmn_faultd_armed_faults", "Chaos-injected faults currently armed.",
+	reg.GaugeFunc(lbl("brsmn_faultd_armed_faults"), "Chaos-injected faults currently armed.",
 		func() float64 { return float64(len(m.inj.List())) })
 }

@@ -36,6 +36,10 @@ type Config struct {
 	// rejecting whole connections that traverse any suspect
 	// (default 16).
 	MaxModelCandidates int
+	// MetricsLabel, when non-empty, is a rendered label pair (e.g.
+	// `shard="3"`) folded into every series RegisterMetrics registers,
+	// so the per-shard monitors of internal/shard share one registry.
+	MetricsLabel string
 }
 
 func (c *Config) applyDefaults() {
@@ -245,6 +249,15 @@ func (m *Monitor) AfterEpoch(epoch int64) {
 // Version implements groupd.FaultPolicy: it increments whenever the
 // quarantine state changes, invalidating cached degraded plans.
 func (m *Monitor) Version() uint64 { return m.version.Load() }
+
+// Healthy reports whether no probe has excited a fault so far — the
+// signal internal/shard watches to quarantine a whole serving shard and
+// migrate its groups to healthy fabrics.
+func (m *Monitor) Healthy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.tracker.Detected()
+}
 
 // Stats is the monitor's counter snapshot — the numbers exposed on the
 // daemon's stats surface (/healthz, /faults/report).

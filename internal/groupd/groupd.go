@@ -75,6 +75,11 @@ type Config struct {
 	// duration/rounds histograms, replan latency, plan-cache and
 	// planner-pool counters (see metrics.go for the full reference).
 	Metrics *obs.Registry
+	// MetricsLabel, when non-empty, is a rendered label pair (e.g.
+	// `shard="3"`) folded into every series this manager registers, so
+	// several managers — the shards of internal/shard — can share one
+	// registry without colliding.
+	MetricsLabel string
 	// Tracer, when non-nil, samples replans per group and records a
 	// per-stage RouteTrace for each sampled one.
 	Tracer *obs.TraceRecorder

@@ -34,25 +34,29 @@ type managerMetrics struct {
 }
 
 // registerMetrics wires the manager's series into reg and returns the
-// inline instruments.
+// inline instruments. Config.MetricsLabel (e.g. `shard="3"`) is folded
+// into every series name, so several managers share one registry
+// without colliding — families, and with them the HELP/TYPE headers,
+// stay shared.
 func (m *Manager) registerMetrics(reg *obs.Registry) *managerMetrics {
+	lbl := func(name string) string { return obs.WithLabel(name, m.cfg.MetricsLabel) }
 	met := &managerMetrics{
-		epochDur: reg.Histogram("brsmn_epoch_duration_seconds",
+		epochDur: reg.Histogram(lbl("brsmn_epoch_duration_seconds"),
 			"Wall-clock duration of one reroute epoch.", obs.SecondsBuckets()),
-		epochRounds: reg.Histogram("brsmn_epoch_rounds",
+		epochRounds: reg.Histogram(lbl("brsmn_epoch_rounds"),
 			"Conflict-free rounds scheduled per epoch.", []float64{1, 2, 4, 8, 16, 32, 64}),
-		epochsOK: reg.Counter(`brsmn_epochs_total{result="ok"}`,
+		epochsOK: reg.Counter(lbl(`brsmn_epochs_total{result="ok"}`),
 			"Completed reroute epochs by result."),
-		epochsErr: reg.Counter(`brsmn_epochs_total{result="error"}`,
+		epochsErr: reg.Counter(lbl(`brsmn_epochs_total{result="error"}`),
 			"Completed reroute epochs by result."),
-		replans: reg.Counter("brsmn_replans_total",
+		replans: reg.Counter(lbl("brsmn_replans_total"),
 			"Cache-miss full replans (O(n log^2 n) routes)."),
-		replanDur: reg.Histogram("brsmn_replan_duration_seconds",
+		replanDur: reg.Histogram(lbl("brsmn_replan_duration_seconds"),
 			"Wall-clock duration of one cache-miss replan, flatten and encode included.", obs.SecondsBuckets()),
 	}
 
 	cacheOp := func(name string, read func(CacheStats) uint64) {
-		reg.CounterFunc(`brsmn_plan_cache_ops_total{op="`+name+`"}`,
+		reg.CounterFunc(lbl(`brsmn_plan_cache_ops_total{op="`+name+`"}`),
 			"Plan cache operations by kind.",
 			func() float64 { return float64(read(m.cache.stats())) })
 	}
@@ -60,21 +64,21 @@ func (m *Manager) registerMetrics(reg *obs.Registry) *managerMetrics {
 	cacheOp("miss", func(s CacheStats) uint64 { return s.Misses })
 	cacheOp("eviction", func(s CacheStats) uint64 { return s.Evictions })
 	cacheOp("invalidation", func(s CacheStats) uint64 { return s.Invalidations })
-	reg.GaugeFunc("brsmn_plan_cache_entries", "Live plan cache entries.",
+	reg.GaugeFunc(lbl("brsmn_plan_cache_entries"), "Live plan cache entries.",
 		func() float64 { return float64(m.cache.stats().Size) })
-	reg.GaugeFunc("brsmn_plan_cache_capacity", "Plan cache capacity in entries.",
+	reg.GaugeFunc(lbl("brsmn_plan_cache_capacity"), "Plan cache capacity in entries.",
 		func() float64 { return float64(m.cfg.CacheSize) })
 
-	reg.GaugeFunc("brsmn_groups", "Registered multicast groups.",
+	reg.GaugeFunc(lbl("brsmn_groups"), "Registered multicast groups.",
 		func() float64 { return float64(m.Count()) })
-	reg.GaugeFunc("brsmn_pending_changes", "Membership changes since the last epoch began.",
+	reg.GaugeFunc(lbl("brsmn_pending_changes"), "Membership changes since the last epoch began.",
 		func() float64 { return float64(m.Pending()) })
-	reg.CounterFunc("brsmn_epoch_number", "Completed epoch count.",
+	reg.CounterFunc(lbl("brsmn_epoch_number"), "Completed epoch count.",
 		func() float64 { return float64(m.Epoch()) })
 
 	pool := m.nw.Planners()
 	poolOp := func(name string, read func(core.PoolStats) uint64) {
-		reg.CounterFunc(`brsmn_planner_pool_ops_total{op="`+name+`"}`,
+		reg.CounterFunc(lbl(`brsmn_planner_pool_ops_total{op="`+name+`"}`),
 			"Planner pool operations by kind (new = pool miss).",
 			func() float64 { return float64(read(pool.Stats())) })
 	}
@@ -82,10 +86,10 @@ func (m *Manager) registerMetrics(reg *obs.Registry) *managerMetrics {
 	poolOp("new", func(s core.PoolStats) uint64 { return s.News })
 	poolOp("put", func(s core.PoolStats) uint64 { return s.Puts })
 	poolOp("shrink", func(s core.PoolStats) uint64 { return s.Shrinks })
-	reg.GaugeFunc(`brsmn_planner_arena_bytes{kind="highwater"}`,
+	reg.GaugeFunc(lbl(`brsmn_planner_arena_bytes{kind="highwater"}`),
 		"Planner arena retention: observed high-water and decayed recent need.",
 		func() float64 { return float64(pool.Stats().RetainedHighWaterBytes) })
-	reg.GaugeFunc(`brsmn_planner_arena_bytes{kind="need"}`,
+	reg.GaugeFunc(lbl(`brsmn_planner_arena_bytes{kind="need"}`),
 		"Planner arena retention: observed high-water and decayed recent need.",
 		func() float64 { return float64(pool.Stats().RecentNeedBytes) })
 	return met

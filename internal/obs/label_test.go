@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithLabel(t *testing.T) {
+	cases := []struct{ name, label, want string }{
+		{"brsmn_groups", `shard="0"`, `brsmn_groups{shard="0"}`},
+		{`brsmn_plan_cache_ops_total{op="hit"}`, `shard="3"`, `brsmn_plan_cache_ops_total{op="hit",shard="3"}`},
+		{"brsmn_groups", "", "brsmn_groups"},
+		{`x{a="b",c="d"}`, `s="1"`, `x{a="b",c="d",s="1"}`},
+	}
+	for _, tc := range cases {
+		if got := WithLabel(tc.name, tc.label); got != tc.want {
+			t.Errorf("WithLabel(%q, %q) = %q, want %q", tc.name, tc.label, got, tc.want)
+		}
+	}
+}
+
+// TestWithLabelSharding pins the registry behavior the sharded daemon
+// depends on: two same-family series with different shard labels are
+// distinct instruments under one HELP/TYPE header.
+func TestWithLabelSharding(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter(WithLabel(`brsmn_test_ops_total{op="x"}`, `shard="0"`), "Test ops.")
+	b := reg.Counter(WithLabel(`brsmn_test_ops_total{op="x"}`, `shard="1"`), "Test ops.")
+	if a == b {
+		t.Fatal("shard-labeled series collided into one instrument")
+	}
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `brsmn_test_ops_total{op="x",shard="0"} 2`) ||
+		!strings.Contains(text, `brsmn_test_ops_total{op="x",shard="1"} 1`) {
+		t.Fatalf("per-shard series not rendered:\n%s", text)
+	}
+	if strings.Count(text, "# TYPE brsmn_test_ops_total") != 1 {
+		t.Fatalf("family header duplicated:\n%s", text)
+	}
+}

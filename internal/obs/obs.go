@@ -155,6 +155,27 @@ func NewRegistry() *Registry {
 	return &Registry{by: map[string]*series{}, help: map[string]string{}}
 }
 
+// WithLabel injects one rendered label pair (e.g. `shard="3"`) into a
+// series name, folding it into an existing label set or opening a new
+// one. An empty label returns the name unchanged, so call sites can
+// thread an optional per-instance label through unconditionally:
+//
+//	WithLabel(`brsmn_plan_cache_ops_total{op="hit"}`, `shard="0"`)
+//	  -> brsmn_plan_cache_ops_total{op="hit",shard="0"}
+//	WithLabel("brsmn_groups", `shard="0"`) -> brsmn_groups{shard="0"}
+//
+// The family name is untouched, so all instances share one HELP/TYPE
+// header — the sharded-daemon convention for per-shard series.
+func WithLabel(name, label string) string {
+	if label == "" {
+		return name
+	}
+	if i := strings.LastIndexByte(name, '}'); i >= 0 {
+		return name[:i] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
 // family is the series name with any label set stripped — the unit the
 // HELP/TYPE headers apply to.
 func family(name string) string {

@@ -1,0 +1,182 @@
+package shard
+
+// Batched admission. Every state-touching operation is a pooled task
+// enqueued onto the owning shard's bounded queue; the shard's worker
+// drains tasks in batches of up to Config.BatchMax and executes them
+// against the shard's manager. The fast path — queue has room, task
+// pooled — allocates nothing; only the overflow path arms a timer.
+
+import (
+	"time"
+
+	"brsmn/internal/groupd"
+)
+
+// opKind selects the manager call a task performs. An explicit enum
+// (rather than a closure) keeps the admission path allocation-free.
+type opKind uint8
+
+const (
+	opCreate opKind = iota
+	opJoin
+	opLeave
+	opDelete
+	opPlan
+)
+
+// task is one admitted operation: request fields in, result fields out,
+// completion signaled on the reused one-slot done channel.
+type task struct {
+	op      opKind
+	id      string
+	dest    int
+	source  int
+	members []int
+
+	info groupd.GroupInfo
+	up   groupd.Update
+	plan groupd.PlanInfo
+	err  error
+
+	enq  time.Time // stamped at enqueue when the wait histogram is live
+	done chan struct{}
+}
+
+func (s *Set) getTask() *task { return s.tasks.Get().(*task) }
+
+func (s *Set) putTask(t *task) {
+	// Drop references so the pool doesn't retain request or plan data.
+	t.id = ""
+	t.members = nil
+	t.info = groupd.GroupInfo{}
+	t.up = groupd.Update{}
+	t.plan = groupd.PlanInfo{}
+	t.err = nil
+	s.tasks.Put(t)
+}
+
+// admit enqueues t on the shard and waits for its completion. A full
+// queue exerts backpressure for at most wait, then sheds. The caller
+// holds the Set's placement read lock, which guarantees the queue is
+// not concurrently closed.
+func (sh *Shard) admit(t *task, wait time.Duration) error {
+	if sh.waitHist != nil {
+		t.enq = time.Now()
+	}
+	select {
+	case sh.queue <- t:
+	default:
+		// Queue full: backpressure window, then shed. The timer
+		// allocation is confined to this slow path.
+		timer := time.NewTimer(wait)
+		select {
+		case sh.queue <- t:
+			timer.Stop()
+		case <-timer.C:
+			sh.shed.Add(1)
+			return ErrOverloaded
+		}
+	}
+	<-t.done
+	sh.admitted.Add(1)
+	return nil
+}
+
+// admitInfo runs a task returning (GroupInfo, error) — create, delete.
+func (s *Set) admitInfo(t *task) (groupd.GroupInfo, error) {
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	if s.closed {
+		s.putTask(t)
+		return groupd.GroupInfo{}, ErrClosed
+	}
+	sh, err := s.locate(t.id)
+	if err != nil {
+		s.putTask(t)
+		return groupd.GroupInfo{}, err
+	}
+	if err := sh.admit(t, s.cfg.AdmitWait); err != nil {
+		s.putTask(t)
+		return groupd.GroupInfo{}, err
+	}
+	info, terr := t.info, t.err
+	s.putTask(t)
+	return info, terr
+}
+
+// admitUpdate runs a task returning (Update, error) — join, leave.
+func (s *Set) admitUpdate(t *task) (groupd.Update, error) {
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	if s.closed {
+		s.putTask(t)
+		return groupd.Update{}, ErrClosed
+	}
+	sh, err := s.locate(t.id)
+	if err != nil {
+		s.putTask(t)
+		return groupd.Update{}, err
+	}
+	if err := sh.admit(t, s.cfg.AdmitWait); err != nil {
+		s.putTask(t)
+		return groupd.Update{}, err
+	}
+	up, terr := t.up, t.err
+	s.putTask(t)
+	return up, terr
+}
+
+// worker is the shard's admission loop: drain a batch, execute it,
+// signal completions. It exits when the queue is closed and drained.
+func (sh *Shard) worker() {
+	defer close(sh.workerDone)
+	max := sh.batchCap
+	if cap(sh.queue) < max {
+		max = cap(sh.queue)
+	}
+	batch := make([]*task, 0, max)
+	for {
+		t, ok := <-sh.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], t)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case t2, ok2 := <-sh.queue:
+				if !ok2 {
+					break drain
+				}
+				batch = append(batch, t2)
+			default:
+				break drain
+			}
+		}
+		for _, bt := range batch {
+			if sh.waitHist != nil {
+				sh.waitHist.ObserveDuration(time.Since(bt.enq))
+			}
+			sh.exec(bt)
+			bt.done <- struct{}{}
+		}
+		sh.batches.Add(1)
+		sh.batchHist.Observe(float64(len(batch)))
+	}
+}
+
+// exec dispatches one task against the shard's manager.
+func (sh *Shard) exec(t *task) {
+	switch t.op {
+	case opCreate:
+		t.info, t.err = sh.gm.Create(t.id, t.source, t.members)
+	case opJoin:
+		t.up, t.err = sh.gm.Join(t.id, t.dest)
+	case opLeave:
+		t.up, t.err = sh.gm.Leave(t.id, t.dest)
+	case opDelete:
+		t.err = sh.gm.Delete(t.id)
+	case opPlan:
+		t.plan, t.err = sh.gm.Plan(t.id)
+	}
+}

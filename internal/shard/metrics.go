@@ -1,0 +1,74 @@
+package shard
+
+// Metrics for the sharded serving layer. Per-shard series carry a
+// shard="k" label (the family name and HELP/TYPE header stay shared),
+// aggregate series are unlabeled:
+//
+//	brsmn_shard_admitted_total{shard}         counter    operations admitted and executed
+//	brsmn_shard_shed_total{shard}             counter    operations shed after the backpressure window
+//	brsmn_shard_batches_total{shard}          counter    worker batches drained
+//	brsmn_shard_queue_len{shard}              gauge      admission-queue occupancy
+//	brsmn_shard_queue_capacity{shard}         gauge      admission-queue bound
+//	brsmn_shard_groups{shard}                 gauge      groups placed on the shard
+//	brsmn_shard_live{shard}                   gauge      1 while on the placement ring
+//	brsmn_shard_admission_wait_seconds{shard} histogram  enqueue-to-execute latency
+//	brsmn_shard_batch_size{shard}             histogram  tasks per drained batch
+//	brsmn_shards                              gauge      configured shard count K
+//	brsmn_shards_live                         gauge      shards currently on the ring
+//	brsmn_shard_migrations_total              counter    groups moved by rebalances
+//	brsmn_shard_quarantines_total             counter    quarantines (manual + automatic)
+
+import "brsmn/internal/obs"
+
+// batchBuckets spans 1..QueueDepth-ish batch sizes: 1 2 4 ... 512.
+func batchBuckets() []float64 { return obs.ExpBuckets(1, 2, 10) }
+
+// registerMetrics wires the Set's series into reg. Called from New
+// before the workers start; each per-shard manager and fault policy
+// registers its own labeled series separately.
+func (s *Set) registerMetrics(reg *obs.Registry) {
+	for i := range s.shards {
+		sh := s.shards[i]
+		lbl := func(name string) string { return obs.WithLabel(name, shardLabel(sh.id)) }
+		sh.waitHist = reg.Histogram(lbl("brsmn_shard_admission_wait_seconds"),
+			"Admission-queue wait, enqueue to execution.", obs.SecondsBuckets())
+		sh.batchHist = reg.Histogram(lbl("brsmn_shard_batch_size"),
+			"Tasks executed per drained admission batch.", batchBuckets())
+		reg.CounterFunc(lbl("brsmn_shard_admitted_total"), "Operations admitted and executed.",
+			func() float64 { return float64(sh.admitted.Load()) })
+		reg.CounterFunc(lbl("brsmn_shard_shed_total"),
+			"Operations shed with 429 after the backpressure window.",
+			func() float64 { return float64(sh.shed.Load()) })
+		reg.CounterFunc(lbl("brsmn_shard_batches_total"), "Worker batches drained.",
+			func() float64 { return float64(sh.batches.Load()) })
+		reg.GaugeFunc(lbl("brsmn_shard_queue_len"), "Admission-queue occupancy.",
+			func() float64 { return float64(len(sh.queue)) })
+		reg.GaugeFunc(lbl("brsmn_shard_queue_capacity"), "Admission-queue bound.",
+			func() float64 { return float64(cap(sh.queue)) })
+		reg.GaugeFunc(lbl("brsmn_shard_groups"), "Groups placed on the shard.",
+			func() float64 { return float64(sh.gm.Count()) })
+		reg.GaugeFunc(lbl("brsmn_shard_live"), "1 while the shard is on the placement ring.",
+			func() float64 {
+				if sh.dead.Load() {
+					return 0
+				}
+				return 1
+			})
+	}
+	reg.GaugeFunc("brsmn_shards", "Configured serving-shard count.",
+		func() float64 { return float64(len(s.shards)) })
+	reg.GaugeFunc("brsmn_shards_live", "Shards currently on the placement ring.",
+		func() float64 {
+			live := 0
+			for _, sh := range s.shards {
+				if !sh.dead.Load() {
+					live++
+				}
+			}
+			return float64(live)
+		})
+	reg.CounterFunc("brsmn_shard_migrations_total", "Groups moved by rebalances.",
+		func() float64 { return float64(s.migrations.Load()) })
+	reg.CounterFunc("brsmn_shard_quarantines_total", "Shard quarantines, manual and automatic.",
+		func() float64 { return float64(s.quarantines.Load()) })
+}

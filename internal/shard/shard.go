@@ -1,0 +1,705 @@
+// Package shard is the multi-fabric serving layer: it partitions the
+// long-lived multicast groups of internal/groupd across K independent
+// planner shards, each a full vertical slice of the single-fabric
+// service — its own core.Network (and with it a private PlannerPool),
+// plan cache, epoch scheduler, and fault policy. One epoch loop over
+// one fabric serializes every group through the same planner; K shards
+// admit traffic onto K switching planes in parallel, which is where the
+// serving layer's throughput comes from (the same batched-admission
+// idea the wormhole multi-lane MIN and optical multicast service
+// literature applies at the fabric level).
+//
+// Three cooperating mechanisms:
+//
+//   - placement: groups map to shards by consistent hashing on the
+//     group ID (ring of virtual nodes, first live shard clockwise).
+//     Hashing the ID — not the source port — keeps a group's home
+//     stable across membership churn and spreads the many groups a hot
+//     source owns over every plane; see DESIGN.md.
+//   - batched admission: every state-touching operation (create, join,
+//     leave, delete, plan) enqueues onto the owning shard's bounded
+//     admission queue and is executed by that shard's worker in drained
+//     batches. A full queue exerts backpressure for Config.AdmitWait,
+//     then sheds the operation as ErrOverloaded — the HTTP layer's 429.
+//     The steady-state admission path allocates nothing: tasks are
+//     pooled, the reply channel is reused, and placement is an inline
+//     FNV hash plus a binary search.
+//   - rebalance: quarantining a shard (manually, or automatically when
+//     its fault policy reports unhealthy) removes it from the ring and
+//     migrates its groups to their new ring successors; reinstating it
+//     migrates them back. Placement and migration serialize on one
+//     RWMutex whose read side is the admission path, so a rebalance
+//     observes a quiesced set.
+//
+// A Set is safe for concurrent use by the HTTP handlers of
+// internal/api, its shard workers, and the managers' epoch goroutines.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brsmn/internal/groupd"
+	"brsmn/internal/obs"
+)
+
+// Sentinel errors the API layer maps to HTTP statuses.
+var (
+	// ErrOverloaded is admission-queue overflow after the backpressure
+	// window — the 429 surface.
+	ErrOverloaded = errors.New("shard: admission queue full")
+	// ErrClosed reports a Set that has been Closed.
+	ErrClosed = errors.New("shard: set closed")
+	// ErrNoLiveShard means every shard is quarantined.
+	ErrNoLiveShard = errors.New("shard: no live shard")
+	// ErrNoSuchShard reports an out-of-range shard ID.
+	ErrNoSuchShard = errors.New("shard: no such shard")
+)
+
+// HealthReporter is the optional fault-policy facet the Set watches to
+// quarantine a shard automatically: a policy that also reports overall
+// fabric health (implemented by faultd.Monitor). A policy without it is
+// never auto-quarantined.
+type HealthReporter interface {
+	Healthy() bool
+}
+
+// Config parameterizes a Set. Group is the per-shard manager template;
+// its Policy and MetricsLabel fields are overridden per shard.
+type Config struct {
+	// Shards is the serving-shard count K (default 1).
+	Shards int
+	// QueueDepth bounds each shard's admission queue (default 256).
+	QueueDepth int
+	// BatchMax caps the operations a shard worker drains per batch
+	// (default 32).
+	BatchMax int
+	// AdmitWait is how long admission exerts backpressure on a full
+	// queue before shedding with ErrOverloaded (default 20ms).
+	AdmitWait time.Duration
+	// Replicas is the virtual-node count per shard on the placement
+	// ring (default 64).
+	Replicas int
+	// Group is the per-shard groupd.Config template: N, Engine, cache
+	// size, epoch period/threshold, workers, metrics registry, tracer.
+	Group groupd.Config
+	// NewPolicy, when non-nil, builds shard i's fault policy. Policies
+	// that also implement HealthReporter arm automatic quarantine.
+	NewPolicy func(shard int) groupd.FaultPolicy
+	// OnQuarantine, when non-nil, is called (on its own goroutine)
+	// after an automatic fault-triggered quarantine completes.
+	OnQuarantine func(shard int)
+	// Metrics, when non-nil, receives the admission and placement
+	// series of metrics.go, labeled per shard.
+	Metrics *obs.Registry
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.AdmitWait <= 0 {
+		c.AdmitWait = 20 * time.Millisecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+}
+
+// Shard is one serving plane: a full groupd.Manager (planner pool, plan
+// cache, epoch loop) plus its admission queue and worker.
+type Shard struct {
+	id    int
+	gm    *groupd.Manager
+	watch *watchedPolicy // nil without a policy
+	dead  atomic.Bool
+
+	queue      chan *task
+	batchCap   int
+	workerDone chan struct{}
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	batches  atomic.Uint64
+
+	// Admission-queue histograms; nil without a registry.
+	waitHist  *obs.Histogram
+	batchHist *obs.Histogram
+}
+
+// Set is the sharded serving layer. Construct with New, release with
+// Close. It implements the same group surface as groupd.Manager, so the
+// HTTP layer serves either behind one interface.
+type Set struct {
+	cfg    Config
+	shards []*Shard
+	ring   []ringPoint
+
+	// placeMu serializes placement against rebalance: admission holds
+	// the read side for the whole operation (locate, enqueue, wait), so
+	// a writer — quarantine, reinstate, close — observes a quiesced
+	// set before moving groups.
+	placeMu sync.RWMutex
+	closed  bool
+
+	nextID      atomic.Uint64
+	migrations  atomic.Uint64
+	quarantines atomic.Uint64
+
+	tasks sync.Pool
+}
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	h     uint64
+	shard int
+}
+
+// New builds K shards and their placement ring. Each shard's manager
+// runs its own epoch loop per the Group template.
+func New(cfg Config) (*Set, error) {
+	cfg.applyDefaults()
+	s := &Set{cfg: cfg}
+	s.tasks.New = func() any { return &task{done: make(chan struct{}, 1)} }
+	for i := 0; i < cfg.Shards; i++ {
+		gcfg := cfg.Group
+		gcfg.MetricsLabel = shardLabel(i)
+		if gcfg.Metrics == nil {
+			gcfg.Metrics = cfg.Metrics
+		}
+		var watch *watchedPolicy
+		if cfg.NewPolicy != nil {
+			if p := cfg.NewPolicy(i); p != nil {
+				watch = &watchedPolicy{FaultPolicy: p, set: s, shard: i}
+				gcfg.Policy = watch
+			}
+		}
+		gm, err := groupd.NewManager(gcfg)
+		if err != nil {
+			for _, sh := range s.shards {
+				sh.gm.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh := &Shard{
+			id:         i,
+			gm:         gm,
+			watch:      watch,
+			queue:      make(chan *task, cfg.QueueDepth),
+			batchCap:   cfg.BatchMax,
+			workerDone: make(chan struct{}),
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.ring = buildRing(cfg.Shards, cfg.Replicas)
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+	}
+	for _, sh := range s.shards {
+		go sh.worker()
+	}
+	return s, nil
+}
+
+// shardLabel renders shard i's metric label pair.
+func shardLabel(i int) string { return fmt.Sprintf(`shard="%d"`, i) }
+
+// buildRing hashes Replicas virtual nodes per shard onto the ring.
+func buildRing(shards, replicas int) []ringPoint {
+	ring := make([]ringPoint, 0, shards*replicas)
+	for i := 0; i < shards; i++ {
+		for r := 0; r < replicas; r++ {
+			ring = append(ring, ringPoint{h: placeHash(fmt.Sprintf("shard-%d-%d", i, r)), shard: i})
+		}
+	}
+	sort.Slice(ring, func(a, b int) bool { return ring[a].h < ring[b].h })
+	return ring
+}
+
+// placeHash is the placement hash: an inline allocation-free FNV-1a
+// over the group ID, pushed through a splitmix64-style finalizer. Raw
+// FNV-1a of sequential strings ("g1", "g2", "shard-0-1", "shard-0-2")
+// yields near-sequential values — vnodes of one shard would cluster in
+// a single band of the ring — so the avalanche step is load-bearing.
+// Deliberately not seeded: placement must be identical across restarts
+// so operators can reason about which shard owns a group.
+func placeHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// locate returns the live shard owning id: the first non-quarantined
+// shard clockwise from the ID's hash point. Callers hold placeMu (read
+// or write side). The binary search is hand-rolled so the admission
+// path stays allocation-free.
+func (s *Set) locate(id string) (*Shard, error) {
+	h := placeHash(id)
+	lo, hi := 0, len(s.ring)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ring[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for k := 0; k < len(s.ring); k++ {
+		p := s.ring[(lo+k)%len(s.ring)]
+		sh := s.shards[p.shard]
+		if !sh.dead.Load() {
+			return sh, nil
+		}
+	}
+	return nil, ErrNoLiveShard
+}
+
+// N returns the per-shard network size.
+func (s *Set) N() int { return s.cfg.Group.N }
+
+// Shards returns the configured shard count K.
+func (s *Set) Shards() int { return len(s.shards) }
+
+// Manager exposes shard i's group manager — the introspection surface
+// for tests and per-shard tooling.
+func (s *Set) Manager(i int) (*groupd.Manager, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchShard, i)
+	}
+	return s.shards[i].gm, nil
+}
+
+// Close stops every shard: new admissions fail with ErrClosed, queued
+// work drains, workers exit, managers close. Idempotent.
+func (s *Set) Close() error {
+	s.placeMu.Lock()
+	if s.closed {
+		s.placeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.placeMu.Unlock()
+	// No admitter is in flight (they hold the read lock end to end) and
+	// none can start, so closing the queues is race-free.
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	for _, sh := range s.shards {
+		<-sh.workerDone
+		sh.gm.Close()
+	}
+	return nil
+}
+
+// --- group surface (mirrors groupd.Manager) ---
+
+// Create registers a group on its placement shard. An empty ID is
+// auto-assigned before placement, since placement hashes the ID.
+func (s *Set) Create(id string, source int, members []int) (groupd.GroupInfo, error) {
+	if id == "" {
+		id = fmt.Sprintf("g%d", s.nextID.Add(1))
+	}
+	t := s.getTask()
+	t.op = opCreate
+	t.id = id
+	t.source = source
+	t.members = members
+	return s.admitInfo(t)
+}
+
+// Join admits output d to the group on its owning shard.
+func (s *Set) Join(id string, d int) (groupd.Update, error) {
+	t := s.getTask()
+	t.op = opJoin
+	t.id = id
+	t.dest = d
+	return s.admitUpdate(t)
+}
+
+// Leave removes output d from the group; same contract as Join.
+func (s *Set) Leave(id string, d int) (groupd.Update, error) {
+	t := s.getTask()
+	t.op = opLeave
+	t.id = id
+	t.dest = d
+	return s.admitUpdate(t)
+}
+
+// Delete unregisters the group from its owning shard.
+func (s *Set) Delete(id string) error {
+	t := s.getTask()
+	t.op = opDelete
+	t.id = id
+	_, err := s.admitInfo(t)
+	return err
+}
+
+// Plan returns the group's column program from its owning shard — the
+// steady route path. Warm requests are plan-cache hits on the shard and
+// allocate nothing end to end, admission included.
+func (s *Set) Plan(id string) (groupd.PlanInfo, error) {
+	t := s.getTask()
+	t.op = opPlan
+	t.id = id
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	if s.closed {
+		s.putTask(t)
+		return groupd.PlanInfo{}, ErrClosed
+	}
+	sh, err := s.locate(id)
+	if err != nil {
+		s.putTask(t)
+		return groupd.PlanInfo{}, err
+	}
+	if err := sh.admit(t, s.cfg.AdmitWait); err != nil {
+		s.putTask(t)
+		return groupd.PlanInfo{}, err
+	}
+	p, perr := t.plan, t.err
+	s.putTask(t)
+	return p, perr
+}
+
+// Get reads the group's state from its owning shard (no admission —
+// reads don't contend with the planning queue).
+func (s *Set) Get(id string) (groupd.GroupInfo, error) {
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	if s.closed {
+		return groupd.GroupInfo{}, ErrClosed
+	}
+	sh, err := s.locate(id)
+	if err != nil {
+		return groupd.GroupInfo{}, err
+	}
+	return sh.gm.Get(id)
+}
+
+// List returns every group across all shards, sorted by ID.
+func (s *Set) List() []groupd.GroupInfo {
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	var out []groupd.GroupInfo
+	for _, sh := range s.shards {
+		out = append(out, sh.gm.List()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Count returns the total registered groups across all shards.
+func (s *Set) Count() int {
+	c := 0
+	for _, sh := range s.shards {
+		c += sh.gm.Count()
+	}
+	return c
+}
+
+// Epoch returns the largest completed epoch count across shards.
+func (s *Set) Epoch() int64 {
+	var e int64
+	for _, sh := range s.shards {
+		if v := sh.gm.Epoch(); v > e {
+			e = v
+		}
+	}
+	return e
+}
+
+// Pending sums the membership churn accumulated across shards.
+func (s *Set) Pending() int64 {
+	var p int64
+	for _, sh := range s.shards {
+		p += sh.gm.Pending()
+	}
+	return p
+}
+
+// CacheStats sums the per-shard plan-cache counters.
+func (s *Set) CacheStats() groupd.CacheStats {
+	var agg groupd.CacheStats
+	for _, sh := range s.shards {
+		cs := sh.gm.CacheStats()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Evictions += cs.Evictions
+		agg.Invalidations += cs.Invalidations
+		agg.Size += cs.Size
+		agg.Capacity += cs.Capacity
+	}
+	return agg
+}
+
+// RunEpoch reroutes every live shard concurrently and merges the
+// reports: rounds concatenate (they ran on independent fabrics), the
+// scalar tallies sum, and Epoch is the largest per-shard epoch number.
+func (s *Set) RunEpoch() (*groupd.EpochReport, error) {
+	s.placeMu.RLock()
+	live := make([]*Shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if !sh.dead.Load() {
+			live = append(live, sh)
+		}
+	}
+	s.placeMu.RUnlock()
+	if len(live) == 0 {
+		return nil, ErrNoLiveShard
+	}
+	start := time.Now()
+	reps := make([]*groupd.EpochReport, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, sh := range live {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			reps[i], errs[i] = sh.gm.RunEpoch()
+		}(i, sh)
+	}
+	wg.Wait()
+	merged := &groupd.EpochReport{When: start}
+	for i, rep := range reps {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %d: %w", live[i].id, errs[i])
+		}
+		if rep.Epoch > merged.Epoch {
+			merged.Epoch = rep.Epoch
+		}
+		merged.Groups += rep.Groups
+		merged.Fanout += rep.Fanout
+		merged.Rounds = append(merged.Rounds, rep.Rounds...)
+		merged.Quarantined += rep.Quarantined
+		merged.DegradedRounds += rep.DegradedRounds
+	}
+	merged.Duration = time.Since(start)
+	merged.Cache = s.CacheStats()
+	return merged, nil
+}
+
+// LastEpoch merges the shards' most recent epoch reports, or nil before
+// any shard has completed one.
+func (s *Set) LastEpoch() *groupd.EpochReport {
+	var merged *groupd.EpochReport
+	for _, sh := range s.shards {
+		rep := sh.gm.LastEpoch()
+		if rep == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &groupd.EpochReport{When: rep.When}
+		}
+		if rep.Epoch > merged.Epoch {
+			merged.Epoch = rep.Epoch
+		}
+		if rep.Duration > merged.Duration {
+			merged.Duration = rep.Duration
+		}
+		merged.Groups += rep.Groups
+		merged.Fanout += rep.Fanout
+		merged.Rounds = append(merged.Rounds, rep.Rounds...)
+		merged.Quarantined += rep.Quarantined
+		merged.DegradedRounds += rep.DegradedRounds
+		if rep.Err != "" {
+			merged.Err = rep.Err
+		}
+	}
+	if merged != nil {
+		merged.Cache = s.CacheStats()
+	}
+	return merged
+}
+
+// --- quarantine and rebalance ---
+
+// Quarantine removes shard i from the placement ring and migrates its
+// groups to their new ring successors. Refused when it would leave no
+// live shard.
+func (s *Set) Quarantine(i int) error {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("%w: %d", ErrNoSuchShard, i)
+	}
+	if s.shards[i].dead.Load() {
+		return fmt.Errorf("shard: %d already quarantined", i)
+	}
+	lives := 0
+	for _, sh := range s.shards {
+		if !sh.dead.Load() {
+			lives++
+		}
+	}
+	if lives <= 1 {
+		return fmt.Errorf("shard: refusing to quarantine %d: %v", i, ErrNoLiveShard)
+	}
+	s.shards[i].dead.Store(true)
+	s.quarantines.Add(1)
+	return s.rebalanceLocked()
+}
+
+// Reinstate returns shard i to the ring and migrates back the groups
+// whose hash points it owns. The shard's fault-watch trigger re-arms.
+func (s *Set) Reinstate(i int) error {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("%w: %d", ErrNoSuchShard, i)
+	}
+	if !s.shards[i].dead.Load() {
+		return fmt.Errorf("shard: %d not quarantined", i)
+	}
+	s.shards[i].dead.Store(false)
+	if w := s.shards[i].watch; w != nil {
+		w.fired.Store(false)
+	}
+	return s.rebalanceLocked()
+}
+
+// rebalanceLocked moves every group whose placement no longer matches
+// its current shard. Migration bypasses admission — the caller holds
+// the write lock, so no operation is in flight anywhere.
+func (s *Set) rebalanceLocked() error {
+	var firstErr error
+	for _, from := range s.shards {
+		for _, info := range from.gm.List() {
+			to, err := s.locate(info.ID)
+			if err != nil {
+				return err // no live shard; nothing can be placed
+			}
+			if to == from {
+				continue
+			}
+			if _, err := to.gm.Create(info.ID, info.Source, info.Members); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard: migrating %q to shard %d: %w", info.ID, to.id, err)
+				}
+				continue // keep the group on its old shard rather than lose it
+			}
+			if err := from.gm.Delete(info.ID); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shard: deleting migrated %q from shard %d: %w", info.ID, from.id, err)
+			}
+			s.migrations.Add(1)
+		}
+	}
+	return firstErr
+}
+
+// quarantineDetected is the automatic path, run on its own goroutine
+// from a shard's epoch loop when its fault policy turns unhealthy.
+func (s *Set) quarantineDetected(i int) {
+	if err := s.Quarantine(i); err != nil {
+		return // already quarantined, closing, or last live shard
+	}
+	if s.cfg.OnQuarantine != nil {
+		s.cfg.OnQuarantine(i)
+	}
+}
+
+// watchedPolicy wraps a shard's fault policy to watch for detection:
+// after every epoch, an unhealthy report triggers (once, until the
+// shard is reinstated) an asynchronous quarantine-and-rebalance.
+type watchedPolicy struct {
+	groupd.FaultPolicy
+	set   *Set
+	shard int
+	fired atomic.Bool
+}
+
+func (w *watchedPolicy) AfterEpoch(epoch int64) {
+	w.FaultPolicy.AfterEpoch(epoch)
+	if w.fired.Load() {
+		return
+	}
+	hr, ok := w.FaultPolicy.(HealthReporter)
+	if !ok || hr.Healthy() {
+		return
+	}
+	if w.fired.CompareAndSwap(false, true) {
+		// Off the epoch goroutine: quarantine takes the placement write
+		// lock and must not stall the shard's epoch loop.
+		go w.set.quarantineDetected(w.shard)
+	}
+}
+
+// --- stats ---
+
+// ShardStats is one shard's externally visible state.
+type ShardStats struct {
+	ID         int               `json:"id"`
+	Live       bool              `json:"live"`
+	Groups     int               `json:"groups"`
+	Epoch      int64             `json:"epoch"`
+	Pending    int64             `json:"pending"`
+	QueueLen   int               `json:"queueLen"`
+	QueueDepth int               `json:"queueDepth"`
+	Admitted   uint64            `json:"admitted"`
+	Shed       uint64            `json:"shed"`
+	Batches    uint64            `json:"batches"`
+	Cache      groupd.CacheStats `json:"cache"`
+}
+
+// SetStats is the whole serving layer's snapshot.
+type SetStats struct {
+	Shards      int          `json:"shards"`
+	Live        int          `json:"live"`
+	Groups      int          `json:"groups"`
+	Migrations  uint64       `json:"migrations"`
+	Quarantines uint64       `json:"quarantines"`
+	PerShard    []ShardStats `json:"perShard"`
+}
+
+// Stats snapshots every shard.
+func (s *Set) Stats() SetStats {
+	st := SetStats{
+		Shards:      len(s.shards),
+		Migrations:  s.migrations.Load(),
+		Quarantines: s.quarantines.Load(),
+	}
+	for _, sh := range s.shards {
+		ss := ShardStats{
+			ID:         sh.id,
+			Live:       !sh.dead.Load(),
+			Groups:     sh.gm.Count(),
+			Epoch:      sh.gm.Epoch(),
+			Pending:    sh.gm.Pending(),
+			QueueLen:   len(sh.queue),
+			QueueDepth: cap(sh.queue),
+			Admitted:   sh.admitted.Load(),
+			Shed:       sh.shed.Load(),
+			Batches:    sh.batches.Load(),
+			Cache:      sh.gm.CacheStats(),
+		}
+		if ss.Live {
+			st.Live++
+		}
+		st.Groups += ss.Groups
+		st.PerShard = append(st.PerShard, ss)
+	}
+	return st
+}
