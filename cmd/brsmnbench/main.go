@@ -16,6 +16,12 @@
 // readable JSON for benchmark tracking (the BENCH_route.json artifact):
 //
 //	brsmnbench -exp route -n 1024 -trials 20 -format json > BENCH_route.json
+//
+// The recovery experiment measures control-plane restart cost (WAL
+// replay vs snapshot restore) and backs the BENCH_recovery.json
+// artifact:
+//
+//	brsmnbench -exp recovery -n 256 -groups 64 -trials 5 -format json > BENCH_recovery.json
 package main
 
 import (
@@ -31,22 +37,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, route, all")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, route, recovery, all")
 		n       = flag.Int("n", 256, "network size for single-size experiments")
 		sizes   = flag.String("sizes", "16,64,256,1024,4096", "comma-separated sizes for sweeps")
 		trials  = flag.Int("trials", 10, "assignments per wall-clock measurement")
 		seed    = flag.Int64("seed", 1, "random seed")
-		format  = flag.String("format", "text", "output format: text or json (json: wallclock, pipeline, route)")
+		format  = flag.String("format", "text", "output format: text or json (json: wallclock, pipeline, route, recovery)")
 		workers = flag.Int("workers", 4, "worker count for the route experiment's parallel regime")
+		groups  = flag.Int("groups", 64, "group population for the recovery experiment")
 	)
 	flag.Parse()
 	szs, err := parseSizes(*sizes)
 	if err == nil {
 		switch *format {
 		case "text":
-			err = run(os.Stdout, *exp, *n, szs, *trials, *seed)
+			err = run(os.Stdout, *exp, *n, szs, *trials, *seed, *groups)
 		case "json":
-			err = runJSON(os.Stdout, *exp, *n, *trials, *seed, *workers)
+			err = runJSON(os.Stdout, *exp, *n, *trials, *seed, *workers, *groups)
 		default:
 			err = fmt.Errorf("unknown format %q", *format)
 		}
@@ -72,7 +79,7 @@ func parseSizes(s string) ([]int, error) {
 // runJSON handles the experiments with a machine-readable form. The
 // text-only experiments reject -format json instead of silently
 // falling back.
-func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers int) error {
+func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers, groups int) error {
 	var (
 		rep any
 		err error
@@ -84,8 +91,10 @@ func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers int) er
 		rep, err = harness.WallClockJSON(n, trials, seed)
 	case "pipeline":
 		rep, err = harness.PipelineJSON(n, 8, seed)
+	case "recovery":
+		rep, err = harness.RecoveryBench(n, groups, trials, seed)
 	default:
-		return fmt.Errorf("experiment %q has no json output (json: wallclock, pipeline, route)", exp)
+		return fmt.Errorf("experiment %q has no json output (json: wallclock, pipeline, route, recovery)", exp)
 	}
 	if err != nil {
 		return err
@@ -98,7 +107,7 @@ func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers int) er
 	return err
 }
 
-func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64) error {
+func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64, groups int) error {
 	section := func(body string, err error) error {
 		if err != nil {
 			return err
@@ -151,9 +160,20 @@ func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64) er
 			fmt.Fprintf(w, "  %-18s %12d ns/op %12d B/op %8d allocs/op\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 		}
 		return nil
+	case "recovery":
+		rep, err := harness.RecoveryBench(n, groups, trials, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Control-plane recovery, n = %d, %d groups, %d trials\n", rep.N, rep.Groups, rep.Trials)
+		for _, m := range rep.Scenarios {
+			fmt.Fprintf(w, "  %-18s %12d ns/boot  %4d groups %6d replayed records %4d warm plans (snapshot: %v)\n",
+				m.Name, m.NsPerOp, m.Groups, m.Records, m.Plans, m.SnapshotLoaded)
+		}
+		return nil
 	case "all":
-		for _, e := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission", "saturation", "ktradeoff", "wallclock"} {
-			if err := run(w, e, n, sizes, trials, seed); err != nil {
+		for _, e := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission", "saturation", "ktradeoff", "wallclock", "recovery"} {
+			if err := run(w, e, n, sizes, trials, seed, groups); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 			fmt.Fprintln(w)

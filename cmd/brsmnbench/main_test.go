@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func TestRunEachExperiment(t *testing.T) {
 	sizes := []int{8, 16}
 	for _, exp := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission"} {
 		var b strings.Builder
-		if err := run(&b, exp, 16, sizes, 2, 1); err != nil {
+		if err := run(&b, exp, 16, sizes, 2, 1, 4); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if b.Len() == 0 {
@@ -29,10 +30,10 @@ func TestRunEachExperiment(t *testing.T) {
 		}
 	}
 	var b strings.Builder
-	if err := run(&b, "wallclock", 16, sizes, 1, 1); err != nil {
+	if err := run(&b, "wallclock", 16, sizes, 1, 1, 4); err != nil {
 		t.Fatalf("wallclock: %v", err)
 	}
-	if err := run(&b, "nonsense", 16, sizes, 1, 1); err == nil {
+	if err := run(&b, "nonsense", 16, sizes, 1, 1, 4); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -40,12 +41,51 @@ func TestRunEachExperiment(t *testing.T) {
 // TestRunAll chains every experiment.
 func TestRunAll(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "all", 16, []int{8, 16}, 1, 1); err != nil {
+	if err := run(&b, "all", 16, []int{8, 16}, 1, 1, 4); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"Table 1", "Table 2", "Pipelined operation", "Maximum-split"} {
+	for _, want := range []string{"Table 1", "Table 2", "Pipelined operation", "Maximum-split", "Control-plane recovery"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("all: missing %q", want)
 		}
+	}
+}
+
+// TestRecoveryJSON checks the BENCH_recovery.json shape: both boot
+// scenarios, full group recovery, and a loaded snapshot on the
+// graceful path.
+func TestRecoveryJSON(t *testing.T) {
+	var b strings.Builder
+	if err := runJSON(&b, "recovery", 16, 2, 1, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Groups     int    `json:"groups"`
+		Scenarios  []struct {
+			Name            string `json:"name"`
+			NsPerOp         int64  `json:"nsPerOp"`
+			Groups          int    `json:"groups"`
+			ReplayedRecords int    `json:"replayedRecords"`
+			Plans           int    `json:"plans"`
+			SnapshotLoaded  bool   `json:"snapshotLoaded"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, b.String())
+	}
+	if rep.Experiment != "recovery" || len(rep.Scenarios) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	replay, snap := rep.Scenarios[0], rep.Scenarios[1]
+	if replay.Name != "log-replay" || replay.Groups != 4 || replay.ReplayedRecords == 0 || replay.SnapshotLoaded {
+		t.Fatalf("log-replay = %+v", replay)
+	}
+	if snap.Name != "snapshot-restore" || snap.Groups != 4 || !snap.SnapshotLoaded ||
+		snap.ReplayedRecords != 0 || snap.Plans != 4 {
+		t.Fatalf("snapshot-restore = %+v", snap)
+	}
+	if replay.NsPerOp <= 0 || snap.NsPerOp <= 0 {
+		t.Fatalf("non-positive timings: %d, %d", replay.NsPerOp, snap.NsPerOp)
 	}
 }

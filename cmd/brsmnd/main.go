@@ -6,9 +6,15 @@
 // brsmn/internal/groupd and brsmn/internal/shard for the endpoint and
 // subsystem contracts.
 //
+// With -data-dir the daemon is durable: every group mutation is
+// written to a per-shard crash-safe WAL before it is acknowledged,
+// snapshots bound replay, and a restart recovers all groups (warm plan
+// cache included) before serving.
+//
 // Usage:
 //
 //	brsmnd -addr :8642 -n 1024 -workers 4 -shards 4 -epoch 250ms -epoch-threshold 64 -cache 4096
+//	brsmnd -addr :8642 -n 1024 -shards 4 -data-dir /var/lib/brsmnd -snapshot-every 1m -fsync-batch 8
 //
 //	curl -s localhost:8642/healthz
 //	curl -s -X POST localhost:8642/v1/groups -d '{"id":"conf","source":2,"members":[3,4,7]}'
@@ -38,12 +44,15 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
 	"brsmn/internal/api"
 	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
 	"brsmn/internal/obs"
 	"brsmn/internal/rbn"
 	"brsmn/internal/shard"
+	"brsmn/internal/store"
 )
 
 // config is the parsed flag set.
@@ -66,6 +75,9 @@ type config struct {
 	pprofAddr      string
 	metrics        bool
 	traceSample    int
+	dataDir        string
+	snapshotEvery  time.Duration
+	fsyncBatch     int
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -90,6 +102,9 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	fs.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics on /metrics")
 	fs.IntVar(&cfg.traceSample, "trace-sample", 0, "record a planning trace for every k-th replan per group, served on /v1/trace/{group} (0 disables)")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "durable state directory: per-shard WAL + snapshots, recovered on boot (empty disables durability)")
+	fs.DurationVar(&cfg.snapshotEvery, "snapshot-every", time.Minute, "periodic snapshot (and WAL truncation) interval per shard; 0 snapshots only on shutdown and on POST /v1/admin/snapshot")
+	fs.IntVar(&cfg.fsyncBatch, "fsync-batch", 8, "WAL appends per fsync; 1 syncs every mutation before it is acknowledged")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -164,6 +179,28 @@ func newHandler(cfg config) (http.Handler, *shard.Set, error) {
 		monitors[i] = fm
 	}
 
+	// Durability: one store (WAL + snapshot stream) per serving shard
+	// under -data-dir. The snapshots carry the armed fault specs, so
+	// believed faults survive a restart alongside the groups.
+	var newStore func(int) (store.Store, error)
+	var faultSpecs func(int) []string
+	if cfg.dataDir != "" {
+		newStore = func(i int) (store.Store, error) {
+			return store.OpenFile(filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i)), store.FileConfig{
+				FsyncBatch: cfg.fsyncBatch,
+				Metrics:    store.RegisterMetrics(reg, fmt.Sprintf(`shard="%d"`, i)),
+			})
+		}
+		faultSpecs = func(i int) []string {
+			fs := monitors[i].Injector().List()
+			specs := make([]string, len(fs))
+			for k, f := range fs {
+				specs[k] = f.String()
+			}
+			return specs
+		}
+	}
+
 	set, err := shard.New(shard.Config{
 		Shards:     cfg.shards,
 		QueueDepth: cfg.queueDepth,
@@ -178,14 +215,66 @@ func newHandler(cfg config) (http.Handler, *shard.Set, error) {
 			Workers:        cfg.workers,
 			Tracer:         tracer,
 		},
-		NewPolicy:    func(i int) groupd.FaultPolicy { return monitors[i] },
-		OnQuarantine: func(i int) { log.Printf("brsmnd: shard %d reported unhealthy, quarantined and rebalanced", i) },
-		Metrics:      reg,
+		NewPolicy:     func(i int) groupd.FaultPolicy { return monitors[i] },
+		OnQuarantine:  func(i int) { log.Printf("brsmnd: shard %d reported unhealthy, quarantined and rebalanced", i) },
+		Metrics:       reg,
+		NewStore:      newStore,
+		SnapshotEvery: cfg.snapshotEvery,
+		FaultSpecs:    faultSpecs,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.dataDir != "" {
+		for i := 0; i < set.Shards(); i++ {
+			gm, err := set.Manager(i)
+			if err != nil {
+				set.Close()
+				return nil, nil, err
+			}
+			inj := monitors[i].Injector()
+			// Re-arm the faults that were believed when the recovered
+			// state was persisted, skipping ones the -fault-inject flag
+			// already armed.
+			already := make(map[string]bool)
+			for _, f := range inj.List() {
+				already[f.String()] = true
+			}
+			for _, spec := range gm.RecoveredFaults() {
+				if already[spec] {
+					continue
+				}
+				fs, err := faultd.ParseSpec(spec)
+				if err != nil {
+					log.Printf("brsmnd: shard %d: dropping recovered fault %q: %v", i, spec, err)
+					continue
+				}
+				for _, f := range fs {
+					if err := f.Validate(monitors[i].N(), monitors[i].Depth()); err != nil {
+						log.Printf("brsmnd: shard %d: dropping recovered fault %q: %v", i, spec, err)
+						continue
+					}
+					inj.Add(f)
+					already[f.String()] = true
+				}
+			}
+			// Journal runtime fault mutations (POST/DELETE /v1/faults)
+			// into this shard's WAL. Installed after re-arm so recovery
+			// itself is not re-journaled.
+			inj.SetJournal(
+				func(f faultd.Fault) { gm.JournalFault(f.String()) },
+				gm.JournalFaultClear,
+			)
+			if rs := gm.Recovery(); rs.SnapshotLoaded || rs.Records > 0 || rs.Groups > 0 {
+				log.Printf("brsmnd: shard %d recovered %d groups, %d warm plans, %d log records (snapshot=%v) in %v",
+					i, rs.Groups, rs.Plans, rs.Records, rs.SnapshotLoaded, rs.Duration)
+			}
+		}
+	}
 	opts := []api.Option{api.WithShards(set, monitors)}
+	if cfg.dataDir != "" {
+		opts = append(opts, api.WithSnapshots(set))
+	}
 	if reg != nil {
 		opts = append(opts, api.WithMetrics(reg))
 	}
@@ -238,9 +327,14 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 		// Stop the admission queues and epoch tickers (and the faultd
 		// probers they drive via AfterEpoch) before the listener:
 		// background replans must not keep running into a server that is
-		// tearing down.
+		// tearing down. With -data-dir, Close also flushes and fsyncs the
+		// WALs and writes the final per-shard snapshots, after the epoch
+		// loops have stopped and before the process exits.
 		if err := set.Close(); err != nil {
 			return err
+		}
+		if cfg.dataDir != "" {
+			fmt.Fprintln(out, "brsmnd: state snapshotted to disk")
 		}
 		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
 		defer cancel()

@@ -31,6 +31,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if !cfg.metrics || cfg.traceSample != 0 {
 		t.Fatalf("observability defaults = %+v", cfg)
 	}
+	if cfg.dataDir != "" || cfg.snapshotEvery != time.Minute || cfg.fsyncBatch != 8 {
+		t.Fatalf("durability defaults = %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
@@ -40,6 +43,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-shards", "4", "-registry-shards", "8", "-batch-max", "16", "-queue-depth", "64",
 		"-probe-every", "2", "-probe-count", "6", "-fault-inject", "dead:0:1", "-fault-seed", "99",
 		"-metrics=false", "-trace-sample", "7",
+		"-data-dir", "/tmp/brsmnd-x", "-snapshot-every", "30s", "-fsync-batch", "1",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +60,9 @@ func TestParseFlagsOverrides(t *testing.T) {
 	}
 	if cfg.metrics || cfg.traceSample != 7 {
 		t.Fatalf("observability overrides = %+v", cfg)
+	}
+	if cfg.dataDir != "/tmp/brsmnd-x" || cfg.snapshotEvery != 30*time.Second || cfg.fsyncBatch != 1 {
+		t.Fatalf("durability overrides = %+v", cfg)
 	}
 }
 

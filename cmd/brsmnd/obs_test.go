@@ -3,10 +3,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -141,6 +144,7 @@ func daemonGoroutines() []string {
 	for _, s := range strings.Split(string(buf[:n]), "\n\n") {
 		if strings.Contains(s, "brsmn/internal/groupd.(*Manager).loop") ||
 			strings.Contains(s, "brsmn/internal/shard.(*Shard).worker") ||
+			strings.Contains(s, "brsmn/internal/shard.(*Set).snapshotLoop") ||
 			strings.Contains(s, "brsmn/internal/faultd.(*Monitor).RunProbes") ||
 			strings.Contains(s, "brsmn/cmd/brsmnd.run(") ||
 			strings.Contains(s, "net/http.(*Server).Serve") {
@@ -164,8 +168,12 @@ func TestRunShutdownUnderLoad(t *testing.T) {
 	l.Close()
 
 	// A fast epoch timer plus periodic probing keeps background work
-	// in flight at cancel time, on two shards.
-	cfg, err := parseFlags([]string{"-addr", addr, "-n", "16", "-shards", "2", "-epoch", "1ms", "-probe-every", "1", "-trace-sample", "1"})
+	// in flight at cancel time, on two shards, with a durable data dir
+	// and a fast snapshot loop so WAL appends and snapshot writes race
+	// the drain too.
+	dir := t.TempDir()
+	cfg, err := parseFlags([]string{"-addr", addr, "-n", "16", "-shards", "2", "-epoch", "1ms", "-probe-every", "1", "-trace-sample", "1",
+		"-data-dir", dir, "-snapshot-every", "10ms", "-fsync-batch", "1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,5 +252,17 @@ func TestRunShutdownUnderLoad(t *testing.T) {
 			t.Fatalf("%d daemon goroutines survived shutdown:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The WAL flushed and the final snapshot landed after the epoch
+	// ticker and prober stopped, before run returned.
+	if !strings.Contains(out.String(), "state snapshotted to disk") {
+		t.Fatalf("shutdown log missing snapshot line: %q", out.String())
+	}
+	for i := 0; i < 2; i++ {
+		snap := filepath.Join(dir, fmt.Sprintf("shard-%d", i), "snapshot.brss")
+		if _, err := os.Stat(snap); err != nil {
+			t.Errorf("final snapshot for shard %d missing: %v", i, err)
+		}
 	}
 }

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRestartRecovery boots the daemon handler against a data dir,
+// builds state over the /v1 API, shuts down cleanly, and boots a
+// second handler on the same dir: every group, the warm plan cache,
+// the armed fault set, and the epoch counter must survive.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	flags := []string{"-n", "16", "-shards", "2", "-epoch", "0", "-epoch-threshold", "0",
+		"-data-dir", dir, "-fsync-batch", "1"}
+
+	cfg, err := parseFlags(flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, set, err := newHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+
+	post := func(ts *httptest.Server, path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return unwrap(t, resp, out)
+	}
+	get := func(ts *httptest.Server, path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return unwrap(t, resp, out)
+	}
+
+	// Named groups, an auto-ID group, a join, and a delete — the full
+	// record vocabulary lands in the WAL.
+	if code := post(ts, "/v1/groups", `{"id":"conf","source":2,"members":[3,4]}`, nil); code != http.StatusCreated {
+		t.Fatalf("create conf = %d", code)
+	}
+	if code := post(ts, "/v1/groups", `{"id":"beam","source":5,"members":[1,7]}`, nil); code != http.StatusCreated {
+		t.Fatalf("create beam = %d", code)
+	}
+	if code := post(ts, "/v1/groups", `{"id":"gone","source":0,"members":[9]}`, nil); code != http.StatusCreated {
+		t.Fatalf("create gone = %d", code)
+	}
+	var auto struct {
+		ID string `json:"id"`
+	}
+	if code := post(ts, "/v1/groups", `{"source":6,"members":[10,11]}`, &auto); code != http.StatusCreated || auto.ID == "" {
+		t.Fatalf("auto create = %d, id %q", code, auto.ID)
+	}
+	if code := post(ts, "/v1/groups/conf/join", `{"dest":7}`, nil); code != http.StatusOK {
+		t.Fatalf("join = %d", code)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/groups/gone", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := unwrap(t, resp, nil); code != http.StatusOK {
+		t.Fatalf("delete = %d", code)
+	}
+
+	// Warm conf's plan so the snapshot carries it.
+	var plan1 struct {
+		Gen  uint64 `json:"gen"`
+		Plan string `json:"plan"`
+	}
+	if code := get(ts, "/v1/groups/conf/plan", &plan1); code != http.StatusOK || plan1.Plan == "" {
+		t.Fatalf("plan = %d, %+v", code, plan1)
+	}
+
+	// Arm a runtime fault on shard 0 and run one epoch; both are
+	// journaled.
+	if code := post(ts, "/v1/faults", `{"spec":"dead:0:1"}`, nil); code != http.StatusOK {
+		t.Fatalf("inject = %d", code)
+	}
+	var ep struct {
+		Epoch int64 `json:"epoch"`
+	}
+	if code := post(ts, "/v1/epoch", "", &ep); code != http.StatusOK || ep.Epoch != 1 {
+		t.Fatalf("epoch = %d, %+v", code, ep)
+	}
+
+	// The admin surface snapshots on demand over the real daemon wiring.
+	var snap struct {
+		Snapshots []struct {
+			Shard int `json:"shard"`
+			Bytes int `json:"bytes"`
+		} `json:"snapshots"`
+	}
+	if code := post(ts, "/v1/admin/snapshot", "", &snap); code != http.StatusOK || len(snap.Snapshots) != 2 {
+		t.Fatalf("admin snapshot = %d, %+v", code, snap)
+	}
+
+	ts.Close()
+	if err := set.Close(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	// Second life.
+	cfg, err = parseFlags(flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, set2, err := newHandler(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer set2.Close()
+	ts2 := httptest.NewServer(handler)
+	defer ts2.Close()
+
+	var list struct {
+		Count int `json:"count"`
+	}
+	if code := get(ts2, "/v1/groups", &list); code != http.StatusOK || list.Count != 3 {
+		t.Fatalf("recovered groups = %d, %+v (want 3)", code, list)
+	}
+	var g struct {
+		Source  int    `json:"source"`
+		Gen     uint64 `json:"gen"`
+		Members []int  `json:"members"`
+	}
+	if code := get(ts2, "/v1/groups/conf", &g); code != http.StatusOK ||
+		g.Source != 2 || len(g.Members) != 3 {
+		t.Fatalf("conf after restart = %d, %+v", code, g)
+	}
+	if code := get(ts2, "/v1/groups/"+auto.ID, nil); code != http.StatusOK {
+		t.Fatalf("auto group after restart = %d", code)
+	}
+	if code := get(ts2, "/v1/groups/gone", nil); code != http.StatusNotFound {
+		t.Fatalf("deleted group after restart = %d, want 404", code)
+	}
+
+	// The very first plan request is a warm cache hit with the same
+	// column program.
+	var plan2 struct {
+		Gen    uint64 `json:"gen"`
+		Cached bool   `json:"cached"`
+		Plan   string `json:"plan"`
+	}
+	if code := get(ts2, "/v1/groups/conf/plan", &plan2); code != http.StatusOK {
+		t.Fatalf("plan after restart = %d", code)
+	}
+	if !plan2.Cached || plan2.Plan != plan1.Plan || plan2.Gen != plan1.Gen {
+		t.Fatalf("plan after restart = %+v, want warm hit matching %+v", plan2, plan1)
+	}
+
+	// The runtime fault came back armed on shard 0.
+	var faults struct {
+		Faults []struct {
+			Kind string `json:"kind"`
+		} `json:"faults"`
+	}
+	if code := get(ts2, "/v1/faults", &faults); code != http.StatusOK || len(faults.Faults) != 1 {
+		t.Fatalf("faults after restart = %d, %+v", code, faults)
+	}
+
+	// The epoch counter resumes past the durable boundary.
+	if code := post(ts2, "/v1/epoch", "", &ep); code != http.StatusOK || ep.Epoch != 2 {
+		t.Fatalf("epoch after restart = %d, %+v (want 2)", code, ep)
+	}
+
+	// Auto-ID allocation does not collide with the recovered namespace.
+	var auto2 struct {
+		ID string `json:"id"`
+	}
+	if code := post(ts2, "/v1/groups", `{"source":12,"members":[13]}`, &auto2); code != http.StatusCreated {
+		t.Fatalf("auto create after restart = %d", code)
+	}
+	if auto2.ID == auto.ID {
+		t.Fatalf("auto ID %q reused after restart", auto2.ID)
+	}
+
+	// Recovery and durability series are on the scrape surface.
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"brsmn_wal_appends_total",
+		"brsmn_snapshot_size_bytes",
+		"brsmn_recovery_groups",
+		"brsmn_recovery_snapshot_loaded",
+	} {
+		if !strings.Contains(string(raw), series) {
+			t.Errorf("/metrics missing %q after restart", series)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"brsmn/internal/groupd"
+	"brsmn/internal/rbn"
+	"brsmn/internal/store"
+)
+
+func TestAdminSnapshotEndpoint(t *testing.T) {
+	st := store.NewMem()
+	gm, err := groupd.NewManager(groupd.Config{N: 16, Engine: rbn.Sequential, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gm.Close() })
+	ts := httptest.NewServer(NewServer(rbn.Sequential, gm, nil, WithSnapshots(gm)))
+	t.Cleanup(ts.Close)
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups",
+		CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4}}, nil); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	var resp SnapshotResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/admin/snapshot", nil, &resp); code != http.StatusOK {
+		t.Fatalf("snapshot = %d", code)
+	}
+	if len(resp.Snapshots) != 1 {
+		t.Fatalf("snapshots = %+v", resp.Snapshots)
+	}
+	if s := resp.Snapshots[0]; s.Groups != 1 || s.Bytes <= 0 {
+		t.Fatalf("snapshot info = %+v", s)
+	}
+	if !st.HasSnapshot() {
+		t.Fatal("store has no snapshot after admin snapshot")
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/admin/snapshot", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET snapshot = %d, want 405", code)
+	}
+}
+
+func TestAdminSnapshotUnavailable(t *testing.T) {
+	// No WithSnapshots option: the endpoint answers 503.
+	ts := newGroupServer(t)
+	if code := doJSON(t, "POST", ts.URL+"/v1/admin/snapshot", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("snapshot without store = %d, want 503", code)
+	}
+}

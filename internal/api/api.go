@@ -53,6 +53,7 @@ type Server struct {
 	groups   Groups
 	fm       *faultd.Monitor
 	set      *shard.Set
+	snap     Snapshotter
 	monitors []*faultd.Monitor
 	reg      *obs.Registry
 	tracer   *obs.TraceRecorder
@@ -92,6 +93,7 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.route("DELETE /v1/faults", "faults", s.withFaults(s.handleFaultsDelete))
 	s.route("GET /v1/faults/report", "faults_report", s.withFaults(s.handleFaultsReport))
 	s.route("POST /v1/probe", "probe", s.withFaults(s.handleProbe))
+	s.route("POST /v1/admin/snapshot", "admin_snapshot", s.handleAdminSnapshot)
 	s.route("GET /v1/shards", "shards", s.withShards(s.handleShards))
 	s.route("POST /v1/shards/{id}/quarantine", "shard_quarantine", s.withShards(s.handleShardQuarantine))
 	s.route("POST /v1/shards/{id}/reinstate", "shard_reinstate", s.withShards(s.handleShardReinstate))
@@ -123,6 +125,7 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.notAllowed("/v1/faults", "GET, POST, DELETE")
 	s.notAllowed("/v1/faults/report", "GET")
 	s.notAllowed("/v1/probe", "POST")
+	s.notAllowed("/v1/admin/snapshot", "POST")
 	s.notAllowed("/v1/shards", "GET")
 	s.notAllowed("/v1/shards/{id}/quarantine", "POST")
 	s.notAllowed("/v1/shards/{id}/reinstate", "POST")

@@ -75,6 +75,9 @@ func groupErr(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, shard.ErrOverloaded):
 		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, groupd.ErrStore):
+		// The mutation was rolled back; the durable store itself broke.
+		httpError(w, http.StatusInternalServerError, err)
 	default:
 		httpError(w, http.StatusUnprocessableEntity, err)
 	}

@@ -18,6 +18,10 @@ type Injector struct {
 	mu     sync.Mutex
 	faults []Fault
 	rng    *rand.Rand // excitation rolls for Intermittent faults
+
+	// Durability hooks; see SetJournal.
+	onAdd   func(Fault)
+	onClear func()
 }
 
 // NewInjector returns an empty (fault-free) injector whose intermittent
@@ -26,18 +30,36 @@ func NewInjector(seed int64) *Injector {
 	return &Injector{rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetJournal installs hooks invoked (outside the injector's lock) after
+// every Add and Clear — the durability path that journals runtime fault
+// mutations into a groupd write-ahead log. Install before sharing the
+// injector across goroutines; nil hooks disable journaling.
+func (inj *Injector) SetJournal(onAdd func(Fault), onClear func()) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.onAdd, inj.onClear = onAdd, onClear
+}
+
 // Add arms one more fault.
 func (inj *Injector) Add(f Fault) {
 	inj.mu.Lock()
-	defer inj.mu.Unlock()
 	inj.faults = append(inj.faults, f)
+	onAdd := inj.onAdd
+	inj.mu.Unlock()
+	if onAdd != nil {
+		onAdd(f)
+	}
 }
 
 // Clear disarms every fault.
 func (inj *Injector) Clear() {
 	inj.mu.Lock()
-	defer inj.mu.Unlock()
 	inj.faults = nil
+	onClear := inj.onClear
+	inj.mu.Unlock()
+	if onClear != nil {
+		onClear()
+	}
 }
 
 // List snapshots the armed fault set.

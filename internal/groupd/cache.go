@@ -74,6 +74,18 @@ func (c *planCache) get(k planKey) (planEntry, bool) {
 	return *el.Value.(*planEntry), true
 }
 
+// peek is a stats- and LRU-neutral lookup: the snapshot writer uses it
+// to harvest warm plans without skewing hit/miss counters or recency.
+func (c *planCache) peek(k planKey) (planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return planEntry{}, false
+	}
+	return *el.Value.(*planEntry), true
+}
+
 func (c *planCache) put(k planKey, blob []byte, columns int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"brsmn/internal/controller"
 	"brsmn/internal/sched"
+	"brsmn/internal/store"
 )
 
 // RoundReport is one conflict-free round of an epoch: the groups it
@@ -122,6 +123,15 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		}
 	}
 	rep.Epoch = m.epochN.Add(1)
+	// An epoch boundary doubles as a durability barrier: record the
+	// advance and sync the accumulated fsync batch through to disk.
+	// Best-effort — the epoch counter also rides in every snapshot.
+	if m.cfg.Store != nil {
+		if lsn, err := m.cfg.Store.Append(store.Record{Op: store.OpEpoch, Epoch: rep.Epoch}); err == nil {
+			m.noteLSN(lsn)
+			_ = m.cfg.Store.Sync()
+		}
+	}
 	rep.Duration = time.Since(start)
 	rep.Cache = m.cache.stats()
 	if m.met != nil {

@@ -38,6 +38,7 @@ import (
 	"brsmn/internal/plancodec"
 	"brsmn/internal/rbn"
 	"brsmn/internal/shuffle"
+	"brsmn/internal/store"
 )
 
 // Sentinel errors the API layer maps to HTTP statuses.
@@ -45,6 +46,12 @@ var (
 	ErrNotFound = errors.New("groupd: no such group")
 	ErrExists   = errors.New("groupd: group already exists")
 	ErrClosed   = errors.New("groupd: manager closed")
+	// ErrStore wraps a durable-store append failure: the mutation was
+	// rolled back, nothing changed, and the caller may retry.
+	ErrStore = errors.New("groupd: durable store append failed")
+	// ErrNoStore is returned by snapshot operations on a manager built
+	// without Config.Store.
+	ErrNoStore = errors.New("groupd: no durable store configured")
 )
 
 // Config parameterizes a Manager. The zero value of every field except N
@@ -83,6 +90,16 @@ type Config struct {
 	// Tracer, when non-nil, samples replans per group and records a
 	// per-stage RouteTrace for each sampled one.
 	Tracer *obs.TraceRecorder
+	// Store, when non-nil, makes the manager durable: every mutation is
+	// appended to the store before it becomes visible (rolled back on
+	// append failure), NewManager recovers state via snapshot-load plus
+	// log replay, and Close writes a final snapshot and closes the
+	// store. The manager owns the store from then on.
+	Store store.Store
+	// FaultSpecs, when non-nil, reports the fault specs currently armed
+	// on the fabric (faultd Fault.String() form); snapshots carry them
+	// so believed faults survive a restart alongside the groups.
+	FaultSpecs func() []string
 }
 
 func (c *Config) applyDefaults() {
@@ -132,6 +149,12 @@ type Manager struct {
 	met    *managerMetrics // nil when Config.Metrics was nil
 	tracer *obs.TraceRecorder
 
+	// Durability state; all zero when Config.Store is nil.
+	lastLSN         atomic.Uint64 // highest LSN this manager has appended or replayed
+	snapMu          sync.Mutex    // serializes snapshotToStore
+	recovered       RecoveryStats // written once during NewManager
+	recoveredFaults []string
+
 	kick        chan struct{}
 	quit        chan struct{}
 	done        chan struct{}
@@ -163,6 +186,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.shards[i] = &shard{groups: make(map[string]*session)}
 	}
 	m.tracer = cfg.Tracer
+	if cfg.Store != nil {
+		if err := m.restore(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Metrics != nil {
 		m.met = m.registerMetrics(cfg.Metrics)
 	}
@@ -174,7 +202,9 @@ func NewManager(cfg Config) (*Manager, error) {
 }
 
 // Close stops the epoch loop, waiting for an in-flight epoch to drain.
-// It is idempotent and safe to call concurrently.
+// With a durable store it then writes a final snapshot (so the next
+// boot replays nothing) and closes the store. It is idempotent and safe
+// to call concurrently.
 func (m *Manager) Close() error {
 	if m.closed.Swap(true) {
 		return nil
@@ -183,7 +213,15 @@ func (m *Manager) Close() error {
 	if m.loopRunning {
 		<-m.done
 	}
-	return nil
+	if m.cfg.Store == nil {
+		return nil
+	}
+	_, serr := m.snapshotToStore()
+	cerr := m.cfg.Store.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // N returns the configured network size.
@@ -261,6 +299,12 @@ func (m *Manager) Create(id string, source int, members []int) (GroupInfo, error
 		sh.mu.Unlock()
 		return GroupInfo{}, fmt.Errorf("%w: %q", ErrExists, id)
 	}
+	// Append before the group becomes visible: a crash after this point
+	// replays the create; an append failure leaves no trace.
+	if err := m.appendRecord(store.Record{Op: store.OpCreate, Group: id, Source: source, Gen: 1, Members: members}); err != nil {
+		sh.mu.Unlock()
+		return GroupInfo{}, err
+	}
 	sh.groups[id] = s
 	sh.mu.Unlock()
 	m.noteChange(1 + len(members))
@@ -271,15 +315,15 @@ func (m *Manager) Create(id string, source int, members []int) (GroupInfo, error
 // invalidating the superseded cached plan. The whole path — tag-tree
 // update included — allocates O(log n), not O(n).
 func (m *Manager) Join(id string, d int) (Update, error) {
-	return m.mutate(id, d, (*brsmn.Group).Join)
+	return m.mutate(id, d, true)
 }
 
 // Leave removes output d from the group; same contract as Join.
 func (m *Manager) Leave(id string, d int) (Update, error) {
-	return m.mutate(id, d, (*brsmn.Group).Leave)
+	return m.mutate(id, d, false)
 }
 
-func (m *Manager) mutate(id string, d int, op func(*brsmn.Group, int) error) (Update, error) {
+func (m *Manager) mutate(id string, d int, join bool) (Update, error) {
 	if m.closed.Load() {
 		return Update{}, ErrClosed
 	}
@@ -287,12 +331,25 @@ func (m *Manager) mutate(id string, d int, op func(*brsmn.Group, int) error) (Up
 	if err != nil {
 		return Update{}, err
 	}
+	op, inv, rop := (*brsmn.Group).Leave, (*brsmn.Group).Join, store.OpLeave
+	if join {
+		op, inv, rop = (*brsmn.Group).Join, (*brsmn.Group).Leave, store.OpJoin
+	}
 	s.mu.Lock()
 	if s.gone {
 		s.mu.Unlock()
 		return Update{}, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	if err := op(s.group, d); err != nil {
+		s.mu.Unlock()
+		return Update{}, err
+	}
+	// The tag-tree op validated the mutation; log it before the new
+	// generation becomes visible. Join and leave are exact inverses, so
+	// an append failure rolls the tree back and the caller sees an
+	// unchanged group.
+	if err := m.appendRecord(store.Record{Op: rop, Group: id, Dest: d, Gen: s.gen + 1}); err != nil {
+		_ = inv(s.group, d)
 		s.mu.Unlock()
 		return Update{}, err
 	}
@@ -317,12 +374,17 @@ func (m *Manager) Delete(id string) error {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	s.mu.Lock()
+	gen := s.gen
+	if err := m.appendRecord(store.Record{Op: store.OpDelete, Group: id, Gen: gen}); err != nil {
+		s.mu.Unlock()
+		sh.mu.Unlock()
+		return err
+	}
+	s.gone = true
+	s.mu.Unlock()
 	delete(sh.groups, id)
 	sh.mu.Unlock()
-	s.mu.Lock()
-	s.gone = true
-	gen := s.gen
-	s.mu.Unlock()
 	m.cache.invalidate(planKey{id: id, gen: gen, pv: m.policyVersion()})
 	m.noteChange(1)
 	return nil

@@ -92,5 +92,31 @@ func (m *Manager) registerMetrics(reg *obs.Registry) *managerMetrics {
 	reg.GaugeFunc(lbl(`brsmn_planner_arena_bytes{kind="need"}`),
 		"Planner arena retention: observed high-water and decayed recent need.",
 		func() float64 { return float64(pool.Stats().RecentNeedBytes) })
+
+	// Recovery series exist only on durable managers. m.recovered is
+	// written once in NewManager before registration, so scrape-time
+	// reads are race-free.
+	if m.cfg.Store != nil {
+		reg.GaugeFunc(lbl("brsmn_recovery_groups"),
+			"Groups live after the last boot-time recovery.",
+			func() float64 { return float64(m.recovered.Groups) })
+		reg.GaugeFunc(lbl("brsmn_recovery_replayed_records"),
+			"WAL records replayed past the snapshot during the last boot-time recovery.",
+			func() float64 { return float64(m.recovered.Records) })
+		reg.GaugeFunc(lbl("brsmn_recovery_plans"),
+			"Warm plan-cache entries restored by the last boot-time recovery.",
+			func() float64 { return float64(m.recovered.Plans) })
+		reg.GaugeFunc(lbl("brsmn_recovery_snapshot_loaded"),
+			"Whether a snapshot seeded the last boot-time recovery (0 or 1).",
+			func() float64 {
+				if m.recovered.SnapshotLoaded {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc(lbl("brsmn_recovery_duration_seconds"),
+			"Wall-clock duration of the last boot-time recovery.",
+			func() float64 { return m.recovered.Duration.Seconds() })
+	}
 	return met
 }

@@ -21,6 +21,7 @@ package plancodec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"brsmn/internal/fabric"
@@ -29,9 +30,31 @@ import (
 )
 
 const (
-	magic   = "BRSP"
-	version = 1
+	// Magic is the 4-byte header every serialized plan starts with.
+	Magic = "BRSP"
+	// FormatVersion is the version this package encodes. Decode accepts
+	// exactly this version; anything newer fails with ErrUnknownVersion
+	// so old daemons reject plans from future builds instead of
+	// misparsing them.
+	FormatVersion = 1
 )
+
+// ErrUnknownVersion reports a well-formed header whose version this
+// build does not speak. Callers distinguishing "corrupt" from "newer
+// format" (e.g. snapshot loaders deciding whether to replan or abort)
+// match it with errors.Is.
+var ErrUnknownVersion = errors.New("plancodec: unknown format version")
+
+// SniffVersion reads the header without decoding the body: it returns
+// the format version of a serialized plan, or an error when the blob
+// is too short or does not carry the plan magic. A successful sniff
+// does not promise Decode will succeed — only that the header is ours.
+func SniffVersion(data []byte) (int, error) {
+	if len(data) < 5 || string(data[:4]) != Magic {
+		return 0, fmt.Errorf("plancodec: bad magic")
+	}
+	return int(data[4]), nil
+}
 
 // Encode serializes a flattened column program for an n-port network.
 func Encode(n int, cols []fabric.Column) ([]byte, error) {
@@ -42,8 +65,8 @@ func Encode(n int, cols []fabric.Column) ([]byte, error) {
 		return nil, fmt.Errorf("plancodec: %d columns is implausible", len(cols))
 	}
 	out := make([]byte, 0, 16+len(cols)*(4+n/8+1))
-	out = append(out, magic...)
-	out = append(out, version)
+	out = append(out, Magic...)
+	out = append(out, FormatVersion)
 	out = binary.LittleEndian.AppendUint32(out, uint32(n))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(cols)))
 	settingsBytes := (n/2*2 + 7) / 8
@@ -72,11 +95,11 @@ func Encode(n int, cols []fabric.Column) ([]byte, error) {
 
 // Decode parses a serialized column program.
 func Decode(data []byte) (int, []fabric.Column, error) {
-	if len(data) < 13 || string(data[:4]) != magic {
+	if len(data) < 13 || string(data[:4]) != Magic {
 		return 0, nil, fmt.Errorf("plancodec: bad magic")
 	}
-	if data[4] != version {
-		return 0, nil, fmt.Errorf("plancodec: unsupported version %d", data[4])
+	if data[4] != FormatVersion {
+		return 0, nil, fmt.Errorf("%w %d (this build speaks %d)", ErrUnknownVersion, data[4], FormatVersion)
 	}
 	n := int(binary.LittleEndian.Uint32(data[5:9]))
 	count := int(binary.LittleEndian.Uint32(data[9:13]))

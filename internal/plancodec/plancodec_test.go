@@ -1,6 +1,7 @@
 package plancodec
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -95,6 +96,50 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 	if _, _, err := Decode(nil); err == nil {
 		t.Error("Decode accepted empty input")
+	}
+}
+
+// TestVersionSurface covers the exported format identity: sniffing the
+// header without a full decode, and the typed unknown-version error a
+// snapshot loader distinguishes from plain corruption.
+func TestVersionSurface(t *testing.T) {
+	res, err := core.Route(workload.Broadcast(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encode(8, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := SniffVersion(blob); err != nil || v != FormatVersion {
+		t.Fatalf("SniffVersion = %d, %v; want %d", v, err, FormatVersion)
+	}
+
+	// A future version sniffs fine but decodes to ErrUnknownVersion.
+	future := append([]byte(nil), blob...)
+	future[4] = FormatVersion + 1
+	if v, err := SniffVersion(future); err != nil || v != FormatVersion+1 {
+		t.Fatalf("SniffVersion(future) = %d, %v", v, err)
+	}
+	if _, _, err := Decode(future); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Decode(future) = %v, want ErrUnknownVersion", err)
+	}
+
+	// Corruption is not an unknown version.
+	garbled := append([]byte(nil), blob...)
+	garbled[0] = 'X'
+	if _, err := SniffVersion(garbled); err == nil {
+		t.Error("SniffVersion accepted bad magic")
+	}
+	if _, _, err := Decode(garbled); errors.Is(err, ErrUnknownVersion) {
+		t.Error("bad magic misreported as unknown version")
+	}
+	if _, err := SniffVersion(blob[:4]); err == nil {
+		t.Error("SniffVersion accepted a headerless blob")
 	}
 }
 

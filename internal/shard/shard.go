@@ -39,12 +39,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"brsmn/internal/groupd"
 	"brsmn/internal/obs"
+	"brsmn/internal/store"
 )
 
 // Sentinel errors the API layer maps to HTTP statuses.
@@ -96,6 +99,18 @@ type Config struct {
 	// Metrics, when non-nil, receives the admission and placement
 	// series of metrics.go, labeled per shard.
 	Metrics *obs.Registry
+	// NewStore, when non-nil, builds shard i's durable store: each
+	// shard gets its own WAL + snapshot stream, its manager recovers
+	// from it at construction, and the Set rebalances recovered groups
+	// whose placement moved (e.g. after a shard-count change).
+	NewStore func(shard int) (store.Store, error)
+	// SnapshotEvery, when > 0 and NewStore is set, snapshots every
+	// shard periodically on a background goroutine (stopped by Close).
+	SnapshotEvery time.Duration
+	// FaultSpecs, when non-nil, reports the fault specs armed on shard
+	// i's fabric, carried by that shard's snapshots (see
+	// groupd.Config.FaultSpecs).
+	FaultSpecs func(shard int) []string
 }
 
 func (c *Config) applyDefaults() {
@@ -156,6 +171,10 @@ type Set struct {
 	migrations  atomic.Uint64
 	quarantines atomic.Uint64
 
+	// Periodic snapshot goroutine; nil channels when not running.
+	snapQuit chan struct{}
+	snapDone chan struct{}
+
 	tasks sync.Pool
 }
 
@@ -172,6 +191,7 @@ func New(cfg Config) (*Set, error) {
 	s := &Set{cfg: cfg}
 	s.tasks.New = func() any { return &task{done: make(chan struct{}, 1)} }
 	for i := 0; i < cfg.Shards; i++ {
+		i := i
 		gcfg := cfg.Group
 		gcfg.MetricsLabel = shardLabel(i)
 		if gcfg.Metrics == nil {
@@ -184,8 +204,26 @@ func New(cfg Config) (*Set, error) {
 				gcfg.Policy = watch
 			}
 		}
+		var st store.Store
+		if cfg.NewStore != nil {
+			var err error
+			st, err = cfg.NewStore(i)
+			if err != nil {
+				for _, sh := range s.shards {
+					sh.gm.Close()
+				}
+				return nil, fmt.Errorf("shard %d: open store: %w", i, err)
+			}
+			gcfg.Store = st
+			if cfg.FaultSpecs != nil {
+				gcfg.FaultSpecs = func() []string { return cfg.FaultSpecs(i) }
+			}
+		}
 		gm, err := groupd.NewManager(gcfg)
 		if err != nil {
+			if st != nil {
+				st.Close() // the manager never took ownership
+			}
 			for _, sh := range s.shards {
 				sh.gm.Close()
 			}
@@ -205,10 +243,102 @@ func New(cfg Config) (*Set, error) {
 	if cfg.Metrics != nil {
 		s.registerMetrics(cfg.Metrics)
 	}
+	if cfg.NewStore != nil {
+		if err := s.reconcileRecovered(); err != nil {
+			for _, sh := range s.shards {
+				sh.gm.Close()
+			}
+			return nil, err
+		}
+	}
 	for _, sh := range s.shards {
 		go sh.worker()
 	}
+	if cfg.NewStore != nil && cfg.SnapshotEvery > 0 {
+		s.snapQuit = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotEvery)
+	}
 	return s, nil
+}
+
+// reconcileRecovered runs after every shard's manager has restored from
+// its store: it advances the Set-level auto-ID counter past recovered
+// "g<k>" IDs and migrates any group whose placement no longer matches
+// its recovered shard (shard count or replica changes move ring
+// ownership; the migration itself is durable, since it appends to the
+// gaining and losing shards' logs).
+func (s *Set) reconcileRecovered() error {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	recovered := 0
+	for _, sh := range s.shards {
+		for _, info := range sh.gm.List() {
+			recovered++
+			rest, ok := strings.CutPrefix(info.ID, "g")
+			if !ok {
+				continue
+			}
+			if k, err := strconv.ParseUint(rest, 10, 64); err == nil && k > s.nextID.Load() {
+				s.nextID.Store(k)
+			}
+		}
+	}
+	if recovered == 0 {
+		return nil
+	}
+	if err := s.rebalanceLocked(); err != nil {
+		return fmt.Errorf("shard: rebalancing recovered groups: %w", err)
+	}
+	return nil
+}
+
+// snapshotLoop snapshots every shard on the configured cadence.
+func (s *Set) snapshotLoop(every time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapQuit:
+			return
+		case <-t.C:
+			_, _ = s.SnapshotAll() // per-shard errors surface via metrics and on-demand snapshots
+		}
+	}
+}
+
+// SnapshotAll snapshots every shard's manager to its store, returning
+// one SnapshotInfo per shard. ErrNoStore without a store factory.
+func (s *Set) SnapshotAll() ([]store.SnapshotInfo, error) {
+	if s.cfg.NewStore == nil {
+		return nil, groupd.ErrNoStore
+	}
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]store.SnapshotInfo, 0, len(s.shards))
+	for _, sh := range s.shards {
+		info, err := sh.gm.SnapshotNow()
+		if err != nil {
+			return out, fmt.Errorf("shard %d: snapshot: %w", sh.id, err)
+		}
+		info.Shard = sh.id
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// Recovery returns what each shard's manager reconstructed at boot,
+// indexed by shard ID.
+func (s *Set) Recovery() []groupd.RecoveryStats {
+	out := make([]groupd.RecoveryStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.gm.Recovery()
+	}
+	return out
 }
 
 // shardLabel renders shard i's metric label pair.
@@ -287,8 +417,11 @@ func (s *Set) Manager(i int) (*groupd.Manager, error) {
 	return s.shards[i].gm, nil
 }
 
-// Close stops every shard: new admissions fail with ErrClosed, queued
-// work drains, workers exit, managers close. Idempotent.
+// Close stops every shard: new admissions fail with ErrClosed, the
+// periodic snapshot loop stops, queued work drains, workers exit, and
+// managers close — with a durable store, each manager's Close writes a
+// final snapshot and closes the store, so a graceful shutdown leaves
+// nothing to replay. Idempotent; returns the first shard close error.
 func (s *Set) Close() error {
 	s.placeMu.Lock()
 	if s.closed {
@@ -297,16 +430,25 @@ func (s *Set) Close() error {
 	}
 	s.closed = true
 	s.placeMu.Unlock()
+	if s.snapQuit != nil {
+		close(s.snapQuit)
+		<-s.snapDone
+	}
 	// No admitter is in flight (they hold the read lock end to end) and
-	// none can start, so closing the queues is race-free.
+	// none can start, so closing the queues is race-free. Workers drain
+	// before managers close, so the final snapshots see every admitted
+	// mutation.
 	for _, sh := range s.shards {
 		close(sh.queue)
 	}
+	var firstErr error
 	for _, sh := range s.shards {
 		<-sh.workerDone
-		sh.gm.Close()
+		if err := sh.gm.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: close: %w", sh.id, err)
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // --- group surface (mirrors groupd.Manager) ---

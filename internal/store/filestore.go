@@ -1,0 +1,492 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FileStore is the crash-safe Store: one directory holding a framed
+// write-ahead log plus the latest snapshot.
+//
+//	<dir>/wal.log        length+CRC32-framed record payloads
+//	<dir>/snapshot.brss  latest snapshot (magic "BRSS", trailing CRC)
+//
+// Each log frame is
+//
+//	length  uint32 little-endian (payload bytes)
+//	crc     uint32 little-endian, CRC32 (IEEE) of the payload
+//	payload record.go wire format
+//
+// Appends go through a buffered writer and are fsynced in batches of
+// FileConfig.FsyncBatch (every append when <= 1); Sync is the explicit
+// durability barrier the manager invokes at epoch boundaries and
+// shutdown. A crash can therefore tear at most the un-synced tail:
+// Open scans the log, and at the first frame whose length or CRC does
+// not check out it truncates the file back to the last good frame
+// boundary (counting the event for /metrics) instead of failing
+// recovery — the WAL contract is "prefix durable", not "suffix
+// impossible".
+//
+// Snapshots are written to a temp file, fsynced, atomically renamed
+// over the previous snapshot, and the directory fsynced, so a crash
+// mid-snapshot leaves the prior snapshot intact. Truncate rewrites the
+// log the same tmp-then-rename way.
+type FileStore struct {
+	dir string
+	cfg FileConfig
+	met *Metrics
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	buf      []byte // scratch for frame encoding
+	lastLSN  uint64
+	walBytes int64
+	pending  int  // appends since the last fsync
+	dirty    bool // buffered or written bytes not yet fsynced
+	closed   bool
+
+	recovered uint64 // records found at Open
+	torn      uint64 // torn-tail truncations at Open
+}
+
+// FileConfig parameterizes a FileStore.
+type FileConfig struct {
+	// FsyncBatch is how many appends may accumulate before an fsync;
+	// <= 1 fsyncs every append. Batching bounds the data a crash can
+	// lose to the last batch, in exchange for amortizing the sync.
+	FsyncBatch int
+	// Metrics, when non-nil, receives the WAL and snapshot series of
+	// metrics.go.
+	Metrics *Metrics
+}
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.brss"
+	frameHeader  = 8       // length u32 + crc u32
+	maxFrame     = 1 << 28 // 256 MiB; far beyond any real record
+)
+
+// OpenFile opens (creating if needed) the store directory, recovering
+// the log: stale temp files from a crashed snapshot or truncation are
+// removed, the log is scanned to find the last assigned LSN, and a
+// torn tail is truncated away.
+func OpenFile(dir string, cfg FileConfig) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	s := &FileStore{dir: dir, cfg: cfg, met: met}
+	// A *.tmp left behind means the rename never happened; the final
+	// files are intact and the temp content is garbage.
+	os.Remove(s.walPath() + ".tmp")
+	os.Remove(s.snapshotPath() + ".tmp")
+
+	f, err := os.OpenFile(s.walPath(), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	good, count, maxLSN, scanErr := scanLog(f)
+	if scanErr != nil {
+		f.Close()
+		return nil, scanErr
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if end > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.torn++
+		met.TornTruncations.Inc()
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.walBytes = good
+	s.lastLSN = maxLSN
+	s.recovered = uint64(count)
+	met.RecoveredRecords.Add(uint64(count))
+	met.WALSize.Set(good)
+
+	// The snapshot may cover LSNs the (truncated) log no longer holds.
+	if snap, ok, err := s.LoadSnapshot(); err != nil {
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrUnknownVersion) {
+			f.Close()
+			return nil, err
+		}
+		// A corrupt snapshot is unrecoverable state loss; surface it
+		// rather than silently booting empty.
+		f.Close()
+		return nil, fmt.Errorf("store: snapshot in %s: %w", dir, err)
+	} else if ok && snap.LSN > s.lastLSN {
+		s.lastLSN = snap.LSN
+	}
+	return s, nil
+}
+
+func (s *FileStore) walPath() string      { return filepath.Join(s.dir, walName) }
+func (s *FileStore) snapshotPath() string { return filepath.Join(s.dir, snapshotName) }
+
+// scanLog walks the framed log from the start, returning the offset
+// just past the last valid frame, the valid-frame count, and the
+// largest LSN seen. Any framing violation — short header, implausible
+// length, CRC mismatch, undecodable payload — marks the end of the
+// valid prefix (the torn tail the caller truncates).
+func scanLog(f *os.File) (good int64, count int, maxLSN uint64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, fmt.Errorf("store: %w", err)
+	}
+	r := bufio.NewReader(f)
+	var header [frameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return good, count, maxLSN, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		crc := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxFrame {
+			return good, count, maxLSN, nil
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, count, maxLSN, nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return good, count, maxLSN, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			if errors.Is(err, ErrUnknownVersion) {
+				// A future-format record is not a torn write: refuse to
+				// silently drop it and everything after it.
+				return 0, 0, 0, fmt.Errorf("store: log record at offset %d: %w", good, err)
+			}
+			return good, count, maxLSN, nil
+		}
+		good += frameHeader + int64(length)
+		count++
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+	}
+}
+
+// Append implements Store.
+func (s *FileStore) Append(rec Record) (uint64, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	rec.LSN = s.lastLSN + 1
+	payload, err := appendRecord(s.buf[:0], rec)
+	if err != nil {
+		return 0, err
+	}
+	s.buf = payload[:0] // retain the (possibly grown) scratch buffer
+	var header [frameHeader]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := s.w.Write(header[:]); err != nil {
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	s.lastLSN = rec.LSN
+	s.walBytes += frameHeader + int64(len(payload))
+	s.pending++
+	s.dirty = true
+	if s.cfg.FsyncBatch <= 1 || s.pending >= s.cfg.FsyncBatch {
+		if err := s.flushSyncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	s.met.Appends.Inc()
+	s.met.AppendBytes.Add(uint64(frameHeader + len(payload)))
+	s.met.WALSize.Set(s.walBytes)
+	s.met.AppendDur.ObserveDuration(time.Since(start))
+	return rec.LSN, nil
+}
+
+// flushSyncLocked drains the buffered writer and fsyncs the log.
+func (s *FileStore) flushSyncLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: wal flush: %w", err)
+	}
+	start := time.Now()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	s.met.FsyncDur.ObserveDuration(time.Since(start))
+	s.met.Fsyncs.Inc()
+	s.pending = 0
+	s.dirty = false
+	return nil
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.dirty {
+		return nil
+	}
+	return s.flushSyncLocked()
+}
+
+// Since implements Store. It flushes buffered appends first so the read
+// observes everything appended so far (synced or not).
+func (s *FileStore) Since(lsn uint64) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, fmt.Errorf("store: wal flush: %w", err)
+	}
+	return readLogSince(s.walPath(), s.walBytes, lsn)
+}
+
+// readLogSince decodes the first size bytes of the log at path,
+// returning records with LSN > lsn. Inside the valid prefix every frame
+// must check out — Open already truncated any torn tail, so a framing
+// violation here is real corruption.
+func readLogSince(path string, size int64, lsn uint64) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if int64(len(data)) > size {
+		data = data[:size]
+	}
+	var out []Record
+	for off := int64(0); off < int64(len(data)); {
+		if int64(len(data))-off < frameHeader {
+			return nil, fmt.Errorf("%w: torn frame header at offset %d", ErrCorrupt, off)
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length == 0 || length > maxFrame || off+frameHeader+length > int64(len(data)) {
+			return nil, fmt.Errorf("%w: implausible frame at offset %d", ErrCorrupt, off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, fmt.Errorf("%w: frame CRC mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: record at offset %d: %w", off, err)
+		}
+		if rec.LSN > lsn {
+			out = append(out, rec)
+		}
+		off += frameHeader + length
+	}
+	return out, nil
+}
+
+// WriteSnapshot implements Store: tmp write, fsync, atomic rename,
+// directory fsync.
+func (s *FileStore) WriteSnapshot(snap Snapshot) (int, error) {
+	enc, err := encodeSnapshot(snap)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	if err := writeFileSync(tmp, enc); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return 0, fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+	if snap.LSN > s.lastLSN {
+		s.lastLSN = snap.LSN
+	}
+	s.met.Snapshots.Inc()
+	s.met.SnapshotSize.Set(int64(len(enc)))
+	s.met.SnapshotDur.ObserveDuration(time.Since(start))
+	return len(enc), nil
+}
+
+// LoadSnapshot implements Store.
+func (s *FileStore) LoadSnapshot() (Snapshot, bool, error) {
+	data, err := os.ReadFile(s.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return Snapshot{}, false, nil
+	}
+	if err != nil {
+		return Snapshot{}, false, fmt.Errorf("store: %w", err)
+	}
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	return snap, true, nil
+}
+
+// Truncate implements Store: the surviving suffix is rewritten to a
+// temp log and atomically renamed into place.
+func (s *FileStore) Truncate(upTo uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushSyncLocked(); err != nil {
+		return err
+	}
+	recs, err := readLogSince(s.walPath(), s.walBytes, upTo)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, rec := range recs {
+		payload, err := appendRecord(nil, rec)
+		if err != nil {
+			return err
+		}
+		var header [frameHeader]byte
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+		buf = append(buf, header[:]...)
+		buf = append(buf, payload...)
+	}
+	tmp := s.walPath() + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.walPath()); err != nil {
+		return fmt.Errorf("store: wal rotate: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.walPath(), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.walBytes = int64(len(buf))
+	s.met.WALSize.Set(s.walBytes)
+	return nil
+}
+
+// Close implements Store: flush, fsync, release.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if s.dirty {
+		if err := s.flushSyncLocked(); err != nil {
+			s.f.Close()
+			s.closed = true
+			return err
+		}
+	}
+	s.closed = true
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LastLSN returns the most recently assigned log sequence number.
+func (s *FileStore) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLSN
+}
+
+// Recovered returns the valid records found and the torn-tail
+// truncations performed when the store was opened.
+func (s *FileStore) Recovered() (records, tornTruncations uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered, s.torn
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: dir fsync: %w", err)
+	}
+	return nil
+}

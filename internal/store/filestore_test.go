@@ -1,0 +1,341 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func openTestStore(t *testing.T, dir string, cfg FileConfig) *FileStore {
+	t.Helper()
+	s, err := OpenFile(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFileStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{FsyncBatch: 4})
+	want := sampleRecords()
+	for i := range want {
+		lsn, err := s.Append(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i].LSN = lsn
+	}
+	// Since observes buffered (not yet fsynced) appends.
+	got, err := s.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live Since(0):\n got %+v\nwant %+v", got, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle recovers everything and continues the LSN sequence.
+	s2 := openTestStore(t, dir, FileConfig{})
+	if recs, torn := s2.Recovered(); recs != uint64(len(want)) || torn != 0 {
+		t.Fatalf("recovered = %d records, %d torn; want %d, 0", recs, torn, len(want))
+	}
+	got, err = s2.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened Since(0):\n got %+v\nwant %+v", got, want)
+	}
+	lsn, err := s2.Append(Record{Op: OpEpoch, Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != want[len(want)-1].LSN+1 {
+		t.Fatalf("post-reopen LSN = %d, want %d", lsn, want[len(want)-1].LSN+1)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreTornTail cuts the log mid-record and expects recovery to
+// truncate back to the last whole record.
+func TestFileStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{})
+	var lastGood int64
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(Record{Op: OpJoin, Group: "g", Dest: i, Gen: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			lastGood = s.walBytes
+		}
+	}
+	full := s.walBytes
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: keep its frame header and one payload byte.
+	walPath := filepath.Join(dir, walName)
+	if err := os.Truncate(walPath, lastGood+frameHeader+1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, FileConfig{})
+	if recs, torn := s2.Recovered(); recs != 4 || torn != 1 {
+		t.Fatalf("after torn tail: recovered %d records, %d torn; want 4, 1", recs, torn)
+	}
+	got, err := s2.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].Dest != 3 {
+		t.Fatalf("surviving records = %+v", got)
+	}
+	// The file was physically truncated to the last good boundary, and
+	// the next append reuses the torn record's LSN slot.
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != lastGood {
+		t.Fatalf("wal size = %v (err %v), want %d", fi.Size(), err, lastGood)
+	}
+	if fi, _ := os.Stat(walPath); fi.Size() >= full {
+		t.Fatalf("truncation did not shrink the log")
+	}
+	lsn, err := s2.Append(Record{Op: OpJoin, Group: "g", Dest: 99, Gen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("post-torn LSN = %d, want 5", lsn)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the repaired log replays cleanly.
+	s3 := openTestStore(t, dir, FileConfig{})
+	if recs, torn := s3.Recovered(); recs != 5 || torn != 0 {
+		t.Fatalf("repaired log: recovered %d, torn %d", recs, torn)
+	}
+	s3.Close()
+}
+
+// TestFileStoreTornHeader tears inside the frame header itself.
+func TestFileStoreTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(Record{Op: OpEpoch, Epoch: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := s.walBytes
+	s.Close()
+	walPath := filepath.Join(dir, walName)
+	// Append 3 stray bytes: a torn header after the last record.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	s2 := openTestStore(t, dir, FileConfig{})
+	if recs, torn := s2.Recovered(); recs != 3 || torn != 1 {
+		t.Fatalf("recovered %d, torn %d; want 3, 1", recs, torn)
+	}
+	if fi, _ := os.Stat(walPath); fi.Size() != good {
+		t.Fatalf("wal size = %d, want %d", fi.Size(), good)
+	}
+	s2.Close()
+}
+
+// TestFileStoreCorruptLastCRC flips a payload byte of the final record:
+// the CRC catches it and recovery drops exactly that record.
+func TestFileStoreCorruptLastCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{})
+	var offsets []int64
+	for i := 0; i < 3; i++ {
+		offsets = append(offsets, s.walBytes)
+		if _, err := s.Append(Record{Op: OpFaultInject, Fault: "dead:0:1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[2]+frameHeader] ^= 0xff // first payload byte of record 3
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, FileConfig{})
+	if recs, torn := s2.Recovered(); recs != 2 || torn != 1 {
+		t.Fatalf("recovered %d, torn %d; want 2, 1", recs, torn)
+	}
+	s2.Close()
+}
+
+func TestFileStoreSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{})
+	snap := Snapshot{
+		LSN:    5,
+		Epoch:  2,
+		NextID: 3,
+		Groups: []GroupState{{ID: "g1", Source: 1, Gen: 4, Members: []int{2, 5, 9}}},
+		Plans:  []PlanState{{ID: "g1", Gen: 4, Columns: 6, Blob: []byte("blobby")}},
+		Faults: []string{"dead:1:2"},
+	}
+	n, err := s.WriteSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil || fi.Size() != int64(n) {
+		t.Fatalf("snapshot file: %v size %d, want %d", err, fi.Size(), n)
+	}
+	got, ok, err := s.LoadSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("got %+v want %+v", got, snap)
+	}
+	s.Close()
+	// Survives reopen; LastLSN resumes from the snapshot even with an
+	// empty log.
+	s2 := openTestStore(t, dir, FileConfig{})
+	got, ok, err = s2.LoadSnapshot()
+	if err != nil || !ok || !reflect.DeepEqual(got, snap) {
+		t.Fatalf("reopen: ok=%v err=%v got %+v", ok, err, got)
+	}
+	if s2.LastLSN() != snap.LSN {
+		t.Fatalf("LastLSN = %d, want %d", s2.LastLSN(), snap.LSN)
+	}
+	s2.Close()
+}
+
+// TestFileStoreStaleTempFiles plants leftovers from a crashed snapshot
+// write and truncation; Open must discard them and keep the real state.
+func TestFileStoreStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{})
+	if _, err := s.Append(Record{Op: OpEpoch, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteSnapshot(Snapshot{LSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	os.WriteFile(filepath.Join(dir, snapshotName+".tmp"), []byte("garbage"), 0o644)
+	os.WriteFile(filepath.Join(dir, walName+".tmp"), []byte("garbage"), 0o644)
+	s2 := openTestStore(t, dir, FileConfig{})
+	if _, ok, err := s2.LoadSnapshot(); err != nil || !ok {
+		t.Fatalf("snapshot after tmp cleanup: ok=%v err=%v", ok, err)
+	}
+	if recs, _ := s2.Recovered(); recs != 1 {
+		t.Fatalf("recovered %d records, want 1", recs)
+	}
+	for _, tmp := range []string{snapshotName + ".tmp", walName + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, tmp)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s survived open", tmp)
+		}
+	}
+	s2.Close()
+}
+
+func TestFileStoreTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{FsyncBatch: 8})
+	for i := 1; i <= 5; i++ {
+		if _, err := s.Append(Record{Op: OpEpoch, Epoch: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].LSN != 4 || got[1].LSN != 5 {
+		t.Fatalf("after truncate: %+v", got)
+	}
+	// Appends continue on the rotated log and survive reopen.
+	if _, err := s.Append(Record{Op: OpEpoch, Epoch: 6}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openTestStore(t, dir, FileConfig{})
+	got, err = s2.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].LSN != 6 {
+		t.Fatalf("after reopen: %+v", got)
+	}
+	s2.Close()
+}
+
+// TestFileStoreConcurrentAppend exercises the append path under -race.
+func TestFileStoreConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{FsyncBatch: 32})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 25
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := s.Append(Record{Op: OpJoin, Group: "g", Dest: g*per + i, Gen: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != goroutines*per {
+		t.Fatalf("appended %d records, want %d", len(recs), goroutines*per)
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+	s.Close()
+}
+
+func TestFileStoreClosed(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, FileConfig{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := s.Append(Record{Op: OpEpoch}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}

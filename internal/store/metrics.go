@@ -1,0 +1,68 @@
+package store
+
+import "brsmn/internal/obs"
+
+// Metrics are the durable-store instruments, all under the brsmn_
+// prefix:
+//
+//	brsmn_wal_append_duration_seconds   histogram  one Append, framing + batched fsync share
+//	brsmn_wal_fsync_duration_seconds    histogram  one fsync of the log
+//	brsmn_wal_appends_total             counter    records appended
+//	brsmn_wal_fsyncs_total              counter    log fsyncs (batching ratio = appends/fsyncs)
+//	brsmn_wal_bytes_total               counter    framed bytes appended
+//	brsmn_wal_size_bytes                gauge      live log size (falls at truncation)
+//	brsmn_snapshot_duration_seconds     histogram  snapshot encode+write+rename
+//	brsmn_snapshot_size_bytes           gauge      last written snapshot size
+//	brsmn_snapshots_total               counter    snapshots written
+//	brsmn_recovery_records_total        counter    valid log records found at open
+//	brsmn_wal_torn_truncations_total    counter    torn tails truncated at open
+//
+// Every field is an obs instrument and obs instruments are nil-receiver
+// safe, so a zero Metrics (the no-registry case) costs nothing.
+type Metrics struct {
+	AppendDur        *obs.Histogram
+	FsyncDur         *obs.Histogram
+	Appends          *obs.Counter
+	Fsyncs           *obs.Counter
+	AppendBytes      *obs.Counter
+	WALSize          *obs.Gauge
+	SnapshotDur      *obs.Histogram
+	SnapshotSize     *obs.Gauge
+	Snapshots        *obs.Counter
+	RecoveredRecords *obs.Counter
+	TornTruncations  *obs.Counter
+}
+
+// RegisterMetrics wires the store series into reg, folding label (e.g.
+// `shard="2"`) into every name so per-shard stores share one registry.
+// A nil registry returns an inert Metrics.
+func RegisterMetrics(reg *obs.Registry, label string) *Metrics {
+	if reg == nil {
+		return &Metrics{}
+	}
+	lbl := func(name string) string { return obs.WithLabel(name, label) }
+	return &Metrics{
+		AppendDur: reg.Histogram(lbl("brsmn_wal_append_duration_seconds"),
+			"Wall-clock duration of one WAL append (framing plus any batched fsync).", obs.SecondsBuckets()),
+		FsyncDur: reg.Histogram(lbl("brsmn_wal_fsync_duration_seconds"),
+			"Wall-clock duration of one WAL fsync.", obs.SecondsBuckets()),
+		Appends: reg.Counter(lbl("brsmn_wal_appends_total"),
+			"Mutation records appended to the WAL."),
+		Fsyncs: reg.Counter(lbl("brsmn_wal_fsyncs_total"),
+			"WAL fsyncs (appends/fsyncs is the realized batching ratio)."),
+		AppendBytes: reg.Counter(lbl("brsmn_wal_bytes_total"),
+			"Framed bytes appended to the WAL."),
+		WALSize: reg.Gauge(lbl("brsmn_wal_size_bytes"),
+			"Live WAL size; falls when a snapshot truncates the log."),
+		SnapshotDur: reg.Histogram(lbl("brsmn_snapshot_duration_seconds"),
+			"Wall-clock duration of one snapshot encode, write and rename.", obs.SecondsBuckets()),
+		SnapshotSize: reg.Gauge(lbl("brsmn_snapshot_size_bytes"),
+			"Size of the most recently written snapshot."),
+		Snapshots: reg.Counter(lbl("brsmn_snapshots_total"),
+			"Snapshots written."),
+		RecoveredRecords: reg.Counter(lbl("brsmn_recovery_records_total"),
+			"Valid WAL records found when the store was opened."),
+		TornTruncations: reg.Counter(lbl("brsmn_wal_torn_truncations_total"),
+			"Torn WAL tails truncated away during recovery."),
+	}
+}

@@ -1,0 +1,166 @@
+// Record wire codec. A record payload (the bytes framed by the file
+// log, or held directly by MemStore) is:
+//
+//	version uint8 (recordVersion)
+//	op      uint8
+//	lsn     uvarint
+//	then per op:
+//	  create        group, source uvarint, gen uvarint, nmembers uvarint, members uvarint...
+//	  delete        group, gen uvarint
+//	  join | leave  group, dest uvarint, gen uvarint
+//	  epoch         epoch uvarint
+//	  fault-inject  fault
+//	  fault-clear   (nothing)
+//
+// where strings are uvarint length + raw bytes. The version byte leads
+// so a future revision can change everything after it; decoding a
+// record from a newer revision fails with ErrUnknownVersion rather than
+// misparsing.
+
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// recordVersion is the current record wire revision.
+const recordVersion = 1
+
+// appendRecord encodes rec onto buf and returns the extended slice.
+func appendRecord(buf []byte, rec Record) ([]byte, error) {
+	buf = append(buf, recordVersion, uint8(rec.Op))
+	buf = binary.AppendUvarint(buf, rec.LSN)
+	switch rec.Op {
+	case OpCreate:
+		buf = appendString(buf, rec.Group)
+		buf = binary.AppendUvarint(buf, uint64(rec.Source))
+		buf = binary.AppendUvarint(buf, rec.Gen)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Members)))
+		for _, m := range rec.Members {
+			if m < 0 {
+				return nil, fmt.Errorf("store: negative member %d", m)
+			}
+			buf = binary.AppendUvarint(buf, uint64(m))
+		}
+	case OpDelete:
+		buf = appendString(buf, rec.Group)
+		buf = binary.AppendUvarint(buf, rec.Gen)
+	case OpJoin, OpLeave:
+		buf = appendString(buf, rec.Group)
+		buf = binary.AppendUvarint(buf, uint64(rec.Dest))
+		buf = binary.AppendUvarint(buf, rec.Gen)
+	case OpEpoch:
+		buf = binary.AppendUvarint(buf, uint64(rec.Epoch))
+	case OpFaultInject:
+		buf = appendString(buf, rec.Fault)
+	case OpFaultClear:
+	default:
+		return nil, fmt.Errorf("store: cannot encode op %d", uint8(rec.Op))
+	}
+	return buf, nil
+}
+
+// decodeRecord parses one record payload.
+func decodeRecord(data []byte) (Record, error) {
+	if len(data) < 2 {
+		return Record{}, fmt.Errorf("%w: record shorter than header", ErrCorrupt)
+	}
+	if data[0] != recordVersion {
+		return Record{}, fmt.Errorf("%w: record version %d (this build reads %d)", ErrUnknownVersion, data[0], recordVersion)
+	}
+	rec := Record{Op: Op(data[1])}
+	d := decoder{data: data[2:]}
+	rec.LSN = d.uvarint()
+	switch rec.Op {
+	case OpCreate:
+		rec.Group = d.string()
+		rec.Source = int(d.uvarint())
+		rec.Gen = d.uvarint()
+		n := d.uvarint()
+		if n > uint64(len(d.data)) { // each member is at least one byte
+			return Record{}, fmt.Errorf("%w: member count %d exceeds payload", ErrCorrupt, n)
+		}
+		if n > 0 {
+			rec.Members = make([]int, n)
+			for i := range rec.Members {
+				rec.Members[i] = int(d.uvarint())
+			}
+		}
+	case OpDelete:
+		rec.Group = d.string()
+		rec.Gen = d.uvarint()
+	case OpJoin, OpLeave:
+		rec.Group = d.string()
+		rec.Dest = int(d.uvarint())
+		rec.Gen = d.uvarint()
+	case OpEpoch:
+		rec.Epoch = int64(d.uvarint())
+	case OpFaultInject:
+		rec.Fault = d.string()
+	case OpFaultClear:
+	default:
+		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, uint8(rec.Op))
+	}
+	if d.err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if len(d.data) != 0 {
+		return Record{}, fmt.Errorf("%w: %d trailing record bytes", ErrCorrupt, len(d.data))
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a cursor over a record or snapshot payload that latches
+// the first decode error, so field reads chain without per-field
+// checks.
+type decoder struct {
+	data []byte
+	err  error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated uvarint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.data)) {
+		d.err = fmt.Errorf("string length %d exceeds payload", n)
+		return ""
+	}
+	s := string(d.data[:n])
+	d.data = d.data[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.data)) {
+		d.err = fmt.Errorf("blob length %d exceeds payload", n)
+		return nil
+	}
+	b := append([]byte(nil), d.data[:n]...)
+	d.data = d.data[n:]
+	return b
+}

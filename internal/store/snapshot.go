@@ -1,0 +1,125 @@
+// Snapshot wire codec. A snapshot file (or MemStore blob) is:
+//
+//	magic    [4]byte "BRSS"
+//	version  uint8 (snapshotVersion)
+//	lsn      uvarint
+//	epoch    uvarint
+//	nextID   uvarint
+//	ngroups  uvarint, then per group:
+//	  id uvarint-string, source uvarint, gen uvarint,
+//	  nmembers uvarint, members uvarint...
+//	nplans   uvarint, then per plan:
+//	  id uvarint-string, gen uvarint, columns uvarint,
+//	  blob uvarint-bytes (plancodec format, itself magic+versioned)
+//	nfaults  uvarint, then per fault: spec uvarint-string
+//	crc      uint32 little-endian, CRC32 (IEEE) of everything above
+//
+// The trailing CRC makes a torn snapshot write detectable even though
+// snapshots are also written tmp-then-rename; a failed CRC surfaces as
+// ErrCorrupt rather than silently recovering half a registry.
+
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	snapshotMagic   = "BRSS"
+	snapshotVersion = 1
+)
+
+// encodeSnapshot serializes snap.
+func encodeSnapshot(snap Snapshot) ([]byte, error) {
+	buf := make([]byte, 0, 64+len(snap.Groups)*32+len(snap.Plans)*64)
+	buf = append(buf, snapshotMagic...)
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, snap.LSN)
+	buf = binary.AppendUvarint(buf, uint64(snap.Epoch))
+	buf = binary.AppendUvarint(buf, snap.NextID)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Groups)))
+	for _, g := range snap.Groups {
+		buf = appendString(buf, g.ID)
+		buf = binary.AppendUvarint(buf, uint64(g.Source))
+		buf = binary.AppendUvarint(buf, g.Gen)
+		buf = binary.AppendUvarint(buf, uint64(len(g.Members)))
+		for _, m := range g.Members {
+			if m < 0 {
+				return nil, fmt.Errorf("store: snapshot group %q: negative member %d", g.ID, m)
+			}
+			buf = binary.AppendUvarint(buf, uint64(m))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Plans)))
+	for _, p := range snap.Plans {
+		buf = appendString(buf, p.ID)
+		buf = binary.AppendUvarint(buf, p.Gen)
+		buf = binary.AppendUvarint(buf, uint64(p.Columns))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Blob)))
+		buf = append(buf, p.Blob...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Faults)))
+	for _, f := range snap.Faults {
+		buf = appendString(buf, f)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
+}
+
+// decodeSnapshot parses a serialized snapshot.
+func decodeSnapshot(data []byte) (Snapshot, error) {
+	if len(data) < len(snapshotMagic)+1+4 || string(data[:4]) != snapshotMagic {
+		return Snapshot{}, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return Snapshot{}, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	if data[4] != snapshotVersion {
+		return Snapshot{}, fmt.Errorf("%w: snapshot version %d (this build reads %d)", ErrUnknownVersion, data[4], snapshotVersion)
+	}
+	d := decoder{data: body[5:]}
+	var snap Snapshot
+	snap.LSN = d.uvarint()
+	snap.Epoch = int64(d.uvarint())
+	snap.NextID = d.uvarint()
+	ngroups := d.uvarint()
+	if d.err == nil && ngroups > uint64(len(d.data)) {
+		return Snapshot{}, fmt.Errorf("%w: group count %d exceeds payload", ErrCorrupt, ngroups)
+	}
+	for i := uint64(0); i < ngroups && d.err == nil; i++ {
+		g := GroupState{ID: d.string(), Source: int(d.uvarint()), Gen: d.uvarint()}
+		nmembers := d.uvarint()
+		if d.err == nil && nmembers > uint64(len(d.data)) {
+			return Snapshot{}, fmt.Errorf("%w: member count %d exceeds payload", ErrCorrupt, nmembers)
+		}
+		for j := uint64(0); j < nmembers && d.err == nil; j++ {
+			g.Members = append(g.Members, int(d.uvarint()))
+		}
+		snap.Groups = append(snap.Groups, g)
+	}
+	nplans := d.uvarint()
+	if d.err == nil && nplans > uint64(len(d.data)) {
+		return Snapshot{}, fmt.Errorf("%w: plan count %d exceeds payload", ErrCorrupt, nplans)
+	}
+	for i := uint64(0); i < nplans && d.err == nil; i++ {
+		p := PlanState{ID: d.string(), Gen: d.uvarint(), Columns: int(d.uvarint())}
+		p.Blob = d.bytes()
+		snap.Plans = append(snap.Plans, p)
+	}
+	nfaults := d.uvarint()
+	if d.err == nil && nfaults > uint64(len(d.data)) {
+		return Snapshot{}, fmt.Errorf("%w: fault count %d exceeds payload", ErrCorrupt, nfaults)
+	}
+	for i := uint64(0); i < nfaults && d.err == nil; i++ {
+		snap.Faults = append(snap.Faults, d.string())
+	}
+	if d.err != nil {
+		return Snapshot{}, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if len(d.data) != 0 {
+		return Snapshot{}, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(d.data))
+	}
+	return snap, nil
+}

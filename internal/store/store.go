@@ -1,0 +1,163 @@
+// Package store is the durable control plane behind the serving stack:
+// a write-ahead log of membership and fault mutations plus periodic
+// state snapshots, behind a narrow Store interface with a memory
+// implementation for tests (MemStore) and a crash-safe file
+// implementation for production (FileStore).
+//
+// The contract mirrors classic WAL recovery. Every state mutation the
+// group manager applies is first appended as a versioned Record and
+// assigned a log sequence number (LSN). Periodically the manager writes
+// a Snapshot — full group registry, current-generation plan-cache
+// payloads (plancodec blobs, so warm plans survive restart), armed
+// fault specs — stamped with the LSN it covers, after which the log
+// prefix up to that LSN is truncated. Recovery is snapshot load + replay
+// of the log suffix; replay is made idempotent by the per-group
+// generation counters carried in the records, so a snapshot taken
+// concurrently with appends only ever re-applies, never loses.
+//
+// FileStore's log framing (length + CRC32C per record), fsync batching,
+// torn-tail truncation and atomic-rename snapshots are documented in
+// filestore.go and DESIGN.md "Durability".
+package store
+
+import "errors"
+
+// Sentinel errors.
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrUnknownVersion reports a record or snapshot written by a newer
+	// format revision than this build understands.
+	ErrUnknownVersion = errors.New("store: unknown format version")
+	// ErrCorrupt reports a snapshot or mid-log record that fails
+	// validation (bad magic, CRC mismatch, truncated fields).
+	ErrCorrupt = errors.New("store: corrupt data")
+)
+
+// Op enumerates the mutation record kinds. Values are part of the wire
+// format: never renumber, only append.
+type Op uint8
+
+const (
+	// OpCreate registers a group (Group, Source, Members, Gen=1).
+	OpCreate Op = iota + 1
+	// OpDelete unregisters a group (Group, Gen at deletion).
+	OpDelete
+	// OpJoin admits Dest to Group, producing generation Gen.
+	OpJoin
+	// OpLeave removes Dest from Group, producing generation Gen.
+	OpLeave
+	// OpEpoch advances the completed-epoch counter to Epoch.
+	OpEpoch
+	// OpFaultInject arms one fault, in -fault-inject spec syntax (Fault).
+	OpFaultInject
+	// OpFaultClear disarms the whole fault set.
+	OpFaultClear
+)
+
+// String renders the op for logs and tests.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpDelete:
+		return "delete"
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpEpoch:
+		return "epoch"
+	case OpFaultInject:
+		return "fault-inject"
+	case OpFaultClear:
+		return "fault-clear"
+	}
+	return "unknown"
+}
+
+// Record is one logged mutation. Only the fields relevant to Op are
+// encoded (see record.go for the per-op layouts); the rest are zero.
+// LSN is assigned by Append and must be zero on submission.
+type Record struct {
+	LSN     uint64
+	Op      Op
+	Group   string
+	Source  int
+	Dest    int
+	Gen     uint64
+	Members []int
+	Epoch   int64
+	Fault   string
+}
+
+// GroupState is one group frozen into a snapshot.
+type GroupState struct {
+	ID      string
+	Source  int
+	Gen     uint64
+	Members []int
+}
+
+// PlanState is one group's cached column program frozen into a
+// snapshot: the plancodec-encoded blob the plan cache would serve for
+// (ID, Gen) on a healthy fabric.
+type PlanState struct {
+	ID      string
+	Gen     uint64
+	Columns int
+	Blob    []byte
+}
+
+// Snapshot is the full durable state at one log position. Replaying
+// records with LSN > Snapshot.LSN on top of it reconstructs the live
+// state.
+type Snapshot struct {
+	// LSN is the last log sequence number the snapshot covers.
+	LSN uint64
+	// Epoch is the completed reroute-epoch counter.
+	Epoch int64
+	// NextID is the auto-assigned group ID counter ("g<k>").
+	NextID uint64
+	Groups []GroupState
+	Plans  []PlanState
+	// Faults is the armed fault set in -fault-inject spec syntax.
+	Faults []string
+}
+
+// SnapshotInfo summarizes one written snapshot — the admin endpoint's
+// and the recovery benchmark's accounting.
+type SnapshotInfo struct {
+	Shard      int    `json:"shard"`
+	LSN        uint64 `json:"lsn"`
+	Groups     int    `json:"groups"`
+	Plans      int    `json:"plans"`
+	Bytes      int    `json:"bytes"`
+	DurationNs int64  `json:"durationNs"`
+}
+
+// Store is the durability contract the group manager writes through.
+// Implementations must be safe for concurrent use; Append calls are
+// serialized internally and LSNs are assigned in append order.
+type Store interface {
+	// Append logs one mutation record and returns its assigned LSN.
+	// Durability follows the implementation's sync policy (FileStore
+	// batches fsyncs); Sync is the explicit barrier.
+	Append(rec Record) (uint64, error)
+	// Sync makes every appended record durable before returning.
+	Sync() error
+	// Since returns the logged records with LSN > lsn, in log order.
+	Since(lsn uint64) ([]Record, error)
+	// WriteSnapshot atomically replaces the stored snapshot and returns
+	// its encoded size in bytes. It does not truncate the log — callers
+	// pair it with Truncate(snap.LSN) once the write has succeeded.
+	WriteSnapshot(snap Snapshot) (int, error)
+	// LoadSnapshot returns the stored snapshot, or ok=false when none
+	// has been written.
+	LoadSnapshot() (Snapshot, bool, error)
+	// Truncate drops the log prefix with LSN <= upTo.
+	Truncate(upTo uint64) error
+	// Close flushes and releases the store. Further calls fail with
+	// ErrClosed.
+	Close() error
+}

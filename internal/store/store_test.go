@@ -1,0 +1,281 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// restampCRC recomputes a snapshot's trailing CRC after a deliberate
+// body edit, so tests can isolate non-CRC error paths.
+func restampCRC(enc []byte) ([]byte, error) {
+	if len(enc) < 4 {
+		return nil, errors.New("too short")
+	}
+	body := append([]byte(nil), enc[:len(enc)-4]...)
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body)), nil
+}
+
+// sampleRecords covers every op with representative field shapes.
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpCreate, Group: "conf", Source: 2, Gen: 1, Members: []int{3, 4, 7}},
+		{Op: OpCreate, Group: "empty", Source: 0, Gen: 1},
+		{Op: OpJoin, Group: "conf", Dest: 9, Gen: 2},
+		{Op: OpLeave, Group: "conf", Dest: 3, Gen: 3},
+		{Op: OpEpoch, Epoch: 42},
+		{Op: OpFaultInject, Fault: "stuck:3:1:cross"},
+		{Op: OpFaultClear},
+		{Op: OpDelete, Group: "conf", Gen: 3},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		rec.LSN = 7
+		enc, err := appendRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("%v: %v", rec.Op, err)
+		}
+		got, err := decodeRecord(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", rec.Op, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("%v round trip:\n got %+v\nwant %+v", rec.Op, got, rec)
+		}
+	}
+}
+
+func TestRecordRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := []Op{OpCreate, OpDelete, OpJoin, OpLeave, OpEpoch, OpFaultInject, OpFaultClear}
+	for i := 0; i < 500; i++ {
+		rec := Record{LSN: rng.Uint64() >> 1, Op: ops[rng.Intn(len(ops))]}
+		switch rec.Op {
+		case OpCreate:
+			rec.Group = randID(rng)
+			rec.Source = rng.Intn(1 << 20)
+			rec.Gen = 1
+			for j := rng.Intn(8); j > 0; j-- {
+				rec.Members = append(rec.Members, rng.Intn(1<<20))
+			}
+		case OpDelete:
+			rec.Group = randID(rng)
+			rec.Gen = rng.Uint64() >> 1
+		case OpJoin, OpLeave:
+			rec.Group = randID(rng)
+			rec.Dest = rng.Intn(1 << 20)
+			rec.Gen = rng.Uint64() >> 1
+		case OpEpoch:
+			rec.Epoch = rng.Int63()
+		case OpFaultInject:
+			rec.Fault = randID(rng)
+		}
+		enc, err := appendRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeRecord(enc)
+		if err != nil {
+			t.Fatalf("record %d (%v): %v", i, rec.Op, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got, rec)
+		}
+	}
+}
+
+func randID(rng *rand.Rand) string {
+	const alphabet = "abcdefghij-0123456789"
+	b := make([]byte, 1+rng.Intn(12))
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+func TestRecordUnknownVersion(t *testing.T) {
+	enc, err := appendRecord(nil, Record{Op: OpEpoch, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[0] = recordVersion + 1
+	if _, err := decodeRecord(enc); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("future record version: err = %v, want ErrUnknownVersion", err)
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	enc, err := appendRecord(nil, Record{Op: OpCreate, Group: "g", Source: 1, Gen: 1, Members: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"header only": enc[:2],
+		"truncated":   enc[:len(enc)-1],
+		"trailing":    append(append([]byte(nil), enc...), 0),
+		"unknown op":  {recordVersion, 99, 1},
+	}
+	for name, data := range cases {
+		if _, err := decodeRecord(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := Snapshot{
+		LSN:    99,
+		Epoch:  7,
+		NextID: 12,
+		Groups: []GroupState{
+			{ID: "a", Source: 0, Gen: 3, Members: []int{1, 2, 3}},
+			{ID: "b", Source: 5, Gen: 1},
+		},
+		Plans: []PlanState{
+			{ID: "a", Gen: 3, Columns: 9, Blob: []byte("BRSP-fake-blob")},
+		},
+		Faults: []string{"dead:0:1", "stuck:2:3:cross"},
+	}
+	enc, err := encodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	enc, err := encodeSnapshot(Snapshot{LSN: 1, Groups: []GroupState{{ID: "g", Gen: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := decodeSnapshot(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := decodeSnapshot(enc[:len(enc)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := decodeSnapshot([]byte("NOPE")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotUnknownVersion(t *testing.T) {
+	// Bump the version byte and re-stamp the CRC so only the version is
+	// wrong.
+	enc, err := encodeSnapshot(Snapshot{LSN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[4] = snapshotVersion + 1
+	restamped, err := restampCRC(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeSnapshot(restamped); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("future snapshot version: err = %v, want ErrUnknownVersion", err)
+	}
+}
+
+func TestMemStoreLog(t *testing.T) {
+	s := NewMem()
+	var lsns []uint64
+	for _, rec := range sampleRecords() {
+		lsn, err := s.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	for i := 1; i < len(lsns); i++ {
+		if lsns[i] != lsns[i-1]+1 {
+			t.Fatalf("LSNs not sequential: %v", lsns)
+		}
+	}
+	all, err := s.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(lsns) {
+		t.Fatalf("Since(0) = %d records, want %d", len(all), len(lsns))
+	}
+	for i, rec := range all {
+		want := sampleRecords()[i]
+		want.LSN = lsns[i]
+		if !reflect.DeepEqual(rec, want) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, rec, want)
+		}
+	}
+	tail, err := s.Since(lsns[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 3 || tail[0].LSN != lsns[5] {
+		t.Fatalf("Since(%d) = %+v", lsns[4], tail)
+	}
+	if err := s.Truncate(lsns[5]); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := s.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0].LSN != lsns[6] {
+		t.Fatalf("after truncate: %+v", rest)
+	}
+	// LSNs keep ascending after truncation.
+	lsn, err := s.Append(Record{Op: OpEpoch, Epoch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != lsns[len(lsns)-1]+1 {
+		t.Fatalf("post-truncate LSN = %d, want %d", lsn, lsns[len(lsns)-1]+1)
+	}
+}
+
+func TestMemStoreSnapshot(t *testing.T) {
+	s := NewMem()
+	if _, ok, err := s.LoadSnapshot(); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	snap := Snapshot{LSN: 3, Epoch: 1, Groups: []GroupState{{ID: "g", Source: 1, Gen: 2, Members: []int{4}}}}
+	if _, err := s.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.LoadSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("got %+v want %+v", got, snap)
+	}
+}
+
+func TestMemStoreClosed(t *testing.T) {
+	s := NewMem()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Op: OpEpoch}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if _, err := s.Since(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("since after close: %v", err)
+	}
+	if _, _, err := s.LoadSnapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("load after close: %v", err)
+	}
+}
