@@ -11,10 +11,17 @@
 // snapshots bound replay, and a restart recovers all groups (warm plan
 // cache included) before serving.
 //
+// With -node-id and -peers the daemon is one member of a cluster: a
+// consistent-hash node ring places each group on one node, any node
+// forwards requests it does not own, and POST /v1/cluster/drain moves a
+// node's groups (warm plans included) to the rest of the ring. See
+// package brsmn/internal/cluster and README "Cluster mode".
+//
 // Usage:
 //
 //	brsmnd -addr :8642 -n 1024 -workers 4 -shards 4 -epoch 250ms -epoch-threshold 64 -cache 4096
 //	brsmnd -addr :8642 -n 1024 -shards 4 -data-dir /var/lib/brsmnd -snapshot-every 1m -fsync-batch 8
+//	brsmnd -addr :8701 -node-id a -peers 'a=http://127.0.0.1:8701,b=http://127.0.0.1:8702,c=http://127.0.0.1:8703'
 //
 //	curl -s localhost:8642/healthz
 //	curl -s -X POST localhost:8642/v1/groups -d '{"id":"conf","source":2,"members":[3,4,7]}'
@@ -41,12 +48,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"path/filepath"
 
 	"brsmn/internal/api"
+	"brsmn/internal/cluster"
 	"brsmn/internal/faultd"
 	"brsmn/internal/groupd"
 	"brsmn/internal/obs"
@@ -78,6 +87,38 @@ type config struct {
 	dataDir        string
 	snapshotEvery  time.Duration
 	fsyncBatch     int
+	nodeID         string
+	peers          string
+	clusterPoll    time.Duration
+	forwardTimeout time.Duration
+	forwardRetries int
+	maxHops        int
+}
+
+// parsePeers parses the -peers value: comma-separated id=baseURL pairs.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("brsmnd: -peers entry %q: want id=http://host:port", pair)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("brsmnd: -peers entry %q: URL must start with http:// or https://", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("brsmnd: -peers: duplicate node ID %q", id)
+		}
+		peers[id] = url
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("brsmnd: -peers: no entries")
+	}
+	return peers, nil
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -105,6 +146,12 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "durable state directory: per-shard WAL + snapshots, recovered on boot (empty disables durability)")
 	fs.DurationVar(&cfg.snapshotEvery, "snapshot-every", time.Minute, "periodic snapshot (and WAL truncation) interval per shard; 0 snapshots only on shutdown and on POST /v1/admin/snapshot")
 	fs.IntVar(&cfg.fsyncBatch, "fsync-batch", 8, "WAL appends per fsync; 1 syncs every mutation before it is acknowledged")
+	fs.StringVar(&cfg.nodeID, "node-id", "", "this node's ID in a multi-node cluster (requires -peers; empty keeps single-node mode)")
+	fs.StringVar(&cfg.peers, "peers", "", "cluster membership as comma-separated id=http://host:port pairs, this node included")
+	fs.DurationVar(&cfg.clusterPoll, "cluster-poll", 500*time.Millisecond, "membership poll cadence in cluster mode")
+	fs.DurationVar(&cfg.forwardTimeout, "forward-timeout", 5*time.Second, "per-attempt timeout when proxying a request to its owning node")
+	fs.IntVar(&cfg.forwardRetries, "forward-retries", 2, "extra attempts for a proxied request that fails at the transport level")
+	fs.IntVar(&cfg.maxHops, "max-hops", 2, "forwarding hop cap; a request at the cap is served locally")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -114,17 +161,55 @@ func parseFlags(args []string) (config, error) {
 	if cfg.shards < 1 {
 		return config{}, fmt.Errorf("brsmnd: -shards must be at least 1, got %d", cfg.shards)
 	}
+	if (cfg.nodeID == "") != (cfg.peers == "") {
+		return config{}, errors.New("brsmnd: -node-id and -peers must be set together")
+	}
+	if cfg.nodeID != "" {
+		peers, err := parsePeers(cfg.peers)
+		if err != nil {
+			return config{}, err
+		}
+		if _, ok := peers[cfg.nodeID]; !ok {
+			return config{}, fmt.Errorf("brsmnd: -node-id %q not present in -peers", cfg.nodeID)
+		}
+	}
 	return cfg, nil
 }
 
-// newHandler builds the live HTTP handler plus the shard set behind it
+// daemon bundles the subsystems behind the HTTP handler that must stop
+// before the listener closes. Close is idempotent and ordered: the
+// cluster node first (its membership loop and migration client must not
+// poll or push into a tearing-down serving layer), then the shard set
+// (epoch loops, admission queues, WAL flush).
+type daemon struct {
+	set  *shard.Set
+	node *cluster.Node // nil outside cluster mode
+}
+
+func (d *daemon) Close() error {
+	if d.node != nil {
+		if err := d.node.Close(); err != nil {
+			d.set.Close()
+			return err
+		}
+	}
+	return d.set.Close()
+}
+
+// newHandler builds the live HTTP handler plus the daemon behind it
 // (which the caller must Close).
-func newHandler(cfg config) (http.Handler, *shard.Set, error) {
+func newHandler(cfg config) (http.Handler, *daemon, error) {
 	eng := rbn.Engine{Workers: cfg.workers}
 	var reg *obs.Registry
 	var tracer *obs.TraceRecorder
 	if cfg.metrics {
 		reg = obs.NewRegistry()
+		if cfg.nodeID != "" {
+			// Every series this process exports carries its node identity,
+			// mirroring the per-shard shard="k" labels: one aggregator can
+			// scrape N nodes without series colliding.
+			reg.SetCommonLabel(fmt.Sprintf("node=%q", cfg.nodeID))
+		}
 		eng.Occ = &rbn.Occupancy{}
 		occ := eng.Occ
 		reg.GaugeFunc("brsmn_engine_workers", "Configured switch-setting worker goroutines.",
@@ -281,17 +366,56 @@ func newHandler(cfg config) (http.Handler, *shard.Set, error) {
 	if tracer != nil {
 		opts = append(opts, api.WithTracer(tracer))
 	}
-	return api.NewServer(eng, set, nil, opts...), set, nil
+	d := &daemon{set: set}
+	if cfg.nodeID != "" {
+		// Readiness: in cluster mode a node is ready once its first
+		// membership poll completes and while it is not draining. The
+		// closure is installed before the node exists; d.node is written
+		// once below, before any request can reach the handler.
+		opts = append(opts, api.WithReadiness(func() error {
+			if d.node == nil {
+				return nil
+			}
+			return d.node.Ready()
+		}))
+	}
+	apiHandler := api.NewServer(eng, set, nil, opts...)
+	if cfg.nodeID == "" {
+		return apiHandler, d, nil
+	}
+	peers, err := parsePeers(cfg.peers)
+	if err != nil {
+		set.Close()
+		return nil, nil, err
+	}
+	node, err := cluster.New(cluster.Config{
+		Self:           cfg.nodeID,
+		Peers:          peers,
+		Local:          set,
+		Handler:        apiHandler,
+		PollEvery:      cfg.clusterPoll,
+		ForwardTimeout: cfg.forwardTimeout,
+		ForwardRetries: cfg.forwardRetries,
+		MaxHops:        cfg.maxHops,
+		Metrics:        reg,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		set.Close()
+		return nil, nil, err
+	}
+	d.node = node
+	return node, d, nil
 }
 
 // run serves until ctx is cancelled (the signal path) or the listener
 // fails, then drains in-flight requests and the epoch loops.
 func run(ctx context.Context, out io.Writer, cfg config) error {
-	handler, set, err := newHandler(cfg)
+	handler, d, err := newHandler(cfg)
 	if err != nil {
 		return err
 	}
-	defer set.Close()
+	defer d.Close()
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           handler,
@@ -319,18 +443,23 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 	}
 	fmt.Fprintf(out, "brsmnd: serving a %d-port BRSMN on %s (%d shards, epoch %v, threshold %d, cache %d)\n",
 		cfg.n, cfg.addr, cfg.shards, cfg.epochPeriod, cfg.epochThreshold, cfg.cacheSize)
+	if cfg.nodeID != "" {
+		fmt.Fprintf(out, "brsmnd: cluster node %s (%s)\n", cfg.nodeID, cfg.peers)
+	}
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 		fmt.Fprintln(out, "brsmnd: signal received, draining")
-		// Stop the admission queues and epoch tickers (and the faultd
-		// probers they drive via AfterEpoch) before the listener:
-		// background replans must not keep running into a server that is
-		// tearing down. With -data-dir, Close also flushes and fsyncs the
-		// WALs and writes the final per-shard snapshots, after the epoch
-		// loops have stopped and before the process exits.
-		if err := set.Close(); err != nil {
+		// Shutdown ordering: the cluster node first (membership polls and
+		// migration pushes stop), then the admission queues and epoch
+		// tickers (and the faultd probers they drive via AfterEpoch), and
+		// only then the listener: background replans and forwarded
+		// requests must not keep running into a server that is tearing
+		// down. With -data-dir, Close also flushes and fsyncs the WALs and
+		// writes the final per-shard snapshots, after the epoch loops have
+		// stopped and before the process exits.
+		if err := d.Close(); err != nil {
 			return err
 		}
 		if cfg.dataDir != "" {

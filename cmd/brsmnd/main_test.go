@@ -34,6 +34,10 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.dataDir != "" || cfg.snapshotEvery != time.Minute || cfg.fsyncBatch != 8 {
 		t.Fatalf("durability defaults = %+v", cfg)
 	}
+	if cfg.nodeID != "" || cfg.peers != "" || cfg.clusterPoll != 500*time.Millisecond ||
+		cfg.forwardTimeout != 5*time.Second || cfg.forwardRetries != 2 || cfg.maxHops != 2 {
+		t.Fatalf("cluster defaults = %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
@@ -44,6 +48,8 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-probe-every", "2", "-probe-count", "6", "-fault-inject", "dead:0:1", "-fault-seed", "99",
 		"-metrics=false", "-trace-sample", "7",
 		"-data-dir", "/tmp/brsmnd-x", "-snapshot-every", "30s", "-fsync-batch", "1",
+		"-node-id", "a", "-peers", "a=http://127.0.0.1:1,b=http://127.0.0.1:2",
+		"-cluster-poll", "100ms", "-forward-timeout", "2s", "-forward-retries", "1", "-max-hops", "3",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +70,11 @@ func TestParseFlagsOverrides(t *testing.T) {
 	if cfg.dataDir != "/tmp/brsmnd-x" || cfg.snapshotEvery != 30*time.Second || cfg.fsyncBatch != 1 {
 		t.Fatalf("durability overrides = %+v", cfg)
 	}
+	if cfg.nodeID != "a" || cfg.peers != "a=http://127.0.0.1:1,b=http://127.0.0.1:2" ||
+		cfg.clusterPoll != 100*time.Millisecond || cfg.forwardTimeout != 2*time.Second ||
+		cfg.forwardRetries != 1 || cfg.maxHops != 3 {
+		t.Fatalf("cluster overrides = %+v", cfg)
+	}
 }
 
 func TestParseFlagsErrors(t *testing.T) {
@@ -75,6 +86,22 @@ func TestParseFlagsErrors(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-shards", "0"}); err == nil {
 		t.Fatal("-shards 0 accepted")
+	}
+	// Cluster flags come as a pair and must be self-consistent.
+	if _, err := parseFlags([]string{"-node-id", "a"}); err == nil {
+		t.Fatal("-node-id without -peers accepted")
+	}
+	if _, err := parseFlags([]string{"-peers", "a=http://127.0.0.1:1"}); err == nil {
+		t.Fatal("-peers without -node-id accepted")
+	}
+	if _, err := parseFlags([]string{"-node-id", "c", "-peers", "a=http://127.0.0.1:1,b=http://127.0.0.1:2"}); err == nil {
+		t.Fatal("-node-id missing from -peers accepted")
+	}
+	if _, err := parseFlags([]string{"-node-id", "a", "-peers", "a=127.0.0.1:1"}); err == nil {
+		t.Fatal("-peers URL without scheme accepted")
+	}
+	if _, err := parseFlags([]string{"-node-id", "a", "-peers", "a=http://x,a=http://y"}); err == nil {
+		t.Fatal("duplicate -peers node ID accepted")
 	}
 	// An invalid network size surfaces at handler construction.
 	cfg, err := parseFlags([]string{"-n", "12"})

@@ -134,9 +134,9 @@ func TestHandlerMetricsDisabled(t *testing.T) {
 }
 
 // daemonGoroutines scans all goroutine stacks for daemon-owned work:
-// the epoch loops, shard admission workers, fault probing, the run loop
-// itself, or the serving listener. After a clean shutdown none may
-// remain.
+// the epoch loops, shard admission workers, fault probing, the cluster
+// membership loop and its rebalance sweeps, the run loop itself, or the
+// serving listener. After a clean shutdown none may remain.
 func daemonGoroutines() []string {
 	buf := make([]byte, 1<<20)
 	n := runtime.Stack(buf, true)
@@ -146,6 +146,9 @@ func daemonGoroutines() []string {
 			strings.Contains(s, "brsmn/internal/shard.(*Shard).worker") ||
 			strings.Contains(s, "brsmn/internal/shard.(*Set).snapshotLoop") ||
 			strings.Contains(s, "brsmn/internal/faultd.(*Monitor).RunProbes") ||
+			strings.Contains(s, "brsmn/internal/cluster.(*Node).loop") ||
+			strings.Contains(s, "brsmn/internal/cluster.(*Node).sweep") ||
+			strings.Contains(s, "brsmn/internal/cluster.(*Node).pollRound") ||
 			strings.Contains(s, "brsmn/cmd/brsmnd.run(") ||
 			strings.Contains(s, "net/http.(*Server).Serve") {
 			leaked = append(leaked, s)

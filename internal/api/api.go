@@ -57,6 +57,7 @@ type Server struct {
 	monitors []*faultd.Monitor
 	reg      *obs.Registry
 	tracer   *obs.TraceRecorder
+	ready    ReadyCheck
 	mux      *http.ServeMux
 }
 
@@ -79,6 +80,7 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.route("GET /v1/cost", "cost", s.handleCost)
 	s.route("GET /v1/sequence", "sequence", s.handleSequence)
 	s.route("GET /v1/healthz", "healthz", s.handleHealthz)
+	s.route("GET /v1/readyz", "readyz", s.handleReadyz)
 	s.route("POST /v1/groups", "group_create", s.withGroups(s.handleGroupCreate))
 	s.route("GET /v1/groups", "group_list", s.withGroups(s.handleGroupList))
 	s.route("GET /v1/groups/{id}", "group_get", s.withGroups(s.handleGroupGet))
@@ -104,6 +106,7 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	// serve the probe and exposition paths directly at their unversioned
 	// addresses too.
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 
 	// Method-less fallbacks: a request for a registered path with an
@@ -116,6 +119,7 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.notAllowed("/v1/cost", "GET")
 	s.notAllowed("/v1/sequence", "GET")
 	s.notAllowed("/v1/healthz", "GET")
+	s.notAllowed("/v1/readyz", "GET")
 	s.notAllowed("/v1/groups", "GET, POST")
 	s.notAllowed("/v1/groups/{id}", "GET, DELETE")
 	s.notAllowed("/v1/groups/{id}/join", "POST")
@@ -132,6 +136,7 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.notAllowed("/v1/metrics", "GET")
 	s.notAllowed("/v1/trace/{group}", "GET")
 	s.notAllowed("/healthz", "GET")
+	s.notAllowed("/readyz", "GET")
 	s.notAllowed("/metrics", "GET")
 
 	s.registerLegacy()

@@ -72,6 +72,17 @@ func codeForStatus(status int) string {
 	}
 }
 
+// WriteData writes a success envelope — exported for the cluster tier
+// (internal/cluster), whose membership/drain endpoints live in front of
+// this mux but must answer in the same shape.
+func WriteData(w http.ResponseWriter, status int, v any) { writeData(w, status, v) }
+
+// WriteError writes an error envelope with an explicit code; the
+// exported counterpart of writeError for the cluster tier.
+func WriteError(w http.ResponseWriter, status int, code, message string, fields ...FieldError) {
+	writeError(w, status, code, message, fields...)
+}
+
 // writeData writes a success envelope.
 func writeData(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,44 @@
+package api
+
+// Liveness vs readiness.
+//
+//	GET /v1/healthz  (and /healthz)  -> liveness: 200 while the process
+//	                                    serves HTTP at all
+//	GET /v1/readyz   (and /readyz)   -> readiness: 200 only when the node
+//	                                    should receive traffic
+//
+// The split matters in cluster mode: a draining node keeps answering
+// requests for the groups it still holds (liveness up) while reporting
+// not-ready so ring peers, load balancers, and the CI smoke stop
+// steering *new* traffic at it. A node still syncing its first
+// membership view is likewise not-ready. Without a readiness check
+// installed (single-node deployments), readyz is an alias for liveness.
+
+import "net/http"
+
+// ReadyCheck reports whether this node should receive traffic: nil
+// means ready, an error carries the human-readable reason (draining,
+// recovering, ...). Implementations must be safe for concurrent use.
+type ReadyCheck func() error
+
+// WithReadiness installs the readiness check behind GET /v1/readyz.
+func WithReadiness(check ReadyCheck) Option {
+	return func(s *Server) { s.ready = check }
+}
+
+// ReadyResponse is the GET /v1/readyz reply.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason is the not-ready explanation; empty when ready.
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready != nil {
+		if err := s.ready(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+			return
+		}
+	}
+	writeData(w, http.StatusOK, ReadyResponse{Ready: true})
+}

@@ -1,0 +1,72 @@
+package cluster
+
+// Cluster-tier metrics. Combined with the registry's common node="id"
+// label (obs.Registry.SetCommonLabel, wired in cmd/brsmnd), every
+// series below — like every pre-existing series — is attributable to
+// its node when N scrapes land in one aggregator:
+//
+//	brsmn_cluster_nodes                    gauge      configured cluster size
+//	brsmn_cluster_nodes_serving            gauge      nodes on the placement ring
+//	brsmn_cluster_nodes_down               gauge      peers past the failure threshold
+//	brsmn_cluster_forwarded_total          counter    requests proxied to their ring owner
+//	brsmn_cluster_forward_errors_total     counter    proxies that failed (502 to the client)
+//	brsmn_cluster_forward_retries_total    counter    transport-level proxy retries
+//	brsmn_cluster_hop_limited_total        counter    requests served locally at the hop cap
+//	brsmn_cluster_forward_seconds          histogram  proxy round-trip latency
+//	brsmn_cluster_migrated_out_total       counter    groups pushed to gaining nodes
+//	brsmn_cluster_migrated_in_total        counter    groups installed from draining peers
+//	brsmn_cluster_drains_total             counter    drain transitions on this node
+//	brsmn_cluster_view_changes_total       counter    membership-view (ring) rebuilds
+//	brsmn_cluster_draining                 gauge      1 while this node is draining
+
+import "brsmn/internal/obs"
+
+// clusterMetrics holds the write-side handles; read-side series are
+// CounterFunc/GaugeFunc closures over Node state.
+type clusterMetrics struct {
+	forwardErrors  *obs.Counter
+	forwardRetries *obs.Counter
+	hopLimited     *obs.Counter
+	forwardSeconds *obs.Histogram
+	drains         *obs.Counter
+	viewChanges    *obs.Counter
+}
+
+func (n *Node) registerMetrics(reg *obs.Registry) *clusterMetrics {
+	m := &clusterMetrics{
+		forwardErrors:  reg.Counter("brsmn_cluster_forward_errors_total", "Proxied requests that failed after retries."),
+		forwardRetries: reg.Counter("brsmn_cluster_forward_retries_total", "Transport-level retries of proxied requests."),
+		hopLimited:     reg.Counter("brsmn_cluster_hop_limited_total", "Requests served locally because the forwarding hop cap was reached."),
+		forwardSeconds: reg.Histogram("brsmn_cluster_forward_seconds", "Proxy round-trip latency to the owning node.", obs.SecondsBuckets()),
+		drains:         reg.Counter("brsmn_cluster_drains_total", "Drain transitions on this node."),
+		viewChanges:    reg.Counter("brsmn_cluster_view_changes_total", "Membership-view changes (placement-ring rebuilds)."),
+	}
+	reg.CounterFunc("brsmn_cluster_forwarded_total", "Requests proxied to their ring owner.",
+		func() float64 { return float64(n.nForwarded.Load()) })
+	reg.CounterFunc("brsmn_cluster_migrated_out_total", "Groups pushed to gaining nodes.",
+		func() float64 { return float64(n.nMigratedOut.Load()) })
+	reg.CounterFunc("brsmn_cluster_migrated_in_total", "Groups installed from draining peers.",
+		func() float64 { return float64(n.nMigratedIn.Load()) })
+	reg.GaugeFunc("brsmn_cluster_nodes", "Configured cluster size.",
+		func() float64 { return float64(len(n.peers)) })
+	reg.GaugeFunc("brsmn_cluster_nodes_serving", "Nodes on the placement ring.",
+		func() float64 { return float64(len(n.servingPeers())) })
+	reg.GaugeFunc("brsmn_cluster_nodes_down", "Peers past the consecutive-poll-failure threshold.",
+		func() float64 {
+			down := 0
+			for _, p := range n.peers {
+				if p.getState() == peerDown {
+					down++
+				}
+			}
+			return float64(down)
+		})
+	reg.GaugeFunc("brsmn_cluster_draining", "1 while this node is draining.",
+		func() float64 {
+			if n.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	return m
+}

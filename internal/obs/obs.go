@@ -144,15 +144,30 @@ type series struct {
 // format. It is safe for concurrent use; the zero value is not usable —
 // construct with NewRegistry.
 type Registry struct {
-	mu    sync.Mutex
-	order []string // registration order of series names
-	by    map[string]*series
-	help  map[string]string // family -> help
+	mu     sync.Mutex
+	order  []string // registration order of series names
+	by     map[string]*series
+	help   map[string]string // family -> help
+	common string           // rendered label pair folded into every series at scrape
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{by: map[string]*series{}, help: map[string]string{}}
+}
+
+// SetCommonLabel installs one rendered label pair (e.g. `node="a"`) that
+// WritePrometheus folds into every series at exposition time — the
+// cluster-mode convention: each daemon stamps its node ID onto all of
+// its series, so scrapes from several nodes merge into one corpus
+// without collision, exactly like the shard="k" labels do within one
+// process. Registration names are untouched (instruments are still
+// looked up by their unlabeled names); only the rendered output changes.
+// An empty label restores unlabeled output.
+func (r *Registry) SetCommonLabel(label string) {
+	r.mu.Lock()
+	r.common = label
+	r.mu.Unlock()
 }
 
 // WithLabel injects one rendered label pair (e.g. `shard="3"`) into a
@@ -273,6 +288,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.help {
 		helps[k] = v
 	}
+	common := r.common
 	r.mu.Unlock()
 
 	// Group series by family, keeping registration order inside each.
@@ -296,11 +312,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f, ss[0].kind)
 		for _, s := range ss {
+			name := WithLabel(s.name, common)
 			if s.hist != nil {
-				s.hist.write(&b, s.name)
+				s.hist.write(&b, name)
 				continue
 			}
-			fmt.Fprintf(&b, "%s %s\n", s.name, formatValue(s.read()))
+			fmt.Fprintf(&b, "%s %s\n", name, formatValue(s.read()))
 		}
 	}
 	_, err := io.WriteString(w, b.String())
