@@ -25,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,17 +44,18 @@ func main() {
 		trials  = flag.Int("trials", 10, "assignments per wall-clock measurement")
 		seed    = flag.Int64("seed", 1, "random seed")
 		format  = flag.String("format", "text", "output format: text or json (json: wallclock, pipeline, route, recovery)")
-		workers = flag.Int("workers", 4, "worker count for the route experiment's parallel regime")
-		groups  = flag.Int("groups", 64, "group population for the recovery experiment")
+		workers  = flag.Int("workers", 4, "worker count for the route experiment's parallel regime")
+		groups   = flag.Int("groups", 64, "group population for the recovery experiment")
+		baseline = flag.String("baseline", "", "route experiment: committed BENCH_route.json to compare against; exits nonzero if the warm planner regime regresses more than 20%")
 	)
 	flag.Parse()
 	szs, err := parseSizes(*sizes)
 	if err == nil {
 		switch *format {
 		case "text":
-			err = run(os.Stdout, *exp, *n, szs, *trials, *seed, *groups)
+			err = run(os.Stdout, *exp, *n, szs, *trials, *seed, *groups, *baseline)
 		case "json":
-			err = runJSON(os.Stdout, *exp, *n, *trials, *seed, *workers, *groups)
+			err = runJSON(os.Stdout, *exp, *n, *trials, *seed, *workers, *groups, *baseline)
 		default:
 			err = fmt.Errorf("unknown format %q", *format)
 		}
@@ -79,14 +81,16 @@ func parseSizes(s string) ([]int, error) {
 // runJSON handles the experiments with a machine-readable form. The
 // text-only experiments reject -format json instead of silently
 // falling back.
-func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers, groups int) error {
+func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers, groups int, baseline string) error {
 	var (
-		rep any
-		err error
+		rep      any
+		err      error
+		routeRep *harness.RouteBenchReport
 	)
 	switch exp {
 	case "route":
-		rep, err = harness.RouteBench(n, trials, seed, workers)
+		routeRep, err = harness.RouteBench(n, trials, seed, workers)
+		rep = routeRep
 	case "wallclock":
 		rep, err = harness.WallClockJSON(n, trials, seed)
 	case "pipeline":
@@ -103,11 +107,59 @@ func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers, groups
 	if err != nil {
 		return err
 	}
-	_, err = io.WriteString(w, out)
-	return err
+	if _, err := io.WriteString(w, out); err != nil {
+		return err
+	}
+	// The report is on stdout either way; a regression only changes the
+	// exit status, so CI keeps the artifact alongside the failure.
+	if routeRep != nil && baseline != "" {
+		return checkBaseline(routeRep, baseline)
+	}
+	return nil
 }
 
-func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64, groups int) error {
+// checkBaseline compares the warm single-threaded planner regime — the
+// steady-state replan cost everything downstream budgets around —
+// against a committed BENCH_route.json, failing on a >20% nsPerOp
+// regression. The baseline must describe the same network size; silently
+// comparing different n would make the guard meaningless.
+func checkBaseline(rep *harness.RouteBenchReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base harness.RouteBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.N != rep.N {
+		return fmt.Errorf("baseline %s is for n=%d but the benchmark ran n=%d", path, base.N, rep.N)
+	}
+	find := func(r *harness.RouteBenchReport) *harness.Measurement {
+		for i := range r.Regimes {
+			if r.Regimes[i].Name == "planner" {
+				return &r.Regimes[i]
+			}
+		}
+		return nil
+	}
+	got, want := find(rep), find(&base)
+	if want == nil {
+		return fmt.Errorf("baseline %s has no planner regime", path)
+	}
+	if got == nil {
+		return fmt.Errorf("benchmark produced no planner regime")
+	}
+	ratio := float64(got.NsPerOp) / float64(want.NsPerOp)
+	fmt.Fprintf(os.Stderr, "brsmnbench: planner %d ns/op vs baseline %d ns/op (%.2fx)\n",
+		got.NsPerOp, want.NsPerOp, ratio)
+	if ratio > 1.2 {
+		return fmt.Errorf("planner regime regressed to %.2fx of baseline %s (limit 1.20x)", ratio, path)
+	}
+	return nil
+}
+
+func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64, groups int, baseline string) error {
 	section := func(body string, err error) error {
 		if err != nil {
 			return err
@@ -159,6 +211,9 @@ func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64, gr
 		for _, m := range rep.Regimes {
 			fmt.Fprintf(w, "  %-18s %12d ns/op %12d B/op %8d allocs/op\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 		}
+		if baseline != "" {
+			return checkBaseline(rep, baseline)
+		}
 		return nil
 	case "recovery":
 		rep, err := harness.RecoveryBench(n, groups, trials, seed)
@@ -173,7 +228,7 @@ func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64, gr
 		return nil
 	case "all":
 		for _, e := range []string{"table1", "table2", "orders", "fit", "fig2", "delay", "splits", "pipeline", "util", "admission", "saturation", "ktradeoff", "wallclock", "recovery"} {
-			if err := run(w, e, n, sizes, trials, seed, groups); err != nil {
+			if err := run(w, e, n, sizes, trials, seed, groups, ""); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 			fmt.Fprintln(w)

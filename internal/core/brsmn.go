@@ -16,7 +16,6 @@ package core
 import (
 	"fmt"
 
-	"brsmn/internal/bsn"
 	"brsmn/internal/mcast"
 	"brsmn/internal/rbn"
 	"brsmn/internal/swbox"
@@ -105,19 +104,23 @@ func (nw *Network) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Resul
 	return out, nil
 }
 
-func deliveryOf(c bsn.Cell) Delivery {
-	if c.IsIdle() {
+// deliveryOf resolves a final-column cell into a Delivery, attaching the
+// source's payload from the latest route.
+func (p *Planner) deliveryOf(c pcell) Delivery {
+	if c.isIdle() {
 		return Delivery{Source: -1}
 	}
-	return Delivery{Source: c.Source, Payload: c.Payload}
+	d := Delivery{Source: int(c.src)}
+	if p.payloads != nil {
+		d.Payload = p.payloads[c.src]
+	}
+	return d
 }
 
-func splitFinal(c bsn.Cell) (bsn.Cell, bsn.Cell) {
-	up, low := c, c
-	up.Tag = tag.V0
-	low.Tag = tag.V1
-	return up, low
-}
+// splitFinal duplicates a broadcast connection onto both final outputs;
+// the delivery is fully described by the source, so the split is the
+// identity.
+func splitFinal(c pcell) (pcell, pcell) { return c, c }
 
 // FinalSetting chooses the 2x2 switch setting realizing the two final
 // tags. The valid combinations follow from the BSN constraints: at most

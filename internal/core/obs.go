@@ -8,48 +8,35 @@ package core
 
 import (
 	"time"
-	"unsafe"
 
-	"brsmn/internal/bsn"
 	"brsmn/internal/mcast"
 	"brsmn/internal/obs"
 	"brsmn/internal/shuffle"
-	"brsmn/internal/tag"
 )
 
-// tagBytes converts arena tag counts into bytes for memory accounting.
-const tagBytes = int(unsafe.Sizeof(tag.Value(0)))
-
-// RetainedTagBytes returns the bytes of routing-tag arena storage the
+// RetainedTagBytes returns the bytes of tag-tree arena storage the
 // planner keeps alive between routes — the part of its footprint that
-// grows with workload fanout rather than network size.
+// grows with the number of active inputs rather than network size.
 func (p *Planner) RetainedTagBytes() int {
-	total := p.seqAr.Cap()
-	for i := range p.arenas {
-		total += p.arenas[i].Cap()
-	}
-	return total * tagBytes
+	return len(p.treeWords) * 8
 }
 
 // lastUsedTagBytes returns the arena bytes the most recent route
-// actually consumed (arenas are reset at the next route, so the values
-// persist after Route returns).
+// actually consumed (the arena is reset at the next route, so the value
+// persists after Route returns).
 func (p *Planner) lastUsedTagBytes() int {
-	total := p.seqAr.Used()
-	for i := range p.arenas {
-		total += p.arenas[i].Used()
-	}
-	return total * tagBytes
+	return p.treeUsed * 8
 }
 
-// ShrinkArenas drops every retained arena chunk; subsequent routes
-// regrow them to actual need. The fixed, n-sized planning structures
-// (cell levels, plan slots, routers) are untouched.
+// ShrinkArenas drops the retained tag-tree arena; subsequent routes
+// regrow it to actual need. The fixed, n-sized planning structures
+// (cell levels, plan slots, routers) are untouched. The retained route
+// loses its trees, so in-place patching is disabled until the next full
+// route.
 func (p *Planner) ShrinkArenas() {
-	p.seqAr.Release()
-	for i := range p.arenas {
-		p.arenas[i].Release()
-	}
+	p.treeWords = nil
+	p.treeUsed = 0
+	p.routed = false
 }
 
 // RouteTraced is Route with per-stage tracing into tr: wall-clock total,
@@ -134,18 +121,22 @@ func (nw *Network) RouteTraced(a mcast.Assignment, tr *obs.RouteTrace) (*Result,
 const (
 	shrinkFactor = 4
 	// minNeedBytes floors the need estimate so near-idle workloads do
-	// not shrink-thrash over the arenas' minimum chunk sizes. The floor
-	// is additionally raised to the planner's structural baseline — an
-	// n-port planner retains about n/2 arenas of bsn.MinChunk tags after
-	// touching every recursion node, which is not workload growth.
-	minNeedBytes = 64 << 10
+	// not shrink-thrash over the arena's minimum chunk size. The floor
+	// is additionally raised to the planner's structural baseline — one
+	// arena growth chunk, or one tree for networks too large for a
+	// single chunk, which is not workload growth.
+	minNeedBytes = 4 << 10
 )
 
 // baselineTagBytes is the retention an n-port planner reaches from the
-// arena minimum chunks alone: one arena per BSN slot plus the sequence
-// arena, each at bsn.MinChunk tags once touched.
+// tag-tree arena minimum alone: one growth chunk, or one packed tree if
+// a single tree already exceeds it.
 func baselineTagBytes(n int) int64 {
-	return int64(n/2) * bsn.MinChunk * int64(tagBytes)
+	wpt := (n-1)>>5 + 1
+	if wpt < treeChunkWords {
+		wpt = treeChunkWords
+	}
+	return int64(wpt) * 8
 }
 
 // PoolStats is a point-in-time snapshot of a PlannerPool's counters.

@@ -50,7 +50,11 @@ func TestPoolShrinksOversizedArenas(t *testing.T) {
 		t.Fatalf("dense retention %d under the shrink threshold %d; workload too small to exercise the policy",
 			denseRetained, shrinkFactor*baselineTagBytes(n))
 	}
-	pool.Put(pl)
+	// Register the dense need through the policy without surrendering
+	// the planner: sync.Pool randomly drops stored items under the race
+	// detector, so the test holds the dense planner itself and only
+	// routes its maintenance through the pool.
+	pool.maintain(pl)
 	if st := pool.Stats(); st.Shrinks != 0 {
 		t.Fatalf("planner shrunk while the dense need is fresh: %+v", st)
 	}
@@ -58,18 +62,21 @@ func TestPoolShrinksOversizedArenas(t *testing.T) {
 	// Sparse steady state: the need estimate decays until the retained
 	// dense arenas exceed shrinkFactor times it.
 	sparse := sparseAssignment(n)
-	var shrunkAt int
 	for i := 0; i < 100; i++ {
-		pl := pool.Get()
-		if _, err := pl.Route(sparse); err != nil {
+		spl := pool.Get()
+		if _, err := spl.Route(sparse); err != nil {
 			t.Fatal(err)
 		}
-		pool.Put(pl)
-		if pool.Stats().Shrinks > 0 {
-			shrunkAt = i + 1
-			break
-		}
+		pool.Put(spl)
 	}
+	// The dense planner joins the sparse steady state (one sparse route,
+	// so its last-used figure reflects the new regime, not the dense
+	// burst) and comes back to a pool whose recent need is sparse: the
+	// policy must release its arenas on the way in.
+	if _, err := pl.Route(sparse); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(pl)
 	st := pool.Stats()
 	if st.Shrinks == 0 {
 		t.Fatalf("no shrink after 100 sparse routes: %+v", st)
@@ -77,8 +84,12 @@ func TestPoolShrinksOversizedArenas(t *testing.T) {
 	if st.RetainedHighWaterBytes < denseRetained {
 		t.Fatalf("high-water %d below observed dense retention %d", st.RetainedHighWaterBytes, denseRetained)
 	}
+	if got := int64(pl.RetainedTagBytes()); got >= denseRetained/shrinkFactor {
+		t.Fatalf("dense planner still retains %d after the sparse steady state; want well under %d",
+			got, denseRetained)
+	}
 
-	// The planner now in the pool regrows to sparse need only.
+	// A shrunk planner regrows to sparse need only.
 	pl = pool.Get()
 	if _, err := pl.Route(sparse); err != nil {
 		t.Fatal(err)
@@ -86,8 +97,8 @@ func TestPoolShrinksOversizedArenas(t *testing.T) {
 	regrown := int64(pl.RetainedTagBytes())
 	pool.Put(pl)
 	if regrown >= denseRetained/shrinkFactor {
-		t.Fatalf("retained %d after shrink at sparse route %d; want well under the dense %d",
-			regrown, shrunkAt, denseRetained)
+		t.Fatalf("retained %d regrown under sparse traffic; want well under the dense %d",
+			regrown, denseRetained)
 	}
 }
 

@@ -1,0 +1,188 @@
+package core
+
+// Incremental plan patching: a single join or leave changes only the
+// contiguous root-to-leaf path suffix of one source's tag tree (see
+// mcast.AddDelta / mcast.RemoveDelta). Every plan above the topmost
+// changed tree level is computed from unchanged tags, so the retained
+// route stays valid there and only the sub-BRSMN containing the changed
+// destination — O(log n) switch columns when the change sits deep — has
+// to be replanned. RoutePatch performs exactly that replan against the
+// planner's retained levels.
+
+import (
+	"errors"
+	"fmt"
+
+	"brsmn/internal/tag"
+)
+
+// ErrPatchFallback reports that an in-place patch cannot (or should
+// not) be applied — the planner holds no complete route, the change
+// reaches the tree root, or the change is structural (a source joining
+// from idle or leaving its last destination). The caller must fall back
+// to a full Route with the updated assignment; the planner remains
+// usable for that.
+var ErrPatchFallback = errors.New("core: plan patch outside the incremental regime; full replan required")
+
+// RoutePatch applies a single-membership change — input src gains
+// (join) or loses (leave) destination d — to the retained route of the
+// previous successful Route call, replanning only the sub-BRSMN whose
+// tags changed. It returns the patched Result (aliasing the planner's
+// storage, like Route) and the topmost recursion level replanned: level
+// l means n >> (l-1) outputs were re-routed, so large levels are cheap,
+// near-constant-time patches.
+//
+// On ErrPatchFallback the planner's tag tree may already carry the
+// mutation; the caller's full Route rebuilds all state from the
+// assignment, which must reflect the same change.
+func (p *Planner) RoutePatch(src, d int, join bool) (*Result, int, error) {
+	if src < 0 || src >= p.n {
+		return nil, 0, fmt.Errorf("core: patch source %d out of range [0,%d)", src, p.n)
+	}
+	if d < 0 || d >= p.n {
+		return nil, 0, fmt.Errorf("core: patch destination %d out of range [0,%d)", d, p.n)
+	}
+	if !p.routed {
+		return nil, 0, ErrPatchFallback
+	}
+	if join {
+		if own := p.owner[d]; own >= 0 {
+			return nil, 0, fmt.Errorf("core: output %d already receives input %d", d, own)
+		}
+		if p.treeOff[src] < 0 {
+			// The source was idle: it has no tree and no cell anywhere
+			// in the retained levels — a structural change.
+			p.routed = false
+			return nil, 0, ErrPatchFallback
+		}
+	} else if p.owner[d] != src {
+		return nil, 0, fmt.Errorf("core: output %d does not receive input %d", d, src)
+	}
+
+	level, err := p.patchTree(p.treeOff[src], d, join)
+	if err != nil {
+		p.routed = false
+		return nil, 0, err
+	}
+	if join {
+		p.owner[d] = src
+	} else {
+		p.owner[d] = -1
+	}
+	if level <= 1 {
+		// The root lane flipped (or the tree emptied): the source's
+		// level-1 tag changed, so the outermost BSN — the whole
+		// network — replans anyway.
+		p.routed = false
+		return nil, 0, ErrPatchFallback
+	}
+
+	// Replan the sub-BRSMN at recursion level `level` containing d. All
+	// tags at tree levels < level are unchanged, so every upstream plan
+	// and every cell position entering this subnetwork is exactly what
+	// the retained levels record; re-entering the recursion here
+	// reproduces what a full route of the new assignment would compute.
+	size := p.n >> (level - 1)
+	base := d &^ (size - 1)
+	slot, b, s := 0, 0, p.n
+	for l := 1; l < level; l++ {
+		half := s / 2
+		if d < b+half {
+			slot++
+		} else {
+			slot += s / 4
+			b += half
+		}
+		s = half
+	}
+	if size == 2 {
+		err = p.deliver(p.m, base)
+	} else {
+		err = p.routeRec(level, base, size, slot)
+	}
+	if err != nil {
+		p.routed = false
+		return nil, 0, err
+	}
+	for out := base; out < base+size; out++ {
+		if got, want := p.deliveries[out].Source, p.owner[out]; got != want {
+			p.routed = false
+			return nil, 0, fmt.Errorf("core: patched output %d received source %d, want %d", out, got, want)
+		}
+	}
+	return &p.res, level, nil
+}
+
+// patchTree applies the join/leave to the packed tag tree at offset off,
+// mirroring mcast.AddDelta / mcast.RemoveDelta on 2-bit lanes, and
+// returns the topmost changed tree level (0 when a leave empties the
+// tree, which makes the source idle).
+func (p *Planner) patchTree(off int32, d int, join bool) (int, error) {
+	m := p.m
+	if join {
+		node := 1
+		level := m + 1
+		for i := 0; i < m; i++ {
+			bit := d >> (m - 1 - i) & 1
+			want := tag.V0
+			if bit == 1 {
+				want = tag.V1
+			}
+			switch p.laneAt(off, node) {
+			case tag.Eps:
+				p.setLane(off, node, want)
+			case tag.Alpha, want:
+				// Already covers this direction: unchanged.
+				node = 2*node + bit
+				continue
+			default:
+				// Covers only the other direction: now both.
+				p.setLane(off, node, tag.Alpha)
+			}
+			if i+1 < level {
+				level = i + 1
+			}
+			node = 2*node + bit
+		}
+		if level > m {
+			// A genuine join flips at least the leaf-level node; an
+			// untouched walk means owner and tree disagree.
+			return 0, fmt.Errorf("core: tag tree already covers output %d owned by no one", d)
+		}
+		return level, nil
+	}
+
+	// Leave: collect the path, then repair bottom-up, stopping at the
+	// first node whose sibling direction survives.
+	var path [64]int
+	node := 1
+	for i := 0; i < m; i++ {
+		path[i] = node
+		node = 2*node + d>>(m-1-i)&1
+	}
+	emptied := true
+	level := m + 1
+	for i := m - 1; i >= 0 && emptied; i-- {
+		k := path[i]
+		bit := d >> (m - 1 - i) & 1
+		removedDir := tag.V0
+		if bit == 1 {
+			removedDir = tag.V1
+		}
+		switch p.laneAt(off, k) {
+		case tag.Alpha:
+			// The other direction survives.
+			p.setLane(off, k, removedDir.OtherDirection())
+			emptied = false
+		case removedDir:
+			p.setLane(off, k, tag.Eps)
+		default:
+			return 0, fmt.Errorf("core: tag tree corrupt at node %d while removing output %d", k, d)
+		}
+		level = i + 1
+	}
+	if emptied {
+		return 0, nil
+	}
+	return level, nil
+}

@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"brsmn/internal/bsn"
 	"brsmn/internal/mcast"
 	"brsmn/internal/obs"
 	"brsmn/internal/rbn"
@@ -20,11 +20,44 @@ import (
 // spawn cost. It matches the sweep grain of rbn.Engine.
 const plannerGrain = 256
 
+// treeChunkWords is the minimum tag-tree arena growth step (4 KiB), so
+// sparse workloads do not grow the arena word by word.
+const treeChunkWords = 512
+
+// pcell is a connection branch in flight: the source input and the node
+// of the source's packed tag tree the branch currently sits at. The node
+// IS the routing state — its 2-bit lane holds the branch's tag at the
+// current level and its two children are the next level's tags — so a
+// cell advances by index arithmetic and carries no tag storage of its
+// own. This replaces the per-cell routing-tag sequence (and the
+// re-dealing pass that dominated warm routes) with one int32.
+type pcell struct {
+	src  int32 // source input; -1 for an idle wire
+	node int32 // heap index into the source's tag tree
+}
+
+func (c pcell) isIdle() bool { return c.src < 0 }
+
+// splitPCell realizes an α-split in a broadcast switch: the upper output
+// continues into the 0-subtree, the lower into the 1-subtree.
+func splitPCell(c pcell) (pcell, pcell) {
+	up, low := c, c
+	up.node = 2 * c.node
+	low.node = 2*c.node + 1
+	return up, low
+}
+
 // Planner is a reusable, arena-backed BRSMN routing pipeline: all
-// per-route state — input routing-tag sequences, the per-level cell
+// per-route state — the packed per-input tag trees, the per-level cell
 // vectors, every reverse-banyan plan, the final-column settings and the
 // delivery vector — is allocated once at New and recycled, so a warm
 // Planner routes an assignment with zero steady-state allocations.
+//
+// Each active input's routing tags are stored as a packed tag tree: a
+// heap-indexed vector of 2-bit lanes (lane value == the tag.Value
+// constant) bump-allocated from one shared word arena. A cell's tag at
+// recursion level l is the lane of its current tree node, so the planner
+// never materializes routing-tag sequences at all.
 //
 // The Result returned by Route aliases the planner's storage and is
 // valid only until the next Route call; callers that retain results
@@ -42,29 +75,43 @@ type Planner struct {
 	m       int // log2(n)
 	eng     rbn.Engine
 	workers int
+	tw      int // uint64 words per packed tag tree: (n-1)/32 + 1
 
-	owner []int            // fused validation + verification buffer
-	seqb  mcast.SeqBuilder // routing-tag sequence construction
-	seqAr bsn.Arena        // input sequence storage
+	owner []int // fused validation + verification buffer
+
+	// Packed tag-tree arena. treeOff[i] is input i's word offset into
+	// treeWords, -1 when idle. Offsets survive arena growth (the slice
+	// is copied, not chunked), so laneAt stays a two-instruction load.
+	treeWords []uint64
+	treeOff   []int32
+	treeUsed  int
+	bm        []uint64 // shared leaf-bitmap scratch for buildTree
+
+	// payloads is the caller's payload slice of the latest route,
+	// resolved per delivery at the final column.
+	payloads []any
+
+	// routed marks that the planner holds a complete, verified route
+	// whose retained levels and trees RoutePatch may patch in place.
+	routed bool
 
 	// levels[l] holds the cell vector entering recursion level l+1:
 	// levels[0] is the network input; a level-l node at output base b of
 	// size s reads levels[l-1][b:b+s] and writes its children's cells to
 	// levels[l][b:b+s]. Sibling nodes write disjoint ranges, so the
-	// parallel recursion needs no synchronization.
-	levels [][]bsn.Cell
+	// parallel recursion needs no synchronization — and RoutePatch can
+	// re-enter the recursion at any node whose entry cells it retained.
+	levels [][]pcell
 
 	// plans holds one slot per BSN instance in DFS preorder — the exact
 	// order the sequential recursion appends them — with both RBN plans
 	// preallocated. The slot of a node's upper child is slot+1, of its
 	// lower child slot+size/4 (one plus the size/4-1 slots of the upper
-	// subtree). arenas[slot] backs the advanced routing-tag sequences
-	// created at that node's exit, which must outlive its whole subtree.
-	plans  []LevelPlan
-	arenas []bsn.Arena
+	// subtree).
+	plans []LevelPlan
 
-	routers chan *bsn.Router // BSN router pool, one per worker
-	tokens  chan struct{}    // bounds extra recursion goroutines to workers-1
+	routers chan *pRouter // BSN router pool, one per worker
+	tokens  chan struct{} // bounds extra recursion goroutines to workers-1
 
 	final      []swbox.Setting
 	deliveries []Delivery
@@ -87,28 +134,37 @@ func NewPlanner(n int, eng rbn.Engine) (*Planner, error) {
 	if w < 1 {
 		w = 1
 	}
+	// Forking the recursion past the schedulable parallelism only adds
+	// goroutine and channel overhead, which the fast packed kernels no
+	// longer amortize; cap the fork width at GOMAXPROCS (so a 4-worker
+	// planner on a 1-CPU box routes sequentially).
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
 	m := shuffle.Log2(n)
 	p := &Planner{
 		n:          n,
 		m:          m,
 		eng:        eng,
 		workers:    w,
+		tw:         (n-1)>>5 + 1,
 		owner:      make([]int, n),
-		levels:     make([][]bsn.Cell, m),
+		treeOff:    make([]int32, n),
+		bm:         make([]uint64, (n+63)>>6),
+		levels:     make([][]pcell, m),
 		final:      make([]swbox.Setting, n/2),
 		deliveries: make([]Delivery, n),
-		routers:    make(chan *bsn.Router, w),
+		routers:    make(chan *pRouter, w),
 		tokens:     make(chan struct{}, w-1),
 	}
 	for l := range p.levels {
-		p.levels[l] = make([]bsn.Cell, n)
+		p.levels[l] = make([]pcell, n)
 	}
 	slots := n/2 - 1 // BSN instances: one per sub-BRSMN of size >= 4
 	p.plans = make([]LevelPlan, slots)
-	p.arenas = make([]bsn.Arena, slots)
 	p.initSlots(1, 0, n, 0)
 	for i := 0; i < w; i++ {
-		p.routers <- bsn.NewRouter(n)
+		p.routers <- newPRouter(n)
 	}
 	return p, nil
 }
@@ -130,6 +186,103 @@ func (p *Planner) initSlots(level, base, size, slot int) {
 // N returns the network size.
 func (p *Planner) N() int { return p.n }
 
+// laneAt reads the 2-bit tag lane of the given tree node.
+func (p *Planner) laneAt(off int32, node int) tag.Value {
+	return tag.Value(p.treeWords[int(off)+node>>5] >> (2 * (uint(node) & 31)) & 3)
+}
+
+// setLane overwrites the 2-bit tag lane of the given tree node.
+func (p *Planner) setLane(off int32, node int, v tag.Value) {
+	w := &p.treeWords[int(off)+node>>5]
+	sh := 2 * (uint(node) & 31)
+	*w = *w&^(3<<sh) | uint64(v)<<sh
+}
+
+// allocTree bump-allocates one tree's worth of arena words and returns
+// its offset. Growth copies the backing slice, so earlier offsets stay
+// valid.
+func (p *Planner) allocTree() int32 {
+	off := p.treeUsed
+	if need := off + p.tw; need > len(p.treeWords) {
+		newLen := 2 * len(p.treeWords)
+		if newLen < need {
+			newLen = need
+		}
+		if newLen < treeChunkWords {
+			newLen = treeChunkWords
+		}
+		grown := make([]uint64, newLen)
+		copy(grown, p.treeWords[:off])
+		p.treeWords = grown
+	}
+	p.treeUsed = off + p.tw
+	return int32(off)
+}
+
+// tagWordOf turns 64 leaf-occupancy bits into 32 two-bit node lanes:
+// each (even, odd) bit pair — left subtree nonempty, right subtree
+// nonempty — maps to V0 (1,0), V1 (0,1), Alpha (1,1) or Eps (0,0),
+// numerically the tag.Value constants.
+func tagWordOf(c uint64) uint64 {
+	const even = 0x5555555555555555
+	ce := c & even
+	co := (c >> 1) & even
+	return (^(ce^co)&even)<<1 | ^ce&even
+}
+
+// compactEven gathers the 32 even-position bits of x into the low half.
+func compactEven(x uint64) uint64 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return x
+}
+
+// buildTree packs the routing-tag tree for destination set ds into tw
+// (p.tw words): a bottom-up word-parallel construction that derives each
+// level's node lanes from the leaf-occupancy bitmap, then compacts the
+// bitmap by pairwise OR for the level above — O(n/64 + log n) word
+// operations in place of the O(n) byte-tree walk of mcast.BuildTagTree.
+func (p *Planner) buildTree(tw []uint64, ds []int) {
+	D := p.bm
+	for w := range D {
+		D[w] = 0
+	}
+	for _, d := range ds {
+		D[d>>6] |= 1 << (uint(d) & 63)
+	}
+	tw[0] = 0
+	width := p.n // bitmap bits still live
+	for nodes := p.n / 2; nodes >= 1; nodes >>= 1 {
+		if nodes >= 32 {
+			// This level owns whole words: nodes [nodes, 2*nodes) sit
+			// at words [nodes/32, nodes/16).
+			base := nodes >> 5
+			for w := 0; w < width>>6; w++ {
+				tw[base+w] = tagWordOf(D[w])
+			}
+		} else {
+			// The level's lanes live inside word 0 at lane positions
+			// nodes..2*nodes-1. tagWordOf reads the unused high (0,0)
+			// pairs as ε lanes, so mask before merging.
+			t := tagWordOf(D[0]) & (1<<(2*uint(nodes)) - 1)
+			tw[0] |= t << (2 * uint(nodes))
+		}
+		if cw := width >> 6; cw >= 2 {
+			for pw := 0; pw < cw/2; pw++ {
+				D[pw] = compactEven(D[2*pw]|D[2*pw]>>1) |
+					compactEven(D[2*pw+1]|D[2*pw+1]>>1)<<32
+			}
+		} else {
+			D[0] = compactEven(D[0] | D[0]>>1)
+		}
+		width >>= 1
+	}
+}
+
 // Route realizes a multicast assignment. The returned Result aliases
 // the planner's recycled storage — valid until the next Route call.
 func (p *Planner) Route(a mcast.Assignment) (*Result, error) {
@@ -137,8 +290,11 @@ func (p *Planner) Route(a mcast.Assignment) (*Result, error) {
 }
 
 // RouteWithPayloads is Route with a payload attached to each input's
-// connection. payloads may be nil for payload-free routing.
+// connection. payloads may be nil for payload-free routing. The planner
+// keeps a reference to payloads for delivery resolution until the next
+// route.
 func (p *Planner) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result, error) {
+	p.routed = false
 	if payloads != nil && len(payloads) != p.n {
 		return nil, fmt.Errorf("core: %d payloads for %d inputs", len(payloads), p.n)
 	}
@@ -148,7 +304,13 @@ func (p *Planner) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result
 	if err := a.OwnerInto(p.owner); err != nil {
 		return nil, err
 	}
-	p.seqAr.Reset()
+	p.payloads = payloads
+
+	var t0 time.Time
+	if p.tr != nil {
+		t0 = time.Now()
+	}
+	p.treeUsed = 0
 	in := p.levels[0]
 	for i := range in {
 		ds := a.Dests[i]
@@ -156,25 +318,22 @@ func (p *Planner) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result
 			if p.tr != nil {
 				p.tr.IdleInputs++
 			}
-			in[i] = bsn.Idle()
+			p.treeOff[i] = -1
+			in[i] = pcell{src: -1}
 			continue
 		}
 		if p.tr != nil {
 			p.tr.Fanout += len(ds)
 		}
-		s, err := p.seqb.AppendFromDests(p.seqAr.Alloc(p.n - 1)[:0], p.n, ds)
-		if err != nil {
-			return nil, fmt.Errorf("mcast: input %d: %w", i, err)
-		}
-		c := bsn.Cell{Tag: s[0], Source: i, Seq: s}
-		if payloads != nil {
-			c.Payload = payloads[i]
-		}
-		in[i] = c
+		off := p.allocTree()
+		p.treeOff[i] = off
+		p.buildTree(p.treeWords[off:int(off)+p.tw], ds)
+		in[i] = pcell{src: int32(i), node: 1}
 	}
-	for i := range p.arenas {
-		p.arenas[i].Reset()
+	if tr := p.tr; tr != nil {
+		tr.AddStage("tree-build", time.Since(t0))
 	}
+
 	if err := p.routeRec(1, 0, p.n, 0); err != nil {
 		return nil, err
 	}
@@ -182,6 +341,7 @@ func (p *Planner) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result
 	if err := verifyOwner(p.owner, p.deliveries); err != nil {
 		return nil, fmt.Errorf("core: routed configuration failed verification: %w", err)
 	}
+	p.routed = true
 	return &p.res, nil
 }
 
@@ -195,37 +355,18 @@ func (p *Planner) routeRec(level, base, size, slot int) error {
 	lp := &p.plans[slot]
 	cells := p.levels[level-1][base : base+size]
 	r := <-p.routers
-	var out []bsn.Cell
+	var out []pcell
 	var err error
 	if tr := p.tr; tr != nil {
-		out, err = r.RouteTimed(cells, p.eng, lp.Scatter, lp.Quasi, &tr.ScatterNs, &tr.QuasiNs)
+		out, err = r.route(p, level, cells, lp, &tr.ScatterNs, &tr.QuasiNs)
 	} else {
-		out, err = r.Route(cells, p.eng, lp.Scatter, lp.Quasi)
+		out, err = r.route(p, level, cells, lp, nil, nil)
 	}
 	if err != nil {
 		p.routers <- r
 		return fmt.Errorf("core: level %d BSN at output base %d: %w", level, base, err)
 	}
-	var tAdv time.Time
-	if p.tr != nil {
-		tAdv = time.Now()
-	}
-	next := p.levels[level][base : base+size]
-	ar := &p.arenas[slot]
-	for i, c := range out {
-		adv := c
-		if !c.IsIdle() {
-			adv, err = bsn.AdvanceIn(c, ar)
-			if err != nil {
-				p.routers <- r
-				return fmt.Errorf("core: level %d output %d: %w", level, i, err)
-			}
-		}
-		next[i] = adv
-	}
-	if tr := p.tr; tr != nil {
-		obs.AddNs(&tr.AdvanceNs, time.Since(tAdv))
-	}
+	copy(p.levels[level][base:base+size], out)
 	p.routers <- r
 
 	half := size / 2
@@ -256,7 +397,128 @@ func (p *Planner) routeRec(level, base, size, slot int) error {
 	return p.routeRec(level+1, base+half, half, loSlot)
 }
 
-// deliver realizes the 2x2 switch covering outputs base and base+1.
+// pRouter is a reusable binary-splitting-network router over pcells: the
+// same two-pass scatter + quasisort routing as bsn.Router, but cells
+// carry tree nodes instead of tag sequences, so the entry tags are lane
+// loads and the level advance folds into the scatter pass itself — χ
+// cells step to their child node before the permutation is applied and
+// α cells step during the broadcast split, eliminating the separate
+// sequence-advance sweep entirely.
+type pRouter struct {
+	tags    []tag.Value
+	midTags []tag.Value
+	divided []tag.Value
+	a, b    []pcell
+	sc      *rbn.Scratch
+}
+
+func newPRouter(n int) *pRouter {
+	return &pRouter{
+		tags:    make([]tag.Value, n),
+		midTags: make([]tag.Value, n),
+		divided: make([]tag.Value, n),
+		a:       make([]pcell, n),
+		b:       make([]pcell, n),
+		sc:      rbn.NewScratch(n),
+	}
+}
+
+// route drives cells (entering tree level `level`) through one BSN,
+// writing the scatter and quasisort settings into lp and returning the
+// output cells, every one advanced to tree level level+1. The output
+// aliases the router's buffers: consume or copy it before the next call.
+func (r *pRouter) route(p *Planner, level int, cells []pcell, lp *LevelPlan, scatterNs, quasiNs *int64) ([]pcell, error) {
+	n := len(cells)
+	tags := r.tags[:n]
+	for i, c := range cells {
+		if c.isIdle() {
+			tags[i] = tag.Eps
+		} else {
+			tags[i] = p.laneAt(p.treeOff[c.src], int(c.node))
+		}
+	}
+	if err := tag.Count(tags).CheckBSNInput(n); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: scatter — eliminate αs. The working copy pre-advances every
+	// χ cell to its child node (the retained input cells stay untouched
+	// for RoutePatch re-entry); α cells advance inside splitPCell.
+	var t0 time.Time
+	if scatterNs != nil {
+		t0 = time.Now()
+	}
+	if err := p.eng.ScatterPlanInto(lp.Scatter, tags, 0, r.sc); err != nil {
+		return nil, err
+	}
+	a := r.a[:n]
+	for i, c := range cells {
+		if !c.isIdle() {
+			switch tags[i] {
+			case tag.V0:
+				c.node = 2 * c.node
+			case tag.V1:
+				c.node = 2*c.node + 1
+			}
+		}
+		a[i] = c
+	}
+	mid, err := rbn.ApplyScratch(lp.Scatter, a, a, r.b[:n], splitPCell)
+	if err != nil {
+		return nil, err
+	}
+	// After the scatter every live cell sits at tree level level+1, so
+	// its quasisort bit is the node's parity. A cell still at the entry
+	// level is an α the scatter failed to split.
+	midTags := r.midTags[:n]
+	levelEnd := int32(1) << uint(level)
+	for i, c := range mid {
+		switch {
+		case c.isIdle():
+			midTags[i] = tag.Eps
+		case c.node < levelEnd:
+			return nil, fmt.Errorf("core: α survived the scatter network at position %d", i)
+		case c.node&1 == 1:
+			midTags[i] = tag.V1
+		default:
+			midTags[i] = tag.V0
+		}
+	}
+	if scatterNs != nil {
+		atomic.AddInt64(scatterNs, int64(time.Since(t0)))
+	}
+
+	// Pass 2: quasisort — 0s to the upper half, 1s to the lower half.
+	if quasiNs != nil {
+		t0 = time.Now()
+	}
+	if err := p.eng.QuasisortPlanInto(lp.Quasi, r.divided[:n], midTags, r.sc); err != nil {
+		return nil, err
+	}
+	out, err := rbn.ApplyScratch(lp.Quasi, mid, r.a[:n], r.b[:n], nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range out {
+		if c.isIdle() {
+			continue
+		}
+		if c.node&1 == 0 && i >= n/2 {
+			return nil, fmt.Errorf("core: 0-tagged connection from input %d quasisorted to lower-half output %d", c.src, i)
+		}
+		if c.node&1 == 1 && i < n/2 {
+			return nil, fmt.Errorf("core: 1-tagged connection from input %d quasisorted to upper-half output %d", c.src, i)
+		}
+	}
+	if quasiNs != nil {
+		atomic.AddInt64(quasiNs, int64(time.Since(t0)))
+	}
+	return out, nil
+}
+
+// deliver realizes the 2x2 switch covering outputs base and base+1. Its
+// input cells sit at the leaf level of their tag trees, so the lane IS
+// the delivery instruction.
 func (p *Planner) deliver(level, base int) error {
 	if tr := p.tr; tr != nil {
 		defer func(t0 time.Time) { obs.AddNs(&tr.DeliverNs, time.Since(t0)) }(time.Now())
@@ -264,13 +526,10 @@ func (p *Planner) deliver(level, base int) error {
 	cells := p.levels[level-1][base : base+2]
 	heads := [2]tag.Value{tag.Eps, tag.Eps}
 	for k, c := range cells {
-		if c.IsIdle() {
+		if c.isIdle() {
 			continue
 		}
-		if len(c.Seq) != 1 {
-			return fmt.Errorf("core: final-level cell from input %d still has %d tags", c.Source, len(c.Seq))
-		}
-		heads[k] = c.Seq[0]
+		heads[k] = p.laneAt(p.treeOff[c.src], int(c.node))
 	}
 	setting, err := FinalSetting(heads)
 	if err != nil {
@@ -278,8 +537,8 @@ func (p *Planner) deliver(level, base int) error {
 	}
 	out0, out1 := swbox.Apply(setting, cells[0], cells[1], splitFinal)
 	p.final[base/2] = setting
-	p.deliveries[base] = deliveryOf(out0)
-	p.deliveries[base+1] = deliveryOf(out1)
+	p.deliveries[base] = p.deliveryOf(out0)
+	p.deliveries[base+1] = p.deliveryOf(out1)
 	return nil
 }
 
@@ -341,10 +600,10 @@ func (r *Result) Clone() *Result {
 // cycle reclaimed the pool), Put recycles it. The pool is the backing
 // store of Network's Route and is safe for concurrent use.
 //
-// The pool also bounds arena retention: planners whose routing-tag
-// arenas grew far past the recent workload (a one-off dense route in a
-// sparse steady state) have them released on Put — see maintain in
-// obs.go. Counters are exposed through Stats.
+// The pool also bounds arena retention: planners whose tag-tree arenas
+// grew far past the recent workload (a one-off dense route in a sparse
+// steady state) have them released on Put — see maintain in obs.go.
+// Counters are exposed through Stats.
 type PlannerPool struct {
 	n    int
 	eng  rbn.Engine

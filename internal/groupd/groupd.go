@@ -74,6 +74,17 @@ type Config struct {
 	// Workers is the number of rounds routed concurrently per epoch
 	// (default 1).
 	Workers int
+	// PatchThreshold bounds incremental plan patching on the serving
+	// path: a Plan cache miss whose group moved at most this many
+	// generations past the manager's retained patched route applies the
+	// pending joins/leaves as O(log n) plan patches (core.RoutePatch)
+	// instead of a full O(n log^2 n) replan. 0 means the default (8);
+	// values above the per-session change-ring depth (16) are capped;
+	// negative disables patching. With a Policy set, patching runs only
+	// while the policy filter is a no-op at an unchanged version — a
+	// filtered assignment falls back to full replans until the fault
+	// clears.
+	PatchThreshold int
 	// Policy, when non-nil, filters every planned assignment around
 	// believed faults and hooks probe scheduling into the epoch loop
 	// (see FaultPolicy; implemented by internal/faultd).
@@ -112,6 +123,12 @@ func (c *Config) applyDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.PatchThreshold == 0 {
+		c.PatchThreshold = 8
+	}
+	if c.PatchThreshold > chgRing {
+		c.PatchThreshold = chgRing
+	}
 }
 
 // session is one registered group. The registry shard lock covers the
@@ -122,6 +139,10 @@ type session struct {
 	group *brsmn.Group
 	gen   uint64
 	gone  bool // deleted from the registry while a caller still holds it
+	// chg is a ring of the session's most recent membership changes,
+	// indexed by the generation each produced (chg[gen%chgRing]); the
+	// plan-patch path replays it to roll a retained route forward.
+	chg [chgRing]memberChange
 }
 
 type shard struct {
@@ -148,6 +169,7 @@ type Manager struct {
 
 	met    *managerMetrics // nil when Config.Metrics was nil
 	tracer *obs.TraceRecorder
+	patch  patchState // the serving path's retained incremental route
 
 	// Durability state; all zero when Config.Store is nil.
 	lastLSN         atomic.Uint64 // highest LSN this manager has appended or replayed
@@ -355,6 +377,7 @@ func (m *Manager) mutate(id string, d int, join bool) (Update, error) {
 	}
 	old := s.gen
 	s.gen++
+	s.chg[s.gen%chgRing] = memberChange{gen: s.gen, dest: int32(d), join: join}
 	u := Update{ID: s.id, Gen: s.gen, Size: s.group.Len()}
 	s.mu.Unlock()
 	m.cache.invalidate(planKey{id: id, gen: old, pv: m.policyVersion()})
@@ -456,7 +479,10 @@ type PlanInfo struct {
 // Plan returns the group's standalone column program — the switch
 // settings a hardware configuration flow would load to realize this
 // group alone. Served from the plan cache when the group is unchanged
-// since the last computation; otherwise a full route + flatten + encode.
+// since the last computation. On a miss, a group only a few join/leaves
+// past the manager's retained patched route is rolled forward by
+// incremental plan patches (see patch.go); otherwise a full route +
+// flatten + encode.
 func (m *Manager) Plan(id string) (PlanInfo, error) {
 	s, err := m.sessionFor(id)
 	if err != nil {
@@ -474,8 +500,9 @@ func (m *Manager) Plan(id string) (PlanInfo, error) {
 	gen = s.gen // may have moved past the missed generation; key consistently
 	source := s.group.Source()
 	members := s.group.Members()
+	chg := s.chg
 	s.mu.Unlock()
-	blob, columns, err := m.replan(id, source, members)
+	blob, columns, err := m.replanOrPatch(s, gen, source, members, &chg)
 	if err != nil {
 		return PlanInfo{}, err
 	}

@@ -8,6 +8,10 @@ package groupd
 //	brsmn_epochs_total{result=...}    counter    ok | error
 //	brsmn_replan_duration_seconds     histogram  cache-miss O(n log² n) replan
 //	brsmn_replans_total               counter    cache-miss replans
+//	brsmn_plan_patches_total{result}  counter    patched | full serving-path misses
+//	brsmn_plan_patch_duration_seconds histogram  patched Plan: replay+flatten+encode
+//	brsmn_plan_patch_level            histogram  topmost replanned level per delta
+//	brsmn_plan_patch_delta_changes    histogram  changes replayed per patched Plan
 //	brsmn_plan_cache_ops_total{op=..} counter    hit | miss | eviction | invalidation
 //	brsmn_plan_cache_entries          gauge      live entries (capacity as its own gauge)
 //	brsmn_groups                      gauge      registered groups
@@ -31,6 +35,11 @@ type managerMetrics struct {
 	epochsErr   *obs.Counter
 	replans     *obs.Counter
 	replanDur   *obs.Histogram
+	patched     *obs.Counter
+	patchFull   *obs.Counter
+	patchDur    *obs.Histogram
+	patchLevel  *obs.Histogram
+	patchDelta  *obs.Histogram
 }
 
 // registerMetrics wires the manager's series into reg and returns the
@@ -53,6 +62,17 @@ func (m *Manager) registerMetrics(reg *obs.Registry) *managerMetrics {
 			"Cache-miss full replans (O(n log^2 n) routes)."),
 		replanDur: reg.Histogram(lbl("brsmn_replan_duration_seconds"),
 			"Wall-clock duration of one cache-miss replan, flatten and encode included.", obs.SecondsBuckets()),
+		patched: reg.Counter(lbl(`brsmn_plan_patches_total{result="patched"}`),
+			"Plan cache misses served by rolling the retained route forward with incremental patches vs by a full replan."),
+		patchFull: reg.Counter(lbl(`brsmn_plan_patches_total{result="full"}`),
+			"Plan cache misses served by rolling the retained route forward with incremental patches vs by a full replan."),
+		patchDur: reg.Histogram(lbl("brsmn_plan_patch_duration_seconds"),
+			"Wall-clock duration of one patched Plan: delta replay, flatten and encode included.", obs.SecondsBuckets()),
+		patchLevel: reg.Histogram(lbl("brsmn_plan_patch_level"),
+			"Topmost recursion level replanned per applied patch delta (deeper levels replan fewer outputs).",
+			[]float64{2, 3, 4, 5, 6, 7, 8, 10, 12, 16}),
+		patchDelta: reg.Histogram(lbl("brsmn_plan_patch_delta_changes"),
+			"Pending membership changes replayed per patched Plan.", []float64{1, 2, 4, 8, 16}),
 	}
 
 	cacheOp := func(name string, read func(CacheStats) uint64) {

@@ -71,8 +71,11 @@ type RouteBenchReport struct {
 
 // RouteBench measures the routing hot path across its regimes: a cold
 // network construction per routing, the pooled concurrency-safe
-// Network.Route, a reused sequential Planner, and the reused planner
-// with the parallel sub-network recursion on `workers` workers.
+// Network.Route, a reused sequential Planner (packed word-parallel
+// kernels), the reused planner with the parallel sub-network recursion
+// on `workers` workers, the scalar reference kernels on the same
+// reused planner, and single-membership plan patching against a dense
+// retained route ("delta-churn").
 func RouteBench(n, trials int, seed int64, workers int) (*RouteBenchReport, error) {
 	if trials < 1 {
 		trials = 1
@@ -155,6 +158,51 @@ func RouteBench(n, trials int, seed int64, workers int) (*RouteBenchReport, erro
 		return nil, err
 	}
 	rep.Regimes = append(rep.Regimes, par)
+
+	pls, err := core.NewPlanner(n, rbn.Engine{Workers: 1, Scalar: true})
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	scalar, err := measure("scalar", 1, trials, func() error {
+		_, err := pls.Route(next(i))
+		i++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Regimes = append(rep.Regimes, scalar)
+
+	// Delta-churn: one output toggling in and out of a dense n-1 member
+	// group. The toggled output's sibling stays a member, so every op is
+	// the deep-leaf patch — the near-constant-time regime the incremental
+	// path promises for single-member churn.
+	pld, err := core.NewPlanner(n, rbn.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	dense := make([][]int, n)
+	for d := 1; d < n; d++ {
+		dense[0] = append(dense[0], d)
+	}
+	da, err := mcast.New(n, dense)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pld.Route(da); err != nil {
+		return nil, err
+	}
+	join := false // output 2 starts as a member: the first op leaves
+	churn, err := measure("delta-churn", 1, trials, func() error {
+		_, _, err := pld.RoutePatch(0, 2, join)
+		join = !join
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Regimes = append(rep.Regimes, churn)
 	return rep, nil
 }
 

@@ -1,0 +1,89 @@
+package mcast
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaShapeMatchesRebuild drives random join/leave churn and checks,
+// for every mutation, that (a) the mutated tree equals a from-scratch
+// BuildTagTree of the new member set, and (b) the reported delta is
+// exactly the set of node tags that differ between the before and after
+// trees — a contiguous path suffix of m-level+1 nodes.
+func TestDeltaShapeMatchesRebuild(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(42))
+	tree, err := BuildTagTree(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[int]bool{}
+	m := tree.Levels()
+	for step := 0; step < 500; step++ {
+		d := rng.Intn(n)
+		before := append([]byte(nil), byteNodes(tree)...)
+		var level, changed int
+		if members[d] {
+			level, changed, err = tree.RemoveDelta(d)
+			delete(members, d)
+		} else {
+			level, changed, err = tree.AddDelta(d)
+			members[d] = true
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if level < 1 || level > m {
+			t.Fatalf("step %d: delta level %d out of [1,%d]", step, level, m)
+		}
+		if changed != m-level+1 {
+			t.Fatalf("step %d: %d changed nodes at level %d, want the path suffix %d",
+				step, changed, level, m-level+1)
+		}
+		diff := 0
+		topmost := m + 1
+		for k := 1; k < len(tree.Nodes); k++ {
+			if byteNodes(tree)[k] != before[k] {
+				diff++
+				if lv := levelOf(k); lv < topmost {
+					topmost = lv
+				}
+			}
+		}
+		if diff != changed || topmost != level {
+			t.Fatalf("step %d: reported (level=%d, changed=%d), observed (level=%d, changed=%d)",
+				step, level, changed, topmost, diff)
+		}
+		var dests []int
+		for dd := range members {
+			dests = append(dests, dd)
+		}
+		fresh, err := BuildTagTree(n, dests)
+		if err != nil {
+			t.Fatalf("step %d: rebuild: %v", step, err)
+		}
+		for k := range tree.Nodes {
+			if tree.Nodes[k] != fresh.Nodes[k] {
+				t.Fatalf("step %d: node %d: mutated %v rebuilt %v", step, k, tree.Nodes[k], fresh.Nodes[k])
+			}
+		}
+	}
+}
+
+func byteNodes(t TagTree) []byte {
+	out := make([]byte, len(t.Nodes))
+	for i, v := range t.Nodes {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// levelOf returns the 1-based tree level of heap node index k.
+func levelOf(k int) int {
+	lv := 0
+	for k > 0 {
+		lv++
+		k >>= 1
+	}
+	return lv
+}

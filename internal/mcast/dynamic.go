@@ -44,14 +44,28 @@ func (t TagTree) Contains(d int) bool {
 // path nodes. Adding an existing member is an error (destination sets
 // are sets).
 func (t *TagTree) Add(d int) error {
+	_, _, err := t.AddDelta(d)
+	return err
+}
+
+// AddDelta is Add reporting the shape of the change: the topmost tree
+// level (1-based; the root is level 1) whose node tag changed, and the
+// number of changed nodes. The changed nodes are always the contiguous
+// path suffix at levels level..Levels(): above the topmost change every
+// path node already covered d's direction, and below it d's subtree held
+// no member, so every deeper path node was ε and flips. A replanner can
+// therefore rebuild only the subnetwork rooted at the topmost changed
+// node — O(log n) switch columns when the change sits deep in the tree.
+func (t *TagTree) AddDelta(d int) (level, changed int, err error) {
 	if d < 0 || d >= t.N {
-		return fmt.Errorf("mcast: destination %d out of range [0,%d)", d, t.N)
+		return 0, 0, fmt.Errorf("mcast: destination %d out of range [0,%d)", d, t.N)
 	}
 	if t.Contains(d) {
-		return fmt.Errorf("mcast: destination %d already in the multicast", d)
+		return 0, 0, fmt.Errorf("mcast: destination %d already in the multicast", d)
 	}
 	m := t.Levels()
 	node := 1
+	level = m + 1
 	for i := 0; i < m; i++ {
 		bit := d >> (m - 1 - i) & 1
 		want := tag.V0
@@ -62,22 +76,39 @@ func (t *TagTree) Add(d int) error {
 		case tag.Eps:
 			t.Nodes[node] = want
 		case tag.Alpha, want:
-			// Already covers this direction.
+			// Already covers this direction: unchanged.
+			node = 2*node + bit
+			continue
 		default:
 			// Covers only the other direction: now both.
 			t.Nodes[node] = tag.Alpha
 		}
+		if i+1 < level {
+			level = i + 1
+		}
+		changed++
 		node = 2*node + bit
 	}
-	return nil
+	return level, changed, nil
 }
 
 // Remove deletes destination d from the multicast, updating the log2(n)
 // path nodes bottom-up (a node covering only the removed branch reverts
 // toward ε; an α node collapses to the surviving direction).
 func (t *TagTree) Remove(d int) error {
+	_, _, err := t.RemoveDelta(d)
+	return err
+}
+
+// RemoveDelta is Remove reporting the shape of the change, with the same
+// contract as AddDelta: the changed nodes are the contiguous path suffix
+// at levels level..Levels(). The repair walks bottom-up and stops at the
+// first node whose sibling direction survives (an α collapsing to the
+// other direction); everything above still covers live members and is
+// untouched.
+func (t *TagTree) RemoveDelta(d int) (level, changed int, err error) {
 	if !t.Contains(d) {
-		return fmt.Errorf("mcast: destination %d not in the multicast", d)
+		return 0, 0, fmt.Errorf("mcast: destination %d not in the multicast", d)
 	}
 	m := t.Levels()
 	// Collect the path, then repair bottom-up.
@@ -90,6 +121,7 @@ func (t *TagTree) Remove(d int) error {
 	// emptied reports whether the subtree below the path node at level
 	// i+1 lost its last member.
 	emptied := true
+	level = m + 1
 	for i := m - 1; i >= 0; i-- {
 		if !emptied {
 			break // deeper levels unaffected once a subtree stays alive
@@ -109,8 +141,10 @@ func (t *TagTree) Remove(d int) error {
 			t.Nodes[k] = tag.Eps
 			emptied = true
 		default:
-			return fmt.Errorf("mcast: tree corrupt at node %d while removing %d", k, d)
+			return 0, 0, fmt.Errorf("mcast: tree corrupt at node %d while removing %d", k, d)
 		}
+		level = i + 1
+		changed++
 	}
-	return nil
+	return level, changed, nil
 }

@@ -52,9 +52,16 @@ func (o *Occupancy) add(n int64) {
 // mirrors the hardware, where every node of a level computes in parallel.
 // Both modes produce bit-identical plans. Occ, when non-nil, tracks
 // worker occupancy across every sweep the engine runs.
+//
+// Scalar forces the one-tag-per-iteration reference sweeps. The zero
+// value (false) lets sufficiently large sweeps run the word-parallel
+// packed kernels of kernels.go, which produce byte-identical plans; the
+// scalar path is retained as the differential oracle and for exotic
+// debugging.
 type Engine struct {
 	Workers int
 	Occ     *Occupancy
+	Scalar  bool
 }
 
 // Sequential is the default engine.
@@ -67,7 +74,13 @@ func ParallelEngine() Engine {
 
 // minGrain is the smallest per-worker chunk worth spawning a goroutine
 // for; below it the scheduling overhead dominates the O(1) per-node work.
-const minGrain = 256
+// The threshold is deliberately high: a 4096-node sweep level is ~4 µs of
+// scalar work, about the point where a goroutine spawn + wait pair stops
+// costing more than it saves. (At the old 256 threshold a 4-worker engine
+// spent more time parking/unparking workers per tree level than sweeping,
+// which made the planner-parallel bench regime slower than one worker;
+// coarse-grained parallelism across BSN subtrees is the planner's job.)
+const minGrain = 4096
 
 // parFor runs fn(args, lo, hi) over [0, n) split into contiguous chunks
 // across the engine's workers; with one worker (or a small n) it

@@ -47,6 +47,9 @@ func (e Engine) EpsDivideInto(dst []tag.Value, tags []tag.Value, sc *Scratch) er
 		sc = &Scratch{}
 	}
 	sc.ensure(n)
+	if e.usePacked(n) {
+		return packedEpsDivide(dst, tags, sc, nil)
+	}
 	m := shuffle.Log2(n)
 
 	// Forward phase: per-node ε count; n1 (the real-1 count) is also a
@@ -203,6 +206,16 @@ func (e Engine) QuasisortPlanInto(p *Plan, divided []tag.Value, tags []tag.Value
 		sc = &Scratch{}
 	}
 	sc.ensure(n)
+	if e.usePacked(n) {
+		// Fused packed path: the relabel pass emits the sort-bit bitmap
+		// directly, skipping the byte-level γ extraction entirely.
+		g := sc.pg[:n>>6]
+		if err := packedEpsDivide(divided, tags, sc, g); err != nil {
+			return err
+		}
+		// C_{n/2, n/2; 0, 1} = 0^(n/2) 1^(n/2): ascending bit sort.
+		return packedBitSort(p, g, n/2, sc)
+	}
 	if err := e.EpsDivideInto(divided, tags, sc); err != nil {
 		return err
 	}

@@ -1,0 +1,244 @@
+package rbn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/tag"
+)
+
+// The packed kernels must be indistinguishable from the scalar reference:
+// identical Stages bytes, identical ε-divided vectors, identical errors.
+// Engine{Scalar: true} pins the reference; Engine{} dispatches packed for
+// n >= packedMinN.
+
+var (
+	packedEng = Engine{Workers: 1}
+	scalarEng = Engine{Workers: 1, Scalar: true}
+)
+
+func plansEqual(t *testing.T, label string, a, b *Plan) {
+	t.Helper()
+	if a.N != b.N || len(a.Stages) != len(b.Stages) {
+		t.Fatalf("%s: plan shapes differ", label)
+	}
+	for j := range a.Stages {
+		for w := range a.Stages[j] {
+			if a.Stages[j][w] != b.Stages[j][w] {
+				t.Fatalf("%s: stage %d switch %d: packed %v scalar %v",
+					label, j, w, a.Stages[j][w], b.Stages[j][w])
+			}
+		}
+	}
+}
+
+var kernelSizes = []int{64, 128, 256, 1024}
+
+func TestPackedBitSortMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range kernelSizes {
+		pp, sp := NewPlan(n), NewPlan(n)
+		psc, ssc := NewScratch(n), NewScratch(n)
+		for trial := 0; trial < 50; trial++ {
+			gamma := make([]bool, n)
+			for i := range gamma {
+				gamma[i] = rng.Intn(2) == 1
+			}
+			s := rng.Intn(n)
+			if err := packedEng.BitSortPlanInto(pp, gamma, s, psc); err != nil {
+				t.Fatal(err)
+			}
+			if err := scalarEng.BitSortPlanInto(sp, gamma, s, ssc); err != nil {
+				t.Fatal(err)
+			}
+			plansEqual(t, "bitsort", pp, sp)
+		}
+	}
+}
+
+// balancedQuasiTags builds a valid quasisort input: n0 <= n/2 zeros,
+// n1 <= n/2 ones, the rest ε, shuffled.
+func balancedQuasiTags(rng *rand.Rand, n int) []tag.Value {
+	n1 := rng.Intn(n/2 + 1)
+	n0 := rng.Intn(n/2 + 1)
+	tags := make([]tag.Value, 0, n)
+	for i := 0; i < n1; i++ {
+		tags = append(tags, tag.V1)
+	}
+	for i := 0; i < n0; i++ {
+		tags = append(tags, tag.V0)
+	}
+	for len(tags) < n {
+		tags = append(tags, tag.Eps)
+	}
+	rng.Shuffle(n, func(i, j int) { tags[i], tags[j] = tags[j], tags[i] })
+	return tags
+}
+
+func TestPackedEpsDivideMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, n := range kernelSizes {
+		psc, ssc := NewScratch(n), NewScratch(n)
+		pd, sd := make([]tag.Value, n), make([]tag.Value, n)
+		for trial := 0; trial < 50; trial++ {
+			tags := balancedQuasiTags(rng, n)
+			if err := packedEng.EpsDivideInto(pd, tags, psc); err != nil {
+				t.Fatal(err)
+			}
+			if err := scalarEng.EpsDivideInto(sd, tags, ssc); err != nil {
+				t.Fatal(err)
+			}
+			for i := range pd {
+				if pd[i] != sd[i] {
+					t.Fatalf("n=%d: ε-divide lane %d: packed %v scalar %v", n, i, pd[i], sd[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedQuasisortMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, n := range kernelSizes {
+		pp, sp := NewPlan(n), NewPlan(n)
+		psc, ssc := NewScratch(n), NewScratch(n)
+		pd, sd := make([]tag.Value, n), make([]tag.Value, n)
+		for trial := 0; trial < 50; trial++ {
+			tags := balancedQuasiTags(rng, n)
+			if err := packedEng.QuasisortPlanInto(pp, pd, tags, psc); err != nil {
+				t.Fatal(err)
+			}
+			if err := scalarEng.QuasisortPlanInto(sp, sd, tags, ssc); err != nil {
+				t.Fatal(err)
+			}
+			plansEqual(t, "quasisort", pp, sp)
+			for i := range pd {
+				if pd[i] != sd[i] {
+					t.Fatalf("n=%d: divided lane %d: packed %v scalar %v", n, i, pd[i], sd[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedScatterMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	pool := []tag.Value{tag.V0, tag.V1, tag.Alpha, tag.Eps, tag.Eps0, tag.Eps1}
+	for _, n := range kernelSizes {
+		pp, sp := NewPlan(n), NewPlan(n)
+		psc, ssc := NewScratch(n), NewScratch(n)
+		for trial := 0; trial < 50; trial++ {
+			tags := make([]tag.Value, n)
+			for i := range tags {
+				tags[i] = pool[rng.Intn(len(pool))]
+			}
+			s := rng.Intn(n)
+			if err := packedEng.ScatterPlanInto(pp, tags, s, psc); err != nil {
+				t.Fatal(err)
+			}
+			if err := scalarEng.ScatterPlanInto(sp, tags, s, ssc); err != nil {
+				t.Fatal(err)
+			}
+			plansEqual(t, "scatter", pp, sp)
+		}
+	}
+}
+
+func TestPackedErrorsMatchScalar(t *testing.T) {
+	n := 64
+	check := func(label string, pe, se error) {
+		t.Helper()
+		if se == nil || pe == nil {
+			t.Fatalf("%s: packed err %v, scalar err %v", label, pe, se)
+		}
+		if pe.Error() != se.Error() {
+			t.Fatalf("%s: packed %q scalar %q", label, pe, se)
+		}
+	}
+	// ε-divide: invalid value, dummy input, and both overloads.
+	bad := make([]tag.Value, n)
+	bad[3] = tag.Alpha
+	bad[9] = tag.Eps1
+	dst := make([]tag.Value, n)
+	check("eps invalid", packedEng.EpsDivideInto(dst, bad, nil), scalarEng.EpsDivideInto(dst, bad, nil))
+	ones := make([]tag.Value, n)
+	for i := range ones {
+		ones[i] = tag.V1
+	}
+	check("eps ones", packedEng.EpsDivideInto(dst, ones, nil), scalarEng.EpsDivideInto(dst, ones, nil))
+	zeros := make([]tag.Value, n)
+	check("eps zeros", packedEng.EpsDivideInto(dst, zeros, nil), scalarEng.EpsDivideInto(dst, zeros, nil))
+	// scatter: invalid tag value.
+	inv := make([]tag.Value, n)
+	inv[17] = tag.Value(9)
+	inv[41] = tag.Value(7)
+	pp, sp := NewPlan(n), NewPlan(n)
+	check("scatter invalid", packedEng.ScatterPlanInto(pp, inv, 0, nil), scalarEng.ScatterPlanInto(sp, inv, 0, nil))
+}
+
+// FuzzPackedKernels drives all three kernels from one fuzzed byte string:
+// every byte yields a tag lane and a γ bit, the first two bytes a starting
+// position. Packed and scalar engines must agree on plans, divided
+// vectors, and error presence for arbitrary (including invalid) inputs.
+func FuzzPackedKernels(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(bytes.Repeat([]byte{0x35}, 130))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := 64
+		if len(data) > 128 {
+			n = 128
+		}
+		tags := make([]tag.Value, n)
+		gamma := make([]bool, n)
+		s := 0
+		if len(data) > 0 {
+			s = int(data[0]) % n
+		}
+		for i := 0; i < n; i++ {
+			var b byte
+			if i < len(data) {
+				b = data[i]
+			}
+			tags[i] = tag.Value(b % 7) // includes one invalid value
+			gamma[i] = b&0x80 != 0
+		}
+
+		pp, sp := NewPlan(n), NewPlan(n)
+		if err := packedEng.BitSortPlanInto(pp, gamma, s, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := scalarEng.BitSortPlanInto(sp, gamma, s, nil); err != nil {
+			t.Fatal(err)
+		}
+		plansEqual(t, "bitsort", pp, sp)
+
+		pe := packedEng.ScatterPlanInto(pp, tags, s, nil)
+		se := scalarEng.ScatterPlanInto(sp, tags, s, nil)
+		if (pe == nil) != (se == nil) {
+			t.Fatalf("scatter: packed err %v scalar err %v", pe, se)
+		}
+		if pe == nil {
+			plansEqual(t, "scatter", pp, sp)
+		} else if pe.Error() != se.Error() {
+			t.Fatalf("scatter errors differ: %q vs %q", pe, se)
+		}
+
+		pd, sd := make([]tag.Value, n), make([]tag.Value, n)
+		pe = packedEng.QuasisortPlanInto(pp, pd, tags, nil)
+		se = scalarEng.QuasisortPlanInto(sp, sd, tags, nil)
+		if (pe == nil) != (se == nil) {
+			t.Fatalf("quasisort: packed err %v scalar err %v", pe, se)
+		}
+		if pe == nil {
+			plansEqual(t, "quasisort", pp, sp)
+			for i := range pd {
+				if pd[i] != sd[i] {
+					t.Fatalf("divided lane %d: packed %v scalar %v", i, pd[i], sd[i])
+				}
+			}
+		} else if pe.Error() != se.Error() {
+			t.Fatalf("quasisort errors differ: %q vs %q", pe, se)
+		}
+	})
+}

@@ -65,6 +65,9 @@ func (e Engine) ScatterPlanInto(p *Plan, tags []tag.Value, s int, sc *Scratch) e
 		sc = &Scratch{}
 	}
 	sc.ensure(n)
+	if e.usePacked(n) {
+		return packedScatter(p, tags, s, sc)
+	}
 	m := p.M
 
 	// Forward phase (Table 4): leaves report (1, α) for α inputs,

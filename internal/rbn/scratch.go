@@ -28,6 +28,10 @@ type Scratch struct {
 	// until the scratch's next use.
 	divided []tag.Value
 	gamma   []bool
+	// pv and pg back the packed kernels: the input tag bitplanes and the
+	// γ bitmap fed to the word-parallel bit sort (one bit per link).
+	pv tag.PackedVec
+	pg []uint64
 	// err carries a leaf-sweep validation error out of the capture-free
 	// parFor bodies without boxing a per-call error variable.
 	err error
@@ -64,5 +68,6 @@ func (s *Scratch) ensure(n int) {
 	}
 	s.divided = make([]tag.Value, n)
 	s.gamma = make([]bool, n)
+	s.pg = make([]uint64, tag.Words(n))
 	s.n = n
 }

@@ -85,20 +85,49 @@ func IsCompact[T comparable](xs []T, s, l int, beta, gamma T) bool {
 	return gs == s
 }
 
+// Fill sets every element of dst to v by copy-doubling, so long runs go
+// through memmove instead of an element-at-a-time store loop. It is the
+// primitive behind the run-fill emitters: a compact sequence is at most
+// three circular runs, each a Fill over one or two subslices.
+func Fill[T any](dst []T, v T) {
+	if len(dst) == 0 {
+		return
+	}
+	dst[0] = v
+	if len(dst) <= 16 {
+		for i := 1; i < len(dst); i++ {
+			dst[i] = v
+		}
+		return
+	}
+	for f := 1; f < len(dst); f *= 2 {
+		copy(dst[f:], dst[:f])
+	}
+}
+
+// FillRun fills the circular run of length l starting at position s with
+// v: at most two contiguous Fills when the run wraps past the end.
+// It requires 0 <= s < len(dst) and 0 <= l <= len(dst).
+func FillRun[T any](dst []T, s, l int, v T) {
+	if end := s + l; end <= len(dst) {
+		Fill(dst[s:end], v)
+	} else {
+		Fill(dst[s:], v)
+		Fill(dst[:end-len(dst)], v)
+	}
+}
+
 // CompactInto fills dst with C^len(dst)_{s,l;beta,gamma} — the in-place
 // form of Compact for hot paths that reuse a settings column instead of
-// allocating one per merging node.
+// allocating one per merging node. The column is emitted as two circular
+// run-fills rather than per-element stores.
 func CompactInto[T any](dst []T, s, l int, beta, gamma T) {
 	n := len(dst)
 	if n <= 0 || s < 0 || s >= n || l < 0 || l > n {
 		panic(fmt.Sprintf("seq: CompactInto(n=%d, s=%d, l=%d) out of range", n, s, l))
 	}
-	for i := range dst {
-		dst[i] = beta
-	}
-	for k := 0; k < l; k++ {
-		dst[(s+k)%n] = gamma
-	}
+	FillRun(dst, s, l, gamma)
+	FillRun(dst, (s+l)%n, n-l, beta)
 }
 
 // BinaryCompact constructs the binary compact switch-setting sequence
@@ -131,21 +160,15 @@ func TrinaryCompact[T any](h, s, l1, l2 int, a, b, c T) []T {
 }
 
 // TrinaryCompactInto fills dst with W^len(dst)_{s,l1,l2;a,b,c} — the
-// in-place form of TrinaryCompact.
+// in-place form of TrinaryCompact, emitted as three circular run-fills.
 func TrinaryCompactInto[T any](dst []T, s, l1, l2 int, a, b, c T) {
 	h := len(dst)
 	if h <= 0 || s < 0 || s >= h || l1 < 0 || l2 < 0 || l1+l2 > h {
 		panic(fmt.Sprintf("seq: TrinaryCompactInto(h=%d, s=%d, l1=%d, l2=%d) out of range", h, s, l1, l2))
 	}
-	for i := range dst {
-		dst[i] = a
-	}
-	for k := 0; k < l1; k++ {
-		dst[(s+k)%h] = b
-	}
-	for k := 0; k < l2; k++ {
-		dst[(s+l1+k)%h] = c
-	}
+	FillRun(dst, s, l1, b)
+	FillRun(dst, (s+l1)%h, l2, c)
+	FillRun(dst, (s+l1+l2)%h, h-l1-l2, a)
 }
 
 // Rotate returns xs rotated so that element i of the result is element

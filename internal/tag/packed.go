@@ -1,0 +1,161 @@
+package tag
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PackedVec is a word-parallel tag vector: the Table 1 encoding b0 b1 b2
+// of every tag, stored as three parallel bitplanes of 64 lanes per word.
+// Bit i of B0[i/64] is the b0 bit of tag i, and so on. The planes are the
+// software form of the paper's hardware counting circuits (Section 7.2):
+// the per-link predicates b0∧¬b1 (α), b0∧b1 (ε) and b2 (one) become
+// single AND/ANDN words, and the tree counters of the forward sweeps
+// become popcounts.
+//
+// The encoding of Eps and Eps0 coincides (110 — the paper's don't-care X
+// bit), so a packed vector cannot represent the dummy/plain distinction;
+// PackInto reports whether the source held dummies so callers that must
+// preserve it (the ε-dividing input contract) can reject or re-derive it.
+type PackedVec struct {
+	N          int
+	B0, B1, B2 []uint64
+}
+
+// planeBits is the Table 1 encoding b0b1b2 of each value, as three bits
+// (b0 = 4, b1 = 2, b2 = 1).
+var planeBits = [NumValues]uint8{
+	V0:    0b000,
+	V1:    0b001,
+	Alpha: 0b100,
+	Eps:   0b110,
+	Eps0:  0b110,
+	Eps1:  0b111,
+}
+
+// Words returns the number of 64-lane words covering n tags.
+func Words(n int) int { return (n + 63) >> 6 }
+
+// Words returns the word count of the packed vector.
+func (p *PackedVec) Words() int { return Words(p.N) }
+
+// ensure sizes the planes for n lanes without preserving contents.
+func (p *PackedVec) ensure(n int) {
+	w := Words(n)
+	if cap(p.B0) < w {
+		p.B0 = make([]uint64, w)
+		p.B1 = make([]uint64, w)
+		p.B2 = make([]uint64, w)
+	}
+	p.B0 = p.B0[:w]
+	p.B1 = p.B1[:w]
+	p.B2 = p.B2[:w]
+	p.N = n
+}
+
+// PackInto packs tags into the vector's bitplanes, growing them as
+// needed. Lanes past len(tags) in the last word are zero (V0), so ε/α/1
+// popcounts over whole words need no tail masking. It reports whether the
+// source contained dummy values (Eps0/Eps1), which the planes alone
+// cannot distinguish from plain Eps, and fails on the first invalid tag.
+func (p *PackedVec) PackInto(tags []Value) (hasDummies bool, err error) {
+	p.ensure(len(tags))
+	var w0, w1, w2, dummy uint64
+	wi := 0
+	for i, v := range tags {
+		if !v.Valid() {
+			return false, fmt.Errorf("tag: packing lane %d: invalid tag %d", i, uint8(v))
+		}
+		b := uint64(planeBits[v])
+		sh := uint(i) & 63
+		w0 |= (b >> 2) << sh
+		w1 |= (b >> 1 & 1) << sh
+		w2 |= (b & 1) << sh
+		if v == Eps0 || v == Eps1 {
+			dummy = 1
+		}
+		if sh == 63 {
+			p.B0[wi], p.B1[wi], p.B2[wi] = w0, w1, w2
+			w0, w1, w2 = 0, 0, 0
+			wi++
+		}
+	}
+	if uint(len(tags))&63 != 0 {
+		p.B0[wi], p.B1[wi], p.B2[wi] = w0, w1, w2
+	}
+	return dummy == 1, nil
+}
+
+// Pack packs tags into a fresh vector; see PackInto.
+func Pack(tags []Value) (*PackedVec, bool, error) {
+	p := &PackedVec{}
+	dummies, err := p.PackInto(tags)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, dummies, nil
+}
+
+// At returns the tag in lane i. The (1,1,b2) encodings decode to
+// Eps0/Eps1 when dummies is true, and to plain Eps otherwise, exactly
+// like Decode.
+func (p *PackedVec) At(i int, dummies bool) Value {
+	w, sh := i>>6, uint(i)&63
+	b := Bits{
+		B0: uint8(p.B0[w] >> sh & 1),
+		B1: uint8(p.B1[w] >> sh & 1),
+		B2: uint8(p.B2[w] >> sh & 1),
+	}
+	v, err := Decode(b, dummies)
+	if err != nil {
+		panic(err) // unreachable: every 3-bit pattern a PackInto writes decodes
+	}
+	return v
+}
+
+// UnpackInto writes the vector back as byte tags; dst must have length N.
+// See At for the dummies flag.
+func (p *PackedVec) UnpackInto(dst []Value, dummies bool) error {
+	if len(dst) != p.N {
+		return fmt.Errorf("tag: unpacking %d lanes into %d values", p.N, len(dst))
+	}
+	for i := range dst {
+		dst[i] = p.At(i, dummies)
+	}
+	return nil
+}
+
+// AlphaWord returns the α lanes of word w: the predicate b0 ∧ ¬b1.
+func (p *PackedVec) AlphaWord(w int) uint64 { return p.B0[w] &^ p.B1[w] }
+
+// EpsWord returns the idle lanes of word w (plain or dummy ε): b0 ∧ b1.
+func (p *PackedVec) EpsWord(w int) uint64 { return p.B0[w] & p.B1[w] }
+
+// OneWord returns the real-1 lanes of word w: b2 ∧ ¬b0.
+func (p *PackedVec) OneWord(w int) uint64 { return p.B2[w] &^ p.B0[w] }
+
+// SortWord returns the sort-bit lanes of word w — b2, the bit the
+// quasisorting pass orders by (real and dummy ones).
+func (p *PackedVec) SortWord(w int) uint64 { return p.B2[w] }
+
+// LaneMask returns the valid-lane mask of word w: all ones except in the
+// tail of the last word.
+func (p *PackedVec) LaneMask(w int) uint64 {
+	if r := uint(p.N) & 63; r != 0 && w == p.Words()-1 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// Counts tallies the four base values over the whole vector with one
+// popcount per plane word (dummies count as Eps), mirroring Count.
+func (p *PackedVec) Counts() Counts {
+	var c Counts
+	for w := range p.B0 {
+		c.NAlpha += bits.OnesCount64(p.AlphaWord(w))
+		c.NEps += bits.OnesCount64(p.EpsWord(w))
+		c.N1 += bits.OnesCount64(p.OneWord(w))
+	}
+	c.N0 = p.N - c.N1 - c.NAlpha - c.NEps
+	return c
+}

@@ -1,0 +1,114 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randTags(rng *rand.Rand, n int, pool []Value) []Value {
+	tags := make([]Value, n)
+	for i := range tags {
+		tags[i] = pool[rng.Intn(len(pool))]
+	}
+	return tags
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 63, 64, 65, 128, 1000, 1024} {
+		for trial := 0; trial < 10; trial++ {
+			dummies := trial%2 == 1
+			pool := []Value{V0, V1, Alpha, Eps}
+			if dummies {
+				pool = []Value{V0, V1, Alpha, Eps0, Eps1}
+			}
+			tags := randTags(rng, n, pool)
+			var p PackedVec
+			hasDummies, err := p.PackInto(tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDummies := false
+			for _, v := range tags {
+				if v == Eps0 || v == Eps1 {
+					wantDummies = true
+				}
+			}
+			if hasDummies != wantDummies {
+				t.Fatalf("n=%d: hasDummies=%v want %v", n, hasDummies, wantDummies)
+			}
+			got := make([]Value, n)
+			if err := p.UnpackInto(got, hasDummies); err != nil {
+				t.Fatal(err)
+			}
+			for i := range tags {
+				if got[i] != tags[i] {
+					t.Fatalf("n=%d lane %d: round-trip %v want %v", n, i, got[i], tags[i])
+				}
+				if at := p.At(i, hasDummies); at != tags[i] {
+					t.Fatalf("n=%d lane %d: At=%v want %v", n, i, at, tags[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedEpsDummyCollapse(t *testing.T) {
+	// Eps and Eps0 share a Table 1 encoding; without the dummies flag the
+	// planes decode both to plain Eps.
+	var p PackedVec
+	if _, err := p.PackInto([]Value{Eps0, Eps, Eps1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(0, false); got != Eps {
+		t.Fatalf("Eps0 without dummies decodes to %v, want ε", got)
+	}
+	if got := p.At(2, true); got != Eps1 {
+		t.Fatalf("Eps1 with dummies decodes to %v", got)
+	}
+}
+
+func TestPackedCountsMatchCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := []Value{V0, V1, Alpha, Eps, Eps0, Eps1}
+	for _, n := range []int{1, 64, 100, 256} {
+		tags := randTags(rng, n, pool)
+		var p PackedVec
+		if _, err := p.PackInto(tags); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.Counts(), Count(tags); got != want {
+			t.Fatalf("n=%d: packed counts %+v want %+v", n, got, want)
+		}
+	}
+}
+
+func TestPackedRejectsInvalid(t *testing.T) {
+	var p PackedVec
+	if _, err := p.PackInto([]Value{V0, Value(9)}); err == nil {
+		t.Fatal("packing an invalid tag succeeded")
+	}
+}
+
+func TestPackedClassifyWords(t *testing.T) {
+	tags := []Value{V0, V1, Alpha, Eps, Eps0, Eps1, V1, Alpha}
+	var p PackedVec
+	if _, err := p.PackInto(tags); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.AlphaWord(0), uint64(0b10000100); got != want {
+		t.Fatalf("AlphaWord %08b want %08b", got, want)
+	}
+	if got, want := p.EpsWord(0), uint64(0b00111000); got != want {
+		t.Fatalf("EpsWord %08b want %08b", got, want)
+	}
+	if got, want := p.OneWord(0), uint64(0b01000010); got != want {
+		t.Fatalf("OneWord %08b want %08b", got, want)
+	}
+	if got, want := p.SortWord(0), uint64(0b01100010); got != want {
+		t.Fatalf("SortWord %08b want %08b", got, want)
+	}
+	if got, want := p.LaneMask(0), uint64(0xFF); got != want {
+		t.Fatalf("LaneMask %x want %x", got, want)
+	}
+}
