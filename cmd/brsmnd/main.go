@@ -76,6 +76,8 @@ type config struct {
 	registryShards int
 	batchMax       int
 	queueDepth     int
+	ticketCap      int
+	ticketTTL      time.Duration
 	shutdownGrace  time.Duration
 	probeEvery     int64
 	probeCount     int
@@ -135,6 +137,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.registryShards, "registry-shards", 16, "group registry lock shards within each serving shard")
 	fs.IntVar(&cfg.batchMax, "batch-max", 32, "max admissions drained per shard worker batch")
 	fs.IntVar(&cfg.queueDepth, "queue-depth", 256, "per-shard admission queue depth (full queue sheds with 429)")
+	fs.IntVar(&cfg.ticketCap, "ticket-cap", 65536, "async-admission tickets tracked at once (open + completed awaiting pickup)")
+	fs.DurationVar(&cfg.ticketTTL, "ticket-ttl", 2*time.Minute, "how long a completed async ticket stays pollable")
 	fs.DurationVar(&cfg.shutdownGrace, "grace", 5*time.Second, "graceful shutdown timeout")
 	fs.Int64Var(&cfg.probeEvery, "probe-every", 0, "run a fault-probe round every this many epochs (0 disables periodic probing)")
 	fs.IntVar(&cfg.probeCount, "probe-count", 4, "self-test assignments per probe round")
@@ -290,6 +294,9 @@ func newHandler(cfg config) (http.Handler, *daemon, error) {
 		Shards:     cfg.shards,
 		QueueDepth: cfg.queueDepth,
 		BatchMax:   cfg.batchMax,
+		TicketCap:  cfg.ticketCap,
+		TicketTTL:  cfg.ticketTTL,
+		TicketNode: cfg.nodeID,
 		Group: groupd.Config{
 			N:              cfg.n,
 			Engine:         eng,

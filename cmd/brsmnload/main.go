@@ -52,6 +52,7 @@ type config struct {
 	seed     int64
 	out      string
 	timeout  time.Duration
+	async    float64
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -71,6 +72,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed (same seed, same trace)")
 	fs.StringVar(&cfg.out, "out", "BENCH_cluster.json", "report path (- writes to stdout)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request timeout")
+	fs.Float64Var(&cfg.async, "async", 0, "fraction of churn ops submitted as tickets and long-polled to completion (0..1)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -101,6 +103,9 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.zipfS <= 1 || cfg.zipfV < 1 {
 		return config{}, errors.New("brsmnload: -zipf-s must be > 1 and -zipf-v >= 1")
+	}
+	if cfg.async < 0 || cfg.async > 1 {
+		return config{}, fmt.Errorf("brsmnload: -async must be in [0,1], got %g", cfg.async)
 	}
 	if cfg.n < 4 {
 		return config{}, fmt.Errorf("brsmnload: -n must be at least 4, got %d", cfg.n)
@@ -140,4 +145,8 @@ func main() {
 	}
 	fmt.Printf("brsmnload: %s: %.0f routes/sec, p99 %.2fms, shed %.4f, forwarded %.2f%% (report: %s)\n",
 		cfg.scenario, rep.RoutesPerSec, rep.LatencyMs.P99, rep.ShedRate, 100*rep.ForwardRate, cfg.out)
+	if rep.AsyncOps > 0 {
+		fmt.Printf("brsmnload: async: %d tickets, submit p99 %.2fms, complete p99 %.2fms\n",
+			rep.AsyncOps, rep.AsyncSubmitLatencyMs.P99, rep.AsyncCompleteLatencyMs.P99)
+	}
 }

@@ -63,13 +63,17 @@ func groupSizes(cfg config, r *rand.Rand) []int {
 	return sizes
 }
 
-// sample is one completed request.
+// sample is one completed request. For async samples ms spans submit
+// through ticket completion (observed via ?wait long-polls) and
+// submitMs is just the 202 round-trip.
 type sample struct {
 	op        string
 	ms        float64
 	status    int
 	forwarded bool
 	err       bool
+	async     bool
+	submitMs  float64
 }
 
 // Percentiles summarizes a latency population in milliseconds.
@@ -130,6 +134,14 @@ type Report struct {
 	ForwardedLatencyMs Percentiles `json:"forwardedLatencyMs"`
 	PlanLatencyMs      Percentiles `json:"planLatencyMs"`
 
+	// Async* summarize the ticketed fraction of the run (-async):
+	// submit is the POST /v1/tickets 202 round-trip, complete spans
+	// submit through the ticket reporting done.
+	AsyncFraction          float64     `json:"asyncFraction"`
+	AsyncOps               int         `json:"asyncOps"`
+	AsyncSubmitLatencyMs   Percentiles `json:"asyncSubmitLatencyMs"`
+	AsyncCompleteLatencyMs Percentiles `json:"asyncCompleteLatencyMs"`
+
 	// ClusterGroups* are the /v1/cluster group totals around the run;
 	// equal values across a drain mean zero groups were lost. Zero when
 	// the targets are not in cluster mode.
@@ -177,7 +189,8 @@ func runLoad(cfg config, logf func(format string, args ...any)) (*Report, error)
 	rep.ClusterGroupsAfter = l.clusterGroups()
 
 	rep.DurationSeconds = cfg.duration.Seconds()
-	var all, local, fwd, plan []float64
+	rep.AsyncFraction = cfg.async
+	var all, local, fwd, plan, asub, adone []float64
 	for _, s := range samples {
 		if s.err {
 			rep.Errors++
@@ -186,6 +199,18 @@ func runLoad(cfg config, logf func(format string, args ...any)) (*Report, error)
 		rep.Ops++
 		if s.status == http.StatusTooManyRequests {
 			rep.Shed++
+			continue
+		}
+		if s.async {
+			// Ticketed ops are summarized separately: their end-to-end
+			// time includes the poll loop's round-trips, so folding them
+			// into the sync pools would skew those percentiles.
+			rep.AsyncOps++
+			asub = append(asub, s.submitMs)
+			adone = append(adone, s.ms)
+			if s.op == opPlan {
+				rep.Routes++
+			}
 			continue
 		}
 		all = append(all, s.ms)
@@ -212,6 +237,8 @@ func runLoad(cfg config, logf func(format string, args ...any)) (*Report, error)
 	rep.LocalLatencyMs = percentiles(local)
 	rep.ForwardedLatencyMs = percentiles(fwd)
 	rep.PlanLatencyMs = percentiles(plan)
+	rep.AsyncSubmitLatencyMs = percentiles(asub)
+	rep.AsyncCompleteLatencyMs = percentiles(adone)
 	if rep.LocalLatencyMs.P50 > 0 && rep.ForwardedLatencyMs.Count > 0 {
 		rep.ForwardOverheadP50 = rep.ForwardedLatencyMs.P50 / rep.LocalLatencyMs.P50
 	}
@@ -302,6 +329,11 @@ func (l *loader) churn() []sample {
 // oneOp executes a single scenario op and samples it.
 func (l *loader) oneOp(r *rand.Rand, id, base string) sample {
 	op := pickOp(l.cfg.scenario, r)
+	// A -async fraction of the admission ops goes through the ticket
+	// surface instead (get has no async form — it is a plain read).
+	if op != opGet && l.cfg.async > 0 && r.Float64() < l.cfg.async {
+		return l.asyncOp(r, op, id, base)
+	}
 	var method, path string
 	var body []byte
 	switch op {
@@ -327,6 +359,63 @@ func (l *loader) oneOp(r *rand.Rand, id, base string) sample {
 	}
 }
 
+// asyncOp submits op as a ticket (POST /v1/tickets), then long-polls
+// GET /v1/tickets/{id}?wait= until the ticket reports done. Both the
+// 202 round-trip and the end-to-end completion land in the sample.
+func (l *loader) asyncOp(r *rand.Rand, op, id, base string) sample {
+	payload := map[string]any{"op": op, "group": id}
+	if op == opJoin || op == opLeave {
+		payload["dest"] = r.Intn(l.cfg.n)
+	}
+	body, _ := json.Marshal(payload)
+	start := time.Now()
+	status, forwarded, raw, err := l.doRead(http.MethodPost, base, "/v1/tickets", body)
+	s := sample{
+		op:        op,
+		ms:        float64(time.Since(start).Microseconds()) / 1000,
+		status:    status,
+		forwarded: forwarded,
+		err:       err != nil,
+		async:     true,
+	}
+	s.submitMs = s.ms
+	if err != nil || status != http.StatusAccepted {
+		return s
+	}
+	var env struct {
+		Data struct {
+			Ticket struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			} `json:"ticket"`
+		} `json:"data"`
+	}
+	if json.Unmarshal(raw, &env) != nil || env.Data.Ticket.ID == "" {
+		s.err = true
+		return s
+	}
+	path := "/v1/tickets/" + env.Data.Ticket.ID + "?wait=5s"
+	for state := env.Data.Ticket.State; state != "done"; {
+		st, _, raw, err := l.doRead(http.MethodGet, base, path, nil)
+		if err != nil || st != http.StatusOK {
+			s.err = true
+			break
+		}
+		var poll struct {
+			Data struct {
+				State string `json:"state"`
+			} `json:"data"`
+		}
+		if json.Unmarshal(raw, &poll) != nil || poll.Data.State == "" {
+			s.err = true
+			break
+		}
+		state = poll.Data.State
+	}
+	s.ms = float64(time.Since(start).Microseconds()) / 1000
+	return s
+}
+
 // do issues one request, draining the body so connections are reused.
 // The boolean reports whether the serving node forwarded it.
 func (l *loader) do(method, base, path string, body []byte) (int, bool, error) {
@@ -348,6 +437,30 @@ func (l *loader) do(method, base, path string, body []byte) (int, bool, error) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, resp.Header.Get("X-Brsmn-Forwarded") != "", nil
+}
+
+// doRead is do but returns the response body, for callers that parse
+// the envelope (the async ticket path).
+func (l *loader) doRead(method, base, path string, body []byte) (int, bool, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := l.client.Do(req)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Brsmn-Forwarded") != "", raw, err
 }
 
 // clusterGroups sums group counts across the cluster via the first

@@ -12,6 +12,10 @@
 //	GET  /v1/cost?n=256
 //	GET  /v1/sequence?n=8&dests=3,4,7
 //
+// With a sharded backend (WithShards), the group endpoints additionally
+// accept ?async=1 for ticketed admission, served by the /v1/tickets
+// surface of tickets.go (202 + ticket ID, long-poll, SSE).
+//
 // A Server constructed with a Groups backend (a *groupd.Manager, or the
 // sharded *shard.Set) additionally serves the stateful group endpoints
 // of groups.go; a *faultd.Monitor enables the fault endpoints of
@@ -88,6 +92,10 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.route("POST /v1/groups/{id}/leave", "group_leave", s.withGroups(s.handleGroupLeave))
 	s.route("DELETE /v1/groups/{id}", "group_delete", s.withGroups(s.handleGroupDelete))
 	s.route("GET /v1/groups/{id}/plan", "group_plan", s.withGroups(s.handleGroupPlan))
+	s.route("POST /v1/tickets", "ticket_submit", s.withTickets(s.handleTicketSubmit))
+	s.route("GET /v1/tickets", "ticket_stats", s.withTickets(s.handleTicketStats))
+	s.route("GET /v1/tickets/{id}", "ticket_get", s.withTickets(s.handleTicketGet))
+	s.route("GET /v1/tickets/{id}/events", "ticket_events", s.withTickets(s.handleTicketEvents))
 	s.route("GET /v1/epoch", "epoch", s.withGroups(s.handleEpochGet))
 	s.route("POST /v1/epoch", "epoch", s.withGroups(s.handleEpochRun))
 	s.route("GET /v1/faults", "faults", s.withFaults(s.handleFaultsGet))
@@ -125,6 +133,9 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.notAllowed("/v1/groups/{id}/join", "POST")
 	s.notAllowed("/v1/groups/{id}/leave", "POST")
 	s.notAllowed("/v1/groups/{id}/plan", "GET")
+	s.notAllowed("/v1/tickets", "GET, POST")
+	s.notAllowed("/v1/tickets/{id}", "GET")
+	s.notAllowed("/v1/tickets/{id}/events", "GET")
 	s.notAllowed("/v1/epoch", "GET, POST")
 	s.notAllowed("/v1/faults", "GET, POST, DELETE")
 	s.notAllowed("/v1/faults/report", "GET")

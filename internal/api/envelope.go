@@ -46,9 +46,14 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed" // 405
 	CodeConflict         = "conflict"           // 409
 	CodeOverloaded       = "overloaded"         // 429: admission queue shed the request
+	CodeCanceled         = "canceled"           // 499: client went away mid-admission
 	CodeUnavailable      = "unavailable"        // 503: subsystem disabled or shutting down
 	CodeInternal         = "internal"           // 500
 )
+
+// StatusClientClosedRequest is nginx's 499 — the client's context ended
+// while the operation was queued, so no result was delivered.
+const StatusClientClosedRequest = 499
 
 // codeForStatus maps an HTTP status onto its default error code.
 func codeForStatus(status int) string {
@@ -65,6 +70,8 @@ func codeForStatus(status int) string {
 		return CodeInvalidArgument
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
+	case StatusClientClosedRequest:
+		return CodeCanceled
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
 	default:

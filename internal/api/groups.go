@@ -18,6 +18,7 @@ package api
 // answers 200 so a stateless deployment stays load-balancer-ready.
 
 import (
+	"context"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -53,6 +54,57 @@ var (
 	_ Groups = (*shard.Set)(nil)
 )
 
+// ctxGroups is the cancellation-aware facet of a Groups backend
+// (implemented by *shard.Set): mutations and plans honor the request
+// context, so a disconnected client frees its admission slot instead of
+// pinning the handler for the full queue+batch latency. Backends
+// without it (the single-fabric manager, which admits inline) fall back
+// to the plain calls.
+type ctxGroups interface {
+	CreateContext(ctx context.Context, id string, source int, members []int) (groupd.GroupInfo, error)
+	JoinContext(ctx context.Context, id string, d int) (groupd.Update, error)
+	LeaveContext(ctx context.Context, id string, d int) (groupd.Update, error)
+	DeleteContext(ctx context.Context, id string) error
+	PlanContext(ctx context.Context, id string) (groupd.PlanInfo, error)
+}
+
+var _ ctxGroups = (*shard.Set)(nil)
+
+func (s *Server) doCreate(r *http.Request, id string, source int, members []int) (groupd.GroupInfo, error) {
+	if cg, ok := s.groups.(ctxGroups); ok {
+		return cg.CreateContext(r.Context(), id, source, members)
+	}
+	return s.groups.Create(id, source, members)
+}
+
+func (s *Server) doJoin(r *http.Request, id string, d int) (groupd.Update, error) {
+	if cg, ok := s.groups.(ctxGroups); ok {
+		return cg.JoinContext(r.Context(), id, d)
+	}
+	return s.groups.Join(id, d)
+}
+
+func (s *Server) doLeave(r *http.Request, id string, d int) (groupd.Update, error) {
+	if cg, ok := s.groups.(ctxGroups); ok {
+		return cg.LeaveContext(r.Context(), id, d)
+	}
+	return s.groups.Leave(id, d)
+}
+
+func (s *Server) doDelete(r *http.Request, id string) error {
+	if cg, ok := s.groups.(ctxGroups); ok {
+		return cg.DeleteContext(r.Context(), id)
+	}
+	return s.groups.Delete(id)
+}
+
+func (s *Server) doPlan(r *http.Request, id string) (groupd.PlanInfo, error) {
+	if cg, ok := s.groups.(ctxGroups); ok {
+		return cg.PlanContext(r.Context(), id)
+	}
+	return s.groups.Plan(id)
+}
+
 func (s *Server) withGroups(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.groups == nil {
@@ -63,24 +115,33 @@ func (s *Server) withGroups(h func(http.ResponseWriter, *http.Request)) http.Han
 	}
 }
 
-// groupErr maps backend sentinel errors onto statuses and codes:
-// groupd's registry errors plus shard's admission and placement errors.
-func groupErr(w http.ResponseWriter, err error) {
+// groupErrStatus maps backend sentinel errors onto statuses: groupd's
+// registry errors plus shard's admission, placement, and ticket errors.
+func groupErrStatus(err error) int {
 	switch {
 	case errors.Is(err, groupd.ErrNotFound):
-		httpError(w, http.StatusNotFound, err)
+		return http.StatusNotFound
 	case errors.Is(err, groupd.ErrExists):
-		httpError(w, http.StatusConflict, err)
+		return http.StatusConflict
 	case errors.Is(err, groupd.ErrClosed), errors.Is(err, shard.ErrClosed), errors.Is(err, shard.ErrNoLiveShard):
-		httpError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, shard.ErrOverloaded):
-		httpError(w, http.StatusTooManyRequests, err)
+		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrOverloaded), errors.Is(err, shard.ErrTicketLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client's context ended while the operation was queued; the
+		// slot was freed and nothing counted as admitted.
+		return StatusClientClosedRequest
 	case errors.Is(err, groupd.ErrStore):
 		// The mutation was rolled back; the durable store itself broke.
-		httpError(w, http.StatusInternalServerError, err)
+		return http.StatusInternalServerError
 	default:
-		httpError(w, http.StatusUnprocessableEntity, err)
+		return http.StatusUnprocessableEntity
 	}
+}
+
+// groupErr writes the envelope for a backend error.
+func groupErr(w http.ResponseWriter, err error) {
+	httpError(w, groupErrStatus(err), err)
 }
 
 // CreateGroupRequest is the POST /v1/groups payload.
@@ -109,7 +170,13 @@ func (s *Server) handleGroupCreate(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	info, err := s.groups.Create(req.ID, req.Source, req.Members)
+	if asyncRequested(r) {
+		s.submitAsync(w, func(set *shard.Set) (*shard.Ticket, error) {
+			return set.SubmitCreate(req.ID, req.Source, req.Members)
+		})
+		return
+	}
+	info, err := s.doCreate(r, req.ID, req.Source, req.Members)
 	if err != nil {
 		groupErr(w, err)
 		return
@@ -184,19 +251,28 @@ func (r *MembershipRequest) validate() (fields []FieldError) {
 }
 
 func (s *Server) handleGroupJoin(w http.ResponseWriter, r *http.Request) {
-	s.handleMembership(w, r, s.groups.Join)
+	s.handleMembership(w, r, s.doJoin, (*shard.Set).SubmitJoin)
 }
 
 func (s *Server) handleGroupLeave(w http.ResponseWriter, r *http.Request) {
-	s.handleMembership(w, r, s.groups.Leave)
+	s.handleMembership(w, r, s.doLeave, (*shard.Set).SubmitLeave)
 }
 
-func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request, op func(string, int) (groupd.Update, error)) {
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request,
+	op func(*http.Request, string, int) (groupd.Update, error),
+	submit func(*shard.Set, string, int) (*shard.Ticket, error)) {
 	var req MembershipRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	u, err := op(r.PathValue("id"), req.Dest)
+	id := r.PathValue("id")
+	if asyncRequested(r) {
+		s.submitAsync(w, func(set *shard.Set) (*shard.Ticket, error) {
+			return submit(set, id, req.Dest)
+		})
+		return
+	}
+	u, err := op(r, id, req.Dest)
 	if err != nil {
 		groupErr(w, err)
 		return
@@ -206,7 +282,13 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request, op fun
 
 func (s *Server) handleGroupDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.groups.Delete(id); err != nil {
+	if asyncRequested(r) {
+		s.submitAsync(w, func(set *shard.Set) (*shard.Ticket, error) {
+			return set.SubmitDelete(id)
+		})
+		return
+	}
+	if err := s.doDelete(r, id); err != nil {
 		groupErr(w, err)
 		return
 	}
@@ -223,18 +305,30 @@ type GroupPlanResponse struct {
 }
 
 func (s *Server) handleGroupPlan(w http.ResponseWriter, r *http.Request) {
-	p, err := s.groups.Plan(r.PathValue("id"))
+	id := r.PathValue("id")
+	if asyncRequested(r) {
+		s.submitAsync(w, func(set *shard.Set) (*shard.Ticket, error) {
+			return set.SubmitPlan(id)
+		})
+		return
+	}
+	p, err := s.doPlan(r, id)
 	if err != nil {
 		groupErr(w, err)
 		return
 	}
-	writeData(w, http.StatusOK, GroupPlanResponse{
+	writeData(w, http.StatusOK, planResponse(p))
+}
+
+// planResponse renders a PlanInfo as the wire shape.
+func planResponse(p groupd.PlanInfo) GroupPlanResponse {
+	return GroupPlanResponse{
 		ID:      p.ID,
 		Gen:     p.Gen,
 		Cached:  p.Cached,
 		Columns: p.Columns,
 		Plan:    base64.StdEncoding.EncodeToString(p.Blob),
-	})
+	}
 }
 
 func (s *Server) handleEpochGet(w http.ResponseWriter, r *http.Request) {

@@ -79,6 +79,10 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer, so
+// the SSE handler can flush through the instrumentation wrapper.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
 // instrument wraps h with per-handler request counting and latency
 // observation. With no registry it returns h unchanged.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {

@@ -190,6 +190,10 @@ type Node struct {
 	byID  map[string]*peer
 
 	client *http.Client
+	// streamClient proxies ticket long-polls and SSE streams: no overall
+	// timeout (the client's context bounds those requests), same
+	// connection pool hygiene on Close.
+	streamClient *http.Client
 
 	// ringMu guards ring rebuilds; reads go through the atomic pointer
 	// so the forwarding hot path never takes a lock.
@@ -233,8 +237,9 @@ func New(cfg Config) (*Node, error) {
 		client: &http.Client{
 			Timeout: cfg.ForwardTimeout,
 		},
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		streamClient: &http.Client{},
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	ids := make([]string, 0, len(cfg.Peers))
 	for id := range cfg.Peers {
@@ -270,6 +275,7 @@ func (n *Node) Close() error {
 	<-n.done
 	n.sweepWG.Wait()
 	n.client.CloseIdleConnections()
+	n.streamClient.CloseIdleConnections()
 	return nil
 }
 

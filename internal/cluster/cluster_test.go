@@ -55,8 +55,9 @@ func testCluster(t *testing.T, n int, mutate func(id string, cfg *Config)) map[s
 		reg := obs.NewRegistry()
 		reg.SetCommonLabel(fmt.Sprintf("node=%q", id))
 		set, err := shard.New(shard.Config{
-			Shards: 2,
-			Group:  groupd.Config{N: 16, Engine: rbn.Sequential},
+			Shards:     2,
+			Group:      groupd.Config{N: 16, Engine: rbn.Sequential},
+			TicketNode: id,
 		})
 		if err != nil {
 			t.Fatal(err)

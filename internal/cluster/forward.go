@@ -18,8 +18,10 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -53,6 +55,10 @@ var autoID atomic.Uint64
 func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.URL.Path, "/v1/cluster") {
 		n.serveCluster(w, r)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/tickets") {
+		n.serveTickets(w, r)
 		return
 	}
 	id, ok := groupIDFromPath(r.URL.Path)
@@ -145,24 +151,124 @@ func (n *Node) serveCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // spliceID re-serializes a create body with the given ID set.
-func spliceID(body []byte, id string) ([]byte, error) {
+func spliceID(body []byte, id string) ([]byte, error) { return spliceField(body, "id", id) }
+
+// spliceField re-serializes a JSON-object body with one string field
+// set, leaving every other field byte-identical.
+func spliceField(body []byte, key, val string) ([]byte, error) {
 	m := map[string]json.RawMessage{}
 	if len(body) > 0 {
 		if err := json.Unmarshal(body, &m); err != nil {
-			return nil, fmt.Errorf("create body must be a JSON object: %v", err)
+			return nil, fmt.Errorf("request body must be a JSON object: %v", err)
 		}
 	}
-	raw, err := json.Marshal(id)
+	raw, err := json.Marshal(val)
 	if err != nil {
 		return nil, err
 	}
-	m["id"] = raw
+	m[key] = raw
 	return json.Marshal(m)
 }
 
+// serveTickets routes the async-admission surface. Submissions dispatch
+// to the target group's ring owner (so the issued ticket lives where
+// the work executes); polls and event streams route to the node named
+// in the ticket ID's "@<node>" suffix; the stats listing is local.
+func (n *Node) serveTickets(w http.ResponseWriter, r *http.Request) {
+	rest, found := strings.CutPrefix(r.URL.Path, "/v1/tickets/")
+	if !found || rest == "" {
+		if r.Method == http.MethodPost {
+			n.serveTicketSubmit(w, r)
+			return
+		}
+		n.serveLocal(w, r)
+		return
+	}
+	tid := strings.TrimSuffix(rest, "/events")
+	n.dispatchTicket(w, r, tid)
+}
+
+// serveTicketSubmit handles POST /v1/tickets cluster-wide, mirroring
+// serveCreate: learn the target group from the body (assigning a
+// node-scoped unique ID to an ID-less create), then dispatch to the
+// ring owner.
+func (n *Node) serveTicketSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxForwardBody+1))
+	if err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	if len(body) > maxForwardBody {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("request body exceeds %d bytes", maxForwardBody))
+		return
+	}
+	var req struct {
+		Op    string `json:"op"`
+		Group string `json:"group"`
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			// Let the local handler produce the canonical 400.
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			n.serveLocal(w, r)
+			return
+		}
+	}
+	if req.Group == "" && req.Op == "create" {
+		req.Group = fmt.Sprintf("%s-g%08d", n.cfg.Self, autoID.Add(1))
+		body, err = spliceField(body, "group", req.Group)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+			return
+		}
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	n.dispatch(w, r, req.Group)
+}
+
+// ticketNode extracts the issuing node from a ticket ID's "@<node>"
+// suffix; empty for single-node IDs.
+func ticketNode(tid string) string {
+	if i := strings.IndexByte(tid, '@'); i >= 0 {
+		return tid[i+1:]
+	}
+	return ""
+}
+
+// dispatchTicket serves or forwards one ticket poll/stream. Unlike
+// group dispatch, the target is the issuing node (tickets live in the
+// issuer's registry), not a ring owner — an unknown or absent suffix
+// serves locally, where the canonical 404 comes from.
+func (n *Node) dispatchTicket(w http.ResponseWriter, r *http.Request, tid string) {
+	node := ticketNode(tid)
+	if node == "" || node == n.cfg.Self {
+		n.serveLocal(w, r)
+		return
+	}
+	p, ok := n.byID[node]
+	if !ok {
+		n.serveLocal(w, r)
+		return
+	}
+	hops := hopCount(r)
+	if hops >= n.cfg.MaxHops {
+		if n.met != nil {
+			n.met.hopLimited.Inc()
+		}
+		n.serveLocal(w, r)
+		return
+	}
+	n.forward(w, r, p, hops)
+}
+
 // forward proxies the request to the owning peer, relaying the response
-// verbatim. Transport failures retry up to ForwardRetries times; a
-// down-marked peer fails fast.
+// verbatim. A down-marked peer fails fast. Failed attempts retry up to
+// ForwardRetries times, but only when re-sending cannot re-apply the
+// operation (see retryable) — a create or join whose response was lost
+// mid-flight must NOT be replayed, or the remote side applies it twice
+// and the client sees a spurious conflict.
 func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner *peer, hops int) {
 	start := time.Now()
 	if !owner.reachable() {
@@ -183,6 +289,12 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner *peer, hops
 			return
 		}
 	}
+	client := n.client
+	if streamingRequest(r) {
+		// Long-polls and SSE legitimately outlive ForwardTimeout; the
+		// client's own context bounds them instead.
+		client = n.streamClient
+	}
 	url := owner.url + r.URL.RequestURI()
 	var resp *http.Response
 	var err error
@@ -194,12 +306,15 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner *peer, hops
 		}
 		copyProxyHeaders(req.Header, r.Header)
 		req.Header.Set(HeaderHops, strconv.Itoa(hops+1))
-		resp, err = n.client.Do(req)
+		resp, err = client.Do(req)
 		if err == nil {
 			break
 		}
 		if r.Context().Err() != nil {
 			break // the client gave up; don't retry into the void
+		}
+		if !retryable(r, err) {
+			break
 		}
 		if n.met != nil {
 			n.met.forwardRetries.Inc()
@@ -227,10 +342,53 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner *peer, hops
 	}
 	h.Set(HeaderForwarded, path)
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		flushCopy(w, resp.Body)
+	} else {
+		_, _ = io.Copy(w, resp.Body)
+	}
 	n.nForwarded.Add(1)
 	if n.met != nil {
 		n.met.forwardSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// retryable reports whether a failed proxied attempt may safely be
+// re-sent: idempotent methods always; anything else only when the
+// failure happened at the connection stage (dial), i.e. the request
+// never reached the peer. A mid-response transport error on a POST
+// means the operation may already have been applied — surface the 502
+// and let the client decide.
+func retryable(r *http.Request, err error) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// streamingRequest reports whether the proxied request may legitimately
+// outlive ForwardTimeout — ticket long-polls and SSE event streams.
+func streamingRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/v1/tickets/")
+}
+
+// flushCopy relays an event stream, flushing after every read so
+// events cross the hop as they happen instead of when the buffer fills.
+func flushCopy(w http.ResponseWriter, rd io.Reader) {
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 4096)
+	for {
+		k, err := rd.Read(buf)
+		if k > 0 {
+			if _, werr := w.Write(buf[:k]); werr != nil {
+				return
+			}
+			_ = rc.Flush()
+		}
+		if err != nil {
+			return
+		}
 	}
 }
 

@@ -6,17 +6,27 @@ package shard
 //
 //	brsmn_shard_admitted_total{shard}         counter    operations admitted and executed
 //	brsmn_shard_shed_total{shard}             counter    operations shed after the backpressure window
+//	brsmn_shard_canceled_total{shard}         counter    admissions abandoned by canceled clients
 //	brsmn_shard_batches_total{shard}          counter    worker batches drained
 //	brsmn_shard_queue_len{shard}              gauge      admission-queue occupancy
 //	brsmn_shard_queue_capacity{shard}         gauge      admission-queue bound
 //	brsmn_shard_groups{shard}                 gauge      groups placed on the shard
 //	brsmn_shard_live{shard}                   gauge      1 while on the placement ring
-//	brsmn_shard_admission_wait_seconds{shard} histogram  enqueue-to-execute latency
+//	brsmn_shard_admission_wait_seconds{shard} histogram  queue wait, enqueue to batch drain
+//	brsmn_shard_exec_seconds{shard}           histogram  execution, drain to manager-call return
+//	brsmn_shard_signal_seconds{shard}         histogram  delivery, exec done to waiter/ticket signaled
 //	brsmn_shard_batch_size{shard}             histogram  tasks per drained batch
 //	brsmn_shards                              gauge      configured shard count K
 //	brsmn_shards_live                         gauge      shards currently on the ring
 //	brsmn_shard_migrations_total              counter    groups moved by rebalances
 //	brsmn_shard_quarantines_total             counter    quarantines (manual + automatic)
+//	brsmn_tickets_open                        gauge      async tickets awaiting execution
+//	brsmn_tickets_retained                    gauge      completed tickets held for polling
+//	brsmn_tickets_submitted_total             counter    async submissions accepted
+//	brsmn_tickets_evicted_total               counter    completed tickets evicted (TTL or cap)
+//
+// The three stage histograms decompose end-to-end admission latency, so
+// "p99 queue wait vs plan time" is answerable straight from /metrics.
 
 import "brsmn/internal/obs"
 
@@ -31,7 +41,11 @@ func (s *Set) registerMetrics(reg *obs.Registry) {
 		sh := s.shards[i]
 		lbl := func(name string) string { return obs.WithLabel(name, shardLabel(sh.id)) }
 		sh.waitHist = reg.Histogram(lbl("brsmn_shard_admission_wait_seconds"),
-			"Admission-queue wait, enqueue to execution.", obs.SecondsBuckets())
+			"Admission-queue wait, enqueue to batch drain.", obs.SecondsBuckets())
+		sh.execHist = reg.Histogram(lbl("brsmn_shard_exec_seconds"),
+			"Execution stage, batch drain to manager-call return.", obs.SecondsBuckets())
+		sh.signalHist = reg.Histogram(lbl("brsmn_shard_signal_seconds"),
+			"Delivery stage, execution done to waiter or ticket signaled.", obs.SecondsBuckets())
 		sh.batchHist = reg.Histogram(lbl("brsmn_shard_batch_size"),
 			"Tasks executed per drained admission batch.", batchBuckets())
 		reg.CounterFunc(lbl("brsmn_shard_admitted_total"), "Operations admitted and executed.",
@@ -39,6 +53,9 @@ func (s *Set) registerMetrics(reg *obs.Registry) {
 		reg.CounterFunc(lbl("brsmn_shard_shed_total"),
 			"Operations shed with 429 after the backpressure window.",
 			func() float64 { return float64(sh.shed.Load()) })
+		reg.CounterFunc(lbl("brsmn_shard_canceled_total"),
+			"Admissions abandoned because the client's context ended.",
+			func() float64 { return float64(sh.canceled.Load()) })
 		reg.CounterFunc(lbl("brsmn_shard_batches_total"), "Worker batches drained.",
 			func() float64 { return float64(sh.batches.Load()) })
 		reg.GaugeFunc(lbl("brsmn_shard_queue_len"), "Admission-queue occupancy.",
@@ -71,4 +88,12 @@ func (s *Set) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(s.migrations.Load()) })
 	reg.CounterFunc("brsmn_shard_quarantines_total", "Shard quarantines, manual and automatic.",
 		func() float64 { return float64(s.quarantines.Load()) })
+	reg.GaugeFunc("brsmn_tickets_open", "Async tickets awaiting execution.",
+		func() float64 { return float64(s.tickets.stats().Open) })
+	reg.GaugeFunc("brsmn_tickets_retained", "Completed tickets held for polling.",
+		func() float64 { return float64(s.tickets.stats().Retained) })
+	reg.CounterFunc("brsmn_tickets_submitted_total", "Async submissions accepted.",
+		func() float64 { return float64(s.tickets.stats().Submitted) })
+	reg.CounterFunc("brsmn_tickets_evicted_total", "Completed tickets evicted by TTL or cap pressure.",
+		func() float64 { return float64(s.tickets.stats().Evicted) })
 }

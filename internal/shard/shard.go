@@ -28,14 +28,22 @@
 //     its fault policy reports unhealthy) removes it from the ring and
 //     migrates its groups to their new ring successors; reinstating it
 //     migrates them back. Placement and migration serialize on one
-//     RWMutex whose read side is the admission path, so a rebalance
-//     observes a quiesced set.
+//     RWMutex whose read side is the enqueue step of admission; a
+//     rebalance takes the write side (no new enqueues) and then flushes
+//     every queue with a barrier task, so it observes a quiesced set.
+//
+// Admission comes in two shapes: the synchronous methods (Create, Join,
+// ..., and their ...Context variants, which honor cancellation) block
+// until the batch executes, while the Submit* methods return a Ticket
+// immediately and publish the result — with a per-stage Unix-ns timing
+// record — when the worker gets to it. See ticket.go.
 //
 // A Set is safe for concurrent use by the HTTP handlers of
 // internal/api, its shard workers, and the managers' epoch goroutines.
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -111,6 +119,17 @@ type Config struct {
 	// i's fabric, carried by that shard's snapshots (see
 	// groupd.Config.FaultSpecs).
 	FaultSpecs func(shard int) []string
+	// TicketCap bounds the tickets the registry tracks at once — open
+	// plus retained-completed (default 65536). Submissions beyond the
+	// cap shed with ErrTicketLimit once no completed ticket is old
+	// enough to evict.
+	TicketCap int
+	// TicketTTL is how long a completed ticket stays pollable before
+	// eviction (default 2m).
+	TicketTTL time.Duration
+	// TicketNode, when non-empty, suffixes ticket IDs as "t<seq>@<node>"
+	// so a cluster tier can route polls back to the issuing node.
+	TicketNode string
 }
 
 func (c *Config) applyDefaults() {
@@ -129,12 +148,19 @@ func (c *Config) applyDefaults() {
 	if c.Replicas <= 0 {
 		c.Replicas = 64
 	}
+	if c.TicketCap <= 0 {
+		c.TicketCap = 65536
+	}
+	if c.TicketTTL <= 0 {
+		c.TicketTTL = 2 * time.Minute
+	}
 }
 
 // Shard is one serving plane: a full groupd.Manager (planner pool, plan
 // cache, epoch loop) plus its admission queue and worker.
 type Shard struct {
 	id    int
+	set   *Set
 	gm    *groupd.Manager
 	watch *watchedPolicy // nil without a policy
 	dead  atomic.Bool
@@ -145,11 +171,15 @@ type Shard struct {
 
 	admitted atomic.Uint64
 	shed     atomic.Uint64
+	canceled atomic.Uint64
 	batches  atomic.Uint64
 
-	// Admission-queue histograms; nil without a registry.
-	waitHist  *obs.Histogram
-	batchHist *obs.Histogram
+	// Admission stage histograms; nil without a registry (Observe on a
+	// nil *obs.Histogram is a no-op).
+	waitHist   *obs.Histogram
+	batchHist  *obs.Histogram
+	execHist   *obs.Histogram
+	signalHist *obs.Histogram
 }
 
 // Set is the sharded serving layer. Construct with New, release with
@@ -161,11 +191,18 @@ type Set struct {
 	ring   []ringPoint
 
 	// placeMu serializes placement against rebalance: admission holds
-	// the read side for the whole operation (locate, enqueue, wait), so
-	// a writer — quarantine, reinstate, close — observes a quiesced
-	// set before moving groups.
+	// the read side only across locate + enqueue (never the wait for
+	// execution), so a writer — quarantine, reinstate, close — blocks
+	// new enqueues and then quiesces the queues with flushLocked before
+	// moving groups.
 	placeMu sync.RWMutex
 	closed  bool
+
+	// workersStarted gates flushLocked: recovery-time rebalances run
+	// before the shard workers exist, with empty queues.
+	workersStarted bool
+
+	tickets *ticketRegistry
 
 	nextID      atomic.Uint64
 	migrations  atomic.Uint64
@@ -190,6 +227,7 @@ func New(cfg Config) (*Set, error) {
 	cfg.applyDefaults()
 	s := &Set{cfg: cfg}
 	s.tasks.New = func() any { return &task{done: make(chan struct{}, 1)} }
+	s.tickets = newTicketRegistry(cfg.TicketCap, cfg.TicketTTL, cfg.TicketNode)
 	for i := 0; i < cfg.Shards; i++ {
 		i := i
 		gcfg := cfg.Group
@@ -231,6 +269,7 @@ func New(cfg Config) (*Set, error) {
 		}
 		sh := &Shard{
 			id:         i,
+			set:        s,
 			gm:         gm,
 			watch:      watch,
 			queue:      make(chan *task, cfg.QueueDepth),
@@ -251,6 +290,7 @@ func New(cfg Config) (*Set, error) {
 			return nil, err
 		}
 	}
+	s.workersStarted = true
 	for _, sh := range s.shards {
 		go sh.worker()
 	}
@@ -434,10 +474,11 @@ func (s *Set) Close() error {
 		close(s.snapQuit)
 		<-s.snapDone
 	}
-	// No admitter is in flight (they hold the read lock end to end) and
-	// none can start, so closing the queues is race-free. Workers drain
-	// before managers close, so the final snapshots see every admitted
-	// mutation.
+	// No enqueue is in flight (sends happen under the read lock with
+	// closed checked) and none can start, so closing the queues is
+	// race-free. Workers drain the remaining buffered tasks — signaling
+	// their waiters and completing their tickets — before managers
+	// close, so the final snapshots see every admitted mutation.
 	for _, sh := range s.shards {
 		close(sh.queue)
 	}
@@ -456,6 +497,14 @@ func (s *Set) Close() error {
 // Create registers a group on its placement shard. An empty ID is
 // auto-assigned before placement, since placement hashes the ID.
 func (s *Set) Create(id string, source int, members []int) (groupd.GroupInfo, error) {
+	return s.CreateContext(context.Background(), id, source, members)
+}
+
+// CreateContext is Create honoring cancellation: if ctx ends before the
+// operation is delivered, the slot is freed (or the executed result is
+// discarded) and ctx.Err() returned. Same for the other ...Context
+// variants.
+func (s *Set) CreateContext(ctx context.Context, id string, source int, members []int) (groupd.GroupInfo, error) {
 	if id == "" {
 		id = fmt.Sprintf("g%d", s.nextID.Add(1))
 	}
@@ -464,33 +513,48 @@ func (s *Set) Create(id string, source int, members []int) (groupd.GroupInfo, er
 	t.id = id
 	t.source = source
 	t.members = members
-	return s.admitInfo(t)
+	return s.admitInfo(ctx, t)
 }
 
 // Join admits output d to the group on its owning shard.
 func (s *Set) Join(id string, d int) (groupd.Update, error) {
+	return s.JoinContext(context.Background(), id, d)
+}
+
+// JoinContext is Join with cancellation.
+func (s *Set) JoinContext(ctx context.Context, id string, d int) (groupd.Update, error) {
 	t := s.getTask()
 	t.op = opJoin
 	t.id = id
 	t.dest = d
-	return s.admitUpdate(t)
+	return s.admitUpdate(ctx, t)
 }
 
 // Leave removes output d from the group; same contract as Join.
 func (s *Set) Leave(id string, d int) (groupd.Update, error) {
+	return s.LeaveContext(context.Background(), id, d)
+}
+
+// LeaveContext is Leave with cancellation.
+func (s *Set) LeaveContext(ctx context.Context, id string, d int) (groupd.Update, error) {
 	t := s.getTask()
 	t.op = opLeave
 	t.id = id
 	t.dest = d
-	return s.admitUpdate(t)
+	return s.admitUpdate(ctx, t)
 }
 
 // Delete unregisters the group from its owning shard.
 func (s *Set) Delete(id string) error {
+	return s.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext is Delete with cancellation.
+func (s *Set) DeleteContext(ctx context.Context, id string) error {
 	t := s.getTask()
 	t.op = opDelete
 	t.id = id
-	_, err := s.admitInfo(t)
+	_, err := s.admitInfo(ctx, t)
 	return err
 }
 
@@ -498,27 +562,15 @@ func (s *Set) Delete(id string) error {
 // steady route path. Warm requests are plan-cache hits on the shard and
 // allocate nothing end to end, admission included.
 func (s *Set) Plan(id string) (groupd.PlanInfo, error) {
+	return s.PlanContext(context.Background(), id)
+}
+
+// PlanContext is Plan with cancellation.
+func (s *Set) PlanContext(ctx context.Context, id string) (groupd.PlanInfo, error) {
 	t := s.getTask()
 	t.op = opPlan
 	t.id = id
-	s.placeMu.RLock()
-	defer s.placeMu.RUnlock()
-	if s.closed {
-		s.putTask(t)
-		return groupd.PlanInfo{}, ErrClosed
-	}
-	sh, err := s.locate(id)
-	if err != nil {
-		s.putTask(t)
-		return groupd.PlanInfo{}, err
-	}
-	if err := sh.admit(t, s.cfg.AdmitWait); err != nil {
-		s.putTask(t)
-		return groupd.PlanInfo{}, err
-	}
-	p, perr := t.plan, t.err
-	s.putTask(t)
-	return p, perr
+	return s.admitPlan(ctx, t)
 }
 
 // Get reads the group's state from its owning shard (no admission —
@@ -725,8 +777,10 @@ func (s *Set) Reinstate(i int) error {
 
 // rebalanceLocked moves every group whose placement no longer matches
 // its current shard. Migration bypasses admission — the caller holds
-// the write lock, so no operation is in flight anywhere.
+// the write lock (no new enqueues), and the barrier flush below drains
+// everything already queued, so no operation is in flight anywhere.
 func (s *Set) rebalanceLocked() error {
+	s.flushLocked()
 	var firstErr error
 	for _, from := range s.shards {
 		for _, info := range from.gm.List() {
@@ -802,6 +856,7 @@ type ShardStats struct {
 	QueueDepth int               `json:"queueDepth"`
 	Admitted   uint64            `json:"admitted"`
 	Shed       uint64            `json:"shed"`
+	Canceled   uint64            `json:"canceled"`
 	Batches    uint64            `json:"batches"`
 	Cache      groupd.CacheStats `json:"cache"`
 }
@@ -834,6 +889,7 @@ func (s *Set) Stats() SetStats {
 			QueueDepth: cap(sh.queue),
 			Admitted:   sh.admitted.Load(),
 			Shed:       sh.shed.Load(),
+			Canceled:   sh.canceled.Load(),
 			Batches:    sh.batches.Load(),
 			Cache:      sh.gm.CacheStats(),
 		}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -238,16 +239,36 @@ func TestClosedSet(t *testing.T) {
 }
 
 // TestShedOverload drives the backpressure path directly: a full queue
-// with no worker sheds after AdmitWait with ErrOverloaded.
+// with no worker sheds after AdmitWait with ErrOverloaded, and a
+// context canceled inside the backpressure window frees the caller
+// immediately, counting as canceled rather than shed.
 func TestShedOverload(t *testing.T) {
-	sh := &Shard{queue: make(chan *task, 1)}
+	s := &Set{cfg: Config{AdmitWait: 5 * time.Millisecond}}
+	s.tasks.New = func() any { return &task{done: make(chan struct{}, 1)} }
+	sh := &Shard{id: 0, set: s, queue: make(chan *task, 1)}
+	s.shards = []*Shard{sh}
+	s.ring = buildRing(1, 4)
 	sh.queue <- &task{} // fill; no worker drains it
-	err := sh.admit(&task{done: make(chan struct{}, 1)}, 5*time.Millisecond)
-	if !errors.Is(err, ErrOverloaded) {
-		t.Fatalf("admit on full queue: %v", err)
+
+	tk := s.getTask()
+	tk.id = "x"
+	if _, err := s.enqueue(context.Background(), tk); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("enqueue on full queue: %v", err)
 	}
 	if sh.shed.Load() != 1 {
 		t.Fatalf("shed counter = %d, want 1", sh.shed.Load())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.enqueue(ctx, tk); !errors.Is(err, context.Canceled) {
+		t.Fatalf("enqueue with canceled ctx: %v", err)
+	}
+	if sh.canceled.Load() != 1 {
+		t.Fatalf("canceled counter = %d, want 1", sh.canceled.Load())
+	}
+	if sh.shed.Load() != 1 {
+		t.Fatalf("shed counter after cancel = %d, want 1", sh.shed.Load())
 	}
 }
 
