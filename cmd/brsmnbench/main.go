@@ -22,6 +22,11 @@
 // artifact:
 //
 //	brsmnbench -exp recovery -n 256 -groups 64 -trials 5 -format json > BENCH_recovery.json
+//
+// The tiers experiment routes the selector's workload classes through
+// every planner backend and backs the BENCH_tiers.json artifact:
+//
+//	brsmnbench -exp tiers -n 1024 -trials 20 -format json > BENCH_tiers.json
 package main
 
 import (
@@ -38,12 +43,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, route, recovery, all")
-		n       = flag.Int("n", 256, "network size for single-size experiments")
-		sizes   = flag.String("sizes", "16,64,256,1024,4096", "comma-separated sizes for sweeps")
-		trials  = flag.Int("trials", 10, "assignments per wall-clock measurement")
-		seed    = flag.Int64("seed", 1, "random seed")
-		format  = flag.String("format", "text", "output format: text or json (json: wallclock, pipeline, route, recovery)")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, orders, fit, fig2, delay, wallclock, splits, pipeline, util, admission, saturation, route, recovery, tiers, all")
+		n        = flag.Int("n", 256, "network size for single-size experiments")
+		sizes    = flag.String("sizes", "16,64,256,1024,4096", "comma-separated sizes for sweeps")
+		trials   = flag.Int("trials", 10, "assignments per wall-clock measurement")
+		seed     = flag.Int64("seed", 1, "random seed")
+		format   = flag.String("format", "text", "output format: text or json (json: wallclock, pipeline, route, recovery)")
 		workers  = flag.Int("workers", 4, "worker count for the route experiment's parallel regime")
 		groups   = flag.Int("groups", 64, "group population for the recovery experiment")
 		baseline = flag.String("baseline", "", "route experiment: committed BENCH_route.json to compare against; exits nonzero if the warm planner regime regresses more than 20%")
@@ -97,8 +102,10 @@ func runJSON(w io.Writer, exp string, n, trials int, seed int64, workers, groups
 		rep, err = harness.PipelineJSON(n, 8, seed)
 	case "recovery":
 		rep, err = harness.RecoveryBench(n, groups, trials, seed)
+	case "tiers":
+		rep, err = harness.TiersBench(n, trials, seed)
 	default:
-		return fmt.Errorf("experiment %q has no json output (json: wallclock, pipeline, route, recovery)", exp)
+		return fmt.Errorf("experiment %q has no json output (json: wallclock, pipeline, route, recovery, tiers)", exp)
 	}
 	if err != nil {
 		return err
@@ -202,6 +209,17 @@ func run(w io.Writer, exp string, n int, sizes []int, trials int, seed int64, gr
 		return section(out, err)
 	case "ktradeoff":
 		return section(harness.KTradeoffExperiment(n), nil)
+	case "tiers":
+		rep, err := harness.TiersBench(n, trials, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Planner backend tiers, n = %d, %d trials (GOMAXPROCS=%d)\n", rep.N, rep.Trials, rep.GoMaxProcs)
+		for _, m := range rep.Tiers {
+			fmt.Fprintf(w, "  %-16s %-10s size %5d %12d ns/op %4d passes %5d cols %8d switches %8d allocs/op\n",
+				m.Workload, m.Backend, m.GroupSize, m.NsPerOp, m.Passes, m.Depth, m.Switches, m.AllocsPerOp)
+		}
+		return nil
 	case "route":
 		rep, err := harness.RouteBench(n, trials, seed, 4)
 		if err != nil {

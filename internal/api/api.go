@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 
+	"brsmn/internal/backend"
 	"brsmn/internal/core"
 	"brsmn/internal/cost"
 	"brsmn/internal/fabric"
@@ -90,8 +91,10 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.route("GET /v1/groups/{id}", "group_get", s.withGroups(s.handleGroupGet))
 	s.route("POST /v1/groups/{id}/join", "group_join", s.withGroups(s.handleGroupJoin))
 	s.route("POST /v1/groups/{id}/leave", "group_leave", s.withGroups(s.handleGroupLeave))
+	s.route("POST /v1/groups/{id}/backend", "group_backend", s.withGroups(s.handleGroupSetBackend))
 	s.route("DELETE /v1/groups/{id}", "group_delete", s.withGroups(s.handleGroupDelete))
 	s.route("GET /v1/groups/{id}/plan", "group_plan", s.withGroups(s.handleGroupPlan))
+	s.route("GET /v1/backends", "backends", s.withGroups(s.handleBackends))
 	s.route("POST /v1/tickets", "ticket_submit", s.withTickets(s.handleTicketSubmit))
 	s.route("GET /v1/tickets", "ticket_stats", s.withTickets(s.handleTicketStats))
 	s.route("GET /v1/tickets/{id}", "ticket_get", s.withTickets(s.handleTicketGet))
@@ -132,7 +135,9 @@ func NewServer(eng rbn.Engine, g Groups, fm *faultd.Monitor, opts ...Option) *Se
 	s.notAllowed("/v1/groups/{id}", "GET, DELETE")
 	s.notAllowed("/v1/groups/{id}/join", "POST")
 	s.notAllowed("/v1/groups/{id}/leave", "POST")
+	s.notAllowed("/v1/groups/{id}/backend", "POST")
 	s.notAllowed("/v1/groups/{id}/plan", "GET")
+	s.notAllowed("/v1/backends", "GET")
 	s.notAllowed("/v1/tickets", "GET, POST")
 	s.notAllowed("/v1/tickets/{id}", "GET")
 	s.notAllowed("/v1/tickets/{id}/events", "GET")
@@ -339,10 +344,16 @@ func (s *Server) handleSequence(w http.ResponseWriter, r *http.Request) {
 // PlanResponse is the /v1/plan reply: the routed assignment's deliveries
 // plus the flattened switch-column program in the plancodec binary
 // format, base64-encoded — what a hardware configuration flow consumes.
+// The backend/passes/cost fields mirror the group-plan envelope; the
+// stateless endpoint always plans on the full BRSMN, and clients that
+// ignore unknown fields decode the pre-tiering shape unchanged.
 type PlanResponse struct {
-	Deliveries []int  `json:"deliveries"`
-	Columns    int    `json:"columns"`
-	Plan       string `json:"plan"` // base64(plancodec)
+	Deliveries []int     `json:"deliveries"`
+	Columns    int       `json:"columns"`
+	Plan       string    `json:"plan"` // base64(plancodec)
+	Backend    string    `json:"backend,omitempty"`
+	Passes     int       `json:"passes,omitempty"`
+	Cost       *cost.Row `json:"cost,omitempty"`
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -375,10 +386,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	row := cost.BRSMN(a.N)
 	resp := PlanResponse{
 		Deliveries: make([]int, a.N),
 		Columns:    len(cols),
 		Plan:       base64.StdEncoding.EncodeToString(blob),
+		Backend:    backend.TierBRSMN.String(),
+		Passes:     1,
+		Cost:       &row,
 	}
 	for out, d := range res.Deliveries {
 		resp.Deliveries[out] = d.Source

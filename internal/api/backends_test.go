@@ -1,0 +1,111 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"brsmn/internal/groupd"
+	"brsmn/internal/rbn"
+)
+
+// TestBackendsEndpoint checks the backend catalogue: every tier with
+// its patch capability and cost row, plus the effective selector
+// thresholds.
+func TestBackendsEndpoint(t *testing.T) {
+	ts := newGroupServer(t)
+
+	var got BackendsResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/backends", nil, &got); code != http.StatusOK {
+		t.Fatalf("GET /v1/backends = %d", code)
+	}
+	if got.N != 16 {
+		t.Errorf("n = %d, want 16", got.N)
+	}
+	if len(got.Backends) != 3 {
+		t.Fatalf("got %d backends, want 3", len(got.Backends))
+	}
+	byName := map[string]BackendInfo{}
+	for _, b := range got.Backends {
+		byName[b.Name] = b
+		if b.Cost.Switches <= 0 || b.Cost.Depth <= 0 {
+			t.Errorf("backend %s cost row empty: %+v", b.Name, b.Cost)
+		}
+	}
+	if !byName["brsmn"].Patch {
+		t.Error("brsmn not reported patch-capable")
+	}
+	if byName["feedback"].Patch || byName["permnet"].Patch {
+		t.Error("feedback/permnet reported patch-capable")
+	}
+	if got.Selector.Hysteresis <= 0 {
+		t.Errorf("selector thresholds not populated: %+v", got.Selector)
+	}
+
+	// Without a group manager the endpoint degrades like the rest of the
+	// group surface: 503.
+	bare := httptest.NewServer(NewServer(rbn.Sequential, nil, nil))
+	defer bare.Close()
+	if code := doJSON(t, "GET", bare.URL+"/v1/backends", nil, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("GET /v1/backends without groups = %d, want 503", code)
+	}
+}
+
+// TestGroupBackendHTTP drives the repin endpoint and the backend field
+// on create, including validation failures.
+func TestGroupBackendHTTP(t *testing.T) {
+	ts := newGroupServer(t)
+
+	var info groupd.GroupInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/groups",
+		CreateGroupRequest{ID: "conf", Source: 2, Members: []int{3, 4, 7}, Backend: "feedback"}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	if info.Backend != "feedback" || info.BackendPref != "feedback" {
+		t.Fatalf("created on %s/%s, want feedback/feedback", info.Backend, info.BackendPref)
+	}
+
+	var plan GroupPlanResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/groups/conf/plan", nil, &plan); code != http.StatusOK {
+		t.Fatalf("plan = %d", code)
+	}
+	if plan.Backend != "feedback" {
+		t.Errorf("plan backend %q, want feedback", plan.Backend)
+	}
+	if plan.Passes < 1 {
+		t.Errorf("plan passes %d", plan.Passes)
+	}
+	if plan.Cost == nil || plan.Cost.Switches <= 0 {
+		t.Errorf("plan cost missing: %+v", plan.Cost)
+	}
+
+	// Repin to brsmn and observe the plan envelope follow.
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups/conf/backend",
+		SetBackendRequest{Backend: "brsmn"}, &info); code != http.StatusOK {
+		t.Fatalf("repin = %d", code)
+	}
+	if info.Backend != "brsmn" {
+		t.Errorf("after repin backend %q", info.Backend)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/groups/conf/plan", nil, &plan); code != http.StatusOK {
+		t.Fatal("plan after repin failed")
+	}
+	if plan.Backend != "brsmn" || plan.Passes != 1 {
+		t.Errorf("plan after repin: backend %q passes %d, want brsmn/1", plan.Backend, plan.Passes)
+	}
+
+	// Validation: unknown tier is a field error on both surfaces.
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups",
+		CreateGroupRequest{ID: "bad", Source: 0, Backend: "quantum"}, nil); code != http.StatusBadRequest {
+		t.Errorf("create with bad backend = %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups/conf/backend",
+		SetBackendRequest{Backend: "quantum"}, nil); code != http.StatusBadRequest {
+		t.Errorf("repin with bad backend = %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups/nope/backend",
+		SetBackendRequest{Backend: "brsmn"}, nil); code != http.StatusNotFound {
+		t.Errorf("repin on missing group = %d, want 404", code)
+	}
+}

@@ -83,7 +83,7 @@ type TicketResponse struct {
 }
 
 // ticketView renders tk, including results and stages once done.
-func ticketView(tk *shard.Ticket) TicketView {
+func (s *Server) ticketView(tk *shard.Ticket) TicketView {
 	v := TicketView{
 		ID:    tk.ID(),
 		Op:    tk.Op(),
@@ -117,7 +117,7 @@ func ticketView(tk *shard.Ticket) TicketView {
 		} else if up, ok := tk.Update(); ok {
 			v.Result = up
 		} else if p, ok := tk.Plan(); ok {
-			v.Result = planResponse(p)
+			v.Result = s.planResponse(p)
 		}
 	}
 	return v
@@ -138,7 +138,7 @@ func (s *Server) submitAsync(w http.ResponseWriter, submit func(*shard.Set) (*sh
 		return
 	}
 	q, _ := s.set.QueueStats(tk.Shard())
-	writeData(w, http.StatusAccepted, TicketResponse{Ticket: ticketView(tk), Queue: q})
+	writeData(w, http.StatusAccepted, TicketResponse{Ticket: s.ticketView(tk), Queue: q})
 }
 
 // TicketSubmitRequest is the POST /v1/tickets payload — one group
@@ -236,7 +236,7 @@ func (s *Server) handleTicketGet(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		_ = tk.Wait(waitCtx) // timeout just reports the current state
 	}
-	writeData(w, http.StatusOK, ticketView(tk))
+	writeData(w, http.StatusOK, s.ticketView(tk))
 }
 
 // handleTicketEvents streams the ticket's lifecycle as server-sent
@@ -256,7 +256,7 @@ func (s *Server) handleTicketEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	if !tk.Done() {
-		writeSSE(w, "queued", ticketView(tk))
+		writeSSE(w, "queued", s.ticketView(tk))
 		_ = rc.Flush()
 		select {
 		case <-tk.DoneCh():
@@ -264,7 +264,7 @@ func (s *Server) handleTicketEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeSSE(w, "done", ticketView(tk))
+	writeSSE(w, "done", s.ticketView(tk))
 	_ = rc.Flush()
 }
 

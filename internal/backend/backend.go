@@ -1,0 +1,136 @@
+// Package backend puts the repository's three routing fabrics behind
+// one planner-backend interface — the full BRSMN (package core), the
+// feedback BRSMN (package feedback, Section 7.3) and the unicast
+// permutation network (package permnet, Cheng & Chen) — so the serving
+// layer can pick a fabric per group instead of hard-wiring the unrolled
+// network. Every backend produces the same artifact: a flattened
+// switch-column program plus per-output deliveries, with the pass count
+// and a cost.Row describing what the fabric spends to realize it.
+//
+// The Selector tiers groups across backends from observed workload
+// (group size, membership churn, plan-cache hit profile) with hysteresis
+// so a group near a threshold does not flap between fabrics.
+package backend
+
+import (
+	"fmt"
+
+	"brsmn/internal/cost"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+)
+
+// Tier identifies a planner backend. TierAuto is a preference, not a
+// backend: it asks the Selector to pick among the concrete tiers.
+type Tier uint8
+
+const (
+	// TierAuto lets the selector tier the group from observed workload.
+	TierAuto Tier = iota
+	// TierBRSMN is the full unrolled BRSMN: one pass, patchable plans.
+	TierBRSMN
+	// TierFeedback is the feedback BRSMN: one RBN's hardware, 2 log2(n) - 1
+	// sequential passes — the amortization play for stable large groups.
+	TierFeedback
+	// TierPermNet is the unicast permutation network: one pass per unit of
+	// fanout — the cheap path for tiny groups.
+	TierPermNet
+)
+
+// String returns the wire name of the tier (the /v1 `backend` field).
+func (t Tier) String() string {
+	switch t {
+	case TierAuto:
+		return "auto"
+	case TierBRSMN:
+		return "brsmn"
+	case TierFeedback:
+		return "feedback"
+	case TierPermNet:
+		return "permnet"
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// ParseTier parses a wire name; the empty string means TierAuto.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "auto":
+		return TierAuto, nil
+	case "brsmn":
+		return TierBRSMN, nil
+	case "feedback":
+		return TierFeedback, nil
+	case "permnet":
+		return TierPermNet, nil
+	}
+	return TierAuto, fmt.Errorf("backend: unknown backend %q (want auto, brsmn, feedback or permnet)", s)
+}
+
+// Tiers lists the concrete backends, in tier order.
+func Tiers() []Tier { return []Tier{TierBRSMN, TierFeedback, TierPermNet} }
+
+// Route is a fabric-independent routed assignment: the switch-column
+// program realizing it, how many injection passes the program spans, and
+// the per-output delivered sources (-1 for idle outputs).
+//
+// For single-injection backends (brsmn, feedback) Columns is one linear
+// program executable by fabric.Run. The permnet backend decomposes a
+// multicast assignment into one unicast pass per unit of fanout, each
+// pass re-injecting the sources; its Columns concatenate the per-pass
+// programs in order (a pass boundary is where Level restarts at 1).
+type Route struct {
+	Backend Tier
+	Columns []fabric.Column
+	Passes  int
+	// Deliveries[out] is the source delivered to output out, -1 if idle.
+	Deliveries []int
+}
+
+// Backend is one routing fabric behind the common planning surface.
+// Implementations are safe for concurrent use.
+type Backend interface {
+	// Name returns the tier's wire name.
+	Name() string
+	// Tier returns the concrete tier the backend implements.
+	Tier() Tier
+	// Route realizes a multicast assignment, verifying deliveries.
+	Route(a mcast.Assignment) (*Route, error)
+	// CanPatch reports whether cached plans from this backend accept
+	// O(log n) membership patches (core.RoutePatch) instead of replans.
+	CanPatch() bool
+	// Cost returns the fabric's closed-form hardware/latency row at the
+	// backend's network size.
+	Cost() cost.Row
+}
+
+// New constructs the backend implementing a concrete tier for an n x n
+// network on the given engine. TierAuto has no implementation — resolve
+// it through a Selector first.
+func New(t Tier, n int, eng rbn.Engine) (Backend, error) {
+	switch t {
+	case TierBRSMN:
+		return NewBRSMN(n, eng)
+	case TierFeedback:
+		return NewFeedback(n, eng)
+	case TierPermNet:
+		return NewPermNet(n, eng)
+	}
+	return nil, fmt.Errorf("backend: no implementation for tier %v", t)
+}
+
+// All constructs every concrete backend for an n x n network, indexed by
+// tier, for callers (the group manager, the bench harness) that serve
+// all tiers side by side.
+func All(n int, eng rbn.Engine) (map[Tier]Backend, error) {
+	out := make(map[Tier]Backend, 3)
+	for _, t := range Tiers() {
+		b, err := New(t, n, eng)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = b
+	}
+	return out, nil
+}

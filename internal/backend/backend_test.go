@@ -1,0 +1,339 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/bsn"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/plancodec"
+	"brsmn/internal/rbn"
+	"brsmn/internal/workload"
+)
+
+// TestDifferentialSemantics is the satellite differential test: all
+// three backends must deliver identical multicast semantics — every
+// requested output reached from its owning source, nothing misdelivered
+// — for 300 random assignments across n ∈ {16, 64, 256}. The brsmn and
+// feedback column programs are additionally executed through fabric.Run
+// and must reproduce their own reported deliveries, and every program
+// must survive a plancodec round trip (the serving path's plan blob).
+func TestDifferentialSemantics(t *testing.T) {
+	const trialsPerSize = 100
+	for _, n := range []int{16, 64, 256} {
+		backends, err := All(n, rbn.Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(70 + n)))
+		for trial := 0; trial < trialsPerSize; trial++ {
+			a := workload.Random(rng, n, rng.Float64(), rng.Float64())
+			owner := a.OutputOwner()
+			routes := map[Tier]*Route{}
+			for _, tier := range Tiers() {
+				r, err := backends[tier].Route(a)
+				if err != nil {
+					t.Fatalf("n=%d trial %d: %v: %v", n, trial, tier, err)
+				}
+				if r.Backend != tier {
+					t.Fatalf("n=%d: %v route labeled %v", n, tier, r.Backend)
+				}
+				if len(r.Deliveries) != n {
+					t.Fatalf("n=%d: %v returned %d deliveries", n, tier, len(r.Deliveries))
+				}
+				for out, src := range r.Deliveries {
+					if src != owner[out] {
+						t.Fatalf("n=%d trial %d: %v delivered source %d to output %d, want %d",
+							n, trial, tier, src, out, owner[out])
+					}
+				}
+				routes[tier] = r
+			}
+			for _, tier := range Tiers() {
+				other := routes[tier]
+				ref := routes[TierBRSMN]
+				for out := range ref.Deliveries {
+					if other.Deliveries[out] != ref.Deliveries[out] {
+						t.Fatalf("n=%d trial %d: output %d: %v delivers %d, brsmn delivers %d",
+							n, trial, out, tier, other.Deliveries[out], ref.Deliveries[out])
+					}
+				}
+			}
+			if trial%10 == 0 { // fabric execution + codec round trip, sampled
+				for _, tier := range []Tier{TierBRSMN, TierFeedback} {
+					checkColumnsDeliver(t, a, routes[tier])
+				}
+				for _, tier := range Tiers() {
+					checkCodecRoundTrip(t, n, routes[tier])
+				}
+			}
+		}
+	}
+}
+
+// checkColumnsDeliver executes a single-injection column program and
+// compares the fabric's deliveries with the route's claim.
+func checkColumnsDeliver(t *testing.T, a mcast.Assignment, r *Route) {
+	t.Helper()
+	cells, err := bsn.CellsForAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fabric.Run(r.Columns, cells)
+	if err != nil {
+		t.Fatalf("%v: executing columns: %v", r.Backend, err)
+	}
+	for i, c := range out {
+		src := c.Source
+		if c.IsIdle() {
+			src = -1
+		}
+		if src != r.Deliveries[i] {
+			t.Fatalf("%v: fabric delivered %d to output %d, route claims %d", r.Backend, src, i, r.Deliveries[i])
+		}
+	}
+}
+
+// checkCodecRoundTrip encodes and decodes a route's column program.
+func checkCodecRoundTrip(t *testing.T, n int, r *Route) {
+	t.Helper()
+	blob, err := plancodec.Encode(n, r.Columns)
+	if err != nil {
+		t.Fatalf("%v: encode: %v", r.Backend, err)
+	}
+	gotN, cols, err := plancodec.Decode(blob)
+	if err != nil {
+		t.Fatalf("%v: decode: %v", r.Backend, err)
+	}
+	if gotN != n || len(cols) != len(r.Columns) {
+		t.Fatalf("%v: round trip %d columns at n=%d, want %d at n=%d", r.Backend, len(cols), gotN, len(r.Columns), n)
+	}
+	for i, c := range cols {
+		w := r.Columns[i]
+		if c.Kind != w.Kind || c.Level != w.Level || c.BlockSize != w.BlockSize || c.AdvanceAfter != w.AdvanceAfter {
+			t.Fatalf("%v: column %d header mismatch after round trip", r.Backend, i)
+		}
+		for j, s := range c.Settings {
+			if s != w.Settings[j] {
+				t.Fatalf("%v: column %d setting %d mismatch after round trip", r.Backend, i, j)
+			}
+		}
+	}
+}
+
+// TestBackendShapes pins the per-tier program shape: pass counts and
+// column counts follow the closed forms the /v1 surface reports.
+func TestBackendShapes(t *testing.T) {
+	n, m := 16, 4
+	backends, err := All(n, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := workload.EvenFanout(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := backends[TierBRSMN].Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Passes != 1 {
+		t.Errorf("brsmn passes = %d, want 1", r.Passes)
+	}
+
+	r, err = backends[TierFeedback].Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*m - 1; r.Passes != want {
+		t.Errorf("feedback passes = %d, want %d", r.Passes, want)
+	}
+	if want := 2*m*(m-1) + 1; len(r.Columns) != want {
+		t.Errorf("feedback columns = %d, want %d", len(r.Columns), want)
+	}
+
+	r, err = backends[TierPermNet].Route(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Passes != 4 {
+		t.Errorf("permnet passes = %d, want 4", r.Passes)
+	}
+	perPass := 0
+	for size := n; size >= 2; size /= 2 {
+		perPass += mlog2(size)
+	}
+	if want := 4 * perPass; len(r.Columns) != want {
+		t.Errorf("permnet columns = %d, want %d", len(r.Columns), want)
+	}
+}
+
+func mlog2(n int) int {
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	return m
+}
+
+// TestTierParsing round-trips the wire names.
+func TestTierParsing(t *testing.T) {
+	for _, tier := range []Tier{TierAuto, TierBRSMN, TierFeedback, TierPermNet} {
+		got, err := ParseTier(tier.String())
+		if err != nil || got != tier {
+			t.Errorf("ParseTier(%q) = %v, %v", tier.String(), got, err)
+		}
+	}
+	if got, err := ParseTier(""); err != nil || got != TierAuto {
+		t.Errorf("ParseTier(\"\") = %v, %v", got, err)
+	}
+	if _, err := ParseTier("crossbar"); err == nil {
+		t.Error("ParseTier accepted an unknown backend")
+	}
+}
+
+// TestCapabilities pins the patch-capability matrix and cost rows.
+func TestCapabilities(t *testing.T) {
+	backends, err := All(64, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !backends[TierBRSMN].CanPatch() {
+		t.Error("brsmn must be patch-capable")
+	}
+	if backends[TierFeedback].CanPatch() || backends[TierPermNet].CanPatch() {
+		t.Error("feedback and permnet must not claim patch capability")
+	}
+	for _, tier := range Tiers() {
+		b := backends[tier]
+		if b.Name() != tier.String() || b.Tier() != tier {
+			t.Errorf("%v: Name/Tier mismatch (%q, %v)", tier, b.Name(), b.Tier())
+		}
+		if row := b.Cost(); row.Switches <= 0 || row.Depth <= 0 {
+			t.Errorf("%v: degenerate cost row %+v", tier, row)
+		}
+	}
+	if backends[TierFeedback].Cost().Switches >= backends[TierBRSMN].Cost().Switches {
+		t.Error("feedback must use less hardware than the unrolled BRSMN")
+	}
+}
+
+// TestSelectorTiering checks the instantaneous policy: tiny → permnet,
+// large stable → feedback, churny or mid-size → brsmn.
+func TestSelectorTiering(t *testing.T) {
+	s := NewSelector(SelectorConfig{})
+	var st GroupState
+
+	s.Init(&st, TierAuto, 2, 0)
+	if st.Tier != TierPermNet {
+		t.Errorf("size-2 group initialized on %v, want permnet", st.Tier)
+	}
+	s.Init(&st, TierAuto, 16, 0)
+	if st.Tier != TierBRSMN {
+		t.Errorf("size-16 group initialized on %v, want brsmn", st.Tier)
+	}
+	s.Init(&st, TierAuto, 200, 0)
+	if st.Tier != TierFeedback {
+		t.Errorf("large stable group initialized on %v, want feedback", st.Tier)
+	}
+	s.Init(&st, TierPermNet, 200, 0)
+	if st.Tier != TierPermNet {
+		t.Errorf("explicit preference not honored: got %v", st.Tier)
+	}
+
+	// A large group under heavy churn must leave feedback for brsmn.
+	s.Init(&st, TierAuto, 200, 0)
+	gen := uint64(0)
+	moved := false
+	for i := 0; i < 20 && !moved; i++ {
+		gen += 5 // five membership changes between observations
+		moved = s.Observe(&st, 200, gen)
+	}
+	if !moved || st.Tier != TierBRSMN {
+		t.Errorf("churny large group on %v (moved=%v), want brsmn", st.Tier, moved)
+	}
+	// ...and return to feedback once churn decays.
+	moved = false
+	for i := 0; i < 64 && !moved; i++ {
+		moved = s.Observe(&st, 200, gen)
+	}
+	if !moved || st.Tier != TierFeedback {
+		t.Errorf("quiet large group stayed on %v (moved=%v), want feedback", st.Tier, moved)
+	}
+}
+
+// TestSelectorHysteresis is the satellite tier-flap test: a group
+// oscillating near a threshold must not transition until the decision
+// agrees for Hysteresis consecutive observations, and a single
+// disagreeing observation must reset the ladder.
+func TestSelectorHysteresis(t *testing.T) {
+	cfg := DefaultSelectorConfig()
+	s := NewSelector(cfg)
+	var st GroupState
+	s.Init(&st, TierAuto, 100, 0)
+	if st.Tier != TierFeedback {
+		t.Fatalf("initial tier %v, want feedback", st.Tier)
+	}
+
+	// Alternate the instantaneous decision every observation (by
+	// forcing the churn EWMA above and below threshold): the brsmn
+	// decision never accumulates Hysteresis agreements, so the tier
+	// must hold.
+	for i := 0; i < 30; i++ {
+		if i%2 == 0 {
+			st.churn = 10 // decide() sees brsmn
+		} else {
+			st.churn = 0 // decide() sees feedback, resetting the ladder
+		}
+		if s.Observe(&st, 100, 0) {
+			t.Fatalf("observation %d flapped the tier to %v", i, st.Tier)
+		}
+	}
+	if st.Tier != TierFeedback {
+		t.Fatalf("tier drifted to %v under oscillation", st.Tier)
+	}
+
+	// A sustained change of regime must take exactly Hysteresis
+	// consecutive agreeing observations.
+	for i := 1; i <= cfg.Hysteresis; i++ {
+		st.churn = 10
+		moved := s.Observe(&st, 100, 0)
+		if moved != (i == cfg.Hysteresis) {
+			t.Fatalf("observation %d: transitioned=%v, want transition only on observation %d",
+				i, moved, cfg.Hysteresis)
+		}
+	}
+	if st.Tier != TierBRSMN {
+		t.Errorf("tier %v after sustained churn, want brsmn", st.Tier)
+	}
+}
+
+// TestSelectorHitProfile checks the plan-cache hit gate: a large quiet
+// group whose plans keep missing cache must not move to feedback.
+func TestSelectorHitProfile(t *testing.T) {
+	s := NewSelector(SelectorConfig{})
+	var st GroupState
+	s.Init(&st, TierAuto, 16, 0) // starts brsmn (mid-size)
+	// Grow the group large while its cache profile is all misses.
+	for i := 0; i < 20; i++ {
+		s.RecordLookup(&st, false)
+	}
+	for i := 0; i < 10; i++ {
+		if s.Observe(&st, 200, 0) {
+			t.Fatalf("all-miss group transitioned to %v", st.Tier)
+		}
+	}
+	// A healthy hit profile unlocks feedback.
+	for i := 0; i < 40; i++ {
+		s.RecordLookup(&st, true)
+	}
+	moved := false
+	for i := 0; i < 10 && !moved; i++ {
+		moved = s.Observe(&st, 200, 0)
+	}
+	if !moved || st.Tier != TierFeedback {
+		t.Errorf("well-cached large group on %v (moved=%v), want feedback", st.Tier, moved)
+	}
+}

@@ -1,0 +1,71 @@
+package backend
+
+import (
+	"brsmn/internal/core"
+	"brsmn/internal/cost"
+	"brsmn/internal/fabric"
+	"brsmn/internal/mcast"
+	"brsmn/internal/rbn"
+)
+
+// BRSMN is the full unrolled network behind the Backend interface: one
+// injection pass, cost.BRSMNDepth(n) columns, and — uniquely among the
+// tiers — plans that accept O(log n) membership patches, which is why
+// the selector parks churny groups here.
+type BRSMN struct {
+	nw *core.Network
+}
+
+// NewBRSMN returns the full-BRSMN backend for an n x n network.
+func NewBRSMN(n int, eng rbn.Engine) (*BRSMN, error) {
+	nw, err := core.New(n, eng)
+	if err != nil {
+		return nil, err
+	}
+	return &BRSMN{nw: nw}, nil
+}
+
+// Name implements Backend.
+func (b *BRSMN) Name() string { return TierBRSMN.String() }
+
+// Tier implements Backend.
+func (b *BRSMN) Tier() Tier { return TierBRSMN }
+
+// CanPatch implements Backend: core plans carry the packed routing-tag
+// trees RoutePatch edits in place.
+func (b *BRSMN) CanPatch() bool { return true }
+
+// Cost implements Backend.
+func (b *BRSMN) Cost() cost.Row { return cost.BRSMN(b.nw.N()) }
+
+// Network exposes the wrapped core network (the patch path and the
+// epoch scheduler keep routing on it directly).
+func (b *BRSMN) Network() *core.Network { return b.nw }
+
+// Route implements Backend: a pooled core route flattened into the
+// linear column program.
+func (b *BRSMN) Route(a mcast.Assignment) (*Route, error) {
+	res, err := b.nw.Route(a)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := fabric.Flatten(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Route{
+		Backend:    TierBRSMN,
+		Columns:    cols,
+		Passes:     1,
+		Deliveries: deliverySources(res.Deliveries),
+	}, nil
+}
+
+// deliverySources strips core deliveries down to per-output sources.
+func deliverySources(ds []core.Delivery) []int {
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = d.Source
+	}
+	return out
+}

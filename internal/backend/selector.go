@@ -1,0 +1,217 @@
+package backend
+
+// SelectorConfig sets the tiering policy thresholds. The zero value of
+// any field means its default; DefaultSelectorConfig lists them.
+type SelectorConfig struct {
+	// TinyMaxFanout is the largest fanout served by the permutation
+	// network: a group this small costs at most TinyMaxFanout unicast
+	// passes on half the hardware.
+	TinyMaxFanout int `json:"tinyMaxFanout"`
+	// LargeMinSize is the smallest member count eligible for the
+	// feedback tier — below it the amortization never beats the
+	// unrolled network's single pass.
+	LargeMinSize int `json:"largeMinSize"`
+	// ChurnMax is the highest membership-churn EWMA (changes observed
+	// per selector observation) a feedback-tier group may sustain;
+	// churnier groups stay on the patchable BRSMN.
+	ChurnMax float64 `json:"churnMax"`
+	// ChurnAlpha is the EWMA smoothing factor for churn observations.
+	ChurnAlpha float64 `json:"churnAlpha"`
+	// HitMin is the minimum plan-cache hit ratio a group must hold
+	// (once HitSamples lookups are recorded) to stay feedback-eligible:
+	// a group whose plans keep missing cache is replanning too often to
+	// amortize multi-pass planning.
+	HitMin float64 `json:"hitMin"`
+	// HitSamples is how many cache lookups must be recorded before the
+	// hit profile gates feedback eligibility.
+	HitSamples int `json:"hitSamples"`
+	// Hysteresis is how many consecutive observations must agree on a
+	// different tier before the group transitions — the anti-flap band.
+	Hysteresis int `json:"hysteresis"`
+}
+
+// DefaultSelectorConfig returns the default thresholds.
+func DefaultSelectorConfig() SelectorConfig {
+	return SelectorConfig{
+		TinyMaxFanout: 2,
+		LargeMinSize:  64,
+		ChurnMax:      0.25,
+		ChurnAlpha:    0.3,
+		HitMin:        0.5,
+		HitSamples:    8,
+		Hysteresis:    3,
+	}
+}
+
+// withDefaults fills zero fields from DefaultSelectorConfig.
+func (c SelectorConfig) withDefaults() SelectorConfig {
+	d := DefaultSelectorConfig()
+	if c.TinyMaxFanout <= 0 {
+		c.TinyMaxFanout = d.TinyMaxFanout
+	}
+	if c.LargeMinSize <= 0 {
+		c.LargeMinSize = d.LargeMinSize
+	}
+	if c.ChurnMax <= 0 {
+		c.ChurnMax = d.ChurnMax
+	}
+	if c.ChurnAlpha <= 0 || c.ChurnAlpha > 1 {
+		c.ChurnAlpha = d.ChurnAlpha
+	}
+	if c.HitMin <= 0 {
+		c.HitMin = d.HitMin
+	}
+	if c.HitSamples <= 0 {
+		c.HitSamples = d.HitSamples
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = d.Hysteresis
+	}
+	return c
+}
+
+// GroupState is the per-group tiering state the selector reads and
+// writes: the resolved serving tier, the requested preference, the
+// churn EWMA fed from the group's generation counter, the plan-cache
+// hit profile, and the hysteresis ladder. Callers serialize access (the
+// group manager holds its session lock).
+type GroupState struct {
+	// Tier is the tier the group is currently served on (never
+	// TierAuto).
+	Tier Tier
+	// Pref is the requested preference; TierAuto delegates to the
+	// selector, anything else pins Tier.
+	Pref Tier
+
+	cand         Tier
+	streak       int
+	churn        float64
+	lastGen      uint64
+	hits, misses uint64
+}
+
+// Churn returns the group's membership-churn EWMA.
+func (st *GroupState) Churn() float64 { return st.churn }
+
+// HitRatio returns the group's observed plan-cache hit ratio and
+// whether enough lookups were recorded for it to mean anything.
+func (st *GroupState) HitRatio() (float64, int) {
+	total := st.hits + st.misses
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(st.hits) / float64(total), int(total)
+}
+
+// Selector tiers groups across backends from observed workload. It is
+// stateless between calls — all per-group state lives in GroupState —
+// and therefore safe for concurrent use on distinct states.
+type Selector struct {
+	cfg SelectorConfig
+}
+
+// NewSelector returns a selector with the given thresholds (zero fields
+// defaulted).
+func NewSelector(cfg SelectorConfig) *Selector {
+	return &Selector{cfg: cfg.withDefaults()}
+}
+
+// Config returns the selector's effective thresholds.
+func (s *Selector) Config() SelectorConfig { return s.cfg }
+
+// Init resolves a group's initial tier: a concrete preference pins it,
+// TierAuto decides immediately from size alone (no history exists yet,
+// so no hysteresis applies).
+func (s *Selector) Init(st *GroupState, pref Tier, size int, gen uint64) {
+	*st = GroupState{Pref: pref, lastGen: gen}
+	if pref != TierAuto {
+		st.Tier = pref
+	} else {
+		st.Tier = s.decide(st, size)
+	}
+	st.cand = st.Tier
+}
+
+// SetPref changes the group's preference. A concrete preference takes
+// effect immediately; switching back to TierAuto keeps the current tier
+// and lets subsequent observations move it. It reports whether the
+// serving tier changed.
+func (s *Selector) SetPref(st *GroupState, pref Tier) bool {
+	st.Pref = pref
+	st.cand, st.streak = st.Tier, 0
+	if pref != TierAuto && pref != st.Tier {
+		st.Tier = pref
+		st.cand = pref
+		st.hits, st.misses = 0, 0
+		return true
+	}
+	return false
+}
+
+// RecordLookup feeds one plan-cache lookup into the group's hit
+// profile.
+func (s *Selector) RecordLookup(st *GroupState, hit bool) {
+	if hit {
+		st.hits++
+	} else {
+		st.misses++
+	}
+}
+
+// Observe updates the churn EWMA from the group's generation counter
+// (gen increments once per membership change) and, for auto groups,
+// re-decides the tier: the decision must agree for cfg.Hysteresis
+// consecutive observations before the group transitions. It reports
+// whether the serving tier changed.
+func (s *Selector) Observe(st *GroupState, size int, gen uint64) bool {
+	delta := float64(0)
+	if gen > st.lastGen {
+		delta = float64(gen - st.lastGen)
+	}
+	st.lastGen = gen
+	st.churn = s.cfg.ChurnAlpha*delta + (1-s.cfg.ChurnAlpha)*st.churn
+	if st.Pref != TierAuto {
+		return false
+	}
+	d := s.decide(st, size)
+	if d == st.Tier {
+		st.cand, st.streak = st.Tier, 0
+		return false
+	}
+	if d == st.cand {
+		st.streak++
+	} else {
+		st.cand, st.streak = d, 1
+	}
+	if st.streak < s.cfg.Hysteresis {
+		return false
+	}
+	st.Tier = d
+	st.cand, st.streak = d, 0
+	st.hits, st.misses = 0, 0
+	return true
+}
+
+// decide is the instantaneous (hysteresis-free) policy: tiny fanouts
+// ride the permutation network, large stable well-cached groups the
+// feedback network, everything else — and everything churny — the full
+// patchable BRSMN.
+func (s *Selector) decide(st *GroupState, size int) Tier {
+	if size <= s.cfg.TinyMaxFanout {
+		return TierPermNet
+	}
+	if size >= s.cfg.LargeMinSize && st.churn <= s.cfg.ChurnMax && s.hitOK(st) {
+		return TierFeedback
+	}
+	return TierBRSMN
+}
+
+// hitOK gates feedback eligibility on the plan-cache hit profile once
+// enough lookups are recorded.
+func (s *Selector) hitOK(st *GroupState) bool {
+	total := st.hits + st.misses
+	if total < uint64(s.cfg.HitSamples) {
+		return true
+	}
+	return float64(st.hits)/float64(total) >= s.cfg.HitMin
+}

@@ -13,35 +13,43 @@
 // configures the stage-1 switches as the delivery column. The whole
 // network therefore uses a single RBN's hardware — O(n log n) cost — at
 // the price of 2 log2(n) - 1 sequential passes.
+//
+// Route and Network.Route allocate their Result afresh per call; the
+// serving hot path holds a Planner (or draws one from a PlannerPool),
+// whose Route reuses every pass plan, cell buffer and routing-tag arena
+// across calls.
 package feedback
 
 import (
-	"fmt"
-
-	"brsmn/internal/bsn"
 	"brsmn/internal/core"
 	"brsmn/internal/mcast"
 	"brsmn/internal/rbn"
 	"brsmn/internal/shuffle"
-	"brsmn/internal/tag"
 )
 
 // Network is the feedback BRSMN: one n x n RBN plus the feedback wrap.
 type Network struct {
-	n   int
-	eng rbn.Engine
+	n    int
+	eng  rbn.Engine
+	pool *PlannerPool
 }
 
 // New returns an n x n feedback BRSMN.
 func New(n int, eng rbn.Engine) (*Network, error) {
-	if !shuffle.IsPow2(n) || n < 2 {
-		return nil, fmt.Errorf("feedback: network size %d is not a power of two >= 2", n)
+	pool, err := NewPlannerPool(n, eng)
+	if err != nil {
+		return nil, err
 	}
-	return &Network{n: n, eng: eng}, nil
+	return &Network{n: n, eng: eng, pool: pool}, nil
 }
 
 // N returns the network size.
 func (nw *Network) N() int { return nw.n }
+
+// Planners returns the network's planner pool — the zero-allocation
+// route path for callers that can respect a pooled Planner's aliasing
+// rules.
+func (nw *Network) Planners() *PlannerPool { return nw.pool }
 
 // Result records a routed assignment: the deliveries plus the RBN's
 // switch plan for every pass (the same physical switches, reconfigured).
@@ -54,6 +62,25 @@ type Result struct {
 // NumPasses returns how many trips through the RBN the routing took.
 func (r *Result) NumPasses() int { return len(r.Passes) }
 
+// Clone returns a deep copy of the result that shares no storage with
+// the receiver — the detach step Network.Route performs on a pooled
+// planner's aliased result.
+func (r *Result) Clone() *Result {
+	out := &Result{
+		N:          r.N,
+		Deliveries: append([]core.Delivery(nil), r.Deliveries...),
+		Passes:     make([]*rbn.Plan, len(r.Passes)),
+	}
+	for i, p := range r.Passes {
+		q := rbn.NewPlan(p.N)
+		for j := 0; j < p.M; j++ {
+			copy(q.Stages[j], p.Stages[j])
+		}
+		out.Passes[i] = q
+	}
+	return out
+}
+
 // Route realizes a multicast assignment through the feedback network and
 // verifies the deliveries.
 func (nw *Network) Route(a mcast.Assignment) (*Result, error) {
@@ -61,138 +88,16 @@ func (nw *Network) Route(a mcast.Assignment) (*Result, error) {
 }
 
 // RouteWithPayloads is Route with payloads attached to the connections.
+// The returned Result is detached from the pooled planner that computed
+// it, so callers may retain it indefinitely.
 func (nw *Network) RouteWithPayloads(a mcast.Assignment, payloads []any) (*Result, error) {
-	n := nw.n
-	if a.N != n {
-		return nil, fmt.Errorf("feedback: assignment for %d inputs on a %d x %d network", a.N, n, n)
-	}
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	if payloads != nil && len(payloads) != n {
-		return nil, fmt.Errorf("feedback: %d payloads for %d inputs", len(payloads), n)
-	}
-	cells, err := bsn.CellsForAssignment(a)
+	pl := nw.pool.Get()
+	defer nw.pool.Put(pl)
+	res, err := pl.RouteWithPayloads(a, payloads)
 	if err != nil {
 		return nil, err
 	}
-	if payloads != nil {
-		for i := range cells {
-			if !cells[i].IsIdle() {
-				cells[i].Payload = payloads[i]
-			}
-		}
-	}
-	res := &Result{N: n, Deliveries: make([]core.Delivery, n)}
-
-	for size := n; size > 2; size /= 2 {
-		// Scatter pass: configure stages [0, log2(size)) per block.
-		sp, err := nw.blockPass(size, cells, func(blockTags []tag.Value) (*rbn.Plan, error) {
-			if err := tag.Count(blockTags).CheckBSNInput(size); err != nil {
-				return nil, err
-			}
-			return nw.eng.ScatterPlan(size, blockTags, 0)
-		})
-		if err != nil {
-			return nil, err
-		}
-		cells, err = rbn.Apply(sp, cells, bsn.SplitCell)
-		if err != nil {
-			return nil, err
-		}
-		res.Passes = append(res.Passes, sp)
-
-		// Quasisort pass.
-		qp, err := nw.blockPass(size, cells, func(blockTags []tag.Value) (*rbn.Plan, error) {
-			p, _, err := nw.eng.QuasisortPlan(size, blockTags)
-			return p, err
-		})
-		if err != nil {
-			return nil, err
-		}
-		cells, err = rbn.Apply(qp, cells, nil)
-		if err != nil {
-			return nil, err
-		}
-		res.Passes = append(res.Passes, qp)
-
-		// Advance every connection to the next level's tags.
-		for i := range cells {
-			if cells[i].IsIdle() {
-				continue
-			}
-			cells[i], err = bsn.Advance(cells[i])
-			if err != nil {
-				return nil, fmt.Errorf("feedback: advancing after size-%d level: %w", size, err)
-			}
-		}
-	}
-
-	// Delivery pass: stage 0 acts as the column of final 2x2 switches.
-	fp := rbn.NewPlan(n)
-	for w := 0; w < n/2; w++ {
-		heads := [2]tag.Value{tag.Eps, tag.Eps}
-		for k, c := range cells[2*w : 2*w+2] {
-			if c.IsIdle() {
-				continue
-			}
-			if len(c.Seq) != 1 {
-				return nil, fmt.Errorf("feedback: final-level cell from input %d still has %d tags", c.Source, len(c.Seq))
-			}
-			heads[k] = c.Seq[0]
-		}
-		setting, err := core.FinalSetting(heads)
-		if err != nil {
-			return nil, err
-		}
-		fp.Stages[0][w] = setting
-	}
-	cells, err = rbn.Apply(fp, cells, bsn.SplitCell)
-	if err != nil {
-		return nil, err
-	}
-	res.Passes = append(res.Passes, fp)
-
-	for i, c := range cells {
-		if c.IsIdle() {
-			res.Deliveries[i] = core.Delivery{Source: -1}
-		} else {
-			res.Deliveries[i] = core.Delivery{Source: c.Source, Payload: c.Payload}
-		}
-	}
-	owner := a.OutputOwner()
-	for out, want := range owner {
-		if res.Deliveries[out].Source != want {
-			return nil, fmt.Errorf("feedback: output %d received source %d, want %d", out, res.Deliveries[out].Source, want)
-		}
-	}
-	return res, nil
-}
-
-// blockPass builds one full-RBN plan for a pass operating on independent
-// aligned blocks of the given size: stages [0, log2(size)) carry each
-// block's sub-plan; the higher stages stay parallel (identity).
-func (nw *Network) blockPass(size int, cells []bsn.Cell, mk func([]tag.Value) (*rbn.Plan, error)) (*rbn.Plan, error) {
-	n := nw.n
-	full := rbn.NewPlan(n)
-	for off := 0; off < n; off += size {
-		blockTags := make([]tag.Value, size)
-		for i, c := range cells[off : off+size] {
-			if c.IsIdle() {
-				blockTags[i] = tag.Eps
-			} else {
-				blockTags[i] = c.Tag
-			}
-		}
-		sub, err := mk(blockTags)
-		if err != nil {
-			return nil, fmt.Errorf("feedback: block at %d (size %d): %w", off, size, err)
-		}
-		for j := 0; j < sub.M; j++ {
-			copy(full.Stages[j][off/2:off/2+size/2], sub.Stages[j])
-		}
-	}
-	return full, nil
+	return res.Clone(), nil
 }
 
 // Route is a convenience constructing a sequential-engine feedback

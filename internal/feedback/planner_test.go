@@ -1,0 +1,177 @@
+package feedback
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"brsmn/internal/rbn"
+	"brsmn/internal/workload"
+)
+
+// TestPlannerMatchesNetwork routes random traffic through one reused
+// Planner and checks every delivery against a fresh Network.Route call —
+// the reuse path must not leak state between routes.
+func TestPlannerMatchesNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		pl, err := NewPlanner(n, rbn.Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := New(n, rbn.Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a := workload.Random(rng, n, rng.Float64(), rng.Float64())
+			got, err := pl.Route(a)
+			if err != nil {
+				t.Fatalf("n=%d %v: planner: %v", n, a, err)
+			}
+			want, err := nw.Route(a)
+			if err != nil {
+				t.Fatalf("n=%d %v: network: %v", n, a, err)
+			}
+			if got.NumPasses() != want.NumPasses() {
+				t.Fatalf("n=%d: planner took %d passes, network %d", n, got.NumPasses(), want.NumPasses())
+			}
+			for out := range got.Deliveries {
+				if got.Deliveries[out].Source != want.Deliveries[out].Source {
+					t.Fatalf("n=%d %v: output %d: planner %d vs network %d",
+						n, a, out, got.Deliveries[out].Source, want.Deliveries[out].Source)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerResultDetached checks that Network.Route's result survives
+// the pooled planner being reused for a different assignment.
+func TestPlannerResultDetached(t *testing.T) {
+	n := 16
+	nw, err := New(n, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := nw.Route(workload.Broadcast(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([]int, n)
+	for i, d := range first.Deliveries {
+		snapshot[i] = d.Source
+	}
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		if _, err := nw.Route(workload.Random(rng, n, 0.9, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range first.Deliveries {
+		if d.Source != snapshot[i] {
+			t.Fatalf("output %d of retained result changed from %d to %d", i, snapshot[i], d.Source)
+		}
+	}
+}
+
+// TestPlannerPoolReuse checks the pool recycles planners and rejects
+// foreign ones.
+func TestPlannerPoolReuse(t *testing.T) {
+	pool, err := NewPlannerPool(8, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := pool.Get()
+	if pl.N() != 8 {
+		t.Fatalf("pooled planner serves n=%d, want 8", pl.N())
+	}
+	pool.Put(pl)
+	if again := pool.Get(); again != pl {
+		t.Error("pool did not recycle the returned planner")
+	}
+	other, _ := NewPlanner(16, rbn.Sequential)
+	pool.Put(other)
+	if got := pool.Get(); got == other {
+		t.Error("pool handed out a planner of the wrong size")
+	}
+	if _, err := NewPlannerPool(5, rbn.Sequential); err == nil {
+		t.Error("NewPlannerPool(5) succeeded")
+	}
+}
+
+// TestPlannerWarmRouteAllocs asserts the planner's steady-state route is
+// allocation-free — the discipline core.Planner set and this package's
+// pooled path must match.
+func TestPlannerWarmRouteAllocs(t *testing.T) {
+	n := 64
+	pl, err := NewPlanner(n, rbn.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	a := workload.Random(rng, n, 0.8, 0.6)
+	for i := 0; i < 4; i++ { // warm the arena and scratch to steady state
+		if _, err := pl.Route(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := pl.Route(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm Planner.Route allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPlannerRoute measures the reused-planner route path; the
+// ReportAllocs output is the satellite claim — 0 allocs/op warm.
+func BenchmarkPlannerRoute(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(benchName(n), func(b *testing.B) {
+			pl, err := NewPlanner(n, rbn.Sequential)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(63))
+			a := workload.Random(rng, n, 0.8, 0.6)
+			if _, err := pl.Route(a); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Route(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkRoute is the detached-result path (pooled planner +
+// per-call Result clone) the zero-allocation planner is measured
+// against.
+func BenchmarkNetworkRoute(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(benchName(n), func(b *testing.B) {
+			nw, err := New(n, rbn.Sequential)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(63))
+			a := workload.Random(rng, n, 0.8, 0.6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.Route(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(n int) string { return fmt.Sprintf("n=%d", n) }
